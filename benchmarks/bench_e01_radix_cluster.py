@@ -1,0 +1,55 @@
+"""E1 — Figure 2 / Section 4.2: multi-pass radix-cluster vs thrashing.
+
+Regenerates the radix-cluster sweep: clustering N tuples on B bits in
+P passes.  Expected shape (paper): one-pass clustering is fine while
+2^B stays below the TLB-entry and cache-line budgets, then its miss
+counts explode; multi-pass clustering keeps per-pass fan-out low and
+stays flat at the price of extra sequential passes.
+"""
+
+from conftest import run_once
+
+from repro.hardware import SCALED_DEFAULT
+from repro.joins import radix_cluster
+from repro.workloads import uniform_ints
+
+N = 1 << 15
+BITS = (2, 4, 6, 8, 10, 12, 14)
+PASSES = (1, 2, 3)
+
+
+def sweep():
+    values = uniform_ints(N, seed=1)
+    rows = []
+    for bits in BITS:
+        for passes in PASSES:
+            if passes > bits:
+                continue
+            h = SCALED_DEFAULT.make_hierarchy()
+            radix_cluster(values, bits, passes, hierarchy=h)
+            rep = h.report()
+            rows.append((bits, passes,
+                         rep.cache_stats["L1"].misses,
+                         rep.cache_stats["L2"].misses,
+                         rep.tlb_stats.misses,
+                         h.total_cycles,
+                         round(h.total_cycles / N, 2)))
+    return rows
+
+
+def test_e01_radix_cluster_sweep(benchmark, sink):
+    rows = run_once(benchmark, sweep)
+    sink.table(
+        "E1: radix-cluster {0} tuples on B bits in P passes "
+        "(profile {1})".format(N, SCALED_DEFAULT.name),
+        ["B", "P", "L1 miss", "L2 miss", "TLB miss", "cycles",
+         "cycles/tuple"],
+        rows)
+    by_key = {(b, p): cycles for b, p, _, _, _, cycles, _ in rows}
+    # The paper's shape: at high B, one pass costs far more than two.
+    assert by_key[(12, 1)] > 2 * by_key[(12, 2)]
+    assert by_key[(14, 1)] > 2 * by_key[(14, 2)]
+    # At low B, a single pass is the cheaper plan.
+    assert by_key[(4, 1)] < by_key[(4, 2)]
+    benchmark.extra_info["one_pass_b12_over_two_pass"] = round(
+        by_key[(12, 1)] / by_key[(12, 2)], 2)

@@ -1,0 +1,93 @@
+"""E4 — Section 4.4: the generic cost model vs the simulator.
+
+Two questions: (a) how close are the predicted per-level miss counts
+and total cycles to the trace simulation, and (b) does minimizing the
+*predicted* cost pick the same radix-join tuning the simulator would
+pick?  (b) is the point of the model: "Predictive and accurate cost
+models provide the cornerstones to automate this tuning task."
+"""
+
+from conftest import run_once
+
+from repro.costmodel import (
+    predict_partitioned_hash_join,
+    predict_radix_cluster,
+    predict_simple_hash_join,
+)
+from repro.costmodel.model import total_cycles
+from repro.hardware import SCALED_DEFAULT
+from repro.joins import partitioned_hash_join, radix_cluster, \
+    simple_hash_join
+from repro.joins.radix_cluster import split_bits
+from repro.workloads import dense_keys, uniform_ints
+
+N = 1 << 14
+
+
+def accuracy_table():
+    rows = []
+    values = uniform_ints(N, seed=1)
+    for bits, passes in ((2, 1), (6, 1), (6, 2), (10, 1), (10, 2),
+                         (12, 2)):
+        pass_bits = split_bits(bits, passes)
+        predicted = total_cycles(
+            predict_radix_cluster(N, bits, pass_bits, SCALED_DEFAULT),
+            SCALED_DEFAULT)
+        h = SCALED_DEFAULT.make_hierarchy()
+        radix_cluster(values, bits, passes, hierarchy=h)
+        rows.append(("cluster B={0} P={1}".format(bits, passes),
+                     int(predicted), h.total_cycles,
+                     round(predicted / h.total_cycles, 2)))
+    left = dense_keys(N, seed=2)
+    right = dense_keys(N, seed=3)
+    predicted = total_cycles(
+        predict_simple_hash_join(N, N, SCALED_DEFAULT), SCALED_DEFAULT)
+    h = SCALED_DEFAULT.make_hierarchy()
+    simple_hash_join(left, right, hierarchy=h)
+    rows.append(("simple hash join", int(predicted), h.total_cycles,
+                 round(predicted / h.total_cycles, 2)))
+    return rows
+
+
+def tuning_table():
+    left = dense_keys(N, seed=2)
+    right = dense_keys(N, seed=3)
+    candidates = [(0, (0,)), (2, (2,)), (4, (4,)), (6, (6,)), (8, (8,)),
+                  (8, (4, 4)), (12, (6, 6))]
+    rows = []
+    simulated = {}
+    predicted = {}
+    for bits, pass_bits in candidates:
+        h = SCALED_DEFAULT.make_hierarchy()
+        partitioned_hash_join(left, right, bits=bits,
+                              passes=list(pass_bits), hierarchy=h)
+        simulated[(bits, pass_bits)] = h.total_cycles
+        predicted[(bits, pass_bits)] = total_cycles(
+            predict_partitioned_hash_join(N, N, bits, pass_bits,
+                                          SCALED_DEFAULT), SCALED_DEFAULT)
+        rows.append(("B={0} P={1}".format(bits, len(pass_bits)),
+                     int(predicted[(bits, pass_bits)]),
+                     simulated[(bits, pass_bits)]))
+    model_best = min(predicted, key=predicted.get)
+    sim_best = min(simulated, key=simulated.get)
+    return rows, model_best, sim_best, simulated
+
+
+def test_e04_cost_model(benchmark, sink):
+    def harness():
+        return accuracy_table(), tuning_table()
+
+    (acc_rows, (tune_rows, model_best, sim_best, simulated)) = \
+        run_once(benchmark, harness)
+    sink.table("E4a: predicted vs simulated total cycles (N={0})".format(N),
+               ["workload", "predicted", "simulated", "ratio"], acc_rows)
+    sink.table("E4b: tuning choice, partitioned join (N={0})".format(N),
+               ["tuning", "predicted", "simulated"], tune_rows)
+    sink.note("model argmin: {0}; simulator argmin: {1}".format(
+        model_best, sim_best))
+    # Accuracy within a factor of two across all workloads.
+    for _, predicted, simulated_cycles, _ in acc_rows:
+        assert simulated_cycles / 2 <= predicted <= simulated_cycles * 2
+    # The model's pick is within 50% of the simulator's optimum.
+    assert simulated[model_best] <= 1.5 * simulated[sim_best]
+    benchmark.extra_info["model_pick"] = str(model_best)

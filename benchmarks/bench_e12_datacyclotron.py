@@ -1,0 +1,54 @@
+"""E12 — Section 6.2 / [13]: the DataCyclotron ring.
+
+"The obvious benefit, if successful, would be increased system
+throughput and an architecture to exploit the opportunities offered by
+clusters."  The ring's throughput is swept over the node count (fixed
+per-node CPU) and compared with a centralized single node whose memory
+holds only part of the hot set.
+"""
+
+from conftest import run_once
+
+from repro.datacyclotron import RingQuery, run_centralized, run_ring
+
+N_CHUNKS = 32
+N_QUERIES = 96
+CAPACITY = 8  # (query, chunk) work units per node per step
+
+
+def make_queries(n_nodes):
+    return [RingQuery("q{0}".format(i), home_node=i % n_nodes,
+                      chunks_needed=frozenset(range(N_CHUNKS)))
+            for i in range(N_QUERIES)]
+
+
+def sweep():
+    rows = []
+    for n_nodes in (1, 2, 4, 8, 16):
+        result = run_ring(n_nodes, N_CHUNKS, make_queries(n_nodes),
+                          capacity_per_step=CAPACITY)
+        rows.append(("ring x{0}".format(n_nodes), result.steps,
+                     round(result.throughput_qps, 1),
+                     round(result.mean_latency_ms, 1)))
+    central = run_centralized(N_CHUNKS, make_queries(1),
+                              memory_chunks=N_CHUNKS // 4,
+                              process_ms=1.0, disk_ms=10.0)
+    rows.append(("centralized (1/4 in RAM)", "-",
+                 round(central.throughput_qps, 1),
+                 round(central.mean_latency_ms, 1)))
+    return rows
+
+
+def test_e12_datacyclotron(benchmark, sink):
+    rows = run_once(benchmark, sweep)
+    sink.table(
+        "E12: {0} full scans over a {1}-chunk hot set".format(
+            N_QUERIES, N_CHUNKS),
+        ["architecture", "steps", "queries/sec", "mean latency ms"],
+        rows)
+    qps = {r[0]: r[2] for r in rows}
+    assert qps["ring x8"] > 2 * qps["ring x2"]
+    assert qps["ring x16"] > 4 * qps["ring x1"]
+    assert qps["ring x8"] > 3 * qps["centralized (1/4 in RAM)"]
+    benchmark.extra_info["ring8_vs_centralized"] = round(
+        qps["ring x8"] / qps["centralized (1/4 in RAM)"], 1)

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Cache-conscious join lab (paper, Section 4 / Figure 2).
+
+Joins two relations on the simulated memory hierarchy and prints the
+cache/TLB behaviour of:
+
+* the straightforward bucket-chained hash join;
+* one-pass radix clustering with too many clusters (the thrashing of
+  Section 4.2);
+* the multi-pass radix-cluster partitioned hash join, tuned by the
+  Section 4.4 cost model.
+
+Run:  python examples/join_lab.py
+"""
+
+import numpy as np
+
+from repro.costmodel import best_partitioning
+from repro.hardware import SCALED_DEFAULT
+from repro.joins import partitioned_hash_join, radix_cluster, \
+    simple_hash_join
+from repro.workloads import dense_keys
+
+
+def report(label, hierarchy):
+    rep = hierarchy.report()
+    l1 = rep.cache_stats["L1"]
+    l2 = rep.cache_stats["L2"]
+    print("{0:<34} {1:>9,} {2:>9,} {3:>9,} {4:>12,}".format(
+        label, l1.misses, l2.misses, rep.tlb_stats.misses,
+        hierarchy.total_cycles))
+
+
+def main():
+    n = 1 << 15
+    left = dense_keys(n, seed=1)
+    right = dense_keys(n, seed=2)
+    print("joining two relations of {0:,} tuples on profile "
+          "'{1}'\n".format(n, SCALED_DEFAULT.name))
+    print("{0:<34} {1:>9} {2:>9} {3:>9} {4:>12}".format(
+        "algorithm", "L1 miss", "L2 miss", "TLB miss", "sim cycles"))
+
+    h = SCALED_DEFAULT.make_hierarchy()
+    simple_hash_join(left, right, hierarchy=h)
+    report("simple hash join", h)
+
+    h = SCALED_DEFAULT.make_hierarchy()
+    simple_hash_join(left, right, hierarchy=h, cpu_optimized=False)
+    report("simple hash join (naive CPU)", h)
+
+    # One-pass clustering with far too many clusters: the explosion.
+    h = SCALED_DEFAULT.make_hierarchy()
+    radix_cluster(left, bits=12, passes=1, hierarchy=h)
+    report("radix-cluster B=12 in 1 pass", h)
+
+    h = SCALED_DEFAULT.make_hierarchy()
+    radix_cluster(left, bits=12, passes=2, hierarchy=h)
+    report("radix-cluster B=12 in 2 passes", h)
+
+    # The cost model picks the tuning (Section 4.4's automation).
+    bits, pass_bits, predicted = best_partitioning(n, n, SCALED_DEFAULT)
+    h = SCALED_DEFAULT.make_hierarchy()
+    result = partitioned_hash_join(left, right, bits=bits,
+                                   passes=list(pass_bits), hierarchy=h)
+    report("partitioned join B={0} P={1}".format(bits, len(pass_bits)), h)
+    print("\ncost model chose B={0}, passes={1} "
+          "(predicted {2:,.0f} cycles)".format(bits, list(pass_bits),
+                                               int(predicted)))
+    print("join produced {0:,} result pairs".format(len(result)))
+
+    h_simple = SCALED_DEFAULT.make_hierarchy()
+    simple_hash_join(left, right, hierarchy=h_simple, cpu_optimized=False)
+    h_tuned = SCALED_DEFAULT.make_hierarchy()
+    partitioned_hash_join(left, right, bits=bits, passes=list(pass_bits),
+                          hierarchy=h_tuned)
+    print("cache+CPU optimized vs naive simple join: {0:.1f}x".format(
+        h_simple.total_cycles / h_tuned.total_cycles))
+
+
+if __name__ == "__main__":
+    main()

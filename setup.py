@@ -1,0 +1,6 @@
+"""Setup shim: enables legacy editable installs on environments without
+the `wheel` package (this sandbox has no network to fetch it)."""
+
+from setuptools import setup
+
+setup()

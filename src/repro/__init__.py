@@ -1,0 +1,27 @@
+"""repro — a reproduction of "Database Architecture Evolution: Mammals
+Flourished long before Dinosaurs became Extinct" (VLDB 2009).
+
+A MonetDB-style columnar database system in Python: BAT storage and
+algebra, MAL with an optimizer pipeline, a SQL front-end with delta-BAT
+snapshot isolation, the cache-conscious join/projection algorithms of
+Section 4 on a simulated memory hierarchy, the Section 4.4 cost model,
+the X100 vectorized engine, database cracking, recycling, the DataCell
+stream engine, and the DataCyclotron ring — plus the row-store/Volcano
+baselines they are measured against.
+
+Quick start::
+
+    from repro import Database
+    db = Database()
+    db.execute("CREATE TABLE people (name VARCHAR, age INT)")
+    db.execute("INSERT INTO people VALUES ('roger', 1927), ('bob', 1927)")
+    print(db.execute("SELECT name FROM people WHERE age = 1927"))
+"""
+
+from repro.core import BAT, algebra
+from repro.sql import Database, ResultSet, Transaction
+
+__version__ = "1.0.0"
+
+__all__ = ["BAT", "algebra", "Database", "ResultSet", "Transaction",
+           "__version__"]

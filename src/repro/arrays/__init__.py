@@ -1,0 +1,15 @@
+"""Arrays over BATs: the SRAM front-end (§3.2).
+
+"The Sparse Relational Array Mapping (SRAM) project maps large
+(scientific) array-based data-sets into MonetDB BATs, and offers a
+high-level comprehension-based query language."
+
+A dense N-dimensional array maps to one void-headed BAT: the head oid
+*is* the row-major linearized index, so sub-array selection compiles
+into pure index arithmetic over candidate lists, and element-wise /
+aggregation operations onto the usual bulk kernel.
+"""
+
+from repro.arrays.sram import DenseArray, comprehend
+
+__all__ = ["DenseArray", "comprehend"]

@@ -1,0 +1,153 @@
+"""Dense arrays as void-headed BATs, with comprehension-style queries.
+
+A :class:`DenseArray` of shape ``(d0, d1, ...)`` stores its values in
+one BAT whose (virtual) head oid is the row-major linearized index —
+the same dense-surrogate trick the relational and XML front-ends use.
+Slicing never touches values: it only computes candidate oids.
+"""
+
+import numpy as np
+
+from repro.core.atoms import DBL, LNG, OID
+from repro.core.bat import BAT
+
+
+class DenseArray:
+    """An N-dimensional dense array over a single value BAT."""
+
+    def __init__(self, shape, values):
+        self.shape = tuple(int(d) for d in shape)
+        if any(d < 0 for d in self.shape):
+            raise ValueError("dimensions must be non-negative")
+        size = int(np.prod(self.shape))
+        if isinstance(values, BAT):
+            self.values = values
+        else:
+            arr = np.asarray(values).reshape(-1)
+            atom = DBL if arr.dtype.kind == "f" else LNG
+            self.values = BAT(atom, atom.array(arr))
+        if len(self.values) != size:
+            raise ValueError("value count {0} does not match shape "
+                             "{1}".format(len(self.values), self.shape))
+
+    @classmethod
+    def from_numpy(cls, array):
+        return cls(array.shape, array)
+
+    def to_numpy(self):
+        return np.asarray(self.values.tail).reshape(self.shape)
+
+    @property
+    def ndim(self):
+        return len(self.shape)
+
+    @property
+    def size(self):
+        return len(self.values)
+
+    def __getitem__(self, indexes):
+        """Point access with a full index tuple."""
+        if not isinstance(indexes, tuple):
+            indexes = (indexes,)
+        if len(indexes) != self.ndim:
+            raise IndexError("need {0} indexes".format(self.ndim))
+        oid = 0
+        for index, dim in zip(indexes, self.shape):
+            if not 0 <= index < dim:
+                raise IndexError("index {0} out of range".format(index))
+            oid = oid * dim + index
+        return self.values.tail_at(oid)
+
+    # -- slicing: pure candidate arithmetic -------------------------------------
+
+    def slice_candidates(self, **bounds):
+        """Oids of the sub-array selected by per-axis (lo, hi) bounds.
+
+        Axes are named ``ax0``, ``ax1``, ...; bounds are half-open.
+        Returns a candidate BAT — values untouched, exactly the DSM
+        selling point for arrays.
+        """
+        ranges = []
+        for axis, dim in enumerate(self.shape):
+            lo, hi = bounds.pop("ax{0}".format(axis), (0, dim))
+            if not 0 <= lo <= hi <= dim:
+                raise IndexError(
+                    "axis {0} bounds ({1}, {2}) out of range".format(
+                        axis, lo, hi))
+            ranges.append(np.arange(lo, hi, dtype=np.int64))
+        if bounds:
+            raise KeyError("unknown axes: {0}".format(sorted(bounds)))
+        oids = np.zeros(1, dtype=np.int64)
+        for axis, indexes in enumerate(ranges):
+            oids = (oids[:, None] * self.shape[axis]
+                    + indexes[None, :]).reshape(-1)
+        return BAT(OID, oids, tkey=True)
+
+    def slice(self, **bounds):
+        """The selected sub-array, materialized as a new DenseArray."""
+        new_shape = []
+        for axis, dim in enumerate(self.shape):
+            lo, hi = bounds.get("ax{0}".format(axis), (0, dim))
+            new_shape.append(hi - lo)
+        candidates = self.slice_candidates(**bounds)
+        return DenseArray(new_shape, self.values.fetch(candidates.tail))
+
+    # -- bulk operations ----------------------------------------------------------
+
+    def map(self, op, operand):
+        """Element-wise arithmetic with a scalar or aligned array."""
+        from repro.core.algebra import calc
+        other = operand.values if isinstance(operand, DenseArray) \
+            else operand
+        if isinstance(operand, DenseArray) and operand.shape != self.shape:
+            raise ValueError("shape mismatch: {0} vs {1}".format(
+                self.shape, operand.shape))
+        return DenseArray(self.shape, calc(op, self.values, other))
+
+    def aggregate(self, kind, axis=None):
+        """sum/min/max/avg/count over all cells or along one axis.
+
+        Along an axis, grouping uses the oid arithmetic: the group id
+        of a cell is its linear index with ``axis`` projected out.
+        """
+        from repro.core import algebra
+        if axis is None:
+            fn = getattr(algebra, "aggr_" + kind)
+            return fn(self.values)
+        if not 0 <= axis < self.ndim:
+            raise IndexError("axis {0} out of range".format(axis))
+        oids = np.arange(self.size, dtype=np.int64)
+        inner = int(np.prod(self.shape[axis + 1:], dtype=np.int64))
+        dim = self.shape[axis]
+        gids = (oids // (inner * dim)) * inner + oids % inner
+        n_groups = self.size // dim
+        gids_bat = BAT(OID, gids)
+        fn = getattr(algebra, "grouped_" + kind)
+        out = fn(self.values, gids_bat, n_groups)
+        new_shape = self.shape[:axis] + self.shape[axis + 1:]
+        return DenseArray(new_shape or (1,), out)
+
+    def __repr__(self):
+        return "DenseArray(shape={0}, atom={1})".format(
+            self.shape, self.values.atom.name)
+
+
+def comprehend(array, where=None, select=None):
+    """A tiny comprehension: [select(v) | v <- array, where(v)].
+
+    ``where`` and ``select`` are (op, operand) pairs applied with the
+    bulk kernel; returns the qualifying values as a 1-D DenseArray.
+    """
+    from repro.core import algebra
+    values = array.values
+    if where is not None:
+        op, operand = where
+        mask = algebra.calc(op, values, operand)
+        candidates = algebra.select_mask(values, mask)
+        values = values.fetch(candidates.tail)
+    if select is not None:
+        op, operand = select
+        values = algebra.calc(op, values, operand)
+    if len(values) == 0:
+        return None
+    return DenseArray((len(values),), values)

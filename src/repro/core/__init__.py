@@ -1,0 +1,56 @@
+"""The MonetDB core: BAT storage (DSM) and the BAT Algebra.
+
+This package implements the paper's Figure 1: relational data decomposed
+into Binary Association Tables (BATs) — two simple memory arrays with a
+(usually virtual, densely ascending) surrogate *head* and a value *tail* —
+and the zero-degrees-of-freedom bulk operators of the BAT Algebra that a
+MAL program is compiled into.
+"""
+
+from repro.core.atoms import (
+    Atom,
+    BIT,
+    DBL,
+    FLT,
+    INT,
+    LNG,
+    OID,
+    STR,
+    atom_by_name,
+    nil_value,
+)
+from repro.core.heap import StringHeap
+from repro.core.bat import BAT, AddressSpace, global_address_space
+from repro.core import algebra
+from repro.core.kernel import KERNEL, KernelFunction, lookup_op
+from repro.core.persist import (
+    load_bat,
+    load_database,
+    save_bat,
+    save_database,
+)
+
+__all__ = [
+    "Atom",
+    "OID",
+    "BIT",
+    "INT",
+    "LNG",
+    "FLT",
+    "DBL",
+    "STR",
+    "atom_by_name",
+    "nil_value",
+    "StringHeap",
+    "BAT",
+    "AddressSpace",
+    "global_address_space",
+    "algebra",
+    "KERNEL",
+    "KernelFunction",
+    "lookup_op",
+    "save_bat",
+    "load_bat",
+    "save_database",
+    "load_database",
+]

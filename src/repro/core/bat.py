@@ -1,0 +1,359 @@
+"""Binary Association Tables — the storage unit of the engine.
+
+A BAT holds a *head* column of ``oid`` surrogates and a *tail* column of
+values (Figure 1 of the paper).  Following MonetDB, the common case of a
+densely ascending head (0, 1, 2, ...) is not stored at all (a *void*
+head); surrogate lookup is then a plain array index — the O(1) positional
+lookup the paper contrasts with B-tree-in-slotted-pages lookup.
+
+Each BAT owns a notional base address in a simulated address space, so
+cache-conscious algorithms can translate "read tail position i" into the
+byte address they feed to :mod:`repro.hardware`.
+"""
+
+import numpy as np
+
+from repro.core.atoms import Atom, OID, BIT, LNG, DBL, STR, atom_for_dtype
+from repro.core.heap import StringHeap
+
+
+class AddressSpace:
+    """Monotonic allocator of non-overlapping simulated address ranges."""
+
+    def __init__(self, base=1 << 20, alignment=64):
+        self._next = base
+        self.alignment = alignment
+
+    def allocate(self, nbytes, align=None):
+        """Allocate a range; ``align`` forces the base address onto a
+        boundary (e.g. page-aligned page allocations)."""
+        nbytes = int(nbytes)
+        if align:
+            self._next += (-self._next) % int(align)
+        base = self._next
+        aligned = max(nbytes, 1)
+        aligned += (-aligned) % self.alignment
+        self._next += aligned
+        return base
+
+
+global_address_space = AddressSpace()
+
+
+def _infer_atom(values):
+    arr = np.asarray(values)
+    if arr.dtype.kind in ("U", "O"):
+        return STR
+    if arr.dtype.kind == "b":
+        return BIT
+    if arr.dtype.kind == "f":
+        return DBL
+    if arr.dtype.kind in ("i", "u"):
+        return LNG
+    raise TypeError("cannot infer atom type for dtype {0!r}".format(arr.dtype))
+
+
+class BAT:
+    """One binary association table.
+
+    Parameters
+    ----------
+    atom:
+        Tail atom type.
+    tail:
+        The tail values (numpy array of ``atom.dtype``; heap offsets for
+        ``str``).
+    head:
+        Materialized head oids, or None for a void (dense) head.
+    hseqbase:
+        First oid of a void head.
+    heap:
+        The string heap for var-sized atoms.
+    tsorted / trevsorted / tkey:
+        Known tail properties (None = unknown).  Properties steer
+        algorithm choice in the kernel, exactly as Section 3.1 describes.
+    """
+
+    __slots__ = ("atom", "_tail", "_head", "hseqbase", "heap",
+                 "_tsorted", "_trevsorted", "_tkey", "_tail_base",
+                 "bat_id", "version")
+
+    _next_bat_id = 0
+
+    def __init__(self, atom, tail, head=None, hseqbase=0, heap=None,
+                 tsorted=None, trevsorted=None, tkey=None):
+        if not isinstance(atom, Atom):
+            raise TypeError("atom must be an Atom")
+        tail = np.asarray(tail, dtype=atom.dtype)
+        if tail.ndim != 1:
+            raise ValueError("tail must be one-dimensional")
+        if atom.varsized and heap is None:
+            raise ValueError("var-sized atom requires a heap")
+        if head is not None:
+            head = np.asarray(head, dtype=OID.dtype)
+            if head.shape != tail.shape:
+                raise ValueError("head and tail lengths differ")
+        self.atom = atom
+        self._tail = tail
+        self._head = head
+        self.hseqbase = int(hseqbase)
+        self.heap = heap
+        self._tsorted = tsorted
+        self._trevsorted = trevsorted
+        self._tkey = tkey
+        self._tail_base = None
+        self.bat_id = BAT._next_bat_id
+        BAT._next_bat_id += 1
+        self.version = 0
+
+    # -- construction ----------------------------------------------------
+
+    @classmethod
+    def from_values(cls, values, atom=None, hseqbase=0):
+        """Build a void-headed BAT from Python/numpy values.
+
+        Strings get a fresh heap; everything else maps to a numpy array.
+        """
+        if atom is None:
+            atom = _infer_atom(values)
+        if atom.varsized:
+            heap = StringHeap()
+            tail = heap.put_many(list(values))
+            return cls(atom, tail, hseqbase=hseqbase, heap=heap)
+        return cls(atom, atom.array(values), hseqbase=hseqbase)
+
+    @classmethod
+    def dense(cls, count, base=0, hseqbase=0):
+        """A BAT whose tail is itself a dense oid sequence."""
+        tail = base + np.arange(count, dtype=OID.dtype)
+        return cls(OID, tail, hseqbase=hseqbase, tsorted=True, tkey=True)
+
+    def empty_like(self):
+        return BAT(self.atom, self.atom.empty(0), heap=self.heap,
+                   hseqbase=self.hseqbase)
+
+    def copy(self):
+        head = None if self._head is None else self._head.copy()
+        return BAT(self.atom, self._tail.copy(), head=head,
+                   hseqbase=self.hseqbase, heap=self.heap,
+                   tsorted=self._tsorted, trevsorted=self._trevsorted,
+                   tkey=self._tkey)
+
+    # -- geometry ----------------------------------------------------------
+
+    def __len__(self):
+        return len(self._tail)
+
+    @property
+    def count(self):
+        return len(self._tail)
+
+    @property
+    def hdense(self):
+        """True when the head is void (virtual, densely ascending)."""
+        return self._head is None
+
+    @property
+    def tail(self):
+        return self._tail
+
+    @property
+    def head(self):
+        """The head oids, materializing a void head on demand."""
+        if self._head is None:
+            return self.hseqbase + np.arange(len(self._tail), dtype=OID.dtype)
+        return self._head
+
+    @property
+    def tail_width(self):
+        return self.atom.width
+
+    @property
+    def tail_nbytes(self):
+        return len(self._tail) * self.atom.width
+
+    @property
+    def tail_base(self):
+        """Simulated base byte address of the tail array (lazy)."""
+        if self._tail_base is None:
+            self._tail_base = global_address_space.allocate(
+                max(self.tail_nbytes, 1))
+        return self._tail_base
+
+    # -- properties (sortedness, key) -------------------------------------
+
+    @property
+    def tsorted(self):
+        if self._tsorted is None:
+            if self.atom.varsized:
+                decoded = self.heap.get_many(self._tail)
+                self._tsorted = all(a <= b for a, b in
+                                    zip(decoded, decoded[1:])
+                                    if a is not None and b is not None)
+            else:
+                self._tsorted = bool(np.all(self._tail[1:] >= self._tail[:-1]))
+        return self._tsorted
+
+    @property
+    def trevsorted(self):
+        if self._trevsorted is None:
+            if self.atom.varsized:
+                decoded = self.heap.get_many(self._tail)
+                self._trevsorted = all(a >= b for a, b in
+                                       zip(decoded, decoded[1:])
+                                       if a is not None and b is not None)
+            else:
+                self._trevsorted = bool(
+                    np.all(self._tail[1:] <= self._tail[:-1]))
+        return self._trevsorted
+
+    @property
+    def tkey(self):
+        """True when all tail values are distinct."""
+        if self._tkey is None:
+            if len(self._tail) <= 1:
+                self._tkey = True
+            else:
+                self._tkey = len(np.unique(self._tail)) == len(self._tail)
+        return self._tkey
+
+    def _invalidate_properties(self):
+        self._tsorted = None
+        self._trevsorted = None
+        self._tkey = None
+
+    # -- element access ----------------------------------------------------
+
+    def oid_at(self, position):
+        """Head oid at a physical position."""
+        if self._head is None:
+            return self.hseqbase + position
+        return int(self._head[position])
+
+    def tail_at(self, position):
+        """Decoded tail value at a physical position."""
+        raw = self._tail[position]
+        if self.atom.varsized:
+            return self.heap.get(raw)
+        if self.atom is BIT:
+            return bool(raw)
+        return raw.item() if hasattr(raw, "item") else raw
+
+    def position_of(self, oid):
+        """Physical position of a head oid.
+
+        O(1) for void heads — the paper's positional-lookup argument —
+        and a search for materialized heads.
+        """
+        if self._head is None:
+            pos = int(oid) - self.hseqbase
+            if not 0 <= pos < len(self._tail):
+                raise KeyError(oid)
+            return pos
+        matches = np.flatnonzero(self._head == oid)
+        if len(matches) == 0:
+            raise KeyError(oid)
+        return int(matches[0])
+
+    def find(self, oid):
+        """Tail value for a head oid (positional for void heads)."""
+        return self.tail_at(self.position_of(oid))
+
+    def fetch(self, positions):
+        """Positional projection: tail values at the given positions.
+
+        This is the O(1)-per-tuple array gather that
+        ``leftfetchjoin`` (tuple reconstruction) compiles into.
+        """
+        positions = np.asarray(positions, dtype=np.int64)
+        return BAT(self.atom, self._tail[positions], heap=self.heap)
+
+    def decoded(self):
+        """All tail values as a Python list (strings decoded)."""
+        if self.atom.varsized:
+            return self.heap.get_many(self._tail)
+        if self.atom is BIT:
+            return [bool(v) for v in self._tail]
+        return self._tail.tolist()
+
+    def items(self):
+        """Iterate (oid, value) pairs."""
+        values = self.decoded()
+        if self._head is None:
+            for i, v in enumerate(values):
+                yield self.hseqbase + i, v
+        else:
+            for o, v in zip(self._head.tolist(), values):
+                yield o, v
+
+    # -- structural transforms ----------------------------------------------
+
+    def reverse(self):
+        """Swap head and tail (tail must be oid-typed)."""
+        if self.atom is not OID:
+            raise TypeError("reverse() requires an oid tail")
+        return BAT(OID, self.head, head=self._tail.copy())
+
+    def mirror(self):
+        """[head, head]: each oid associated with itself."""
+        head = None if self._head is None else self._head.copy()
+        tail = self.head.astype(OID.dtype)
+        return BAT(OID, tail, head=head, hseqbase=self.hseqbase,
+                   tsorted=self._head is None, tkey=True)
+
+    def mark(self, base=0):
+        """Replace the tail by fresh densely ascending oids."""
+        head = None if self._head is None else self._head.copy()
+        tail = base + np.arange(len(self._tail), dtype=OID.dtype)
+        return BAT(OID, tail, head=head, hseqbase=self.hseqbase,
+                   tsorted=True, tkey=True)
+
+    def slice(self, lo, hi):
+        """Positional sub-range [lo, hi) as a new BAT.
+
+        The tail is a numpy *view*, not a copy: slicing an append-only
+        column is O(1), which is what makes transaction snapshots cheap
+        (appends to the original build a new array and leave views
+        intact; in-place updates copy first).
+        """
+        head = None if self._head is None else self._head[lo:hi]
+        return BAT(self.atom, self._tail[lo:hi], head=head,
+                   hseqbase=self.hseqbase + lo if self._head is None
+                   else self.hseqbase,
+                   heap=self.heap)
+
+    def append_values(self, values):
+        """In-place append of decoded values (used by delta BATs)."""
+        if self.atom.varsized:
+            extra = self.heap.put_many(list(values))
+        else:
+            extra = self.atom.array(values)
+        if self._head is not None:
+            raise ValueError("append requires a void head")
+        self._tail = np.concatenate([self._tail, extra])
+        self._invalidate_properties()
+        self._tail_base = None
+        self.version += 1
+
+    def replace_at(self, positions, values):
+        """In-place positional update of tail values."""
+        positions = np.asarray(positions, dtype=np.int64)
+        if self.atom.varsized:
+            raw = self.heap.put_many(list(values))
+        else:
+            raw = self.atom.array(values)
+        self._tail = self._tail.copy()
+        self._tail[positions] = raw
+        self._invalidate_properties()
+        self.version += 1
+
+    # -- comparison helpers (tests, debugging) -------------------------------
+
+    def same_pairs(self, other):
+        """True when both BATs hold the same (oid, value) multiset."""
+        return sorted(self.items(), key=repr) == sorted(other.items(),
+                                                        key=repr)
+
+    def __repr__(self):
+        head = "void({0})".format(self.hseqbase) if self.hdense else "oid"
+        return "BAT[{0},{1}]#{2}".format(head, self.atom.name, len(self))

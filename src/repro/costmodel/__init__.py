@@ -1,0 +1,42 @@
+"""The generic memory-access cost model of Section 4.4.
+
+"The idea is to abstract data structures as data regions and model the
+complex data access patterns of database algorithms in terms of simple
+compounds of a few basic data access patterns, such as sequential or
+random.  For these basic patterns, we then provide cost functions to
+estimate their cache misses."
+
+Data regions and basic patterns live in :mod:`repro.costmodel.patterns`;
+the per-algorithm predictors (radix-cluster, simple and partitioned hash
+join) in :mod:`repro.costmodel.model`.  Predictions are validated
+against the trace simulator in experiment E4, including the tuning
+decision the model exists to automate: picking the radix bits/passes.
+"""
+
+from repro.costmodel.patterns import (
+    Cost,
+    DataRegion,
+    interleaved_multi_cursor,
+    repeated_random_access,
+    random_traversal,
+    sequential_traversal,
+)
+from repro.costmodel.model import (
+    predict_partitioned_hash_join,
+    predict_radix_cluster,
+    predict_simple_hash_join,
+    best_partitioning,
+)
+
+__all__ = [
+    "DataRegion",
+    "Cost",
+    "sequential_traversal",
+    "random_traversal",
+    "repeated_random_access",
+    "interleaved_multi_cursor",
+    "predict_radix_cluster",
+    "predict_simple_hash_join",
+    "predict_partitioned_hash_join",
+    "best_partitioning",
+]

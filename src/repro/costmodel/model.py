@@ -1,0 +1,129 @@
+"""Cost-model predictors for the Section 4 algorithms.
+
+Each predictor composes the basic patterns of
+:mod:`repro.costmodel.patterns` exactly the way the implementation
+composes its phases, and returns ``(Cost, cpu_cycles)``.  The headline
+application — the tuning task the model automates (Section 4.4) — is
+:func:`best_partitioning`: pick the radix bits/pass split minimizing
+predicted total cycles.
+"""
+
+from repro.costmodel.patterns import (
+    Cost,
+    DataRegion,
+    interleaved_multi_cursor,
+    random_traversal,
+    repeated_random_access,
+    sequential_traversal,
+)
+import repro.joins  # ensure submodules are loaded
+import repro.joins.hash_join
+import repro.joins.radix_cluster
+import sys
+
+# The joins package re-exports functions under the submodule names, so
+# `import repro.joins.hash_join as hj` would bind the *function*; fetch
+# the modules from sys.modules instead.
+hj = sys.modules["repro.joins.hash_join"]
+rc = sys.modules["repro.joins.radix_cluster"]
+
+
+def predict_radix_cluster(n_tuples, bits, pass_bits, profile, item_size=8):
+    """Predicted cost of radix-clustering ``n_tuples``.
+
+    ``pass_bits`` is the explicit per-pass bit list (see
+    :func:`repro.joins.radix_cluster.split_bits`).
+    """
+    region = DataRegion(n_tuples, item_size)
+    cost = Cost()
+    cpu = 0
+    clusters_so_far = 1
+    for b in pass_bits:
+        if b == 0:
+            continue
+        # Counting pre-scan + sequential read of the input.
+        cost = cost + sequential_traversal(region, profile)
+        cost = cost + sequential_traversal(region, profile)
+        # Scatter into 2**b cursors per source cluster; at any instant
+        # only one source cluster is active, so 2**b cursors are live.
+        cost = cost + interleaved_multi_cursor(region, 1 << b, profile)
+        cpu += n_tuples * (rc.CYCLES_PER_TUPLE_COUNT
+                           + rc.CYCLES_PER_TUPLE_PER_PASS)
+        clusters_so_far <<= b
+    return cost, cpu
+
+
+def predict_simple_hash_join(n_left, n_right, profile, item_size=8,
+                             cpu_optimized=True, n_matches=None):
+    """Predicted cost of one bucket-chained hash join."""
+    if n_matches is None:
+        n_matches = min(n_left, n_right)
+    n_buckets = max(hj._next_power_of_two(n_right), 1)
+    penalty = 1 if cpu_optimized else hj.CPU_PENALTY_UNOPTIMIZED
+    bucket_region = DataRegion(n_buckets, hj.BUCKET_SLOT_BYTES)
+    node_region = DataRegion(n_right, hj.NODE_BYTES)
+    cost = Cost()
+    # Build: sequential inner read, random bucket writes, node appends.
+    cost = cost + sequential_traversal(DataRegion(n_right, item_size),
+                                       profile)
+    cost = cost + repeated_random_access(bucket_region, n_right, profile)
+    cost = cost + sequential_traversal(node_region, profile)
+    # Probe: sequential outer read, random bucket reads, chain walks.
+    cost = cost + sequential_traversal(DataRegion(n_left, item_size),
+                                       profile)
+    cost = cost + repeated_random_access(bucket_region, n_left, profile)
+    cost = cost + repeated_random_access(node_region, n_matches, profile)
+    cpu = (n_right * hj.BUILD_CYCLES_OPTIMIZED
+           + n_left * hj.PROBE_CYCLES_OPTIMIZED) * penalty
+    return cost, cpu
+
+
+def predict_partitioned_hash_join(n_left, n_right, bits, pass_bits,
+                                  profile, item_size=8,
+                                  cpu_optimized=True):
+    """Predicted cost of the radix-partitioned hash join."""
+    cluster_cost_l, cpu_l = predict_radix_cluster(n_left, bits, pass_bits,
+                                                  profile, item_size)
+    cluster_cost_r, cpu_r = predict_radix_cluster(n_right, bits, pass_bits,
+                                                  profile, item_size)
+    h = 1 << bits
+    per_l = max(n_left // h, 1)
+    per_r = max(n_right // h, 1)
+    join_cost, join_cpu = predict_simple_hash_join(
+        per_l, per_r, profile, item_size=item_size,
+        cpu_optimized=cpu_optimized, n_matches=min(per_l, per_r))
+    cost = cluster_cost_l + cluster_cost_r + join_cost.scaled(h)
+    cpu = cpu_l + cpu_r + join_cpu * h
+    return cost, cpu
+
+
+def total_cycles(cost_cpu, profile):
+    """T_Mem + CPU for a (Cost, cpu) pair."""
+    cost, cpu = cost_cpu
+    return cost.cycles(profile) + cpu
+
+
+def best_partitioning(n_left, n_right, profile, item_size=8, max_bits=16,
+                      max_passes=4):
+    """The (bits, pass_bits) minimizing predicted join cycles.
+
+    This is the automated tuning the cost model exists for: "Predictive
+    and accurate cost models provide the cornerstones to automate this
+    tuning task."
+    """
+    best = None
+    best_cycles = float("inf")
+    for bits in range(0, max_bits + 1):
+        for passes in range(1, max_passes + 1):
+            if passes > max(bits, 1):
+                continue
+            pass_bits = tuple(rc.split_bits(bits, passes))
+            cycles = total_cycles(
+                predict_partitioned_hash_join(
+                    n_left, n_right, bits, pass_bits, profile,
+                    item_size=item_size),
+                profile)
+            if cycles < best_cycles:
+                best_cycles = cycles
+                best = (bits, pass_bits)
+    return best[0], best[1], best_cycles

@@ -1,0 +1,180 @@
+"""Data regions, basic access patterns, and their per-level cost functions.
+
+The model treats every cache level *individually, though equally*
+(Section 4.4) — the TLB included, as a pseudo-cache whose "line" is the
+page.  A pattern's cost at a level depends only on the region geometry
+and that level's capacity/line size; total memory cost is::
+
+    T_Mem = sum over levels i of  Ms_i * ls_i + Mr_i * lr_i
+
+Basic patterns:
+
+* ``sequential_traversal``   — one pass, ascending addresses;
+* ``random_traversal``       — every item touched exactly once, in
+  random order;
+* ``repeated_random_access`` — k accesses at uniformly random items;
+* ``interleaved_multi_cursor`` — one sequential pass *written through H
+  concurrent cursors* (the radix-cluster scatter): sequential as long as
+  H fits the level, degrading to fully random beyond it.
+
+Costs combine with ``+`` for sequentially executed phases.
+"""
+
+import math
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class DataRegion:
+    """A contiguous data structure: ``count`` items of ``width`` bytes."""
+
+    count: int
+    width: int
+
+    @property
+    def nbytes(self):
+        return self.count * self.width
+
+    def lines(self, line_size):
+        """Cache lines the region spans."""
+        if self.nbytes == 0:
+            return 0
+        return -(-self.nbytes // line_size)  # ceil
+
+
+@dataclass
+class Cost:
+    """Predicted misses per level: {level: [sequential, random]}.
+
+    The TLB appears under the key ``"TLB"`` with all misses random.
+    """
+
+    misses: dict = field(default_factory=dict)
+
+    def add(self, level, sequential=0.0, random=0.0):
+        seq, rnd = self.misses.get(level, (0.0, 0.0))
+        self.misses[level] = (seq + sequential, rnd + random)
+        return self
+
+    def __add__(self, other):
+        total = Cost(dict(self.misses))
+        for level, (seq, rnd) in other.misses.items():
+            total.add(level, seq, rnd)
+        return total
+
+    def scaled(self, factor):
+        return Cost({level: (seq * factor, rnd * factor)
+                     for level, (seq, rnd) in self.misses.items()})
+
+    def level_misses(self, level):
+        seq, rnd = self.misses.get(level, (0.0, 0.0))
+        return seq + rnd
+
+    def cycles(self, profile):
+        """T_Mem under a profile's latencies."""
+        total = 0.0
+        for spec in profile.caches:
+            seq, rnd = self.misses.get(spec.name, (0.0, 0.0))
+            total += seq * spec.miss_latency_sequential
+            total += rnd * spec.miss_latency_random
+        if profile.tlb is not None:
+            seq, rnd = self.misses.get("TLB", (0.0, 0.0))
+            total += (seq + rnd) * profile.tlb.miss_latency
+        return total
+
+
+def _levels(profile):
+    """(name, capacity, line_size, max_regions) for caches + TLB."""
+    out = []
+    for spec in profile.caches:
+        out.append((spec.name, spec.capacity, spec.line_size,
+                    spec.capacity // spec.line_size))
+    if profile.tlb is not None:
+        tlb = profile.tlb
+        out.append(("TLB", tlb.entries * tlb.page_size, tlb.page_size,
+                    tlb.entries))
+    return out
+
+
+def sequential_traversal(region, profile):
+    """One sequential pass over the region."""
+    cost = Cost()
+    for name, _, line, _ in _levels(profile):
+        lines = region.lines(line)
+        if lines:
+            cost.add(name, sequential=max(lines - 1, 0), random=1)
+    return cost
+
+
+def random_traversal(region, profile):
+    """Every item touched once, in random order.
+
+    Fits-in-cache: only the compulsory line misses (random).  Beyond
+    the capacity: each touch misses with probability ``1 - C/|R|``.
+    """
+    cost = Cost()
+    for name, capacity, line, _ in _levels(profile):
+        lines = region.lines(line)
+        if lines == 0:
+            continue
+        per_touch = max(region.width / line, 1.0)
+        if region.nbytes <= capacity:
+            cost.add(name, random=lines)
+        else:
+            resident = capacity / region.nbytes
+            misses = (region.count * per_touch * (1 - resident)
+                      + lines * resident)
+            cost.add(name, random=max(misses, lines))
+    return cost
+
+
+def repeated_random_access(region, accesses, profile):
+    """``accesses`` uniformly random item touches within the region."""
+    cost = Cost()
+    for name, capacity, line, _ in _levels(profile):
+        lines = region.lines(line)
+        if lines == 0 or accesses == 0:
+            continue
+        if region.nbytes <= capacity:
+            cost.add(name, random=min(lines, accesses))
+        else:
+            resident = capacity / region.nbytes
+            cost.add(name, random=accesses * (1 - resident)
+                     + min(lines, accesses) * resident)
+    return cost
+
+
+def interleaved_multi_cursor(region, cursors, profile):
+    """Sequential volume written through ``cursors`` concurrent cursors.
+
+    The radix-cluster scatter pattern, with three zones per level:
+
+    * cursors within the prefetcher's stream budget — interleaved
+      sequential streams: one miss per line, at sequential cost;
+    * cursors within the level's line budget but beyond the stream
+      budget — lines stay resident (one miss per line) but cannot be
+      prefetched: random cost;
+    * cursors beyond the line (or TLB entry) budget — cursor lines evict
+      each other and every store misses: the thrashing explosion of
+      Section 4.2.
+    """
+    from repro.hardware.cache import Cache
+    cost = Cost()
+    for name, capacity, line, max_regions in _levels(profile):
+        lines = region.lines(line)
+        if lines == 0:
+            continue
+        stream_budget = float("inf") if name == "TLB" else Cache.MAX_STREAMS
+        # When cursor regions are smaller than this level's line (or the
+        # whole structure spans few lines), several cursors share a
+        # line: the *active* line count is what matters.
+        active = min(cursors, lines)
+        if active <= min(max_regions // 2, stream_budget):
+            cost.add(name, sequential=max(lines - active, 0),
+                     random=min(active, lines))
+        elif active <= max_regions // 2:
+            cost.add(name, random=lines)
+        else:
+            per_touch = max(region.width / line, 1.0)
+            cost.add(name, random=region.count * per_touch)
+    return cost

@@ -1,0 +1,28 @@
+"""Database cracking (Section 6.1, [22, 18]).
+
+"The intuition is to focus on a non-ordered table organization,
+extending a partial index with each query, i.e., the physical data
+layout is reorganized within the critical path of query processing."
+
+* :class:`CrackerColumn` — the self-organizing column: every range
+  select partitions ("cracks") exactly the pieces the predicate
+  touches, so the column converges towards sorted-ness where, and only
+  where, queries look.  No knobs.
+* :mod:`repro.cracking.updates` — cracking under updates: pending
+  insert/delete deltas merged into the cracked layout without
+  discarding the index ([18]).
+* :mod:`repro.cracking.baselines` — the competitors of experiment E9:
+  full scans and an upfront fully-sorted index.
+"""
+
+from repro.cracking.cracker_column import CrackerColumn, Piece
+from repro.cracking.updates import CrackedStore
+from repro.cracking.baselines import FullSortIndex, ScanSelect
+
+__all__ = [
+    "CrackerColumn",
+    "Piece",
+    "CrackedStore",
+    "FullSortIndex",
+    "ScanSelect",
+]

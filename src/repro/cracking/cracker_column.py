@@ -1,0 +1,171 @@
+"""The cracker column: query-driven in-place partial sorting.
+
+The column is held as a pair of aligned arrays (values, original oids)
+plus the *cracker index*: boundary pivots partitioning the array into
+pieces.  The invariant, for boundary ``(pivot, position)``: every value
+before ``position`` is ``< pivot`` and every value from ``position`` on
+is ``>= pivot``.  Pieces shrink as queries crack them; a range select
+costs work proportional only to the pieces at the range's two edges —
+which is why the first query costs about a scan and later queries
+converge to index-lookup cost (experiment E9).
+"""
+
+import bisect
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Piece:
+    """A maximal uncracked segment: positions [lo, hi)."""
+
+    lo: int
+    hi: int
+
+    @property
+    def size(self):
+        return self.hi - self.lo
+
+
+class CrackerColumn:
+    """A self-organizing integer column.
+
+    ``select_range(lo, hi)`` returns the *original oids* of qualifying
+    tuples, cracking the touched pieces as a side effect.  The counter
+    ``tuples_touched`` accumulates reorganization work for experiments.
+    """
+
+    def __init__(self, values, hierarchy=None, item_size=16):
+        """``hierarchy``: optional memory-hierarchy simulator; each
+        crack then feeds its access pattern (sequential read of the
+        cracked piece, two partition write cursors) into it —
+        cracking's cache behaviour is scan-like, never random."""
+        values = np.asarray(values)
+        self.values = values.copy()
+        self.oids = np.arange(len(values), dtype=np.int64)
+        # Parallel sorted lists: boundary pivots and their positions.
+        self._pivots = []
+        self._positions = []
+        self.tuples_touched = 0
+        self.cracks_performed = 0
+        self.hierarchy = hierarchy
+        self.item_size = item_size  # value + oid per tuple
+        self._base = None
+        if hierarchy is not None:
+            from repro.core.bat import global_address_space
+            self._base = global_address_space.allocate(
+                max(len(values) * item_size, 1))
+
+    def __len__(self):
+        return len(self.values)
+
+    # -- the cracker index --------------------------------------------------
+
+    def pieces(self):
+        """Current pieces, in position order."""
+        cuts = [0] + self._positions + [len(self.values)]
+        return [Piece(lo, hi) for lo, hi in zip(cuts, cuts[1:])
+                if hi > lo]
+
+    def n_pieces(self):
+        return len(self.pieces())
+
+    def _cut_for(self, pivot):
+        """Position of an existing boundary for ``pivot``, or None."""
+        i = bisect.bisect_left(self._pivots, pivot)
+        if i < len(self._pivots) and self._pivots[i] == pivot:
+            return self._positions[i]
+        return None
+
+    def _piece_containing(self, pivot):
+        """The [lo, hi) slice that must be cracked for ``pivot``."""
+        i = bisect.bisect_left(self._pivots, pivot)
+        lo = self._positions[i - 1] if i > 0 else 0
+        hi = self._positions[i] if i < len(self._positions) \
+            else len(self.values)
+        return lo, hi
+
+    def _crack(self, pivot):
+        """Ensure a boundary exists for ``pivot``; return its position.
+
+        Partitions (in place) the single piece containing the pivot:
+        values < pivot move to the front — one crack-in-two.
+        """
+        existing = self._cut_for(pivot)
+        if existing is not None:
+            return existing
+        lo, hi = self._piece_containing(pivot)
+        segment = self.values[lo:hi]
+        mask = segment < pivot
+        cut = lo + int(np.count_nonzero(mask))
+        if 0 < len(segment):
+            order = np.argsort(~mask, kind="stable")
+            self.values[lo:hi] = segment[order]
+            self.oids[lo:hi] = self.oids[lo:hi][order]
+            self.tuples_touched += len(segment)
+            self.cracks_performed += 1
+            if self.hierarchy is not None:
+                self._trace_crack(lo, hi, order)
+        i = bisect.bisect_left(self._pivots, pivot)
+        self._pivots.insert(i, pivot)
+        self._positions.insert(i, cut)
+        return cut
+
+    def _trace_crack(self, lo, hi, order):
+        """One crack's access pattern: sequential piece read, two
+        sequential partition-write cursors — never a random scatter."""
+        from repro.hardware import trace as trace_mod
+        n = hi - lo
+        reads = trace_mod.sequential(self._base + lo * self.item_size,
+                                     n, self.item_size)
+        dest = np.empty(n, dtype=np.int64)
+        dest[order] = np.arange(n, dtype=np.int64)
+        writes = self._base + (lo + dest) * self.item_size
+        self.hierarchy.access(trace_mod.interleave(reads, writes))
+        self.hierarchy.add_cpu_cycles(n * 4)
+
+    # -- queries -------------------------------------------------------------
+
+    def select_range(self, lo=None, hi=None, lo_incl=True, hi_incl=False):
+        """Oids of tuples with lo (<|<=) value (<|<=) hi; cracks both edges.
+
+        Bounds follow :func:`repro.core.algebra.select_range`
+        conventions; None means open.
+        """
+        start = 0
+        stop = len(self.values)
+        if lo is not None:
+            pivot = lo if lo_incl else lo + 1
+            start = self._crack(pivot)
+        if hi is not None:
+            pivot = hi + 1 if hi_incl else hi
+            stop = self._crack(pivot)
+        if stop < start:
+            # Possible only for empty predicates like lo > hi.
+            return np.empty(0, dtype=np.int64)
+        return np.sort(self.oids[start:stop])
+
+    def count_range(self, lo=None, hi=None, lo_incl=True, hi_incl=False):
+        """Like select_range, but returns only the qualifying count."""
+        return len(self.select_range(lo, hi, lo_incl, hi_incl))
+
+    # -- integrity (tests, debugging) ------------------------------------------
+
+    def check_invariants(self):
+        """Verify the cracker-index invariant over the whole column."""
+        if list(self._pivots) != sorted(self._pivots):
+            raise AssertionError("pivots out of order")
+        if self._positions != sorted(self._positions):
+            raise AssertionError("cut positions out of order")
+        for pivot, position in zip(self._pivots, self._positions):
+            if position and not (self.values[:position] < pivot).all():
+                raise AssertionError(
+                    "values before cut {0} not < {1}".format(position,
+                                                             pivot))
+            if position < len(self.values) and \
+                    not (self.values[position:] >= pivot).all():
+                raise AssertionError(
+                    "values after cut {0} not >= {1}".format(position,
+                                                             pivot))
+        return True

@@ -1,0 +1,139 @@
+"""Cracking under updates ([18], Section 6.1).
+
+"We have shown that this approach is competitive over upfront complete
+table sorting and that its benefits can be maintained under high update
+load."
+
+Updates are collected as pending insert/delete deltas; selects stay
+correct by consulting the deltas, and once the pending set crosses a
+threshold it is *merged* into the cracked layout — inserting each value
+directly into the piece that must hold it and shifting the boundary
+positions, so the cracker index survives the merge intact.
+"""
+
+import bisect
+
+import numpy as np
+
+from repro.cracking.cracker_column import CrackerColumn
+
+
+class CrackedStore:
+    """A cracker column plus pending insert/delete deltas."""
+
+    def __init__(self, values, merge_threshold=1024):
+        self._column = CrackerColumn(values)
+        self.merge_threshold = merge_threshold
+        self._next_oid = len(self._column)
+        self._pending_values = []
+        self._pending_oids = []
+        self._deleted = set()
+        self.merges_performed = 0
+
+    def __len__(self):
+        return (len(self._column) + len(self._pending_values)
+                - len(self._deleted))
+
+    @property
+    def tuples_touched(self):
+        return self._column.tuples_touched
+
+    @property
+    def n_pieces(self):
+        return self._column.n_pieces()
+
+    # -- updates ------------------------------------------------------------
+
+    def insert(self, values):
+        """Insert values; returns their assigned oids."""
+        oids = list(range(self._next_oid, self._next_oid + len(values)))
+        self._next_oid += len(values)
+        self._pending_values.extend(int(v) for v in values)
+        self._pending_oids.extend(oids)
+        self._maybe_merge()
+        return oids
+
+    def delete(self, oids):
+        """Delete by oid (unknown oids are ignored)."""
+        known = set(self._column.oids.tolist()) | set(self._pending_oids)
+        self._deleted.update(o for o in oids if o in known)
+
+    def _maybe_merge(self):
+        if len(self._pending_values) >= self.merge_threshold:
+            self.merge()
+
+    def merge(self):
+        """Fold the deltas into the cracked layout, keeping the index."""
+        column = self._column
+        if self._pending_values:
+            new_values = np.asarray(self._pending_values, dtype=np.int64)
+            new_oids = np.asarray(self._pending_oids, dtype=np.int64)
+            # Destination index of each new value: just before the first
+            # boundary whose pivot exceeds it (i.e., inside its piece).
+            piece_idx = np.asarray(
+                [bisect.bisect_right(column._pivots, v)
+                 for v in new_values.tolist()], dtype=np.int64)
+            inserts = np.asarray(
+                [column._positions[i] if i < len(column._positions)
+                 else len(column.values)
+                 for i in piece_idx.tolist()], dtype=np.int64)
+            # Ties on the insertion index are ordered by target piece:
+            # several pieces can share a cut position (empty pieces),
+            # and lower-piece values must land first.
+            order = np.lexsort((piece_idx, inserts))
+            inserts_sorted = inserts[order]
+            column.values = np.insert(column.values, inserts_sorted,
+                                      new_values[order])
+            column.oids = np.insert(column.oids, inserts_sorted,
+                                    new_oids[order])
+            # A boundary (pivot, cut) moves right by the number of
+            # inserted values that belong below it, i.e. values < pivot
+            # (two boundaries can share a cut position, so the shift
+            # must be decided by value, not by insertion index).
+            sorted_new = np.sort(new_values)
+            column._positions = [
+                pos + int(np.searchsorted(sorted_new, pivot,
+                                          side="left"))
+                for pivot, pos in zip(column._pivots, column._positions)]
+            column.tuples_touched += len(new_values)
+            self._pending_values = []
+            self._pending_oids = []
+        if self._deleted:
+            dead_mask = np.isin(column.oids,
+                                np.fromiter(self._deleted, dtype=np.int64))
+            if dead_mask.any():
+                dead_positions = np.flatnonzero(dead_mask)
+                column.values = column.values[~dead_mask]
+                column.oids = column.oids[~dead_mask]
+                column._positions = [
+                    pos - int(np.searchsorted(dead_positions, pos))
+                    for pos in column._positions]
+            self._deleted = set()
+        self.merges_performed += 1
+
+    # -- queries --------------------------------------------------------------
+
+    def select_range(self, lo=None, hi=None, lo_incl=True, hi_incl=False):
+        """Oids matching the range, across base and pending deltas."""
+        base = self._column.select_range(lo, hi, lo_incl, hi_incl)
+        if self._deleted:
+            base = base[~np.isin(base, np.fromiter(self._deleted,
+                                                   dtype=np.int64))]
+        extra = []
+        for value, oid in zip(self._pending_values, self._pending_oids):
+            if oid in self._deleted:
+                continue
+            if lo is not None and (value < lo or
+                                   (value == lo and not lo_incl)):
+                continue
+            if hi is not None and (value > hi or
+                                   (value == hi and not hi_incl)):
+                continue
+            extra.append(oid)
+        if extra:
+            return np.sort(np.concatenate(
+                [base, np.asarray(extra, dtype=np.int64)]))
+        return base
+
+    def check_invariants(self):
+        return self._column.check_invariants()

@@ -1,0 +1,33 @@
+"""DataCell: stream processing on the columnar kernel (Section 6.2).
+
+"The DataCell aims at using the complete software stack of MonetDB to
+provide a rich data stream management solution.  Its salient feature is
+to focus on incremental bulk-event processing using the binary
+relational algebra engine.  The enhanced SQL functionality allows for
+general predicate based window processing."
+
+Events flow into *baskets* (columnar event buffers); continuous queries
+fire per basket, evaluating their predicates and window aggregates with
+bulk vectorized primitives.  Basket size 1 degenerates to classic
+per-event stream processing — the baseline experiment E11 sweeps
+against.
+"""
+
+from repro.datacell.basket import Basket
+from repro.datacell.windows import (
+    PredicateWindow,
+    SlidingCountWindow,
+    TumblingCountWindow,
+)
+from repro.datacell.engine import ContinuousQuery, DataCellEngine
+from repro.datacell.sql_bridge import SQLStreamEngine
+
+__all__ = [
+    "Basket",
+    "ContinuousQuery",
+    "DataCellEngine",
+    "SQLStreamEngine",
+    "TumblingCountWindow",
+    "SlidingCountWindow",
+    "PredicateWindow",
+]

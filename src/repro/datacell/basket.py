@@ -1,0 +1,47 @@
+"""Baskets: columnar event buffers.
+
+A basket is the DataCell's unit of work: events accumulate in
+column-major order, and when the engine fires, the whole basket is
+handed to the bulk operators at once.
+"""
+
+import numpy as np
+
+
+class Basket:
+    """A bounded columnar buffer of events."""
+
+    def __init__(self, schema, capacity):
+        """``schema``: ordered attribute names; ``capacity``: events held
+        before the basket reports itself full."""
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.schema = list(schema)
+        self.capacity = capacity
+        self._columns = {name: [] for name in self.schema}
+        self.events_seen = 0
+
+    def __len__(self):
+        return len(self._columns[self.schema[0]]) if self.schema else 0
+
+    @property
+    def full(self):
+        return len(self) >= self.capacity
+
+    def append(self, event):
+        """Add one event (tuple in schema order)."""
+        if len(event) != len(self.schema):
+            raise ValueError("event arity mismatch: {0!r}".format(event))
+        for name, value in zip(self.schema, event):
+            self._columns[name].append(value)
+        self.events_seen += 1
+
+    def drain(self):
+        """Take all buffered events as numpy columns; empties the basket."""
+        out = {name: np.asarray(values)
+               for name, values in self._columns.items()}
+        self._columns = {name: [] for name in self.schema}
+        return out
+
+    def __repr__(self):
+        return "Basket({0}/{1} events)".format(len(self), self.capacity)

@@ -1,0 +1,87 @@
+"""SQL-driven continuous queries: the DataCell on the full stack.
+
+Section 6.2: "The DataCell aims at using the complete software stack of
+MonetDB to provide a rich data stream management solution ... The
+enhanced SQL functionality allows for general predicate based window
+processing."
+
+Here the basket *is* a table: each flush replaces the basket table's
+contents and re-runs every registered SQL statement through the normal
+parser → compiler → optimizer → interpreter path, appending the result
+rows to the query's output stream.  Windows spanning basket boundaries
+remain the domain of :mod:`repro.datacell.windows`; this bridge covers
+the per-basket (tumbling-basket) SQL semantics.
+"""
+
+from repro.datacell.basket import Basket
+from repro.sql import Database
+
+
+class SQLStreamEngine:
+    """Continuous SQL queries over a basket table.
+
+    Parameters
+    ----------
+    schema:
+        Ordered (column name, type name) pairs of the event stream.
+    basket_size:
+        Events per basket (the bulk knob, as in
+        :class:`repro.datacell.engine.DataCellEngine`).
+    table_name:
+        Name of the basket table the queries select from.
+    """
+
+    def __init__(self, schema, basket_size=1024, table_name="stream"):
+        self.schema = list(schema)
+        self.table_name = table_name
+        self.db = Database()
+        self.db.execute("CREATE TABLE {0} ({1})".format(
+            table_name,
+            ", ".join("{0} {1}".format(n, t) for n, t in self.schema)))
+        self.basket = Basket([n for n, _ in self.schema], basket_size)
+        self.queries = {}     # name -> SQL text
+        self.results = {}     # name -> list of result-row lists
+        self.baskets_processed = 0
+
+    def register(self, name, sql_text):
+        """Register a continuous SELECT over the basket table."""
+        if name in self.queries:
+            raise ValueError("duplicate query {0!r}".format(name))
+        self.queries[name] = sql_text
+        self.results[name] = []
+        return name
+
+    def push(self, event):
+        self.basket.append(event)
+        if self.basket.full:
+            self.flush()
+
+    def push_many(self, events):
+        for event in events:
+            self.push(event)
+
+    def flush(self):
+        """Process the current basket through every registered query."""
+        if len(self.basket) == 0:
+            return
+        columns = self.basket.drain()
+        table = self.db.catalog.get(self.table_name)
+        # Replace the basket table's contents (cheap: delta machinery).
+        if table.visible_count:
+            table.delete_oids(table.tid().decoded())
+        rows = list(zip(*(columns[name].tolist()
+                          for name, _ in self.schema)))
+        table.append_rows(rows)
+        table.merge_deltas()
+        for name, sql_text in self.queries.items():
+            result = self.db.execute(sql_text)
+            if len(result):
+                self.results[name].extend(result.rows())
+        self.baskets_processed += 1
+
+    def stream(self, name):
+        try:
+            return self.results[name]
+        except KeyError:
+            raise KeyError("no continuous query {0!r}".format(name)) \
+                from None

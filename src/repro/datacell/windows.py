@@ -1,0 +1,109 @@
+"""Window semantics for continuous queries.
+
+Windows consume a stream of (already filtered) event columns and decide
+when to *fire* an aggregate over which events.  The predicate window is
+the DataCell's distinguishing generality: window membership is decided
+by an arbitrary predicate over event attributes rather than a fixed
+count or time width.
+"""
+
+import numpy as np
+
+from repro.vectorized.expressions import compile_expr
+
+
+class _BufferedWindow:
+    """Shared machinery: an append-only columnar buffer of events."""
+
+    def __init__(self):
+        self._buffer = None
+
+    def _extend(self, columns):
+        if self._buffer is None:
+            self._buffer = {k: np.asarray(v) for k, v in columns.items()}
+        else:
+            self._buffer = {k: np.concatenate([self._buffer[k],
+                                               np.asarray(columns[k])])
+                            for k in self._buffer}
+
+    def _size(self):
+        if self._buffer is None:
+            return 0
+        return len(next(iter(self._buffer.values()), []))
+
+    def _take(self, count):
+        """First ``count`` buffered events, removing them."""
+        taken = {k: v[:count] for k, v in self._buffer.items()}
+        self._buffer = {k: v[count:] for k, v in self._buffer.items()}
+        return taken
+
+    def _peek(self, count):
+        return {k: v[:count] for k, v in self._buffer.items()}
+
+
+class TumblingCountWindow(_BufferedWindow):
+    """Fire once per ``width`` events; windows do not overlap."""
+
+    def __init__(self, width):
+        super().__init__()
+        if width < 1:
+            raise ValueError("width must be positive")
+        self.width = width
+
+    def feed(self, columns):
+        """Feed filtered events; yield one column-dict per fired window."""
+        self._extend(columns)
+        while self._size() >= self.width:
+            yield self._take(self.width)
+
+
+class SlidingCountWindow(_BufferedWindow):
+    """Fire every ``slide`` events over the last ``width`` events."""
+
+    def __init__(self, width, slide):
+        super().__init__()
+        if width < 1 or slide < 1:
+            raise ValueError("width and slide must be positive")
+        self.width = width
+        self.slide = slide
+        self._pending = 0
+
+    def feed(self, columns):
+        self._extend(columns)
+        self._pending += len(next(iter(columns.values()), []))
+        while self._size() >= self.width and self._pending >= self.slide:
+            yield self._peek(self.width)
+            self._take(self.slide)
+            self._pending -= self.slide
+
+
+class PredicateWindow(_BufferedWindow):
+    """Fire when a closing predicate holds; the window holds every
+    buffered event for which the *membership* predicate holds.
+
+    ``member`` and ``close`` are vectorized expression specs over the
+    event attributes (see
+    :func:`repro.vectorized.expressions.compile_expr`); the window
+    closes at the first event satisfying ``close``, emits the members
+    among the events up to (and including) it, and drops the rest.
+    """
+
+    def __init__(self, member, close):
+        super().__init__()
+        self.member = compile_expr(member)
+        self.close = compile_expr(close)
+
+    def feed(self, columns):
+        self._extend(columns)
+        while self._size():
+            from repro.vectorized.vector import Batch
+            batch = Batch(self._buffer)
+            closing = np.asarray(self.close(batch), dtype=bool)
+            hits = np.flatnonzero(closing)
+            if len(hits) == 0:
+                return
+            end = int(hits[0]) + 1
+            window = self._take(end)
+            member_mask = np.asarray(
+                self.member(Batch(window)), dtype=bool)
+            yield {k: v[member_mask] for k, v in window.items()}

@@ -1,0 +1,30 @@
+"""DataCyclotron: the hot-set rotating through an RDMA ring (Section 6.2).
+
+"Remote DMA enables the nodes in a cluster to write into remote memory
+without interference of the CPU. ... a new species, one where the
+database hot-set is continuously floating around the network.  The
+obvious benefit, if successful, would be increased system throughput."
+
+:mod:`repro.datacyclotron.ring` is a discrete-event simulation of that
+architecture: the database is split into chunks that rotate around a
+ring of nodes; RDMA transfers overlap with CPU work, so each node
+processes the resident chunk for all its queries while the next chunk
+is already flowing in.  The centralized baseline holds the data on one
+node whose memory covers only part of it, paying disk reloads instead.
+"""
+
+from repro.datacyclotron.ring import (
+    CentralizedResult,
+    RingQuery,
+    RingResult,
+    run_centralized,
+    run_ring,
+)
+
+__all__ = [
+    "RingQuery",
+    "RingResult",
+    "CentralizedResult",
+    "run_ring",
+    "run_centralized",
+]

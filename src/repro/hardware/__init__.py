@@ -1,0 +1,40 @@
+"""Simulated memory hierarchy: caches, TLB, and access-trace utilities.
+
+This package is the hardware substrate of the reproduction.  The paper's
+cache-conscious results (radix-cluster, partitioned hash-join,
+radix-decluster, the generic cost model) are all statements about cache and
+TLB miss counts and the latency they incur.  Pure Python cannot exhibit
+those effects natively, so every cache-conscious algorithm in this
+repository can emit its exact memory-access trace into a
+:class:`MemoryHierarchy`, which simulates set-associative LRU caches and a
+TLB and accounts hits, misses (split into sequential and random), and total
+latency cycles.
+"""
+
+from repro.hardware.cache import Cache, CacheStats
+from repro.hardware.tlb import TLB
+from repro.hardware.hierarchy import AccessReport, MemoryHierarchy
+from repro.hardware.profiles import (
+    HardwareProfile,
+    ITANIUM2,
+    PENTIUM4_XEON,
+    SCALED_DEFAULT,
+    TINY,
+    profile_by_name,
+)
+from repro.hardware import trace
+
+__all__ = [
+    "Cache",
+    "CacheStats",
+    "TLB",
+    "MemoryHierarchy",
+    "AccessReport",
+    "HardwareProfile",
+    "TINY",
+    "SCALED_DEFAULT",
+    "PENTIUM4_XEON",
+    "ITANIUM2",
+    "profile_by_name",
+    "trace",
+]

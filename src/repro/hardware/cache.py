@@ -1,0 +1,169 @@
+"""Set-associative LRU cache simulation.
+
+The cache operates on *line identifiers* (byte address divided by the line
+size); address-to-line translation happens in
+:class:`repro.hardware.hierarchy.MemoryHierarchy`, which knows each level's
+line size.
+
+Misses are classified the way the paper's cost model scores them
+(Section 4.4): a miss that continues one of the recently observed
+sequential miss *streams* (next line after a stream's last miss) is
+*sequential* — hardware stream prefetchers would serve it at bandwidth
+cost — every other miss is *random* and pays the full latency.  Multiple
+concurrent streams are tracked because algorithms like Radix-Cluster
+deliberately write a bounded number of sequential cursors at once.
+"""
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters of one cache level."""
+
+    hits: int = 0
+    sequential_misses: int = 0
+    random_misses: int = 0
+
+    @property
+    def misses(self):
+        return self.sequential_misses + self.random_misses
+
+    @property
+    def accesses(self):
+        return self.hits + self.misses
+
+    @property
+    def miss_ratio(self):
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses
+
+    def merged(self, other):
+        return CacheStats(
+            hits=self.hits + other.hits,
+            sequential_misses=self.sequential_misses + other.sequential_misses,
+            random_misses=self.random_misses + other.random_misses,
+        )
+
+
+class Cache:
+    """One level of a simulated set-associative LRU cache.
+
+    Parameters
+    ----------
+    name:
+        Human-readable level name ("L1", "L2", ...).
+    capacity:
+        Total capacity in bytes.
+    line_size:
+        Cache-line size in bytes (power of two).
+    associativity:
+        Number of ways per set.  ``associativity >= capacity // line_size``
+        makes the cache fully associative.
+    miss_latency_random / miss_latency_sequential:
+        Cycles charged per random / sequential miss at this level (the
+        latency of the *next* level, bandwidth-discounted for sequential
+        misses).
+    max_streams:
+        Number of concurrent sequential miss streams the classifier
+        tracks (models the stream-prefetcher capacity).
+    """
+
+    MAX_STREAMS = 16
+
+    def __init__(self, name, capacity, line_size, associativity,
+                 miss_latency_random, miss_latency_sequential=None,
+                 max_streams=None):
+        if capacity % line_size != 0:
+            raise ValueError("capacity must be a multiple of line_size")
+        n_lines = capacity // line_size
+        if associativity > n_lines:
+            associativity = n_lines
+        if n_lines % associativity != 0:
+            raise ValueError("line count must be a multiple of associativity")
+        if line_size & (line_size - 1):
+            raise ValueError("line_size must be a power of two")
+        self.name = name
+        self.capacity = capacity
+        self.line_size = line_size
+        self.associativity = associativity
+        self.n_sets = n_lines // associativity
+        self.miss_latency_random = miss_latency_random
+        if miss_latency_sequential is None:
+            miss_latency_sequential = miss_latency_random
+        self.miss_latency_sequential = miss_latency_sequential
+        self.max_streams = max_streams or self.MAX_STREAMS
+        self.stats = CacheStats()
+        # One LRU (OrderedDict keyed by line id) per set; value is unused.
+        self._sets = [OrderedDict() for _ in range(self.n_sets)]
+        # LRU of the last missed line of each tracked stream.
+        self._stream_tails = OrderedDict()
+
+    @property
+    def n_lines(self):
+        return self.n_sets * self.associativity
+
+    def reset(self):
+        """Drop all cached lines and zero the counters."""
+        self.stats = CacheStats()
+        for lru in self._sets:
+            lru.clear()
+        self._stream_tails.clear()
+
+    def access_lines(self, line_ids):
+        """Access a sequence of line ids in order; return the miss mask.
+
+        ``line_ids`` is a 1-D integer numpy array.  The returned boolean
+        array marks which accesses missed (and therefore must be forwarded
+        to the next level by the hierarchy).
+        """
+        line_ids = np.asarray(line_ids)
+        misses = np.zeros(len(line_ids), dtype=bool)
+        n_sets = self.n_sets
+        assoc = self.associativity
+        sets = self._sets
+        streams = self._stream_tails
+        max_streams = self.max_streams
+        hits = 0
+        seq_misses = 0
+        rand_misses = 0
+        for i, line in enumerate(line_ids.tolist()):
+            lru = sets[line % n_sets]
+            if line in lru:
+                lru.move_to_end(line)
+                hits += 1
+            else:
+                misses[i] = True
+                prev = line - 1
+                if prev in streams:
+                    seq_misses += 1
+                    del streams[prev]
+                else:
+                    rand_misses += 1
+                streams[line] = None
+                if len(streams) > max_streams:
+                    streams.popitem(last=False)
+                lru[line] = None
+                if len(lru) > assoc:
+                    lru.popitem(last=False)
+        self.stats.hits += hits
+        self.stats.sequential_misses += seq_misses
+        self.stats.random_misses += rand_misses
+        return misses
+
+    def contains_line(self, line_id):
+        """True if the line currently resides in the cache (no LRU touch)."""
+        return line_id in self._sets[line_id % self.n_sets]
+
+    def miss_cycles(self):
+        """Latency cycles charged for this level's misses so far."""
+        return (self.stats.sequential_misses * self.miss_latency_sequential
+                + self.stats.random_misses * self.miss_latency_random)
+
+    def __repr__(self):
+        return ("Cache({0.name!r}, capacity={0.capacity}, line={0.line_size}, "
+                "assoc={0.associativity})".format(self))

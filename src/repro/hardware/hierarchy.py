@@ -1,0 +1,178 @@
+"""Multi-level memory hierarchy: caches + TLB + latency accounting.
+
+Accesses are fed in program order as byte-address arrays.  Each access
+probes the first-level cache; misses propagate to the next level, and so
+on; the last level's misses are served by (infinite) main memory.  The TLB
+is probed in parallel with the first level.  Total memory cost follows the
+paper's Section 4.4 formula::
+
+    T_Mem = sum over levels i of (Ms_i * ls_i + Mr_i * lr_i)  [+ TLB misses]
+
+where sequential misses (``Ms``) are those whose line directly follows the
+previously missed line, and random misses (``Mr``) are the rest.
+
+Algorithms may also charge pure CPU work via :meth:`add_cpu_cycles`, which
+lets experiments reproduce the paper's point that memory- and
+CPU-optimization boost each other (Section 4.2).
+"""
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.hardware.cache import Cache, CacheStats
+from repro.hardware.tlb import TLB, TLBStats
+from repro.hardware.trace import collapse_runs
+
+
+@dataclass
+class AccessReport:
+    """Immutable snapshot of hierarchy counters."""
+
+    cache_stats: dict = field(default_factory=dict)
+    tlb_stats: TLBStats = None
+    memory_cycles: int = 0
+    tlb_cycles: int = 0
+    cpu_cycles: int = 0
+    accesses: int = 0
+
+    @property
+    def total_cycles(self):
+        return self.memory_cycles + self.tlb_cycles + self.cpu_cycles
+
+    def misses(self, level):
+        return self.cache_stats[level].misses
+
+    def delta(self, earlier):
+        """Counters accumulated since the ``earlier`` snapshot."""
+        stats = {}
+        for name, cur in self.cache_stats.items():
+            prev = earlier.cache_stats[name]
+            stats[name] = CacheStats(
+                hits=cur.hits - prev.hits,
+                sequential_misses=cur.sequential_misses - prev.sequential_misses,
+                random_misses=cur.random_misses - prev.random_misses,
+            )
+        tlb = None
+        if self.tlb_stats is not None:
+            tlb = TLBStats(hits=self.tlb_stats.hits - earlier.tlb_stats.hits,
+                           misses=self.tlb_stats.misses - earlier.tlb_stats.misses)
+        return AccessReport(
+            cache_stats=stats,
+            tlb_stats=tlb,
+            memory_cycles=self.memory_cycles - earlier.memory_cycles,
+            tlb_cycles=self.tlb_cycles - earlier.tlb_cycles,
+            cpu_cycles=self.cpu_cycles - earlier.cpu_cycles,
+            accesses=self.accesses - earlier.accesses,
+        )
+
+
+class MemoryHierarchy:
+    """An ordered stack of caches plus an optional TLB.
+
+    Parameters
+    ----------
+    caches:
+        Levels ordered from closest to the CPU (L1 first).  Line sizes must
+        be non-decreasing from L1 outward.
+    tlb:
+        Optional :class:`repro.hardware.tlb.TLB`.
+    """
+
+    def __init__(self, caches, tlb=None, name="hierarchy"):
+        if not caches:
+            raise ValueError("at least one cache level is required")
+        for inner, outer in zip(caches, caches[1:]):
+            if outer.line_size < inner.line_size:
+                raise ValueError("line sizes must not shrink outward")
+        self.caches = list(caches)
+        self.tlb = tlb
+        self.name = name
+        self.cpu_cycles = 0
+        self.accesses = 0
+
+    # -- construction helpers -------------------------------------------
+
+    def reset(self):
+        """Zero all counters and empty all caches and the TLB."""
+        for cache in self.caches:
+            cache.reset()
+        if self.tlb is not None:
+            self.tlb.reset()
+        self.cpu_cycles = 0
+        self.accesses = 0
+
+    def level(self, name):
+        for cache in self.caches:
+            if cache.name == name:
+                return cache
+        raise KeyError(name)
+
+    # -- the access path --------------------------------------------------
+
+    def access(self, addresses):
+        """Simulate in-order accesses to the given byte addresses."""
+        addrs = np.asarray(addresses, dtype=np.int64)
+        if addrs.ndim != 1:
+            raise ValueError("addresses must be a 1-D array")
+        if len(addrs) == 0:
+            return
+        self.accesses += len(addrs)
+
+        if self.tlb is not None:
+            page_bits = self.tlb.page_size.bit_length() - 1
+            pages, removed = collapse_runs(addrs >> page_bits)
+            self.tlb.stats.hits += removed
+            self.tlb.access_pages(pages)
+
+        l1 = self.caches[0]
+        line_bits = l1.line_size.bit_length() - 1
+        lines, removed = collapse_runs(addrs >> line_bits)
+        l1.stats.hits += removed
+        miss_mask = l1.access_lines(lines)
+        # Propagate misses outward, re-translating to each level's lines.
+        missed_addrs = lines[miss_mask] << line_bits
+        for cache in self.caches[1:]:
+            if len(missed_addrs) == 0:
+                break
+            bits = cache.line_size.bit_length() - 1
+            level_lines = missed_addrs >> bits
+            miss_mask = cache.access_lines(level_lines)
+            missed_addrs = level_lines[miss_mask] << bits
+
+    def add_cpu_cycles(self, cycles):
+        """Charge pure CPU work (hash computation, branch logic, calls)."""
+        self.cpu_cycles += int(cycles)
+
+    # -- reporting ---------------------------------------------------------
+
+    @property
+    def memory_cycles(self):
+        return sum(cache.miss_cycles() for cache in self.caches)
+
+    @property
+    def tlb_cycles(self):
+        return self.tlb.miss_cycles() if self.tlb is not None else 0
+
+    @property
+    def total_cycles(self):
+        return self.memory_cycles + self.tlb_cycles + self.cpu_cycles
+
+    def report(self):
+        """Snapshot of all counters as an :class:`AccessReport`."""
+        return AccessReport(
+            cache_stats={c.name: CacheStats(c.stats.hits,
+                                            c.stats.sequential_misses,
+                                            c.stats.random_misses)
+                         for c in self.caches},
+            tlb_stats=(TLBStats(self.tlb.stats.hits, self.tlb.stats.misses)
+                       if self.tlb is not None else None),
+            memory_cycles=self.memory_cycles,
+            tlb_cycles=self.tlb_cycles,
+            cpu_cycles=self.cpu_cycles,
+            accesses=self.accesses,
+        )
+
+    def __repr__(self):
+        levels = ", ".join(c.name for c in self.caches)
+        return "MemoryHierarchy({0}, levels=[{1}])".format(self.name, levels)

@@ -1,0 +1,143 @@
+"""Hardware profiles: parameter sets for the simulated hierarchy.
+
+Two kinds of profiles exist:
+
+* *Scaled* profiles (:data:`TINY`, :data:`SCALED_DEFAULT`) shrink the
+  caches so the paper's effects (TLB thrashing, cache thrashing, crossover
+  points) appear at data sizes that simulate in seconds.  All of the
+  paper's claims are about ratios and crossovers relative to cache/TLB
+  capacity, which scaling preserves.  Scaled caches are *fully
+  associative*: power-of-two-aligned data (ubiquitous in these
+  algorithms) would otherwise conflict-thrash individual sets, an
+  artifact real systems dodge via page coloring and higher effective
+  associativity, and one the Section 4.4 cost model (capacity misses
+  only) deliberately ignores.
+
+* *Historic* profiles (:data:`PENTIUM4_XEON`, :data:`ITANIUM2`)
+  approximate the machines the paper mentions (Section 4.3).  They are
+  used for analytical cost-model studies (e.g. the radix-decluster
+  scalability limit), not for full trace simulation.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.hardware.cache import Cache
+from repro.hardware.tlb import TLB
+from repro.hardware.hierarchy import MemoryHierarchy
+
+
+@dataclass(frozen=True)
+class CacheSpec:
+    name: str
+    capacity: int
+    line_size: int
+    associativity: int
+    miss_latency_random: int
+    miss_latency_sequential: int
+
+    def build(self):
+        return Cache(self.name, self.capacity, self.line_size,
+                     self.associativity, self.miss_latency_random,
+                     self.miss_latency_sequential)
+
+
+@dataclass(frozen=True)
+class TLBSpec:
+    entries: int
+    page_size: int
+    miss_latency: int
+
+    def build(self):
+        return TLB(self.entries, self.page_size, self.miss_latency)
+
+
+@dataclass(frozen=True)
+class HardwareProfile:
+    """A named, immutable description of a memory hierarchy."""
+
+    name: str
+    caches: tuple
+    tlb: TLBSpec = None
+    description: str = ""
+
+    def make_hierarchy(self):
+        """Build a fresh, empty :class:`MemoryHierarchy`."""
+        tlb = self.tlb.build() if self.tlb is not None else None
+        return MemoryHierarchy([spec.build() for spec in self.caches],
+                               tlb=tlb, name=self.name)
+
+    def cache(self, name):
+        for spec in self.caches:
+            if spec.name == name:
+                return spec
+        raise KeyError(name)
+
+    @property
+    def last_level(self):
+        return self.caches[-1]
+
+
+TINY = HardwareProfile(
+    name="tiny",
+    description="Miniature hierarchy for fast unit tests.",
+    caches=(
+        CacheSpec("L1", capacity=512, line_size=32, associativity=16,
+                  miss_latency_random=10, miss_latency_sequential=4),
+        CacheSpec("L2", capacity=4096, line_size=64, associativity=64,
+                  miss_latency_random=100, miss_latency_sequential=25),
+    ),
+    tlb=TLBSpec(entries=32, page_size=256, miss_latency=30),
+)
+
+SCALED_DEFAULT = HardwareProfile(
+    name="scaled-default",
+    description=("Default benchmark profile: a real hierarchy scaled down "
+                 "~64x so thrashing effects appear within second-long "
+                 "simulations."),
+    caches=(
+        CacheSpec("L1", capacity=8 * 1024, line_size=32, associativity=256,
+                  miss_latency_random=10, miss_latency_sequential=6),
+        CacheSpec("L2", capacity=64 * 1024, line_size=128,
+                  associativity=512, miss_latency_random=150,
+                  miss_latency_sequential=25),
+    ),
+    tlb=TLBSpec(entries=64, page_size=4096, miss_latency=60),
+)
+
+PENTIUM4_XEON = HardwareProfile(
+    name="pentium4-xeon",
+    description="Approximation of the Pentium4 Xeon cited in Section 4.3.",
+    caches=(
+        CacheSpec("L1", capacity=8 * 1024, line_size=64, associativity=4,
+                  miss_latency_random=28, miss_latency_sequential=10),
+        CacheSpec("L2", capacity=512 * 1024, line_size=64, associativity=8,
+                  miss_latency_random=350, miss_latency_sequential=80),
+    ),
+    tlb=TLBSpec(entries=64, page_size=4096, miss_latency=30),
+)
+
+ITANIUM2 = HardwareProfile(
+    name="itanium2",
+    description="Approximation of the Itanium2 cited in Section 4.3.",
+    caches=(
+        CacheSpec("L1", capacity=16 * 1024, line_size=64, associativity=4,
+                  miss_latency_random=5, miss_latency_sequential=2),
+        CacheSpec("L2", capacity=256 * 1024, line_size=128, associativity=8,
+                  miss_latency_random=14, miss_latency_sequential=7),
+        CacheSpec("L3", capacity=6 * 1024 * 1024, line_size=128,
+                  associativity=12, miss_latency_random=200,
+                  miss_latency_sequential=50),
+    ),
+    tlb=TLBSpec(entries=128, page_size=16 * 1024, miss_latency=30),
+)
+
+_PROFILES = {p.name: p for p in (TINY, SCALED_DEFAULT, PENTIUM4_XEON, ITANIUM2)}
+
+
+def profile_by_name(name):
+    """Look up a built-in profile by its name."""
+    try:
+        return _PROFILES[name]
+    except KeyError:
+        raise KeyError("unknown hardware profile {0!r}; available: {1}".format(
+            name, sorted(_PROFILES))) from None

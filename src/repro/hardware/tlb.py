@@ -1,0 +1,85 @@
+"""Translation-lookaside-buffer simulation.
+
+The TLB is modelled as a fully-associative LRU cache of page numbers.  It
+matters for the radix-cluster experiments (Section 4.2): clustering into
+more regions than there are TLB entries makes every tuple write a TLB
+miss, which is one of the two effects the multi-pass Radix-Cluster avoids.
+"""
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class TLBStats:
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def accesses(self):
+        return self.hits + self.misses
+
+    @property
+    def miss_ratio(self):
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses
+
+
+class TLB:
+    """Fully-associative LRU TLB.
+
+    Parameters
+    ----------
+    entries:
+        Number of page translations held.
+    page_size:
+        Page size in bytes (power of two).
+    miss_latency:
+        Cycles charged per TLB miss (page-table walk).
+    """
+
+    def __init__(self, entries, page_size, miss_latency):
+        if page_size & (page_size - 1):
+            raise ValueError("page_size must be a power of two")
+        self.entries = entries
+        self.page_size = page_size
+        self.miss_latency = miss_latency
+        self.stats = TLBStats()
+        self._lru = OrderedDict()
+
+    def reset(self):
+        self.stats = TLBStats()
+        self._lru.clear()
+
+    def access_pages(self, page_ids):
+        """Access a sequence of page numbers in order; count hits/misses."""
+        page_ids = np.asarray(page_ids)
+        lru = self._lru
+        entries = self.entries
+        hits = 0
+        misses = 0
+        for page in page_ids.tolist():
+            if page in lru:
+                lru.move_to_end(page)
+                hits += 1
+            else:
+                misses += 1
+                lru[page] = None
+                if len(lru) > entries:
+                    lru.popitem(last=False)
+        self.stats.hits += hits
+        self.stats.misses += misses
+
+    def miss_cycles(self):
+        return self.stats.misses * self.miss_latency
+
+    @property
+    def reach(self):
+        """Bytes addressable without a TLB miss."""
+        return self.entries * self.page_size
+
+    def __repr__(self):
+        return "TLB(entries={0.entries}, page_size={0.page_size})".format(self)

@@ -1,0 +1,69 @@
+"""Builders for memory-access address traces.
+
+Algorithms under test describe their memory behaviour as 1-D numpy arrays
+of byte addresses, built from the primitives below, and feed them to
+:meth:`repro.hardware.hierarchy.MemoryHierarchy.access`.  The primitives
+mirror the basic access patterns of the paper's cost model (Section 4.4):
+sequential traversal, random traversal, random access (gather), and
+interleavings thereof.
+"""
+
+import numpy as np
+
+
+def sequential(base, count, item_size):
+    """Addresses of a sequential traversal: base, base+s, base+2s, ..."""
+    return base + np.arange(count, dtype=np.int64) * item_size
+
+
+def gather(base, indexes, item_size):
+    """Addresses of an index-driven gather: base + indexes[i] * item_size."""
+    return base + np.asarray(indexes, dtype=np.int64) * item_size
+
+
+def random_uniform(rng, base, region_items, count, item_size):
+    """``count`` uniformly random item accesses within a region."""
+    idx = rng.integers(0, region_items, size=count)
+    return gather(base, idx, item_size)
+
+
+def random_permutation(rng, base, region_items, item_size):
+    """Each item of the region accessed exactly once, in random order."""
+    return gather(base, rng.permutation(region_items), item_size)
+
+
+def interleave(*streams):
+    """Round-robin merge of equally long address streams.
+
+    ``interleave(reads, writes)`` models a loop that alternates one read
+    with one write per iteration — the pattern of a clustering pass.
+    """
+    streams = [np.asarray(s, dtype=np.int64) for s in streams]
+    length = len(streams[0])
+    for s in streams[1:]:
+        if len(s) != length:
+            raise ValueError("interleave requires equally long streams")
+    return np.column_stack(streams).reshape(-1)
+
+
+def concat(*streams):
+    """Concatenate address streams (one phase after another)."""
+    return np.concatenate([np.asarray(s, dtype=np.int64) for s in streams])
+
+
+def collapse_runs(values):
+    """Collapse runs of identical adjacent values.
+
+    Returns ``(collapsed, removed)`` where ``removed`` is the number of
+    dropped duplicates.  Used by the hierarchy: repeated accesses to the
+    line (or page) just touched are guaranteed hits and need not be
+    simulated individually.
+    """
+    values = np.asarray(values)
+    if len(values) == 0:
+        return values, 0
+    keep = np.empty(len(values), dtype=bool)
+    keep[0] = True
+    np.not_equal(values[1:], values[:-1], out=keep[1:])
+    collapsed = values[keep]
+    return collapsed, len(values) - len(collapsed)

@@ -1,0 +1,51 @@
+"""Cache-conscious join and projection algorithms (Section 4).
+
+Every algorithm here exists in two intertwined forms:
+
+* a *fast path* — vectorized numpy code that computes the actual result
+  (validated against :func:`repro.core.algebra.nested_loop_join`); and
+* a *traced path* — when a :class:`repro.hardware.MemoryHierarchy` is
+  passed, the algorithm additionally feeds its exact memory-access
+  pattern (derived from the real data, not a synthetic model) into the
+  simulator, so experiments can measure cache misses, TLB misses, and
+  simulated cycles.
+
+Contents: bucket-chained hash join (the baseline), multi-pass
+radix-cluster (Figure 2), radix-partitioned hash join, radix-decluster
+projection, and the NSM/DSM pre/post-projection strategy matrix.
+"""
+
+from repro.joins.hash_join import HashJoinResult, simple_hash_join
+from repro.joins.radix_cluster import (
+    RadixClustering,
+    radix_bits,
+    radix_cluster,
+)
+from repro.joins.partitioned_hash_join import (
+    partitioned_hash_join,
+    plan_partitioning,
+)
+from repro.joins.radix_decluster import (
+    naive_post_projection,
+    radix_decluster,
+    sort_based_projection,
+)
+from repro.joins.projection import (
+    PROJECTION_STRATEGIES,
+    run_projection_strategy,
+)
+
+__all__ = [
+    "simple_hash_join",
+    "HashJoinResult",
+    "radix_cluster",
+    "radix_bits",
+    "RadixClustering",
+    "partitioned_hash_join",
+    "plan_partitioning",
+    "radix_decluster",
+    "naive_post_projection",
+    "sort_based_projection",
+    "PROJECTION_STRATEGIES",
+    "run_projection_strategy",
+]

@@ -1,0 +1,130 @@
+"""Bucket-chained hash join — the baseline of Section 4.1.
+
+"The nature of any hashing algorithm implies that the access pattern to
+the inner relation (plus hash-table) is random.  In case the randomly
+accessed data is too large for the CPU caches, each tuple access will
+cause cache misses and performance degrades."
+
+The join's result is computed vectorized; when a hierarchy is given, the
+build phase's bucket-array writes and the probe phase's bucket + chain
+reads are simulated at their true addresses (buckets derived from the
+actual key hashes, chain nodes at their actual insertion offsets).
+"""
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.algebra import _join_positions_fixed
+from repro.core.bat import global_address_space
+from repro.hardware import trace as trace_mod
+from repro.joins.radix_cluster import identity_hash
+
+#: CPU cycles per tuple when the inner loop is CPU-optimized
+#: (inlined hash, no division) and when it is not — the [25] effect.
+BUILD_CYCLES_OPTIMIZED = 6
+PROBE_CYCLES_OPTIMIZED = 10
+CPU_PENALTY_UNOPTIMIZED = 4  # function calls + division-based hashing
+
+#: Bytes per hash-table bucket-head slot and per chain node (next + tuple).
+BUCKET_SLOT_BYTES = 8
+NODE_BYTES = 16
+
+
+@dataclass
+class HashJoinResult:
+    """Matching position pairs, in probe (left) order."""
+
+    left_positions: np.ndarray
+    right_positions: np.ndarray
+
+    def __len__(self):
+        return len(self.left_positions)
+
+    def pairs(self):
+        return list(zip(self.left_positions.tolist(),
+                        self.right_positions.tolist()))
+
+
+def _next_power_of_two(n):
+    return 1 << max(int(n) - 1, 0).bit_length()
+
+
+def allocate_regions(n_left, n_right, n_buckets, item_size=8):
+    """Pre-allocate the four address regions a hash join touches.
+
+    The partitioned hash join reuses one small region set across all
+    cluster pairs — that is what keeps its hash table cache-resident.
+    """
+    space = global_address_space
+    return {
+        "left_base": space.allocate(max(n_left * item_size, 1)),
+        "right_base": space.allocate(max(n_right * item_size, 1)),
+        "bucket_base": space.allocate(max(n_buckets * BUCKET_SLOT_BYTES, 1)),
+        "node_base": space.allocate(max(n_right * NODE_BYTES, 1)),
+    }
+
+
+def simple_hash_join(left, right, hierarchy=None, item_size=8,
+                     n_buckets=None, hash_fn=identity_hash,
+                     cpu_optimized=True, regions=None):
+    """Equi-join ``left`` with ``right`` using one bucket-chained table.
+
+    The hash table is built on ``right`` (the inner relation); ``left``
+    is the probe side.  Returns a :class:`HashJoinResult`.
+
+    When ``hierarchy`` is given the true access pattern is simulated:
+
+    * build — sequential read of ``right``, one random bucket-head write
+      and one sequential chain-node write per tuple;
+    * probe — sequential read of ``left``, one random bucket-head read
+      per tuple, plus one chain-node read per visited node (the actual
+      chain of that bucket, in insertion order).
+    """
+    left = np.ascontiguousarray(left)
+    right = np.ascontiguousarray(right)
+    if n_buckets is None:
+        n_buckets = max(_next_power_of_two(len(right)), 1)
+    l_pos, r_pos = _join_positions_fixed(left, right)
+    if hierarchy is not None:
+        if regions is None:
+            regions = allocate_regions(len(left), len(right), n_buckets,
+                                       item_size)
+        _simulate(left, right, l_pos, r_pos, hierarchy, item_size,
+                  n_buckets, hash_fn, cpu_optimized, regions)
+    return HashJoinResult(l_pos, r_pos)
+
+
+def _simulate(left, right, l_pos, r_pos, hierarchy, item_size, n_buckets,
+              hash_fn, cpu_optimized, regions):
+    mask = n_buckets - 1
+    penalty = 1 if cpu_optimized else CPU_PENALTY_UNOPTIMIZED
+    right_base = regions["right_base"]
+    left_base = regions["left_base"]
+    bucket_base = regions["bucket_base"]
+    node_base = regions["node_base"]
+
+    # Build phase.
+    if len(right):
+        r_buckets = (hash_fn(right) & mask).astype(np.int64)
+        reads = trace_mod.sequential(right_base, len(right), item_size)
+        bucket_writes = bucket_base + r_buckets * BUCKET_SLOT_BYTES
+        node_writes = trace_mod.sequential(node_base, len(right), NODE_BYTES)
+        hierarchy.access(trace_mod.interleave(reads, bucket_writes,
+                                              node_writes))
+        hierarchy.add_cpu_cycles(len(right) * BUILD_CYCLES_OPTIMIZED
+                                 * penalty)
+
+    # Probe phase.
+    if len(left):
+        l_buckets = (hash_fn(left) & mask).astype(np.int64)
+        reads = trace_mod.sequential(left_base, len(left), item_size)
+        bucket_reads = bucket_base + l_buckets * BUCKET_SLOT_BYTES
+        hierarchy.access(trace_mod.interleave(reads, bucket_reads))
+        # Chain walks: visit the node of every matched right tuple.  (On
+        # the unique-key joins of the experiments, chains have length
+        # ~1, so matches are the chain visits.)
+        if len(r_pos):
+            hierarchy.access(node_base + r_pos * NODE_BYTES)
+        hierarchy.add_cpu_cycles(len(left) * PROBE_CYCLES_OPTIMIZED
+                                 * penalty)

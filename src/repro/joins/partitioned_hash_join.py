@@ -1,0 +1,113 @@
+"""Radix-partitioned hash join (Section 4.2, Figure 2).
+
+Both relations are radix-clustered on the same lower ``B`` bits of the
+join-key hash; corresponding cluster pairs are then joined with a small
+bucket-chained hash join whose table fits the cache.  "CPU- and
+cache-optimized radix-clustered partitioned hash-join can easily achieve
+an order of magnitude performance improvement over simple hash-join."
+"""
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hardware.profiles import SCALED_DEFAULT
+from repro.joins.hash_join import HashJoinResult, simple_hash_join
+from repro.joins.radix_cluster import identity_hash, radix_cluster, split_bits
+
+
+@dataclass(frozen=True)
+class PartitionPlan:
+    """Chosen radix bits and per-pass split."""
+
+    bits: int
+    pass_bits: tuple
+
+    @property
+    def n_clusters(self):
+        return 1 << self.bits
+
+    @property
+    def passes(self):
+        return len(self.pass_bits)
+
+
+def plan_partitioning(n_tuples, item_size=8, profile=SCALED_DEFAULT,
+                      target_level="L1"):
+    """Pick B and the per-pass split for a relation of ``n_tuples``.
+
+    ``B`` is chosen so a cluster (plus its hash table) fits the target
+    cache level; each pass's ``H_p`` is capped at both the TLB entry
+    count and the target cache's line count — the thrashing-avoidance
+    rule of Section 4.2.
+    """
+    cache = profile.cache(target_level)
+    # Cluster + hash table + chain nodes roughly triple the footprint.
+    usable = cache.capacity // 3
+    bits = 0
+    while n_tuples * item_size > usable << bits and bits < 24:
+        bits += 1
+    max_regions = cache.capacity // cache.line_size
+    if profile.tlb is not None:
+        max_regions = min(max_regions, profile.tlb.entries)
+    max_pass_bits = max(int(np.log2(max_regions)), 1)
+    passes = max(-(-bits // max_pass_bits), 1)  # ceil division
+    return PartitionPlan(bits, tuple(split_bits(bits, passes)))
+
+
+def partitioned_hash_join(left, right, bits=None, passes=None,
+                          hierarchy=None, item_size=8,
+                          hash_fn=identity_hash, profile=SCALED_DEFAULT,
+                          cpu_optimized=True):
+    """Join ``left`` and ``right`` via radix-cluster + per-cluster hash join.
+
+    ``bits``/``passes`` default to :func:`plan_partitioning` on the
+    larger input.  Returns a :class:`HashJoinResult` with positions into
+    the *original* (unclustered) arrays.
+    """
+    left = np.ascontiguousarray(left)
+    right = np.ascontiguousarray(right)
+    if bits is None or passes is None:
+        plan = plan_partitioning(max(len(left), len(right), 1),
+                                 item_size=item_size, profile=profile)
+        bits = plan.bits if bits is None else bits
+        passes = plan.pass_bits if passes is None else passes
+
+    lc = radix_cluster(left, bits, passes, hierarchy=hierarchy,
+                       item_size=item_size, hash_fn=hash_fn)
+    rc = radix_cluster(right, bits, passes, hierarchy=hierarchy,
+                       item_size=item_size, hash_fn=hash_fn)
+
+    regions = None
+    if hierarchy is not None:
+        # One shared region set, sized for the largest cluster: the
+        # per-cluster hash table stays cache-resident across clusters.
+        from repro.joins.hash_join import allocate_regions, \
+            _next_power_of_two
+        max_l = int(np.max(np.diff(lc.offsets))) if len(left) else 0
+        max_r = int(np.max(np.diff(rc.offsets))) if len(right) else 0
+        regions = allocate_regions(max_l, max_r,
+                                   max(_next_power_of_two(max_r), 1),
+                                   item_size)
+
+    l_parts = []
+    r_parts = []
+    for c in range(lc.n_clusters):
+        l_vals = lc.cluster(c)
+        r_vals = rc.cluster(c)
+        if len(l_vals) == 0 or len(r_vals) == 0:
+            continue
+        sub = simple_hash_join(l_vals, r_vals, hierarchy=hierarchy,
+                               item_size=item_size, hash_fn=hash_fn,
+                               cpu_optimized=cpu_optimized,
+                               regions=regions)
+        if len(sub):
+            l_parts.append(lc.cluster_positions(c)[sub.left_positions])
+            r_parts.append(rc.cluster_positions(c)[sub.right_positions])
+    if l_parts:
+        l_pos = np.concatenate(l_parts)
+        r_pos = np.concatenate(r_parts)
+    else:
+        l_pos = np.empty(0, dtype=np.int64)
+        r_pos = np.empty(0, dtype=np.int64)
+    return HashJoinResult(l_pos, r_pos)

@@ -1,0 +1,126 @@
+"""The pre/post-projection strategy matrix of Section 4.3 (experiment E3).
+
+Joins in real queries come with payload projections.  The four classic
+strategies, for a join of ``left`` and ``right`` keys with ``k`` payload
+columns on the inner (right) side:
+
+* ``nsm_pre`` — NSM pre-projection: the needed payload carried *through*
+  the join as widened tuples (every partitioning pass and hash-table
+  node moves ``8 * (1 + k)`` bytes);
+* ``nsm_post`` — NSM post-projection: narrow key join, then per result a
+  random fetch into the *full-width* NSM tuple (``table_columns`` + key
+  fields — a row store cannot avoid touching the whole record's lines);
+* ``dsm_post_naive`` — DSM post-projection, naive: narrow key join, then
+  per column a random positional gather;
+* ``dsm_post_decluster`` — DSM post-projection with Radix-Decluster per
+  column — the strategy the paper reports as the overall winner.
+
+All strategies compute the same result values (verified in tests); the
+interesting output is the simulated cycle cost.
+"""
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.bat import global_address_space
+from repro.hardware import trace as trace_mod
+from repro.hardware.profiles import SCALED_DEFAULT
+from repro.joins.partitioned_hash_join import partitioned_hash_join
+from repro.joins.radix_decluster import (
+    DeclusterPlan,
+    naive_post_projection,
+)
+
+PROJECTION_STRATEGIES = ("nsm_pre", "nsm_post", "dsm_post_naive",
+                         "dsm_post_decluster")
+
+
+@dataclass
+class ProjectionRun:
+    """Outcome of one strategy run."""
+
+    strategy: str
+    n_results: int
+    join_cycles: int
+    projection_cycles: int
+    columns: list  # the projected payload columns (for validation)
+
+    @property
+    def total_cycles(self):
+        return self.join_cycles + self.projection_cycles
+
+
+def make_payload_columns(n_rows, k, seed=0):
+    """k synthetic payload columns; column j holds ``pos * 10 + j``."""
+    base = np.arange(n_rows, dtype=np.int64) * 10
+    return [base + j for j in range(k)]
+
+
+def run_projection_strategy(strategy, left_keys, right_keys, payloads,
+                            hierarchy, profile=SCALED_DEFAULT,
+                            table_columns=None):
+    """Join + project ``payloads`` (inner-side columns) one strategy's way.
+
+    ``table_columns`` is the total column count of the inner table (the
+    NSM record width); it defaults to twice the projected column count,
+    reflecting that queries rarely project every column.  Returns a
+    :class:`ProjectionRun`; the hierarchy accumulates the simulated
+    traffic.
+    """
+    if strategy not in PROJECTION_STRATEGIES:
+        raise KeyError("unknown strategy {0!r}".format(strategy))
+    k = len(payloads)
+    if table_columns is None:
+        table_columns = max(2 * k, 8)
+    if table_columns < k:
+        raise ValueError("table narrower than the projection")
+    wide_item = 8 * (1 + k)
+    record_item = 8 * (1 + table_columns)
+
+    if strategy == "nsm_pre":
+        result = partitioned_hash_join(left_keys, right_keys,
+                                       hierarchy=hierarchy,
+                                       item_size=wide_item, profile=profile)
+        join_cycles = hierarchy.total_cycles
+        index = result.right_positions
+        columns = [col[index] for col in payloads]
+        # The wide result tuples are written out sequentially.
+        out_base = global_address_space.allocate(
+            max(len(index) * wide_item, 1))
+        hierarchy.access(trace_mod.sequential(out_base,
+                                              len(index) * (1 + k), 8))
+        return ProjectionRun(strategy, len(index), join_cycles,
+                             hierarchy.total_cycles - join_cycles, columns)
+
+    result = partitioned_hash_join(left_keys, right_keys,
+                                   hierarchy=hierarchy, item_size=8,
+                                   profile=profile)
+    join_cycles = hierarchy.total_cycles
+    index = result.right_positions
+
+    if strategy == "nsm_post":
+        columns = [col[index] for col in payloads]
+        tuple_base = global_address_space.allocate(
+            max(len(right_keys) * record_item, 1))
+        out_base = global_address_space.allocate(
+            max(len(index) * wide_item, 1))
+        # Per result tuple: k field reads spread across one full-width
+        # NSM record (random record), one sequential write.
+        spread = np.linspace(1, table_columns, k).astype(np.int64)
+        field_reads = (tuple_base
+                       + np.repeat(index, k) * record_item
+                       + np.tile(spread * 8, len(index)))
+        hierarchy.access(field_reads)
+        hierarchy.access(trace_mod.sequential(out_base,
+                                              len(index) * k, 8))
+        hierarchy.add_cpu_cycles(len(index) * (2 + 2 * k))
+    elif strategy == "dsm_post_naive":
+        columns = [naive_post_projection(index, col, hierarchy=hierarchy)
+                   for col in payloads]
+    else:  # dsm_post_decluster — one shared plan, amortized over columns
+        plan = DeclusterPlan(index, len(right_keys), hierarchy=hierarchy,
+                             profile=profile)
+        columns = [plan.project(col) for col in payloads]
+    return ProjectionRun(strategy, len(index), join_cycles,
+                         hierarchy.total_cycles - join_cycles, columns)

@@ -1,0 +1,198 @@
+"""Radix-decluster projection (Section 4.3).
+
+The DSM post-projection problem: produce ``result[i] =
+column[index[i]]`` for a join index whose fetch positions are random.
+Fetching naively makes every access a cache miss once the column
+outgrows the cache.
+
+Radix-decluster confines all random access to cache-sized regions using
+*single-pass* partitioning (never more active regions than cache lines /
+TLB entries permit):
+
+1. *decluster pass* (once per join index) — partition the (rank,
+   position) pairs on the high bits of the fetch position into K fetch
+   partitions: a sequential read feeding K sequential write cursors;
+2. *fetch pass* (per column) — walk the fetch partitions in order,
+   gathering the column values: random, but within a column region of
+   size ``|column|/K`` that fits the cache; the fetched (rank, value)
+   pairs are emitted into K *output* partitions by rank high bits
+   (again K sequential cursors);
+3. *place pass* (per column) — per output partition, write each value
+   at its exact output offset: random, but within a cache-sized output
+   region.
+
+Projecting many columns amortizes pass 1; this is exactly why DSM
+post-projection wins the strategy matrix of experiment E3.
+
+Because each partitioning is single-pass, K is bounded by the cache
+line/TLB count, and each region must itself fit the cache; the maximum
+relation size therefore grows *quadratically* with the cache size — the
+scalability limit Section 4.3 quantifies (half a billion tuples for a
+512KB Pentium4 Xeon cache, 72 billion for a 6MB Itanium2).
+"""
+
+import numpy as np
+
+from repro.core.bat import global_address_space
+from repro.hardware import trace as trace_mod
+from repro.hardware.profiles import SCALED_DEFAULT
+
+CYCLES_PER_TUPLE_PASS = 4
+
+#: Pair entries carry (rank, payload): 16 bytes.
+PAIR_BYTES = 16
+
+
+def max_declusterable_tuples(profile, item_size=8, level=None):
+    """The quadratic-in-cache-size scalability limit of Section 4.3."""
+    cache = profile.caches[-1] if level is None else profile.cache(level)
+    n_lines = cache.capacity // cache.line_size
+    return (n_lines // 2) * (cache.capacity // 2) // item_size
+
+
+def _partition_bits(n_items, item_size, profile):
+    """K = 2**bits fetch/output partitions, obeying both constraints."""
+    cache = profile.caches[-1]
+    max_regions = cache.capacity // cache.line_size
+    if profile.tlb is not None:
+        max_regions = min(max_regions, profile.tlb.entries)
+    bits = 0
+    # Each region (n_items / K items) must fit in half the cache, while
+    # keeping K write cursors within the region budget.
+    while (n_items * item_size) >> bits > cache.capacity // 2 and \
+            (2 << bits) <= max_regions:
+        bits += 1
+    return bits
+
+
+def naive_post_projection(index, column, hierarchy=None, item_size=8):
+    """Baseline: fetch values in output order (random gather)."""
+    index = np.ascontiguousarray(index, dtype=np.int64)
+    column = np.ascontiguousarray(column)
+    result = column[index]
+    if hierarchy is not None:
+        space = global_address_space
+        idx_base = space.allocate(max(len(index) * 8, 1))
+        col_base = space.allocate(max(len(column) * item_size, 1))
+        out_base = space.allocate(max(len(index) * item_size, 1))
+        idx_reads = trace_mod.sequential(idx_base, len(index), 8)
+        col_reads = col_base + index * item_size
+        out_writes = trace_mod.sequential(out_base, len(index), item_size)
+        hierarchy.access(trace_mod.interleave(idx_reads, col_reads,
+                                              out_writes))
+        hierarchy.add_cpu_cycles(len(index) * CYCLES_PER_TUPLE_PASS)
+    return result
+
+
+def sort_based_projection(index, column, hierarchy=None, item_size=8):
+    """Baseline: fully sort the index, fetch sequentially, scatter back.
+
+    Sequentializes the fetches at the price of a full sort and a fully
+    random scatter into the output.
+    """
+    index = np.ascontiguousarray(index, dtype=np.int64)
+    column = np.ascontiguousarray(column)
+    order = np.argsort(index, kind="stable")
+    result = np.empty(len(index), dtype=column.dtype)
+    result[order] = column[index[order]]
+    if hierarchy is not None and len(index):
+        space = global_address_space
+        pair_base = space.allocate(max(len(index) * PAIR_BYTES, 1))
+        col_base = space.allocate(max(len(column) * item_size, 1))
+        out_base = space.allocate(max(len(index) * item_size, 1))
+        # Sort cost: multi-pass radix sort, read+write sweeps over pairs.
+        n_passes = max(int(np.ceil(np.log2(max(len(index), 2)) / 6)), 1)
+        seq = trace_mod.sequential(pair_base, len(index), PAIR_BYTES)
+        for _ in range(n_passes):
+            hierarchy.access(trace_mod.interleave(seq, seq))
+            hierarchy.add_cpu_cycles(len(index) * CYCLES_PER_TUPLE_PASS)
+        # Sequential fetch through the column, random scatter to output:
+        # in fetch (sorted-by-position) order, the output offset of each
+        # value is its original rank.
+        col_reads = col_base + index[order] * item_size
+        out_writes = out_base + order * item_size
+        hierarchy.access(trace_mod.interleave(col_reads, out_writes))
+        hierarchy.add_cpu_cycles(len(index) * CYCLES_PER_TUPLE_PASS)
+    return result
+
+
+class DeclusterPlan:
+    """The shared partitioning of one join index (decluster pass).
+
+    Build it once, then call :meth:`project` per payload column — the
+    way experiment E3's DSM post-projection strategy amortizes pass 1
+    over all projected columns.
+    """
+
+    def __init__(self, index, n_column_items, hierarchy=None,
+                 item_size=8, profile=SCALED_DEFAULT, partition_bits=None):
+        self.index = np.ascontiguousarray(index, dtype=np.int64)
+        self.hierarchy = hierarchy
+        self.item_size = item_size
+        n = len(self.index)
+        if partition_bits is None:
+            partition_bits = _partition_bits(
+                max(n_column_items, n, 1), item_size, profile)
+        self.partition_bits = partition_bits
+        self.k = 1 << partition_bits
+        col_span = max(n_column_items, 1)
+        fetch_part = (self.index * self.k) // col_span
+        self.order1 = np.argsort(fetch_part, kind="stable")
+        if hierarchy is not None and n:
+            space = global_address_space
+            idx_base = space.allocate(n * 8)
+            self.pairs_base = space.allocate(n * PAIR_BYTES)
+            dest1 = np.empty(n, dtype=np.int64)
+            dest1[self.order1] = np.arange(n, dtype=np.int64)
+            hierarchy.access(trace_mod.interleave(
+                trace_mod.sequential(idx_base, n, 8),
+                self.pairs_base + dest1 * PAIR_BYTES))
+            hierarchy.add_cpu_cycles(n * CYCLES_PER_TUPLE_PASS)
+
+    def project(self, column):
+        """``column[index]`` via the fetch and place passes."""
+        column = np.ascontiguousarray(column)
+        result = column[self.index]
+        hierarchy = self.hierarchy
+        n = len(self.index)
+        if hierarchy is None or n == 0:
+            return result
+        space = global_address_space
+        col_base = space.allocate(max(len(column) * self.item_size, 1))
+        out_pairs = space.allocate(n * PAIR_BYTES)
+        out_base = space.allocate(n * self.item_size)
+
+        # Fetch pass: pairs sequential, column gathers region-local,
+        # emission into K output-partition cursors.
+        ranks_in_fetch_order = self.order1
+        out_part = (ranks_in_fetch_order * self.k) // n
+        dest2 = np.empty(n, dtype=np.int64)
+        order2 = np.argsort(out_part, kind="stable")
+        dest2[order2] = np.arange(n, dtype=np.int64)
+        hierarchy.access(trace_mod.interleave(
+            trace_mod.sequential(self.pairs_base, n, PAIR_BYTES),
+            col_base + self.index[self.order1] * self.item_size,
+            out_pairs + dest2 * PAIR_BYTES))
+        hierarchy.add_cpu_cycles(n * CYCLES_PER_TUPLE_PASS)
+
+        # Place pass: per output partition, scatter values at their
+        # exact offsets within a cache-sized output region.
+        final_ranks = ranks_in_fetch_order[order2]
+        hierarchy.access(trace_mod.interleave(
+            trace_mod.sequential(out_pairs, n, PAIR_BYTES),
+            out_base + final_ranks * self.item_size))
+        hierarchy.add_cpu_cycles(n * CYCLES_PER_TUPLE_PASS)
+        return result
+
+
+def radix_decluster(index, column, hierarchy=None, item_size=8,
+                    profile=SCALED_DEFAULT, partition_bits=None):
+    """Cache-conscious single-column projection (one-shot plan).
+
+    Returns ``column[index]``; see :class:`DeclusterPlan` for the
+    amortized multi-column form.
+    """
+    plan = DeclusterPlan(index, len(column), hierarchy=hierarchy,
+                         item_size=item_size, profile=profile,
+                         partition_bits=partition_bits)
+    return plan.project(column)

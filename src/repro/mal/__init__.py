@@ -1,0 +1,36 @@
+"""MAL — the MonetDB Assembler Language layer (Section 3.1).
+
+MonetDB's query processing is organized in three tiers: front-ends compile
+queries into *MAL programs* (this package's :class:`MALProgram`); a
+pipeline of independent *optimizer modules* rewrites the program
+(:mod:`repro.mal.optimizer`); and the *MAL interpreter*
+(:class:`Interpreter`) executes it against the BAT Algebra kernel.
+"""
+
+from repro.mal.ast import Const, MALInstruction, MALProgram, Var
+from repro.mal.parser import parse_program
+from repro.mal.interpreter import ExecutionStats, Interpreter
+from repro.mal.optimizer import (
+    OptimizerModule,
+    Pipeline,
+    DEFAULT_PIPELINE,
+    common_subexpression_elimination,
+    constant_folding,
+    dead_code_elimination,
+)
+
+__all__ = [
+    "Var",
+    "Const",
+    "MALInstruction",
+    "MALProgram",
+    "parse_program",
+    "Interpreter",
+    "ExecutionStats",
+    "OptimizerModule",
+    "Pipeline",
+    "DEFAULT_PIPELINE",
+    "constant_folding",
+    "common_subexpression_elimination",
+    "dead_code_elimination",
+]

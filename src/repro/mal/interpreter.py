@@ -1,0 +1,174 @@
+"""The MAL interpreter — tier three of Section 3.1.
+
+Executes a :class:`repro.mal.ast.MALProgram` instruction by instruction
+against the BAT Algebra kernel.  Every instruction fully materializes its
+result BATs (operator-at-a-time), which is exactly the hook Section 6.1
+identifies for *recycling*: an optional recycler object is consulted
+before, and offered results after, each cache-marked instruction.
+
+Special (non-kernel) operations:
+
+* ``sql.bind(table, column)`` — resolve a readable column BAT through the
+  catalog object handed to the interpreter;
+* ``sql.count(table)`` — visible row count of a table;
+* ``sql.tid(table)`` — candidate list of visible row oids (excluding
+  deleted positions, per the delta design of Section 3.2);
+* ``language.pass(x)`` — identity (used by optimizers to keep alignment).
+"""
+
+import time
+from dataclasses import dataclass, field
+
+from repro.core.bat import BAT
+from repro.core.kernel import lookup_op
+from repro.mal.ast import Const, MALProgram, Var
+
+
+@dataclass
+class ExecutionStats:
+    """Counters accumulated over one or more program runs."""
+
+    instructions_executed: int = 0
+    instructions_recycled: int = 0
+    tuples_materialized: int = 0
+    bytes_materialized: int = 0
+    elapsed_seconds: float = 0.0
+    op_counts: dict = field(default_factory=dict)
+
+    def record(self, op, results, elapsed):
+        self.instructions_executed += 1
+        self.elapsed_seconds += elapsed
+        self.op_counts[op] = self.op_counts.get(op, 0) + 1
+        for value in results:
+            if isinstance(value, BAT):
+                self.tuples_materialized += len(value)
+                self.bytes_materialized += value.tail_nbytes
+
+
+class Interpreter:
+    """Executes MAL programs over a catalog, optionally recycling.
+
+    Parameters
+    ----------
+    catalog:
+        An object with ``bind(table, column) -> BAT`` and
+        ``count(table) -> int`` (duck-typed; the SQL front-end's catalog
+        and the DataCell basket registry both qualify).
+    recycler:
+        Optional recycler with ``lookup(key)``/``store(key, value, cost,
+        nbytes)`` (see :mod:`repro.recycling`).  Only instructions whose
+        ``recycle`` flag was set by the recycler optimizer module are
+        considered, unless the recycler declares ``cache_all = True``.
+    """
+
+    def __init__(self, catalog=None, recycler=None):
+        self.catalog = catalog
+        self.recycler = recycler
+        self.stats = ExecutionStats()
+
+    # -- argument resolution -------------------------------------------------
+
+    def _resolve(self, arg, env):
+        if isinstance(arg, Const):
+            return arg.value
+        try:
+            return env[arg.name]
+        except KeyError:
+            raise NameError("undefined MAL variable {0!r}".format(arg.name)) \
+                from None
+
+    def _recycle_key(self, instr, values):
+        """Value-identity cache key: op + per-argument identity.
+
+        BAT arguments are identified by (bat_id, version) so in-place
+        updates (delta merges, cracking) invalidate stale entries.
+        """
+        parts = [instr.op]
+        for value in values:
+            if isinstance(value, BAT):
+                parts.append(("bat", value.bat_id, value.version))
+            else:
+                parts.append(("const", repr(value)))
+        if instr.op.startswith("sql.") and values and \
+                hasattr(self.catalog, "table_version"):
+            # Catalog reads depend on table state, not argument identity.
+            parts.append(self.catalog.table_version(values[0]))
+        return tuple(parts)
+
+    # -- execution ------------------------------------------------------------
+
+    def run(self, program, bindings=None):
+        """Execute a program; return {return-variable: value}."""
+        if not isinstance(program, MALProgram):
+            raise TypeError("expected a MALProgram")
+        env = dict(bindings or {})
+        for instr in program.instructions:
+            self._execute(instr, env)
+        return {name: env[name] for name in program.returns}
+
+    def run_single(self, program, bindings=None):
+        """Execute a program that returns exactly one value."""
+        out = self.run(program, bindings=bindings)
+        if len(out) != 1:
+            raise ValueError("program returns {0} values".format(len(out)))
+        return next(iter(out.values()))
+
+    def _execute(self, instr, env):
+        values = [self._resolve(a, env) for a in instr.args]
+        recycler = self.recycler
+        use_recycler = recycler is not None and (
+            instr.recycle or getattr(recycler, "cache_all", False))
+        key = None
+        if use_recycler:
+            key = self._recycle_key(instr, values)
+            hit, cached = recycler.lookup(key)
+            if hit:
+                self.stats.instructions_recycled += 1
+                self._bind_results(instr, cached, env)
+                return
+        start = time.perf_counter()
+        results = self._dispatch(instr, values)
+        elapsed = time.perf_counter() - start
+        self.stats.record(instr.op, results, elapsed)
+        if use_recycler:
+            nbytes = sum(v.tail_nbytes for v in results if isinstance(v, BAT))
+            recycler.store(key, results, cost=elapsed, nbytes=nbytes)
+        self._bind_results(instr, results, env)
+
+    def _dispatch(self, instr, values):
+        op = instr.op
+        if op == "sql.bind":
+            self._require_catalog(op)
+            return (self.catalog.bind(*values),)
+        if op == "sql.count":
+            self._require_catalog(op)
+            return (self.catalog.count(*values),)
+        if op == "sql.tid":
+            self._require_catalog(op)
+            return (self.catalog.tid(*values),)
+        if op == "sql.crackedselect":
+            self._require_catalog(op)
+            return (self.catalog.cracked_select(*values),)
+        if op == "sql.joinindex":
+            self._require_catalog(op)
+            return (self.catalog.join_index(*values),)
+        if op == "language.pass":
+            return (values[0],)
+        kernel_fn = lookup_op(op)
+        out = kernel_fn(*values)
+        if kernel_fn.n_results == 1:
+            return (out,)
+        return tuple(out)
+
+    def _require_catalog(self, op):
+        if self.catalog is None:
+            raise RuntimeError(
+                "{0} requires an interpreter with a catalog".format(op))
+
+    def _bind_results(self, instr, results, env):
+        if len(results) != len(instr.results):
+            raise ValueError(
+                "{0} produced {1} values for {2} result variables".format(
+                    instr.op, len(results), len(instr.results)))
+        for name, value in zip(instr.results, results):
+            env[name] = value

@@ -1,0 +1,55 @@
+"""The optimizer pipeline — tier two of Section 3.1.
+
+"The second tier consists of a collection of optimizer modules, which are
+assembled into optimization pipelines."  Each module here is an
+independent program-to-program rewrite; a :class:`Pipeline` runs them in
+order.  The approach deliberately breaks with monolithic cost-based
+optimization: every module makes one kind of decision.
+"""
+
+from repro.mal.optimizer.base import (
+    IMPURE_OPS,
+    OptimizerModule,
+    Pipeline,
+    is_pure,
+)
+from repro.mal.optimizer.constant_fold import constant_folding
+from repro.mal.optimizer.cracking_rewrite import cracking_rewrite
+from repro.mal.optimizer.cse import common_subexpression_elimination
+from repro.mal.optimizer.deadcode import dead_code_elimination
+from repro.mal.optimizer.recycle_mark import recycler_marking
+
+DEFAULT_PIPELINE = Pipeline([
+    constant_folding,
+    common_subexpression_elimination,
+    dead_code_elimination,
+])
+
+RECYCLING_PIPELINE = Pipeline([
+    constant_folding,
+    common_subexpression_elimination,
+    dead_code_elimination,
+    recycler_marking,
+])
+
+CRACKING_PIPELINE = Pipeline([
+    constant_folding,
+    common_subexpression_elimination,
+    dead_code_elimination,
+    cracking_rewrite,
+])
+
+__all__ = [
+    "OptimizerModule",
+    "Pipeline",
+    "IMPURE_OPS",
+    "is_pure",
+    "constant_folding",
+    "common_subexpression_elimination",
+    "dead_code_elimination",
+    "recycler_marking",
+    "cracking_rewrite",
+    "DEFAULT_PIPELINE",
+    "RECYCLING_PIPELINE",
+    "CRACKING_PIPELINE",
+]

@@ -1,0 +1,42 @@
+"""Constant folding: evaluate scalar ``calc.*`` calls on literals.
+
+Front-ends emit scalar expressions (``calc.+``, ``calc.<`` ...) for the
+constant parts of predicates; folding them at optimization time removes
+them from the interpreted critical path.
+"""
+
+from repro.core.kernel import KERNEL
+from repro.mal.ast import Const, MALInstruction, MALProgram
+from repro.mal.optimizer.base import is_pure, optimizer
+
+
+def _fold_value(instr):
+    fn = KERNEL[instr.op]
+    return fn(*[a.value for a in instr.args])
+
+
+@optimizer("constant_folding")
+def constant_folding(program):
+    folded = {}  # var name -> Const
+    kept = []
+    for instr in program.instructions:
+        # Substitute previously folded variables into the arguments.
+        args = tuple(folded.get(a.name, a) if not isinstance(a, Const) else a
+                     for a in instr.args)
+        instr = MALInstruction(instr.results, instr.op, args, instr.recycle)
+        can_fold = (instr.op.startswith("calc.")
+                    and instr.op in KERNEL
+                    and is_pure(instr.op)
+                    and len(instr.results) == 1
+                    and all(isinstance(a, Const) for a in instr.args))
+        if can_fold:
+            folded[instr.results[0]] = Const(_fold_value(instr))
+        else:
+            kept.append(instr)
+    # Returned variables must stay materialized: re-emit a folded constant
+    # through an identity instruction if it is returned.
+    for name in program.returns:
+        if name in folded:
+            kept.append(MALInstruction((name,), "language.pass",
+                                       (folded[name],)))
+    return MALProgram(kept, program.returns, program.name)

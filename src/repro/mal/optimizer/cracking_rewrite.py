@@ -1,0 +1,75 @@
+"""Cracking as an optimizer module (§6.1).
+
+MonetDB deploys cracking by swapping the selection operators inside the
+optimizer pipeline; this module does the same: a range (or equality)
+select over a freshly bound column restricted to the table's visible
+tids is rewritten into ``sql.crackedselect``, whose kernel
+implementation reorganizes the column inside the query's critical path.
+
+The rewrite is *unconditionally safe*: the kernel side falls back to a
+plain select for column types the cracker does not support.
+"""
+
+from repro.mal.ast import Const, MALInstruction, MALProgram, Var
+from repro.mal.optimizer.base import optimizer
+
+
+@optimizer("cracking_rewrite")
+def cracking_rewrite(program):
+    binds = {}  # var -> (table, column) from sql.bind with const args
+    tids = {}   # var -> table from sql.tid with const arg
+    out = []
+    for instr in program.instructions:
+        if instr.op == "sql.bind" and len(instr.args) == 2 and \
+                all(isinstance(a, Const) for a in instr.args) and \
+                len(instr.results) == 1:
+            binds[instr.results[0]] = (instr.args[0].value,
+                                       instr.args[1].value)
+            out.append(instr)
+            continue
+        if instr.op == "sql.tid" and len(instr.args) == 1 and \
+                isinstance(instr.args[0], Const) and \
+                len(instr.results) == 1:
+            tids[instr.results[0]] = instr.args[0].value
+            out.append(instr)
+            continue
+        rewritten = _rewrite_select(instr, binds, tids)
+        out.append(rewritten if rewritten is not None else instr)
+    return MALProgram(out, program.returns, program.name)
+
+
+def _rewrite_select(instr, binds, tids):
+    """selectrange/select over (bind, tid) of one table -> crackedselect."""
+    if instr.op == "algebra.selectrange" and len(instr.args) == 6:
+        col, lo, hi, lo_incl, hi_incl, cand = instr.args
+        if not (isinstance(col, Var) and isinstance(cand, Var)):
+            return None
+        if not all(isinstance(a, Const)
+                   for a in (lo, hi, lo_incl, hi_incl)):
+            return None
+        bound = binds.get(col.name)
+        table = tids.get(cand.name)
+        if bound is None or table is None or bound[0] != table:
+            return None
+        return MALInstruction(
+            instr.results, "sql.crackedselect",
+            (Const(bound[0]), Const(bound[1]), lo, hi, lo_incl, hi_incl),
+            instr.recycle)
+    if instr.op == "algebra.select" and len(instr.args) == 3:
+        col, value, cand = instr.args
+        if not (isinstance(col, Var) and isinstance(value, Const)
+                and isinstance(cand, Var)):
+            return None
+        if not isinstance(value.value, int) or \
+                isinstance(value.value, bool):
+            return None
+        bound = binds.get(col.name)
+        table = tids.get(cand.name)
+        if bound is None or table is None or bound[0] != table:
+            return None
+        return MALInstruction(
+            instr.results, "sql.crackedselect",
+            (Const(bound[0]), Const(bound[1]), value, value,
+             Const(True), Const(True)),
+            instr.recycle)
+    return None

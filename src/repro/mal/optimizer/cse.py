@@ -1,0 +1,35 @@
+"""Common-subexpression elimination.
+
+The operator-at-a-time paradigm materializes every intermediate, so two
+textually identical instructions compute the same BAT twice; CSE keeps
+the first and renames away the second.  This is the *static* half of the
+double-work avoidance story — the recycler (Section 6.1) is the dynamic,
+cross-query half.
+"""
+
+from repro.mal.ast import Const, MALInstruction, MALProgram, Var
+from repro.mal.optimizer.base import is_pure, optimizer
+
+
+@optimizer("common_subexpression_elimination")
+def common_subexpression_elimination(program):
+    seen = {}     # signature -> result names of the first occurrence
+    aliases = {}  # duplicate var name -> canonical var name
+    kept = []
+    for instr in program.instructions:
+        args = tuple(Var(aliases.get(a.name, a.name))
+                     if isinstance(a, Var) else a for a in instr.args)
+        instr = MALInstruction(instr.results, instr.op, args, instr.recycle)
+        if not is_pure(instr.op):
+            kept.append(instr)
+            continue
+        sig = instr.signature()
+        prior = seen.get(sig)
+        if prior is not None and len(prior) == len(instr.results):
+            for dup, canonical in zip(instr.results, prior):
+                aliases[dup] = canonical
+            continue
+        seen[sig] = instr.results
+        kept.append(instr)
+    returns = tuple(aliases.get(name, name) for name in program.returns)
+    return MALProgram(kept, returns, program.name)

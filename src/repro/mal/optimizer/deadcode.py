@@ -1,0 +1,17 @@
+"""Dead-code elimination: drop pure instructions whose results are unused."""
+
+from repro.mal.ast import MALProgram
+from repro.mal.optimizer.base import is_pure, optimizer
+
+
+@optimizer("dead_code_elimination")
+def dead_code_elimination(program):
+    live = set(program.returns)
+    kept_reversed = []
+    for instr in reversed(program.instructions):
+        used = any(name in live for name in instr.results)
+        if used or not is_pure(instr.op):
+            kept_reversed.append(instr)
+            live.update(instr.arg_vars)
+    return MALProgram(list(reversed(kept_reversed)), program.returns,
+                      program.name)

@@ -1,0 +1,26 @@
+"""Recycler instrumentation (Section 6.1).
+
+Marks the instructions whose materialized results are worth keeping in
+the recycler cache.  Cheap positional plumbing (``bat.mirror``,
+``language.pass``) is left unmarked: caching it would pollute the cache
+for no saved work.
+"""
+
+from repro.mal.ast import MALProgram
+from repro.mal.optimizer.base import optimizer
+
+RECYCLABLE_PREFIXES = ("algebra.", "aggr.", "group.", "batcalc.",
+                       "candidates.")
+
+#: Catalog reads: cacheable because the interpreter folds the table
+#: version into their keys (stale entries miss automatically).
+RECYCLABLE_OPS = ("sql.bind", "sql.tid", "sql.count")
+
+
+@optimizer("recycler_marking")
+def recycler_marking(program):
+    for instr in program.instructions:
+        if instr.op.startswith(RECYCLABLE_PREFIXES) or \
+                instr.op in RECYCLABLE_OPS:
+            instr.recycle = True
+    return MALProgram(program.instructions, program.returns, program.name)

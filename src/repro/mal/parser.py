@@ -1,0 +1,128 @@
+"""Textual MAL parser.
+
+Accepts the straight-line subset the engine executes::
+
+    age := sql.bind("people", "age");
+    cand := algebra.select(age, 1927);
+    name := sql.bind("people", "name");
+    res := algebra.leftfetchjoin(cand, name);
+    return res;
+
+Literals: integers, floats, double-quoted strings, ``true``/``false``,
+``nil``.  Multi-result calls use ``(a, b) := op(...)``.  ``#`` starts a
+comment.  This parser exists for tests, the examples, and EXPLAIN-style
+round-tripping; front-ends build :class:`MALProgram` objects directly.
+"""
+
+import re
+
+from repro.mal.ast import Const, MALInstruction, MALProgram, Var
+
+_IDENT = r"[A-Za-z_][A-Za-z_0-9]*"
+_OPNAME = r"[A-Za-z_][A-Za-z_0-9]*(?:\.[^\s(]+)?"
+
+_INSTR_RE = re.compile(
+    r"^(?:\(\s*(?P<multi>{0}(?:\s*,\s*{0})*)\s*\)|(?P<single>{0}))\s*"
+    r":=\s*(?P<op>{1})\s*\((?P<args>.*)\)$".format(_IDENT, _OPNAME))
+_CALL_RE = re.compile(r"^(?P<op>{0})\s*\((?P<args>.*)\)$".format(_OPNAME))
+_RETURN_RE = re.compile(r"^return\s+(?P<vars>{0}(?:\s*,\s*{0})*)$".format(_IDENT))
+
+
+class MALSyntaxError(ValueError):
+    """Raised on malformed MAL text."""
+
+
+def _split_args(text):
+    """Split a comma-separated argument list, honouring string quotes."""
+    args = []
+    depth = 0
+    current = []
+    in_string = False
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        if in_string:
+            current.append(ch)
+            if ch == "\\":
+                if i + 1 < len(text):
+                    current.append(text[i + 1])
+                    i += 1
+            elif ch == '"':
+                in_string = False
+        elif ch == '"':
+            in_string = True
+            current.append(ch)
+        elif ch == "," and depth == 0:
+            args.append("".join(current).strip())
+            current = []
+        else:
+            if ch in "([":
+                depth += 1
+            elif ch in ")]":
+                depth -= 1
+            current.append(ch)
+        i += 1
+    tail = "".join(current).strip()
+    if tail:
+        args.append(tail)
+    return args
+
+
+def _parse_literal(token):
+    if token == "nil":
+        return Const(None)
+    if token == "true":
+        return Const(True)
+    if token == "false":
+        return Const(False)
+    if token.startswith('"'):
+        if not token.endswith('"') or len(token) < 2:
+            raise MALSyntaxError("unterminated string: {0}".format(token))
+        body = token[1:-1]
+        return Const(body.replace('\\"', '"').replace("\\\\", "\\"))
+    try:
+        return Const(int(token))
+    except ValueError:
+        pass
+    try:
+        return Const(float(token))
+    except ValueError:
+        pass
+    if re.fullmatch(_IDENT, token):
+        return Var(token)
+    raise MALSyntaxError("cannot parse argument {0!r}".format(token))
+
+
+def parse_program(text, name="user.main"):
+    """Parse MAL text into a validated :class:`MALProgram`."""
+    program = MALProgram(name=name)
+    for raw_line in text.splitlines():
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line.endswith(";"):
+            line = line[:-1].rstrip()
+        match = _RETURN_RE.match(line)
+        if match:
+            program.returns = tuple(
+                v.strip() for v in match.group("vars").split(","))
+            continue
+        match = _INSTR_RE.match(line)
+        if match:
+            if match.group("multi"):
+                results = tuple(v.strip()
+                                for v in match.group("multi").split(","))
+            else:
+                results = (match.group("single"),)
+        else:
+            match = _CALL_RE.match(line)
+            if not match:
+                raise MALSyntaxError("cannot parse line: {0!r}".format(
+                    raw_line))
+            results = ()
+        args_text = match.group("args").strip()
+        args = tuple(_parse_literal(tok)
+                     for tok in _split_args(args_text)) if args_text else ()
+        program.instructions.append(
+            MALInstruction(results, match.group("op"), args))
+    return program.validate()

@@ -1,0 +1,16 @@
+"""RDF over BATs: MonetDB as scalable RDF storage (§3.2).
+
+"The MonetDB team has started development to provide efficient support
+for the W3C query language SPARQL, using MonetDB as a scalable RDF
+storage."  Triples are dictionary-encoded into three aligned BATs
+(subject, predicate, object); basic graph patterns compile into the
+ordinary BAT-algebra selections and joins.
+
+* :class:`TripleStore` — dictionary + S/P/O columns + pattern matching;
+* :func:`sparql` — a SPARQL subset: ``SELECT ?vars WHERE { BGP }``.
+"""
+
+from repro.rdf.store import TripleStore, Var
+from repro.rdf.sparql import SPARQLError, sparql
+
+__all__ = ["TripleStore", "Var", "sparql", "SPARQLError"]

@@ -1,0 +1,84 @@
+"""A SPARQL subset: SELECT over basic graph patterns.
+
+Grammar::
+
+    SELECT ?v1 ?v2 ... WHERE { pattern . pattern . ... }
+    SELECT * WHERE { ... }
+    pattern := term term term
+    term    := <uri> | "literal" | ?var
+
+Solutions come back as sorted, de-duplicated tuples of decoded terms in
+the projection order.
+"""
+
+import re
+
+from repro.rdf.store import Var
+
+_TERM_RE = re.compile(r"<([^>]*)>|\"([^\"]*)\"|\?([A-Za-z_][A-Za-z_0-9]*)")
+_QUERY_RE = re.compile(
+    r"^\s*SELECT\s+(?P<proj>\*|(?:\?[A-Za-z_][A-Za-z_0-9]*\s*)+)\s*"
+    r"WHERE\s*\{(?P<body>.*)\}\s*$", re.IGNORECASE | re.DOTALL)
+
+
+class SPARQLError(ValueError):
+    """Raised on malformed or unsupported queries."""
+
+
+def _parse_term(token):
+    match = _TERM_RE.fullmatch(token.strip())
+    if not match:
+        raise SPARQLError("cannot parse term {0!r}".format(token))
+    uri, literal, var = match.groups()
+    if var is not None:
+        return Var(var)
+    return uri if uri is not None else literal
+
+
+def _parse(query):
+    match = _QUERY_RE.match(query)
+    if not match:
+        raise SPARQLError("expected SELECT ... WHERE {{ ... }}, got "
+                          "{0!r}".format(query))
+    projection = match.group("proj").strip()
+    body = match.group("body").strip()
+    patterns = []
+    for chunk in [c.strip() for c in body.split(".") if c.strip()]:
+        terms = _TERM_RE.findall(chunk)
+        if len(terms) != 3:
+            raise SPARQLError("pattern needs three terms: {0!r}".format(
+                chunk))
+        pattern = []
+        for uri, literal, var in terms:
+            if var:
+                pattern.append(Var(var))
+            elif uri:
+                pattern.append(uri)
+            else:
+                pattern.append(literal)
+        patterns.append(tuple(pattern))
+    if not patterns:
+        raise SPARQLError("empty WHERE clause")
+    if projection == "*":
+        wanted = None
+    else:
+        wanted = [v[1:] for v in projection.split()]
+    return wanted, patterns
+
+
+def sparql(store, query):
+    """Run a query; returns (variable names, sorted solution tuples)."""
+    wanted, patterns = _parse(query)
+    var_names, table = store.solve(patterns)
+    if wanted is None:
+        wanted = var_names
+    unknown = [v for v in wanted if v not in table]
+    if unknown:
+        raise SPARQLError("projected variables {0} not bound by the "
+                          "pattern".format(unknown))
+    if not wanted:
+        return [], []
+    columns = [table[v] for v in wanted]
+    rows = sorted(set(zip(*(c.tolist() for c in columns))))
+    decoded = [tuple(store.term(t) for t in row) for row in rows]
+    return wanted, decoded

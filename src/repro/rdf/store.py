@@ -1,0 +1,189 @@
+"""Dictionary-encoded triple store on columnar storage.
+
+Terms (URIs and literals) are interned into a dictionary; the graph is
+three aligned int64 columns (subject, predicate, object) with a void
+"triple id" head — the vertical decomposition of §3.2 applied to RDF.
+Basic-graph-pattern matching proceeds pattern by pattern, joining the
+growing solution table on shared variables with the same sort-merge
+machinery the relational front-end uses.
+"""
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.algebra import _join_positions_fixed
+
+
+@dataclass(frozen=True)
+class Var:
+    """A SPARQL variable (?name)."""
+
+    name: str
+
+    def __str__(self):
+        return "?" + self.name
+
+
+class TripleStore:
+    """An in-memory RDF graph."""
+
+    def __init__(self):
+        self._term_ids = {}
+        self._terms = []
+        self._s = []
+        self._p = []
+        self._o = []
+        self._columns = None  # built lazily
+
+    def __len__(self):
+        return len(self._s)
+
+    # -- dictionary ---------------------------------------------------------
+
+    def intern(self, term):
+        term_id = self._term_ids.get(term)
+        if term_id is None:
+            term_id = len(self._terms)
+            self._term_ids[term] = term_id
+            self._terms.append(term)
+        return term_id
+
+    def term(self, term_id):
+        return self._terms[term_id]
+
+    def lookup(self, term):
+        """The id of a term, or None if it never occurs."""
+        return self._term_ids.get(term)
+
+    @property
+    def n_terms(self):
+        return len(self._terms)
+
+    # -- updates --------------------------------------------------------------
+
+    def add(self, subject, predicate, obj):
+        """Add one triple of string terms; duplicates are kept once."""
+        triple = (self.intern(subject), self.intern(predicate),
+                  self.intern(obj))
+        self._s.append(triple[0])
+        self._p.append(triple[1])
+        self._o.append(triple[2])
+        self._columns = None
+        return triple
+
+    def add_many(self, triples):
+        for s, p, o in triples:
+            self.add(s, p, o)
+
+    def columns(self):
+        if self._columns is None:
+            self._columns = {
+                "s": np.asarray(self._s, dtype=np.int64),
+                "p": np.asarray(self._p, dtype=np.int64),
+                "o": np.asarray(self._o, dtype=np.int64),
+            }
+        return self._columns
+
+    # -- matching ----------------------------------------------------------------
+
+    def match(self, s=None, p=None, o=None):
+        """Positions of triples matching constant terms (None = any)."""
+        cols = self.columns()
+        mask = np.ones(len(self), dtype=bool)
+        for name, term in (("s", s), ("p", p), ("o", o)):
+            if term is None:
+                continue
+            term_id = self.lookup(term)
+            if term_id is None:
+                return np.empty(0, dtype=np.int64)
+            mask &= cols[name] == term_id
+        return np.flatnonzero(mask).astype(np.int64)
+
+    def triples(self, positions=None):
+        """Decoded (s, p, o) string triples at the given positions."""
+        cols = self.columns()
+        if positions is None:
+            positions = np.arange(len(self), dtype=np.int64)
+        return [(self.term(cols["s"][i]), self.term(cols["p"][i]),
+                 self.term(cols["o"][i])) for i in positions]
+
+    # -- basic graph patterns ---------------------------------------------------------
+
+    def solve(self, patterns):
+        """Solutions of a BGP: list of (s, p, o) patterns whose slots
+        are string constants or :class:`Var`.
+
+        Returns ``(variable names, solution columns)`` where the
+        columns are aligned numpy arrays of term ids.
+        """
+        var_names = []
+        table = None  # dict var name -> int64 array
+        for pattern in patterns:
+            var_names_here, columns_here = self._pattern_bindings(pattern)
+            if table is None:
+                table = columns_here
+                var_names = var_names_here
+                continue
+            shared = [v for v in var_names_here if v in table]
+            fresh = [v for v in var_names_here if v not in table]
+            if shared:
+                left_key = _composite_key(
+                    [table[v] for v in shared], self.n_terms)
+                right_key = _composite_key(
+                    [columns_here[v] for v in shared], self.n_terms)
+                l_pos, r_pos = _join_positions_fixed(left_key, right_key)
+            else:  # cross product
+                n_left = len(next(iter(table.values())))
+                n_right = len(next(iter(columns_here.values())))
+                l_pos = np.repeat(np.arange(n_left, dtype=np.int64),
+                                  n_right)
+                r_pos = np.tile(np.arange(n_right, dtype=np.int64),
+                                n_left)
+            table = {v: a[l_pos] for v, a in table.items()}
+            for v in fresh:
+                table[v] = columns_here[v][r_pos]
+            var_names = var_names + fresh
+        if table is None:
+            return [], {}
+        return var_names, table
+
+    def _pattern_bindings(self, pattern):
+        """(variable names, {var: id array}) for one pattern."""
+        cols = self.columns()
+        constants = {}
+        variables = []
+        for slot, value in zip("spo", pattern):
+            if isinstance(value, Var):
+                variables.append((slot, value.name))
+            else:
+                constants[slot] = value
+        positions = self.match(**constants)
+        out = {}
+        names = []
+        for slot, name in variables:
+            values = cols[slot][positions]
+            if name in out:
+                # Same variable twice in one pattern: filter equality.
+                keep = out[name] == values
+                out = {k: v[keep] for k, v in out.items()}
+                positions = positions[keep]
+                values = values[keep]
+            out[name] = values
+            if name not in names:
+                names.append(name)
+        if not variables:
+            # Ground pattern: an existence filter — one anonymous row
+            # when the triple exists, none otherwise.
+            out = {"__ground__": np.zeros(min(len(positions), 1),
+                                          dtype=np.int64)}
+            names = []
+        return names, out
+
+
+def _composite_key(arrays, base):
+    """Combine id columns into one sortable key (ids < base)."""
+    key = arrays[0].astype(np.int64)
+    for arr in arrays[1:]:
+        key = key * base + arr
+    return key

@@ -1,0 +1,27 @@
+"""Recycling intermediates (Section 6.1, [19]).
+
+"The results of all relational operators can be maintained in a cache,
+which is also aware of their dependencies.  Then, traditional cache
+replacement policies can be applied to avoid double work, cherry
+picking the cache for previously derived results."
+
+The :class:`Recycler` plugs into the MAL interpreter (which keys cache
+entries by operation + argument *value identity*, so delta merges and
+cracking invalidate stale entries automatically) and evicts under a
+byte budget according to a pluggable policy.
+"""
+
+from repro.recycling.recycler import Recycler, RecyclerStats
+from repro.recycling.policies import (
+    POLICIES,
+    benefit_policy,
+    lru_policy,
+)
+
+__all__ = [
+    "Recycler",
+    "RecyclerStats",
+    "POLICIES",
+    "lru_policy",
+    "benefit_policy",
+]

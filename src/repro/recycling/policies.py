@@ -1,0 +1,29 @@
+"""Eviction policies for the recycler.
+
+A policy ranks cache entries for eviction; the entry with the smallest
+score goes first.  "Traditional cache replacement policies can be
+applied" (Section 6.1) — LRU — but the benefit-weighted policy of [19]
+accounts for what an entry is actually worth: the work it saves per
+byte it occupies.
+"""
+
+
+def lru_policy(entry, now):
+    """Evict the least recently used entry first."""
+    return entry.last_used
+
+
+def benefit_policy(entry, now):
+    """Evict the entry with the least saved-work density.
+
+    Score: (cost to recompute x times reused) per byte, decayed by age
+    so one-off results from old queries drain away.
+    """
+    age = max(now - entry.last_used, 1)
+    return (entry.cost * (1 + entry.uses)) / (max(entry.nbytes, 1) * age)
+
+
+POLICIES = {
+    "lru": lru_policy,
+    "benefit": benefit_policy,
+}

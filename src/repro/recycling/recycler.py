@@ -1,0 +1,113 @@
+"""The recycler: a bounded cache of materialized operator results."""
+
+import time
+from dataclasses import dataclass, field
+
+from repro.recycling.policies import POLICIES
+
+
+@dataclass
+class _Entry:
+    value: object
+    nbytes: int
+    cost: float
+    last_used: float
+    uses: int = 0
+
+
+@dataclass
+class RecyclerStats:
+    lookups: int = 0
+    hits: int = 0
+    stores: int = 0
+    evictions: int = 0
+    seconds_saved: float = 0.0
+
+    @property
+    def hit_ratio(self):
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class Recycler:
+    """Cache of (instruction key -> materialized results).
+
+    Parameters
+    ----------
+    capacity_bytes:
+        Byte budget for cached BAT payloads; None means unbounded
+        ("keep everything", viable exactly because the operator-at-a-
+        time paradigm materializes everything anyway).
+    policy:
+        Name from :data:`repro.recycling.policies.POLICIES`.
+    cache_all:
+        When True, the interpreter considers every instruction, not
+        only those the recycler-marking optimizer flagged.
+    """
+
+    def __init__(self, capacity_bytes=None, policy="benefit",
+                 cache_all=False):
+        if policy not in POLICIES:
+            raise KeyError("unknown policy {0!r}; available: {1}".format(
+                policy, sorted(POLICIES)))
+        self.capacity_bytes = capacity_bytes
+        self.policy = POLICIES[policy]
+        self.policy_name = policy
+        self.cache_all = cache_all
+        self.stats = RecyclerStats()
+        self._entries = {}
+        self._clock = 0.0
+
+    def __len__(self):
+        return len(self._entries)
+
+    @property
+    def bytes_cached(self):
+        return sum(e.nbytes for e in self._entries.values())
+
+    def _tick(self):
+        self._clock += 1.0
+        return self._clock
+
+    # -- the interpreter protocol ----------------------------------------------
+
+    def lookup(self, key):
+        """(hit, value): consult the cache for an instruction key."""
+        self.stats.lookups += 1
+        entry = self._entries.get(key)
+        if entry is None:
+            return False, None
+        entry.uses += 1
+        entry.last_used = self._tick()
+        self.stats.hits += 1
+        self.stats.seconds_saved += entry.cost
+        return True, entry.value
+
+    def store(self, key, value, cost, nbytes):
+        """Offer a freshly computed result to the cache."""
+        if self.capacity_bytes is not None and \
+                nbytes > self.capacity_bytes:
+            return
+        self._entries[key] = _Entry(value, nbytes, cost, self._tick())
+        self.stats.stores += 1
+        self._evict_to_capacity()
+
+    def _evict_to_capacity(self):
+        if self.capacity_bytes is None:
+            return
+        while self.bytes_cached > self.capacity_bytes and self._entries:
+            victim = min(self._entries,
+                         key=lambda k: self.policy(self._entries[k],
+                                                   self._clock))
+            del self._entries[victim]
+            self.stats.evictions += 1
+
+    # -- maintenance ----------------------------------------------------------------
+
+    def clear(self):
+        self._entries.clear()
+
+    def invalidate_where(self, predicate):
+        """Drop entries whose key matches a predicate (manual hook;
+        normal invalidation happens via BAT version keys)."""
+        for key in [k for k in self._entries if predicate(k)]:
+            del self._entries[key]

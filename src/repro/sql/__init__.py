@@ -1,0 +1,62 @@
+"""The SQL front-end (Section 3.2).
+
+Relational tables are decomposed by column into void-headed BATs; a BAT of
+deleted positions plus per-column insert *delta BATs* delay updates to the
+main columns and make snapshot isolation a matter of copying only the
+deltas.  SQL text is parsed (:mod:`repro.sql.parser`), compiled to MAL
+(:mod:`repro.sql.compiler`), optimized by the shared pipeline, and run on
+the MAL interpreter.
+
+The user-facing entry point is :class:`Database`::
+
+    db = Database()
+    db.execute("CREATE TABLE people (name VARCHAR, age INT)")
+    db.execute("INSERT INTO people VALUES ('roger', 1927)")
+    rows = db.execute("SELECT name FROM people WHERE age = 1927").rows()
+"""
+
+from repro.sql.ast import (
+    BinOp,
+    Column,
+    CreateTable,
+    Delete,
+    FuncCall,
+    Insert,
+    Literal,
+    Select,
+    SelectItem,
+    Star,
+    UnaryOp,
+    Update,
+)
+from repro.sql.lexer import SQLSyntaxError, tokenize
+from repro.sql.parser import parse_sql
+from repro.sql.catalog import Catalog, Table
+from repro.sql.transactions import ConflictError, Transaction
+from repro.sql.compiler import compile_select
+from repro.sql.database import Database, ResultSet
+
+__all__ = [
+    "Database",
+    "ResultSet",
+    "Catalog",
+    "Table",
+    "Transaction",
+    "ConflictError",
+    "parse_sql",
+    "tokenize",
+    "SQLSyntaxError",
+    "compile_select",
+    "CreateTable",
+    "Insert",
+    "Delete",
+    "Update",
+    "Select",
+    "SelectItem",
+    "Column",
+    "Literal",
+    "BinOp",
+    "UnaryOp",
+    "FuncCall",
+    "Star",
+]

@@ -1,0 +1,137 @@
+"""SQL abstract syntax tree nodes."""
+
+from dataclasses import dataclass, field
+
+
+# -- expressions --------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Literal:
+    value: object
+
+
+@dataclass(frozen=True)
+class Column:
+    name: str
+    table: str = None  # alias or table name, when qualified
+
+    def __str__(self):
+        return "{0}.{1}".format(self.table, self.name) if self.table \
+            else self.name
+
+
+@dataclass(frozen=True)
+class Star:
+    """``*`` in a select list or in COUNT(*)."""
+
+    table: str = None
+
+
+@dataclass(frozen=True)
+class BinOp:
+    op: str  # '+','-','*','/','%','=','<>','<','<=','>','>=','and','or'
+    left: object
+    right: object
+
+
+@dataclass(frozen=True)
+class UnaryOp:
+    op: str  # 'not', '-'
+    operand: object
+
+
+@dataclass(frozen=True)
+class FuncCall:
+    """Function call; aggregates are count/sum/min/max/avg."""
+
+    name: str
+    args: tuple
+    distinct: bool = False
+
+    AGGREGATES = frozenset(["count", "sum", "min", "max", "avg"])
+
+    @property
+    def is_aggregate(self):
+        return self.name in self.AGGREGATES
+
+
+def contains_aggregate(expr):
+    """True when the expression tree contains an aggregate call."""
+    if isinstance(expr, FuncCall):
+        if expr.is_aggregate:
+            return True
+        return any(contains_aggregate(a) for a in expr.args)
+    if isinstance(expr, BinOp):
+        return contains_aggregate(expr.left) or contains_aggregate(expr.right)
+    if isinstance(expr, UnaryOp):
+        return contains_aggregate(expr.operand)
+    return False
+
+
+# -- statements -----------------------------------------------------------------
+
+@dataclass
+class CreateTable:
+    name: str
+    columns: list  # [(column name, type name)]
+
+
+@dataclass
+class Insert:
+    table: str
+    rows: list            # list of tuples of Literal values
+    columns: list = None  # optional explicit column order
+
+
+@dataclass
+class Delete:
+    table: str
+    where: object = None
+
+
+@dataclass
+class Update:
+    table: str
+    assignments: list  # [(column name, expression)]
+    where: object = None
+
+
+@dataclass
+class TableRef:
+    name: str
+    alias: str = None
+
+    @property
+    def binding(self):
+        return self.alias or self.name
+
+
+@dataclass
+class Join:
+    table: TableRef
+    condition: object  # ON expression
+
+
+@dataclass
+class SelectItem:
+    expr: object
+    alias: str = None
+
+
+@dataclass
+class OrderItem:
+    expr: object
+    ascending: bool = True
+
+
+@dataclass
+class Select:
+    items: list
+    table: TableRef = None
+    joins: list = field(default_factory=list)
+    where: object = None
+    group_by: list = field(default_factory=list)
+    having: object = None
+    order_by: list = field(default_factory=list)
+    limit: int = None
+    distinct: bool = False

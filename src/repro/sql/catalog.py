@@ -1,0 +1,302 @@
+"""Catalog and table storage: columns as BATs, deltas, deleted positions.
+
+Section 3.2: "The relational front-end decomposes tables by column, in
+BATs with a dense (non-stored) TID head, and a tail column with values.
+For each table, a BAT with deleted positions is kept.  Delta BATs are
+designed to delay updates to the main columns, and allow a relatively
+cheap snapshot isolation mechanism (only the delta BATs are copied)."
+
+Concretely, each column is one append-only BAT whose prefix of
+``base_count`` rows is the merged *main* column and whose suffix is the
+insert delta; the delete delta is a set of deleted oids.  Appends only
+ever extend columns, so a snapshot is fully described by a row count and
+a copy of the deleted set — the cheap-snapshot property the paper claims
+(measured in experiment E14).
+"""
+
+import numpy as np
+
+from repro.core.atoms import OID, atom_by_name
+from repro.core.bat import BAT
+
+
+class Table:
+    """One relational table, vertically decomposed into BATs."""
+
+    def __init__(self, name, columns):
+        """``columns``: ordered list of (column name, type name) pairs."""
+        if not columns:
+            raise ValueError("a table needs at least one column")
+        self.name = name
+        self.column_names = []
+        self.atoms = {}
+        self.columns = {}
+        for col_name, type_name in columns:
+            if col_name in self.atoms:
+                raise ValueError("duplicate column {0!r}".format(col_name))
+            atom = atom_by_name(type_name)
+            self.column_names.append(col_name)
+            self.atoms[col_name] = atom
+            self.columns[col_name] = BAT.from_values([], atom=atom)
+        self.base_count = 0
+        self.deleted = set()
+        self.version = 0
+        self._crackers = {}
+
+    # -- geometry -----------------------------------------------------------
+
+    @property
+    def physical_count(self):
+        """Rows stored, including deleted ones and the insert delta."""
+        return len(self.columns[self.column_names[0]])
+
+    @property
+    def visible_count(self):
+        return self.physical_count - len(self.deleted)
+
+    @property
+    def delta_count(self):
+        """Rows in the insert delta (not yet merged into the main column)."""
+        return self.physical_count - self.base_count
+
+    def atom(self, column):
+        try:
+            return self.atoms[column]
+        except KeyError:
+            raise KeyError("table {0!r} has no column {1!r}".format(
+                self.name, column)) from None
+
+    # -- reads ---------------------------------------------------------------
+
+    def bind(self, column):
+        """The full physical column BAT (main + insert delta)."""
+        if column not in self.columns:
+            raise KeyError("table {0!r} has no column {1!r}".format(
+                self.name, column))
+        return self.columns[column]
+
+    def tid(self, physical_count=None, deleted=None):
+        """Visible row oids as a candidate list (``sql.tid``).
+
+        ``physical_count`` and ``deleted`` let a snapshot restrict the
+        view to its frozen state.
+        """
+        count = self.physical_count if physical_count is None \
+            else physical_count
+        dead = self.deleted if deleted is None else deleted
+        oids = np.arange(count, dtype=np.int64)
+        if dead:
+            mask = np.ones(count, dtype=bool)
+            dead_arr = np.fromiter((d for d in dead if d < count),
+                                   dtype=np.int64)
+            mask[dead_arr] = False
+            oids = oids[mask]
+        return BAT(OID, oids, tsorted=True, tkey=True)
+
+    def row(self, oid):
+        """Decoded values of one visible row (testing/debugging aid)."""
+        if oid in self.deleted or not 0 <= oid < self.physical_count:
+            raise KeyError(oid)
+        return tuple(self.columns[c].tail_at(oid) for c in self.column_names)
+
+    # -- writes ----------------------------------------------------------------
+
+    def append_rows(self, rows, columns=None):
+        """Append full rows; unmentioned columns are rejected.
+
+        ``rows`` is a list of value tuples in ``columns`` order (defaults
+        to the table's column order).  Returns the oids assigned.
+        """
+        order = columns or self.column_names
+        if sorted(order) != sorted(self.column_names):
+            raise ValueError(
+                "INSERT must provide every column of {0!r}".format(self.name))
+        for row in rows:
+            if len(row) != len(order):
+                raise ValueError("row arity mismatch: {0!r}".format(row))
+        first = self.physical_count
+        by_column = {name: [row[i] for row in rows]
+                     for i, name in enumerate(order)}
+        for name in self.column_names:
+            atom = self.atoms[name]
+            values = by_column[name]
+            if not atom.varsized:
+                values = [atom.nil if v is None else v for v in values]
+            self.columns[name].append_values(values)
+            cracker = self._crackers.get(name)
+            if cracker is not None:
+                cracker.insert(values)
+        self.version += 1
+        return list(range(first, first + len(rows)))
+
+    def delete_oids(self, oids):
+        """Mark rows deleted (the deleted-positions BAT of Section 3.2)."""
+        fresh = {int(o) for o in oids
+                 if 0 <= int(o) < self.physical_count
+                 and int(o) not in self.deleted}
+        self.deleted.update(fresh)
+        if fresh:
+            for cracker in self._crackers.values():
+                cracker.delete(fresh)
+            self.version += 1
+        return len(fresh)
+
+    def cracked_select(self, column, lo=None, hi=None, lo_incl=True,
+                       hi_incl=False):
+        """Candidates matching the range via a self-organizing cracker.
+
+        The column's cracker index is created on first use ("just-in-
+        time partial indexing", §6.1) and kept in sync with appends and
+        deletes.  Falls back to a plain select for non-integer columns
+        — which keeps the optimizer rewrite unconditionally safe.
+        """
+        from repro.core.algebra import select_range
+        atom = self.atom(column)
+        if atom.dtype.kind not in "iu" or atom.varsized:
+            return select_range(self.bind(column), lo, hi, lo_incl,
+                                hi_incl, candidates=self.tid())
+        cracker = self._crackers.get(column)
+        if cracker is None:
+            from repro.cracking import CrackedStore
+            cracker = CrackedStore(self.columns[column].tail,
+                                   merge_threshold=2048)
+            if self.deleted:
+                cracker.delete(self.deleted)
+            self._crackers[column] = cracker
+        oids = cracker.select_range(lo, hi, lo_incl, hi_incl)
+        return BAT(OID, np.asarray(oids, dtype=np.int64), tsorted=True,
+                   tkey=True)
+
+    def cracker_stats(self, column):
+        """(tuples touched, piece count) of a column's cracker, if any."""
+        cracker = self._crackers.get(column)
+        if cracker is None:
+            return (0, 0)
+        return (cracker.tuples_touched, cracker.n_pieces)
+
+    def merge_deltas(self):
+        """Physically merge deltas into the main columns.
+
+        Rebuilds every column without the deleted rows and resets the
+        deltas.  Oids are renumbered (a vacuum), so this runs only at
+        quiescent points.
+        """
+        keep = np.asarray(self.tid().tail, dtype=np.int64)
+        for name in self.column_names:
+            old = self.columns[name]
+            merged = old.fetch(keep)
+            merged.heap = old.heap
+            self.columns[name] = merged
+        self.deleted = set()
+        self.base_count = len(keep)
+        self._crackers = {}  # oids were renumbered: rebuild lazily
+        self.version += 1
+
+    def __repr__(self):
+        return "Table({0!r}, {1} rows visible, {2} delta, {3} deleted)".format(
+            self.name, self.visible_count, self.delta_count,
+            len(self.deleted))
+
+
+class Catalog:
+    """The schema: named tables, plus the interpreter's catalog protocol.
+
+    Besides tables, the catalog can hold *join indices* (§3.2:
+    "MonetDB/SQL also keeps additional BATs for join indices"): for a
+    declared N:1 relationship, a BAT mapping each foreign-key row to
+    the matching primary-key oid (-1 for no match).  The compiler
+    exploits them per §3.1 ("exploit catalogue knowledge on
+    join-indices"), turning an equi-join into a positional fetch.
+    Indices are rebuilt lazily when either table's version moves.
+    """
+
+    def __init__(self):
+        self.tables = {}
+        self._join_indices = {}   # key -> declared
+        self._join_cache = {}     # key -> (fk_ver, pk_ver, BAT)
+
+    def create_table(self, name, columns):
+        if name in self.tables:
+            raise ValueError("table {0!r} already exists".format(name))
+        table = Table(name, columns)
+        self.tables[name] = table
+        return table
+
+    def drop_table(self, name):
+        del self.tables[name]
+
+    def get(self, name):
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise KeyError("unknown table {0!r}".format(name)) from None
+
+    def __contains__(self, name):
+        return name in self.tables
+
+    # -- the MAL interpreter protocol ------------------------------------------
+
+    def bind(self, table, column):
+        return self.get(table).bind(column)
+
+    def count(self, table):
+        return self.get(table).visible_count
+
+    def tid(self, table):
+        return self.get(table).tid()
+
+    def table_version(self, table):
+        """Version token for recycler keys: changes on every write."""
+        return ("v", self.get(table).version)
+
+    def cracked_select(self, table, column, lo, hi, lo_incl, hi_incl):
+        return self.get(table).cracked_select(column, lo, hi, lo_incl,
+                                              hi_incl)
+
+    # -- join indices -----------------------------------------------------------
+
+    def declare_join_index(self, fk_table, fk_column, pk_table,
+                           pk_column):
+        """Declare an N:1 join path; the mapping BAT builds lazily."""
+        self.get(fk_table).atom(fk_column)
+        self.get(pk_table).atom(pk_column)
+        key = (fk_table, fk_column, pk_table, pk_column)
+        self._join_indices[key] = True
+        return key
+
+    def has_join_index(self, fk_table, fk_column, pk_table, pk_column):
+        return (fk_table, fk_column, pk_table, pk_column) \
+            in self._join_indices
+
+    def join_index(self, fk_table, fk_column, pk_table, pk_column):
+        """The fk-row -> pk-oid mapping BAT (-1 marks no match).
+
+        Rebuilt when either table's version changed; deleted pk rows
+        map to -1, deleted fk rows keep a (harmless) stale slot — the
+        visible-tid filtering upstream never selects them.
+        """
+        key = (fk_table, fk_column, pk_table, pk_column)
+        if key not in self._join_indices:
+            raise KeyError("no join index declared for {0}".format(key))
+        fk = self.get(fk_table)
+        pk = self.get(pk_table)
+        cached = self._join_cache.get(key)
+        if cached is not None and cached[0] == fk.version and \
+                cached[1] == pk.version:
+            return cached[2]
+        fk_values = fk.bind(fk_column).tail
+        pk_values = pk.bind(pk_column).tail
+        visible = np.ones(len(pk_values), dtype=bool)
+        if pk.deleted:
+            visible[np.fromiter(pk.deleted, dtype=np.int64)] = False
+        mapping = np.full(len(fk_values), -1, dtype=np.int64)
+        lookup = {}
+        for oid, value in enumerate(pk_values.tolist()):
+            if visible[oid]:
+                lookup[value] = oid  # last visible match wins (keys
+                # are expected unique; duplicates keep one)
+        for row, value in enumerate(fk_values.tolist()):
+            mapping[row] = lookup.get(value, -1)
+        bat = BAT(OID, mapping)
+        self._join_cache[key] = (fk.version, pk.version, bat)
+        return bat

@@ -1,0 +1,215 @@
+"""The user-facing Database facade: parse -> compile -> optimize -> run."""
+
+from repro.core.bat import BAT
+from repro.mal.interpreter import Interpreter
+from repro.mal.optimizer import DEFAULT_PIPELINE
+from repro.sql.ast import (
+    Column, CreateTable, Delete, Insert, Select, SelectItem, Update,
+)
+from repro.sql.catalog import Catalog
+from repro.sql.compiler import compile_select, compile_where_candidates
+from repro.sql.parser import parse_sql
+from repro.sql.transactions import Transaction
+
+
+class ResultSet:
+    """Columnar query result: named columns of decoded Python values."""
+
+    def __init__(self, names, columns):
+        if len(names) != len(columns):
+            raise ValueError("names/columns arity mismatch")
+        lengths = {len(c) for c in columns}
+        if len(lengths) > 1:
+            raise ValueError("ragged result columns: {0}".format(lengths))
+        self.names = list(names)
+        self.columns = [list(c) for c in columns]
+
+    def __len__(self):
+        return len(self.columns[0]) if self.columns else 0
+
+    def column(self, name):
+        try:
+            return self.columns[self.names.index(name)]
+        except ValueError:
+            raise KeyError("no result column {0!r}".format(name)) from None
+
+    def rows(self):
+        """All rows as a list of tuples."""
+        return list(zip(*self.columns)) if self.columns else []
+
+    def scalar(self):
+        """The single value of a 1x1 result."""
+        if len(self.columns) != 1 or len(self) != 1:
+            raise ValueError("result is not a single scalar")
+        return self.columns[0][0]
+
+    def __iter__(self):
+        return iter(self.rows())
+
+    def __str__(self):
+        cells = [[_render(v) for v in row] for row in self.rows()]
+        widths = [max([len(n)] + [len(row[i]) for row in cells])
+                  for i, n in enumerate(self.names)]
+        header = " | ".join(n.ljust(w) for n, w in zip(self.names, widths))
+        rule = "-+-".join("-" * w for w in widths)
+        body = [" | ".join(c.ljust(w) for c, w in zip(row, widths))
+                for row in cells]
+        return "\n".join([header, rule] + body)
+
+
+def _render(value):
+    if value is None:
+        return "null"
+    if isinstance(value, float):
+        return "{0:g}".format(value)
+    return str(value)
+
+
+class Database:
+    """An embedded column-store database (Figure 1, end to end).
+
+    Parameters
+    ----------
+    pipeline:
+        The MAL optimizer pipeline applied to every compiled SELECT.
+    recycler:
+        Optional :class:`repro.recycling.Recycler`; when given, the
+        recycling pipeline marking is expected to be part of ``pipeline``
+        (see :data:`repro.mal.optimizer.RECYCLING_PIPELINE`) or the
+        recycler must set ``cache_all``.
+    """
+
+    def __init__(self, pipeline=DEFAULT_PIPELINE, recycler=None):
+        self.catalog = Catalog()
+        self.pipeline = pipeline
+        self.recycler = recycler
+        self.interpreter = Interpreter(self.catalog, recycler=recycler)
+        # Plan-for-reuse (§2): optimized MAL plans cached per SQL text.
+        self._plan_cache = {}
+        self.plans_reused = 0
+
+    @classmethod
+    def with_recycling(cls, capacity_bytes=None, policy="benefit"):
+        """A database with the recycler wired in (Section 6.1)."""
+        from repro.mal.optimizer import RECYCLING_PIPELINE
+        from repro.recycling import Recycler
+        return cls(pipeline=RECYCLING_PIPELINE,
+                   recycler=Recycler(capacity_bytes=capacity_bytes,
+                                     policy=policy))
+
+    @classmethod
+    def with_cracking(cls):
+        """A database whose range selections crack columns (§6.1)."""
+        from repro.mal.optimizer import CRACKING_PIPELINE
+        return cls(pipeline=CRACKING_PIPELINE)
+
+    # -- statement routing ---------------------------------------------------
+
+    def execute(self, sql):
+        """Execute one SQL statement (autocommit).
+
+        Returns a :class:`ResultSet` for SELECT, the affected row count
+        for DML, and None for DDL.
+        """
+        if isinstance(sql, str):
+            cached = self._plan_cache.get(sql)
+            if cached is not None:
+                self.plans_reused += 1
+                return self._run_compiled(cached[0], cached[1],
+                                          view=self.catalog)
+        statement = parse_sql(sql)
+        if isinstance(statement, CreateTable):
+            self.catalog.create_table(statement.name, statement.columns)
+            self._plan_cache.clear()  # schema changed
+            return None
+        if isinstance(statement, Insert):
+            table = self.catalog.get(statement.table)
+            table.append_rows(statement.rows, columns=statement.columns)
+            return len(statement.rows)
+        if isinstance(statement, Delete):
+            table = self.catalog.get(statement.table)
+            oids = self._eval_where(statement.table, statement.where,
+                                    view=self.catalog)
+            return table.delete_oids(oids)
+        if isinstance(statement, Update):
+            return self._apply_update(statement)
+        if isinstance(statement, Select):
+            program, names = compile_select(self.catalog, statement)
+            program = self.pipeline.optimize(program)
+            self._plan_cache[sql] = (program, names)
+            return self._run_compiled(program, names, view=self.catalog)
+        raise TypeError("unsupported statement {0!r}".format(statement))
+
+    def query(self, sql):
+        """Shorthand: execute a SELECT and return its rows."""
+        return self.execute(sql).rows()
+
+    def explain(self, sql):
+        """The optimized MAL program for a SELECT, as text."""
+        statement = parse_sql(sql)
+        if not isinstance(statement, Select):
+            raise TypeError("EXPLAIN supports only SELECT")
+        program, _ = compile_select(self.catalog, statement)
+        return str(self.pipeline.optimize(program))
+
+    def begin(self):
+        """Start a snapshot-isolation transaction."""
+        return Transaction(self)
+
+    # -- internals shared with Transaction ----------------------------------------
+
+    def _run_select(self, statement, view):
+        program, names = compile_select(self.catalog, statement)
+        program = self.pipeline.optimize(program)
+        return self._run_compiled(program, names, view)
+
+    def _run_compiled(self, program, names, view):
+        interpreter = self.interpreter if view is self.catalog \
+            else Interpreter(view, recycler=self.recycler)
+        out = interpreter.run(program)
+        columns = []
+        scalar_row = []
+        for name in program.returns:
+            value = out[name]
+            if isinstance(value, BAT):
+                columns.append(value.decoded())
+            else:
+                scalar_row.append(value)
+        if scalar_row and columns:
+            raise RuntimeError("mixed scalar/column result")
+        if scalar_row:
+            return ResultSet(names, [[v] for v in scalar_row])
+        return ResultSet(names, columns)
+
+    def _eval_where(self, table_name, where, view):
+        """Visible oids of ``table_name`` matching ``where``."""
+        program = compile_where_candidates(self.catalog, table_name, where)
+        program = self.pipeline.optimize(program)
+        cand = Interpreter(view).run_single(program)
+        return cand.decoded()
+
+    def _eval_update_rows(self, table, statement, view):
+        """New full rows (column order) for an UPDATE's matched tuples."""
+        assigned = dict(statement.assignments)
+        unknown = set(assigned) - set(table.column_names)
+        if unknown:
+            raise KeyError("UPDATE of unknown column(s) {0}".format(
+                sorted(unknown)))
+        items = [SelectItem(assigned.get(c, Column(c)), alias=c)
+                 for c in table.column_names]
+        from repro.sql.ast import Select as SelectNode, TableRef
+        select = SelectNode(items=items, table=TableRef(table.name),
+                            where=statement.where)
+        result = self._run_select(select, view=view)
+        return result.rows()
+
+    def _apply_update(self, statement):
+        table = self.catalog.get(statement.table)
+        new_rows = self._eval_update_rows(table, statement,
+                                          view=self.catalog)
+        oids = self._eval_where(statement.table, statement.where,
+                                view=self.catalog)
+        table.delete_oids(oids)
+        if new_rows:
+            table.append_rows(new_rows)
+        return len(oids)

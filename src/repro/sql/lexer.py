@@ -1,0 +1,76 @@
+"""SQL tokenizer.
+
+Produces a flat token list for the recursive-descent parser.  Keywords
+are case-insensitive; identifiers are normalized to lower case; string
+literals use single quotes with ``''`` escaping.
+"""
+
+import re
+from dataclasses import dataclass
+
+
+class SQLSyntaxError(ValueError):
+    """Raised on malformed SQL."""
+
+
+KEYWORDS = frozenset("""
+    select from where group by having order asc desc limit distinct
+    create table insert into values delete update set join inner on
+    and or not between in as integer int bigint smallint tinyint
+    varchar text string boolean bool real float double true false null
+""".split())
+
+_TOKEN_RE = re.compile(r"""
+    (?P<ws>\s+)
+  | (?P<comment>--[^\n]*)
+  | (?P<number>\d+\.\d+(?:[eE][+-]?\d+)?|\d+[eE][+-]?\d+|\d+)
+  | (?P<string>'(?:[^']|'')*')
+  | (?P<ident>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<op><>|<=|>=|!=|[=<>+\-*/%(),.;])
+""", re.VERBOSE)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str   # 'keyword', 'ident', 'number', 'string', 'op', 'end'
+    value: object
+    position: int
+
+    def matches(self, kind, value=None):
+        return self.kind == kind and (value is None or self.value == value)
+
+
+END = "end"
+
+
+def tokenize(text):
+    """Tokenize SQL text into a list of Tokens (terminated by an END)."""
+    tokens = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise SQLSyntaxError(
+                "unexpected character {0!r} at position {1}".format(
+                    text[pos], pos))
+        pos = match.end()
+        if match.lastgroup in ("ws", "comment"):
+            continue
+        raw = match.group()
+        if match.lastgroup == "number":
+            value = float(raw) if ("." in raw or "e" in raw or "E" in raw) \
+                else int(raw)
+            tokens.append(Token("number", value, match.start()))
+        elif match.lastgroup == "string":
+            tokens.append(Token("string", raw[1:-1].replace("''", "'"),
+                                match.start()))
+        elif match.lastgroup == "ident":
+            lowered = raw.lower()
+            if lowered in KEYWORDS:
+                tokens.append(Token("keyword", lowered, match.start()))
+            else:
+                tokens.append(Token("ident", lowered, match.start()))
+        else:
+            tokens.append(Token("op", raw, match.start()))
+    tokens.append(Token(END, None, len(text)))
+    return tokens

@@ -1,0 +1,396 @@
+"""Recursive-descent SQL parser for the supported subset.
+
+Statements: CREATE TABLE, INSERT, DELETE, UPDATE, SELECT (joins, WHERE,
+GROUP BY, HAVING, ORDER BY, LIMIT, DISTINCT, BETWEEN, IN).  Expressions
+follow standard precedence: OR < AND < NOT < comparison < additive <
+multiplicative < unary minus.
+"""
+
+from repro.sql.ast import (
+    BinOp, Column, CreateTable, Delete, FuncCall, Insert, Join, Literal,
+    OrderItem, Select, SelectItem, Star, TableRef, UnaryOp, Update,
+)
+from repro.sql.lexer import END, SQLSyntaxError, tokenize
+
+_TYPE_KEYWORDS = frozenset([
+    "integer", "int", "bigint", "smallint", "tinyint", "varchar", "text",
+    "string", "boolean", "bool", "real", "float", "double",
+])
+
+
+class _Parser:
+    def __init__(self, tokens):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token plumbing ----------------------------------------------------
+
+    def peek(self, ahead=0):
+        return self.tokens[min(self.pos + ahead, len(self.tokens) - 1)]
+
+    def advance(self):
+        token = self.tokens[self.pos]
+        if token.kind != END:
+            self.pos += 1
+        return token
+
+    def accept(self, kind, value=None):
+        if self.peek().matches(kind, value):
+            return self.advance()
+        return None
+
+    def expect(self, kind, value=None):
+        token = self.accept(kind, value)
+        if token is None:
+            raise SQLSyntaxError(
+                "expected {0} {1!r}, found {2!r} at position {3}".format(
+                    kind, value, self.peek().value, self.peek().position))
+        return token
+
+    # -- statements ------------------------------------------------------------
+
+    def parse_statement(self):
+        token = self.peek()
+        if token.matches("keyword", "create"):
+            return self.create_table()
+        if token.matches("keyword", "insert"):
+            return self.insert()
+        if token.matches("keyword", "delete"):
+            return self.delete()
+        if token.matches("keyword", "update"):
+            return self.update()
+        if token.matches("keyword", "select"):
+            return self.select()
+        raise SQLSyntaxError("unsupported statement start: {0!r}".format(
+            token.value))
+
+    def create_table(self):
+        self.expect("keyword", "create")
+        self.expect("keyword", "table")
+        name = self.expect("ident").value
+        self.expect("op", "(")
+        columns = []
+        while True:
+            col = self.expect("ident").value
+            type_token = self.advance()
+            if type_token.kind not in ("keyword", "ident") or \
+                    type_token.value not in _TYPE_KEYWORDS:
+                raise SQLSyntaxError("unknown column type {0!r}".format(
+                    type_token.value))
+            # Swallow optional length parameter: VARCHAR(20).
+            if self.accept("op", "("):
+                self.expect("number")
+                self.expect("op", ")")
+            columns.append((col, type_token.value))
+            if not self.accept("op", ","):
+                break
+        self.expect("op", ")")
+        self.accept("op", ";")
+        self.expect(END)
+        return CreateTable(name, columns)
+
+    def insert(self):
+        self.expect("keyword", "insert")
+        self.expect("keyword", "into")
+        table = self.expect("ident").value
+        columns = None
+        if self.accept("op", "("):
+            columns = [self.expect("ident").value]
+            while self.accept("op", ","):
+                columns.append(self.expect("ident").value)
+            self.expect("op", ")")
+        self.expect("keyword", "values")
+        rows = [self._value_row()]
+        while self.accept("op", ","):
+            rows.append(self._value_row())
+        self.accept("op", ";")
+        self.expect(END)
+        return Insert(table, rows, columns)
+
+    def _value_row(self):
+        self.expect("op", "(")
+        values = [self._literal_value()]
+        while self.accept("op", ","):
+            values.append(self._literal_value())
+        self.expect("op", ")")
+        return tuple(values)
+
+    def _literal_value(self):
+        token = self.advance()
+        if token.kind == "number":
+            return token.value
+        if token.kind == "string":
+            return token.value
+        if token.matches("keyword", "true"):
+            return True
+        if token.matches("keyword", "false"):
+            return False
+        if token.matches("keyword", "null"):
+            return None
+        if token.matches("op", "-"):
+            inner = self._literal_value()
+            return -inner
+        raise SQLSyntaxError("expected literal, found {0!r}".format(
+            token.value))
+
+    def delete(self):
+        self.expect("keyword", "delete")
+        self.expect("keyword", "from")
+        table = self.expect("ident").value
+        where = None
+        if self.accept("keyword", "where"):
+            where = self.expression()
+        self.accept("op", ";")
+        self.expect(END)
+        return Delete(table, where)
+
+    def update(self):
+        self.expect("keyword", "update")
+        table = self.expect("ident").value
+        self.expect("keyword", "set")
+        assignments = [self._assignment()]
+        while self.accept("op", ","):
+            assignments.append(self._assignment())
+        where = None
+        if self.accept("keyword", "where"):
+            where = self.expression()
+        self.accept("op", ";")
+        self.expect(END)
+        return Update(table, assignments, where)
+
+    def _assignment(self):
+        column = self.expect("ident").value
+        self.expect("op", "=")
+        return (column, self.expression())
+
+    # -- SELECT -------------------------------------------------------------------
+
+    def select(self, nested=False):
+        self.expect("keyword", "select")
+        distinct = bool(self.accept("keyword", "distinct"))
+        items = [self._select_item()]
+        while self.accept("op", ","):
+            items.append(self._select_item())
+        table = None
+        joins = []
+        if self.accept("keyword", "from"):
+            table = self._table_ref()
+            while True:
+                if self.accept("keyword", "join"):
+                    pass
+                elif self.peek().matches("keyword", "inner") and \
+                        self.peek(1).matches("keyword", "join"):
+                    self.advance()
+                    self.advance()
+                else:
+                    break
+                joined = self._table_ref()
+                self.expect("keyword", "on")
+                condition = self.expression()
+                joins.append(Join(joined, condition))
+        where = None
+        if self.accept("keyword", "where"):
+            where = self.expression()
+        group_by = []
+        if self.accept("keyword", "group"):
+            self.expect("keyword", "by")
+            group_by.append(self.expression())
+            while self.accept("op", ","):
+                group_by.append(self.expression())
+        having = None
+        if self.accept("keyword", "having"):
+            having = self.expression()
+        order_by = []
+        if self.accept("keyword", "order"):
+            self.expect("keyword", "by")
+            order_by.append(self._order_item())
+            while self.accept("op", ","):
+                order_by.append(self._order_item())
+        limit = None
+        if self.accept("keyword", "limit"):
+            limit = self.expect("number").value
+        self.accept("op", ";")
+        if not nested:
+            self.expect(END)
+        return Select(items, table, joins, where, group_by, having,
+                      order_by, limit, distinct)
+
+    def _select_item(self):
+        if self.accept("op", "*"):
+            return SelectItem(Star())
+        # table.* form
+        if self.peek().kind == "ident" and self.peek(1).matches("op", ".") \
+                and self.peek(2).matches("op", "*"):
+            table = self.advance().value
+            self.advance()
+            self.advance()
+            return SelectItem(Star(table))
+        expr = self.expression()
+        alias = None
+        if self.accept("keyword", "as"):
+            alias = self.expect("ident").value
+        elif self.peek().kind == "ident":
+            alias = self.advance().value
+        return SelectItem(expr, alias)
+
+    def _table_ref(self):
+        name = self.expect("ident").value
+        alias = None
+        if self.accept("keyword", "as"):
+            alias = self.expect("ident").value
+        elif self.peek().kind == "ident":
+            alias = self.advance().value
+        return TableRef(name, alias)
+
+    def _order_item(self):
+        expr = self.expression()
+        ascending = True
+        if self.accept("keyword", "desc"):
+            ascending = False
+        else:
+            self.accept("keyword", "asc")
+        return OrderItem(expr, ascending)
+
+    # -- expressions ---------------------------------------------------------------
+
+    def expression(self):
+        return self._or_expr()
+
+    def _or_expr(self):
+        left = self._and_expr()
+        while self.accept("keyword", "or"):
+            left = BinOp("or", left, self._and_expr())
+        return left
+
+    def _and_expr(self):
+        left = self._not_expr()
+        while self.accept("keyword", "and"):
+            left = BinOp("and", left, self._not_expr())
+        return left
+
+    def _not_expr(self):
+        if self.accept("keyword", "not"):
+            return UnaryOp("not", self._not_expr())
+        return self._comparison()
+
+    def _comparison(self):
+        left = self._additive()
+        token = self.peek()
+        if token.kind == "op" and token.value in ("=", "<>", "!=", "<", "<=",
+                                                  ">", ">="):
+            op = self.advance().value
+            if op == "!=":
+                op = "<>"
+            return BinOp(op, left, self._additive())
+        if token.matches("keyword", "between"):
+            self.advance()
+            lo = self._additive()
+            self.expect("keyword", "and")
+            hi = self._additive()
+            return BinOp("and", BinOp(">=", left, lo), BinOp("<=", left, hi))
+        if token.matches("keyword", "in"):
+            self.advance()
+            self.expect("op", "(")
+            values = [self.expression()]
+            while self.accept("op", ","):
+                values.append(self.expression())
+            self.expect("op", ")")
+            disjunction = BinOp("=", left, values[0])
+            for value in values[1:]:
+                disjunction = BinOp("or", disjunction,
+                                    BinOp("=", left, value))
+            return disjunction
+        if token.matches("keyword", "not") and \
+                self.peek(1).matches("keyword", "in"):
+            self.advance()
+            inner = self._comparison_in_tail(left)
+            return UnaryOp("not", inner)
+        return left
+
+    def _comparison_in_tail(self, left):
+        self.expect("keyword", "in")
+        self.expect("op", "(")
+        values = [self.expression()]
+        while self.accept("op", ","):
+            values.append(self.expression())
+        self.expect("op", ")")
+        disjunction = BinOp("=", left, values[0])
+        for value in values[1:]:
+            disjunction = BinOp("or", disjunction, BinOp("=", left, value))
+        return disjunction
+
+    def _additive(self):
+        left = self._multiplicative()
+        while True:
+            if self.accept("op", "+"):
+                left = BinOp("+", left, self._multiplicative())
+            elif self.accept("op", "-"):
+                left = BinOp("-", left, self._multiplicative())
+            else:
+                return left
+
+    def _multiplicative(self):
+        left = self._unary()
+        while True:
+            if self.accept("op", "*"):
+                left = BinOp("*", left, self._unary())
+            elif self.accept("op", "/"):
+                left = BinOp("/", left, self._unary())
+            elif self.accept("op", "%"):
+                left = BinOp("%", left, self._unary())
+            else:
+                return left
+
+    def _unary(self):
+        if self.accept("op", "-"):
+            return UnaryOp("-", self._unary())
+        return self._primary()
+
+    def _primary(self):
+        token = self.peek()
+        if token.kind == "number" or token.kind == "string":
+            self.advance()
+            return Literal(token.value)
+        if token.matches("keyword", "true"):
+            self.advance()
+            return Literal(True)
+        if token.matches("keyword", "false"):
+            self.advance()
+            return Literal(False)
+        if token.matches("keyword", "null"):
+            self.advance()
+            return Literal(None)
+        if token.matches("op", "("):
+            self.advance()
+            expr = self.expression()
+            self.expect("op", ")")
+            return expr
+        if token.kind == "ident":
+            name = self.advance().value
+            if self.accept("op", "("):
+                return self._function_call(name)
+            if self.accept("op", "."):
+                column = self.expect("ident").value
+                return Column(column, table=name)
+            return Column(name)
+        raise SQLSyntaxError("unexpected token {0!r} at position {1}".format(
+            token.value, token.position))
+
+    def _function_call(self, name):
+        distinct = bool(self.accept("keyword", "distinct"))
+        if self.accept("op", ")"):
+            return FuncCall(name, (), distinct)
+        if self.accept("op", "*"):
+            args = (Star(),)
+        else:
+            args = [self.expression()]
+            while self.accept("op", ","):
+                args.append(self.expression())
+            args = tuple(args)
+        self.expect("op", ")")
+        return FuncCall(name, args, distinct)
+
+
+def parse_sql(text):
+    """Parse one SQL statement into its AST node."""
+    return _Parser(tokenize(text)).parse_statement()

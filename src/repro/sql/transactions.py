@@ -1,0 +1,253 @@
+"""Snapshot-isolation transactions over delta BATs (Section 3.2).
+
+A transaction's snapshot of a table is just *(row count, copy of the
+deleted set)* — columns are append-only, so the first ``n`` rows never
+change and need not be copied.  "Only the delta BATs are copied."  The
+transaction's own writes are buffered privately (insert rows, deleted
+oids) and merged at commit:
+
+* appends always merge (they cannot conflict);
+* deletes/updates of shared rows conflict if any other writer committed
+  to the table since the snapshot was taken (coarse, table-level
+  first-committer-wins).
+"""
+
+from repro.sql.ast import (
+    Column, CreateTable, Delete, Insert, Select, Update,
+)
+from repro.sql.parser import parse_sql
+
+
+class ConflictError(RuntimeError):
+    """Write-write conflict detected at commit."""
+
+
+class TransactionClosedError(RuntimeError):
+    """The transaction already committed or aborted."""
+
+
+class Transaction:
+    """One snapshot-isolated transaction.
+
+    Acts as both the compiler's schema source and the interpreter's
+    catalog view (``bind``/``count``/``tid``), so SELECTs inside the
+    transaction see the snapshot plus the transaction's own writes.
+    """
+
+    def __init__(self, database):
+        self._db = database
+        self._catalog = database.catalog
+        self._snapshots = {}   # table name -> (count, deleted copy, version)
+        self._appends = {}     # table name -> [row tuple in column order]
+        self._deleted = {}     # table name -> set of oids
+        self._bind_cache = {}  # (table, column) -> (n appends, BAT)
+        self.closed = False
+        self.outcome = None
+
+    # -- snapshot plumbing --------------------------------------------------
+
+    def _check_open(self):
+        if self.closed:
+            raise TransactionClosedError(
+                "transaction already {0}".format(self.outcome))
+
+    def _snapshot(self, name):
+        """Table snapshot, established at first touch."""
+        snap = self._snapshots.get(name)
+        if snap is None:
+            table = self._catalog.get(name)
+            snap = (table.physical_count, set(table.deleted), table.version)
+            self._snapshots[name] = snap
+        return snap
+
+    # -- schema (compiler) protocol ---------------------------------------------
+
+    def get(self, name):
+        self._check_open()
+        self._snapshot(name)
+        return self._catalog.get(name)
+
+    # -- view (interpreter) protocol -----------------------------------------------
+
+    def bind(self, table_name, column):
+        self._check_open()
+        snap_count, _, _ = self._snapshot(table_name)
+        table = self._catalog.get(table_name)
+        shared = table.bind(column)
+        appends = self._appends.get(table_name, [])
+        key = (table_name, column)
+        cached = self._bind_cache.get(key)
+        if cached is not None and cached[0] == len(appends):
+            return cached[1]
+        if snap_count == len(shared) and not appends:
+            merged = shared
+        else:
+            merged = shared.slice(0, snap_count)
+            merged.heap = shared.heap
+            if appends:
+                index = table.column_names.index(column)
+                atom = table.atoms[column]
+                values = [row[index] for row in appends]
+                if not atom.varsized:
+                    values = [atom.nil if v is None else v for v in values]
+                merged.append_values(values)
+        self._bind_cache[key] = (len(appends), merged)
+        return merged
+
+    def tid(self, table_name):
+        self._check_open()
+        snap_count, snap_deleted, _ = self._snapshot(table_name)
+        table = self._catalog.get(table_name)
+        count = snap_count + len(self._appends.get(table_name, []))
+        dead = snap_deleted | self._deleted.get(table_name, set())
+        return table.tid(physical_count=count, deleted=dead)
+
+    def count(self, table_name):
+        return len(self.tid(table_name))
+
+    def cracked_select(self, table_name, column, lo, hi, lo_incl,
+                       hi_incl):
+        """Transactions fall back to a plain select on their snapshot
+        view: a shared cracker cannot reflect per-snapshot state."""
+        from repro.core.algebra import select_range
+        return select_range(self.bind(table_name, column), lo, hi,
+                            lo_incl, hi_incl,
+                            candidates=self.tid(table_name))
+
+    def join_index(self, fk_table, fk_column, pk_table, pk_column):
+        """Join-index mapping computed against this snapshot's view."""
+        import numpy as np
+        from repro.core.atoms import OID
+        from repro.core.bat import BAT
+        fk_values = self.bind(fk_table, fk_column).tail
+        pk_values = self.bind(pk_table, pk_column).tail
+        visible = set(self.tid(pk_table).tail.tolist())
+        lookup = {}
+        for oid, value in enumerate(pk_values.tolist()):
+            if oid in visible:
+                lookup[value] = oid
+        mapping = np.asarray([lookup.get(v, -1)
+                              for v in fk_values.tolist()],
+                             dtype=np.int64)
+        return BAT(OID, mapping)
+
+    def table_version(self, table_name):
+        """Recycler key token: private to this transaction's state."""
+        snap_count, _, snap_version = self._snapshot(table_name)
+        return ("txn", id(self), snap_version, snap_count,
+                len(self._appends.get(table_name, [])),
+                len(self._deleted.get(table_name, set())))
+
+    # -- statement execution -----------------------------------------------------------
+
+    def execute(self, sql):
+        """Execute a statement inside this transaction.
+
+        SELECT returns a ResultSet; INSERT/DELETE/UPDATE return the
+        affected row count (buffered until commit); DDL is rejected.
+        """
+        self._check_open()
+        statement = parse_sql(sql)
+        if isinstance(statement, CreateTable):
+            raise NotImplementedError("DDL inside a transaction")
+        if isinstance(statement, Insert):
+            return self._buffer_insert(statement)
+        if isinstance(statement, Delete):
+            return self._buffer_delete(statement)
+        if isinstance(statement, Update):
+            return self._buffer_update(statement)
+        if isinstance(statement, Select):
+            return self._db._run_select(statement, view=self)
+        raise TypeError("unsupported statement {0!r}".format(statement))
+
+    def _buffer_insert(self, statement):
+        table = self.get(statement.table)
+        order = statement.columns or table.column_names
+        if sorted(order) != sorted(table.column_names):
+            raise ValueError(
+                "INSERT must provide every column of {0!r}".format(
+                    table.name))
+        reorder = [order.index(c) for c in table.column_names]
+        rows = self._appends.setdefault(statement.table, [])
+        for row in statement.rows:
+            if len(row) != len(order):
+                raise ValueError("row arity mismatch: {0!r}".format(row))
+            rows.append(tuple(row[i] for i in reorder))
+        self._bind_cache = {k: v for k, v in self._bind_cache.items()
+                            if k[0] != statement.table}
+        return len(statement.rows)
+
+    def _matched_oids(self, table_name, where):
+        return self._db._eval_where(table_name, where, view=self)
+
+    def _buffer_delete(self, statement):
+        self.get(statement.table)
+        oids = self._matched_oids(statement.table, statement.where)
+        dead = self._deleted.setdefault(statement.table, set())
+        fresh = [o for o in oids if o not in dead]
+        dead.update(fresh)
+        return len(fresh)
+
+    def _buffer_update(self, statement):
+        table = self.get(statement.table)
+        new_rows = self._db._eval_update_rows(table, statement, view=self)
+        oids = self._matched_oids(statement.table, statement.where)
+        dead = self._deleted.setdefault(statement.table, set())
+        dead.update(oids)
+        self._appends.setdefault(statement.table, []).extend(new_rows)
+        self._bind_cache = {k: v for k, v in self._bind_cache.items()
+                            if k[0] != statement.table}
+        return len(oids)
+
+    # -- commit / abort ----------------------------------------------------------------------
+
+    def commit(self):
+        """Validate and apply the buffered writes; close the transaction."""
+        self._check_open()
+        touched = set(self._appends) | set(self._deleted)
+        # Validation phase: table-level first-committer-wins for
+        # non-append writes.
+        for name in touched:
+            snap_count, _, snap_version = self._snapshots[name]
+            table = self._catalog.get(name)
+            shared_deletes = {o for o in self._deleted.get(name, set())
+                              if o < snap_count}
+            if shared_deletes and table.version != snap_version:
+                self.closed = True
+                self.outcome = "aborted (conflict)"
+                raise ConflictError(
+                    "table {0!r} changed since snapshot".format(name))
+        # Apply phase.
+        for name in touched:
+            snap_count, _, _ = self._snapshots[name]
+            table = self._catalog.get(name)
+            dead = self._deleted.get(name, set())
+            rows = [row for i, row in enumerate(self._appends.get(name, []))
+                    if (snap_count + i) not in dead]
+            if rows:
+                table.append_rows(rows)
+            shared_deletes = [o for o in dead if o < snap_count]
+            if shared_deletes:
+                table.delete_oids(shared_deletes)
+        self.closed = True
+        self.outcome = "committed"
+
+    def abort(self):
+        self._check_open()
+        self.closed = True
+        self.outcome = "aborted"
+
+    rollback = abort
+
+    # -- context manager ------------------------------------------------------------------------
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        if not self.closed:
+            if exc_type is None:
+                self.commit()
+            else:
+                self.abort()
+        return False

@@ -1,0 +1,39 @@
+"""Traditional storage and execution baselines.
+
+The paper's comparisons need the species it argues against: NSM slotted
+pages (:mod:`repro.storage.nsm`), the PAX hybrid layout
+(:mod:`repro.storage.pax`), B+-tree indexed lookup
+(:mod:`repro.storage.btree`), and the tuple-at-a-time Volcano iterator
+engine (:mod:`repro.storage.volcano`).
+"""
+
+from repro.storage.nsm import NSMTable, RecordSchema
+from repro.storage.pax import PAXTable
+from repro.storage.btree import BPlusTree
+from repro.storage.volcano import (
+    GroupAggregate,
+    HashJoinOp,
+    LimitOp,
+    Operator,
+    ProjectOp,
+    ScalarAggregate,
+    SelectOp,
+    TableScan,
+    run_plan,
+)
+
+__all__ = [
+    "RecordSchema",
+    "NSMTable",
+    "PAXTable",
+    "BPlusTree",
+    "Operator",
+    "TableScan",
+    "SelectOp",
+    "ProjectOp",
+    "HashJoinOp",
+    "GroupAggregate",
+    "ScalarAggregate",
+    "LimitOp",
+    "run_plan",
+]

@@ -1,0 +1,228 @@
+"""A B+-tree — the traditional "fast record lookup" baseline.
+
+Section 3 argues that MonetDB's memory-array positional lookup
+"compares favorably to B-tree lookup into slotted pages".  This module
+provides that B-tree: sorted keys in inner nodes, values in leaves, a
+linked leaf level for range scans, and address-trace generation so
+experiment E8 can count the cache behaviour of root-to-leaf descents.
+
+Deletes are tombstoning (no rebalancing): lookup correctness is
+unaffected and the experiments never shrink trees.
+"""
+
+import bisect
+
+import numpy as np
+
+from repro.core.bat import global_address_space
+
+
+class _Node:
+    __slots__ = ("keys", "base")
+
+    def allocate(self, node_bytes):
+        self.base = global_address_space.allocate(node_bytes)
+
+
+class _Leaf(_Node):
+    __slots__ = ("values", "next_leaf", "dead")
+
+    def __init__(self, node_bytes):
+        self.keys = []
+        self.values = []
+        self.dead = set()
+        self.next_leaf = None
+        self.allocate(node_bytes)
+
+    @property
+    def is_leaf(self):
+        return True
+
+
+class _Inner(_Node):
+    __slots__ = ("children",)
+
+    def __init__(self, node_bytes):
+        self.keys = []       # separator keys
+        self.children = []   # len(keys) + 1
+        self.allocate(node_bytes)
+
+    @property
+    def is_leaf(self):
+        return False
+
+
+class BPlusTree:
+    """B+-tree mapping integer keys to values.
+
+    Parameters
+    ----------
+    order:
+        Maximum number of keys per node (fan-out - 1).
+    key_bytes:
+        Bytes per key entry, used for node sizing and access traces.
+    """
+
+    def __init__(self, order=64, key_bytes=8):
+        if order < 3:
+            raise ValueError("order must be at least 3")
+        self.order = order
+        self.key_bytes = key_bytes
+        self.node_bytes = order * key_bytes * 2  # keys + pointers/values
+        self.root = _Leaf(self.node_bytes)
+        self.height = 1
+        self._count = 0
+
+    def __len__(self):
+        return self._count
+
+    # -- mutation ------------------------------------------------------------
+
+    def insert(self, key, value):
+        """Insert (duplicate keys overwrite, like a unique index)."""
+        split = self._insert(self.root, key, value)
+        if split is not None:
+            sep, right = split
+            new_root = _Inner(self.node_bytes)
+            new_root.keys = [sep]
+            new_root.children = [self.root, right]
+            self.root = new_root
+            self.height += 1
+
+    def _insert(self, node, key, value):
+        if node.is_leaf:
+            i = bisect.bisect_left(node.keys, key)
+            if i < len(node.keys) and node.keys[i] == key:
+                node.values[i] = value
+                node.dead.discard(key)
+                return None
+            node.keys.insert(i, key)
+            node.values.insert(i, value)
+            self._count += 1
+            if len(node.keys) <= self.order:
+                return None
+            # Split leaf.
+            mid = len(node.keys) // 2
+            right = _Leaf(self.node_bytes)
+            right.keys = node.keys[mid:]
+            right.values = node.values[mid:]
+            right.dead = {k for k in node.dead if k >= right.keys[0]}
+            node.dead -= right.dead
+            node.keys = node.keys[:mid]
+            node.values = node.values[:mid]
+            right.next_leaf = node.next_leaf
+            node.next_leaf = right
+            return (right.keys[0], right)
+        i = bisect.bisect_right(node.keys, key)
+        split = self._insert(node.children[i], key, value)
+        if split is None:
+            return None
+        sep, right = split
+        node.keys.insert(i, sep)
+        node.children.insert(i + 1, right)
+        if len(node.keys) <= self.order:
+            return None
+        mid = len(node.keys) // 2
+        new_right = _Inner(self.node_bytes)
+        new_sep = node.keys[mid]
+        new_right.keys = node.keys[mid + 1:]
+        new_right.children = node.children[mid + 1:]
+        node.keys = node.keys[:mid]
+        node.children = node.children[:mid + 1]
+        return (new_sep, new_right)
+
+    def insert_many(self, pairs):
+        for key, value in pairs:
+            self.insert(key, value)
+
+    def delete(self, key):
+        """Tombstone a key (lazy deletion)."""
+        leaf, i = self._descend(key)
+        if i < len(leaf.keys) and leaf.keys[i] == key \
+                and key not in leaf.dead:
+            leaf.dead.add(key)
+            self._count -= 1
+            return True
+        return False
+
+    # -- lookup ---------------------------------------------------------------
+
+    def _descend(self, key):
+        node = self.root
+        while not node.is_leaf:
+            i = bisect.bisect_right(node.keys, key)
+            node = node.children[i]
+        return node, bisect.bisect_left(node.keys, key)
+
+    def search(self, key):
+        """The value for ``key``, or None."""
+        leaf, i = self._descend(key)
+        if i < len(leaf.keys) and leaf.keys[i] == key \
+                and key not in leaf.dead:
+            return leaf.values[i]
+        return None
+
+    def range_scan(self, lo, hi):
+        """All (key, value) with lo <= key < hi, via the leaf chain."""
+        leaf, i = self._descend(lo)
+        out = []
+        while leaf is not None:
+            while i < len(leaf.keys):
+                key = leaf.keys[i]
+                if key >= hi:
+                    return out
+                if key not in leaf.dead:
+                    out.append((key, leaf.values[i]))
+                i += 1
+            leaf = leaf.next_leaf
+            i = 0
+        return out
+
+    # -- trace generation --------------------------------------------------------
+
+    def lookup_trace(self, key):
+        """Addresses touched by one root-to-leaf probe.
+
+        Per node: the binary-search touch sequence over its key array
+        (log2 probes, each a potentially distinct cache line), plus the
+        child-pointer read.
+        """
+        addrs = []
+        node = self.root
+        while True:
+            addrs.extend(self._binary_search_addresses(node, key))
+            if node.is_leaf:
+                break
+            i = bisect.bisect_right(node.keys, key)
+            # Child pointer read: stored after the key array.
+            addrs.append(node.base + self.order * self.key_bytes
+                         + i * self.key_bytes)
+            node = node.children[i]
+        return np.asarray(addrs, dtype=np.int64)
+
+    def _binary_search_addresses(self, node, key):
+        addrs = []
+        lo, hi = 0, len(node.keys)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            addrs.append(node.base + mid * self.key_bytes)
+            if node.keys[mid] < key if node.is_leaf else \
+                    node.keys[mid] <= key:
+                lo = mid + 1
+            else:
+                hi = mid
+        if not addrs:
+            addrs.append(node.base)
+        return addrs
+
+    # -- inspection ----------------------------------------------------------------
+
+    def node_count(self):
+        total = 0
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            total += 1
+            if not node.is_leaf:
+                stack.extend(node.children)
+        return total

@@ -1,0 +1,182 @@
+"""N-ary Storage Model: fixed-width records in slotted pages.
+
+The traditional row layout every tuple-at-a-time engine assumes.  A page
+holds a slot directory (record offsets, tombstoned on delete) and packed
+records.  Trace generators expose the layout's cache behaviour: scanning
+one column still drags every record's full width through the cache — the
+I/O and bandwidth waste column stores eliminate.
+"""
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.atoms import atom_by_name
+from repro.core.bat import global_address_space
+from repro.hardware import trace as trace_mod
+
+DEFAULT_PAGE_SIZE = 8192
+SLOT_BYTES = 2
+PAGE_HEADER_BYTES = 8
+
+
+@dataclass(frozen=True)
+class RecordSchema:
+    """Fixed-width record layout: ordered (name, type-name) fields."""
+
+    fields: tuple
+
+    def __post_init__(self):
+        object.__setattr__(self, "fields", tuple(
+            (name, atom_by_name(type_name).name)
+            for name, type_name in self.fields))
+
+    @property
+    def names(self):
+        return [name for name, _ in self.fields]
+
+    def atom(self, name):
+        for field_name, type_name in self.fields:
+            if field_name == name:
+                return atom_by_name(type_name)
+        raise KeyError("no field {0!r}".format(name))
+
+    def field_offset(self, name):
+        """Byte offset of a field within the record."""
+        offset = 0
+        for field_name, type_name in self.fields:
+            if field_name == name:
+                return offset
+            offset += atom_by_name(type_name).width
+        raise KeyError("no field {0!r}".format(name))
+
+    @property
+    def record_width(self):
+        return sum(atom_by_name(t).width for _, t in self.fields)
+
+
+class _Page:
+    """One slotted page of fixed-width records."""
+
+    def __init__(self, page_size, record_width):
+        self.page_size = page_size
+        self.record_width = record_width
+        self.capacity = (page_size - PAGE_HEADER_BYTES) // \
+            (record_width + SLOT_BYTES)
+        self.records = []
+        self.live = []
+        self.base = global_address_space.allocate(page_size,
+                                                  align=page_size)
+
+    @property
+    def full(self):
+        return len(self.records) >= self.capacity
+
+    def insert(self, record):
+        self.records.append(tuple(record))
+        self.live.append(True)
+        return len(self.records) - 1
+
+    def record_address(self, slot):
+        return self.base + PAGE_HEADER_BYTES + slot * self.record_width
+
+
+class NSMTable:
+    """A row-store table of fixed-width records.
+
+    Records are addressed by rid ``(page_no, slot)``.  Deletion
+    tombstones the slot.
+    """
+
+    def __init__(self, schema, page_size=DEFAULT_PAGE_SIZE):
+        if isinstance(schema, (list, tuple)):
+            schema = RecordSchema(tuple(schema))
+        self.schema = schema
+        self.page_size = page_size
+        if schema.record_width + SLOT_BYTES > page_size - PAGE_HEADER_BYTES:
+            raise ValueError("record wider than a page")
+        self.pages = [_Page(page_size, schema.record_width)]
+
+    def insert(self, record):
+        """Insert one record; returns its rid."""
+        if len(record) != len(self.schema.fields):
+            raise ValueError("record arity mismatch")
+        page = self.pages[-1]
+        if page.full:
+            page = _Page(self.page_size, self.schema.record_width)
+            self.pages.append(page)
+        slot = page.insert(record)
+        return (len(self.pages) - 1, slot)
+
+    def insert_many(self, records):
+        return [self.insert(r) for r in records]
+
+    def fetch(self, rid):
+        """The record at ``rid`` (KeyError when deleted/absent)."""
+        page_no, slot = rid
+        try:
+            page = self.pages[page_no]
+            if not page.live[slot]:
+                raise KeyError(rid)
+            return page.records[slot]
+        except IndexError:
+            raise KeyError(rid) from None
+
+    def delete(self, rid):
+        page_no, slot = rid
+        self.pages[page_no].live[slot] = False
+
+    def scan(self):
+        """Iterate (rid, record) over live records in storage order."""
+        for page_no, page in enumerate(self.pages):
+            for slot, record in enumerate(page.records):
+                if page.live[slot]:
+                    yield (page_no, slot), record
+
+    def rows(self):
+        return [record for _, record in self.scan()]
+
+    def __len__(self):
+        return sum(sum(page.live) for page in self.pages)
+
+    # -- trace generators ------------------------------------------------------
+
+    def record_address(self, rid):
+        page_no, slot = rid
+        return self.pages[page_no].record_address(slot)
+
+    def scan_trace(self, field_names):
+        """Addresses touched when scanning only ``field_names``.
+
+        Even a single-column scan strides through full-width records —
+        the NSM bandwidth waste the paper contrasts with DSM.
+        """
+        offsets = np.asarray(
+            [self.schema.field_offset(n) for n in field_names],
+            dtype=np.int64)
+        parts = []
+        for page in self.pages:
+            n = len(page.records)
+            if n == 0:
+                continue
+            record_addrs = (page.base + PAGE_HEADER_BYTES
+                            + np.arange(n, dtype=np.int64)
+                            * self.schema.record_width)
+            parts.append((record_addrs[:, None]
+                          + offsets[None, :]).reshape(-1))
+        if not parts:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(parts)
+
+    def fetch_trace(self, rids, field_names=None):
+        """Addresses touched fetching ``rids`` (slot read + fields)."""
+        if field_names is None:
+            field_names = self.schema.names
+        offsets = np.asarray(
+            [self.schema.field_offset(n) for n in field_names],
+            dtype=np.int64)
+        addrs = []
+        for rid in rids:
+            base = self.record_address(rid)
+            addrs.extend((base + offsets).tolist())
+        return np.asarray(addrs, dtype=np.int64)

@@ -1,0 +1,137 @@
+"""PAX: Partition Attributes Across (Section 7, Ailamaki et al. [5]).
+
+A hybrid layout: NSM-like paged storage, but inside every page the
+records are decomposed into per-attribute *minipages*.  Scanning one
+column touches only that column's minipages — DSM-like cache behaviour —
+while a full-record fetch stays within one page — NSM-like I/O
+behaviour.
+"""
+
+import numpy as np
+
+from repro.core.bat import global_address_space
+from repro.storage.nsm import PAGE_HEADER_BYTES, RecordSchema
+
+DEFAULT_PAGE_SIZE = 8192
+
+
+class _PAXPage:
+    def __init__(self, schema, page_size):
+        self.schema = schema
+        self.page_size = page_size
+        usable = page_size - PAGE_HEADER_BYTES
+        self.capacity = usable // schema.record_width
+        self.base = global_address_space.allocate(page_size,
+                                                  align=page_size)
+        # Minipage byte offsets within the page, one per field.
+        self.minipage_offsets = {}
+        offset = PAGE_HEADER_BYTES
+        for name, type_name in schema.fields:
+            self.minipage_offsets[name] = offset
+            offset += self.capacity * schema.atom(name).width
+        self.columns = {name: [] for name in schema.names}
+        self.live = []
+
+    @property
+    def n_records(self):
+        return len(self.live)
+
+    @property
+    def full(self):
+        return self.n_records >= self.capacity
+
+    def insert(self, record):
+        for (name, _), value in zip(self.schema.fields, record):
+            self.columns[name].append(value)
+        self.live.append(True)
+        return self.n_records - 1
+
+    def field_address(self, name, slot):
+        return (self.base + self.minipage_offsets[name]
+                + slot * self.schema.atom(name).width)
+
+
+class PAXTable:
+    """A PAX-paged table with the same API as :class:`NSMTable`."""
+
+    def __init__(self, schema, page_size=DEFAULT_PAGE_SIZE):
+        if isinstance(schema, (list, tuple)):
+            schema = RecordSchema(tuple(schema))
+        self.schema = schema
+        self.page_size = page_size
+        if schema.record_width > page_size - PAGE_HEADER_BYTES:
+            raise ValueError("record wider than a page")
+        self.pages = [_PAXPage(schema, page_size)]
+
+    def insert(self, record):
+        if len(record) != len(self.schema.fields):
+            raise ValueError("record arity mismatch")
+        page = self.pages[-1]
+        if page.full:
+            page = _PAXPage(self.schema, self.page_size)
+            self.pages.append(page)
+        slot = page.insert(record)
+        return (len(self.pages) - 1, slot)
+
+    def insert_many(self, records):
+        return [self.insert(r) for r in records]
+
+    def fetch(self, rid):
+        page_no, slot = rid
+        try:
+            page = self.pages[page_no]
+            if not page.live[slot]:
+                raise KeyError(rid)
+            return tuple(page.columns[name][slot]
+                         for name in self.schema.names)
+        except IndexError:
+            raise KeyError(rid) from None
+
+    def delete(self, rid):
+        page_no, slot = rid
+        self.pages[page_no].live[slot] = False
+
+    def scan(self):
+        for page_no, page in enumerate(self.pages):
+            for slot in range(page.n_records):
+                if page.live[slot]:
+                    yield (page_no, slot), tuple(
+                        page.columns[name][slot]
+                        for name in self.schema.names)
+
+    def rows(self):
+        return [record for _, record in self.scan()]
+
+    def __len__(self):
+        return sum(sum(page.live) for page in self.pages)
+
+    # -- trace generators ------------------------------------------------------
+
+    def scan_trace(self, field_names):
+        """Column-scan addresses: sequential within each minipage.
+
+        Unlike NSM, unrequested attributes are never touched.
+        """
+        parts = []
+        for page in self.pages:
+            n = page.n_records
+            if n == 0:
+                continue
+            for name in field_names:
+                width = self.schema.atom(name).width
+                start = page.base + page.minipage_offsets[name]
+                parts.append(start + np.arange(n, dtype=np.int64) * width)
+        if not parts:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(parts)
+
+    def fetch_trace(self, rids, field_names=None):
+        """Record-fetch addresses: one minipage access per field."""
+        if field_names is None:
+            field_names = self.schema.names
+        addrs = []
+        for page_no, slot in rids:
+            page = self.pages[page_no]
+            for name in field_names:
+                addrs.append(page.field_address(name, slot))
+        return np.asarray(addrs, dtype=np.int64)

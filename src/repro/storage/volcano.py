@@ -1,0 +1,224 @@
+"""A tuple-at-a-time Volcano iterator engine — the execution dinosaur.
+
+"Traditional database systems implement each relational algebra operator
+as an iterator class with a next() method that returns the next tuple
+... As a recursive series of method calls is performed to produce a
+single tuple, computational interpretation overhead is significant."
+(Section 3.)
+
+Every operator below follows the open/next/close protocol and produces
+one Python tuple per ``next()`` call; predicates and projections are
+callables evaluated per tuple — the expression-interpreter-in-the-inner-
+loop the BAT Algebra removes.  Experiments E5 and E13 measure this
+engine against vectorized and bulk execution on identical plans.
+"""
+
+
+class Operator:
+    """Base iterator operator (open/next/close)."""
+
+    def open(self):
+        raise NotImplementedError
+
+    def next(self):
+        """The next tuple, or None when exhausted."""
+        raise NotImplementedError
+
+    def close(self):
+        pass
+
+    def __iter__(self):
+        self.open()
+        try:
+            while True:
+                row = self.next()
+                if row is None:
+                    return
+                yield row
+        finally:
+            self.close()
+
+
+class TableScan(Operator):
+    """Scan over a list of tuples (or any re-iterable of rows)."""
+
+    def __init__(self, rows):
+        self.rows = rows
+        self._iter = None
+
+    def open(self):
+        self._iter = iter(self.rows)
+
+    def next(self):
+        return next(self._iter, None)
+
+
+class SelectOp(Operator):
+    """Filter: per-tuple predicate call."""
+
+    def __init__(self, child, predicate):
+        self.child = child
+        self.predicate = predicate
+
+    def open(self):
+        self.child.open()
+
+    def next(self):
+        while True:
+            row = self.child.next()
+            if row is None:
+                return None
+            if self.predicate(row):
+                return row
+
+    def close(self):
+        self.child.close()
+
+
+class ProjectOp(Operator):
+    """Map: per-tuple projection call."""
+
+    def __init__(self, child, projector):
+        self.child = child
+        self.projector = projector
+
+    def open(self):
+        self.child.open()
+
+    def next(self):
+        row = self.child.next()
+        if row is None:
+            return None
+        return self.projector(row)
+
+    def close(self):
+        self.child.close()
+
+
+class HashJoinOp(Operator):
+    """Blocking-build, streaming-probe equi-join."""
+
+    def __init__(self, build_child, probe_child, build_key, probe_key):
+        self.build_child = build_child
+        self.probe_child = probe_child
+        self.build_key = build_key
+        self.probe_key = probe_key
+        self._table = None
+        self._pending = None
+
+    def open(self):
+        self.build_child.open()
+        self._table = {}
+        while True:
+            row = self.build_child.next()
+            if row is None:
+                break
+            self._table.setdefault(self.build_key(row), []).append(row)
+        self.build_child.close()
+        self.probe_child.open()
+        self._pending = iter(())
+
+    def next(self):
+        while True:
+            joined = next(self._pending, None)
+            if joined is not None:
+                return joined
+            probe_row = self.probe_child.next()
+            if probe_row is None:
+                return None
+            matches = self._table.get(self.probe_key(probe_row), ())
+            self._pending = (probe_row + build_row
+                             for build_row in matches)
+
+    def close(self):
+        self.probe_child.close()
+
+
+class GroupAggregate(Operator):
+    """Blocking hash group-by with per-tuple accumulator calls.
+
+    ``aggregates`` is a list of (initial value, step function); step is
+    called as ``step(accumulator, row) -> accumulator``.
+    """
+
+    def __init__(self, child, key_fn, aggregates):
+        self.child = child
+        self.key_fn = key_fn
+        self.aggregates = aggregates
+        self._result_iter = None
+
+    def open(self):
+        self.child.open()
+        groups = {}
+        while True:
+            row = self.child.next()
+            if row is None:
+                break
+            key = self.key_fn(row)
+            state = groups.get(key)
+            if state is None:
+                state = [init for init, _ in self.aggregates]
+                groups[key] = state
+            for i, (_, step) in enumerate(self.aggregates):
+                state[i] = step(state[i], row)
+        self.child.close()
+        self._result_iter = iter(
+            [(key if isinstance(key, tuple) else (key,)) + tuple(state)
+             for key, state in groups.items()])
+
+    def next(self):
+        return next(self._result_iter, None)
+
+
+class ScalarAggregate(Operator):
+    """Aggregate the whole input to a single row."""
+
+    def __init__(self, child, aggregates):
+        self.child = child
+        self.aggregates = aggregates
+        self._done = False
+
+    def open(self):
+        self.child.open()
+        self._done = False
+
+    def next(self):
+        if self._done:
+            return None
+        state = [init for init, _ in self.aggregates]
+        while True:
+            row = self.child.next()
+            if row is None:
+                break
+            for i, (_, step) in enumerate(self.aggregates):
+                state[i] = step(state[i], row)
+        self.child.close()
+        self._done = True
+        return tuple(state)
+
+
+class LimitOp(Operator):
+    def __init__(self, child, limit):
+        self.child = child
+        self.limit = limit
+        self._emitted = 0
+
+    def open(self):
+        self.child.open()
+        self._emitted = 0
+
+    def next(self):
+        if self._emitted >= self.limit:
+            return None
+        row = self.child.next()
+        if row is not None:
+            self._emitted += 1
+        return row
+
+    def close(self):
+        self.child.close()
+
+
+def run_plan(root):
+    """Drain a plan into a list of tuples."""
+    return list(root)

@@ -1,0 +1,63 @@
+"""The X100 vectorized execution engine (Section 5).
+
+X100 "conserves the efficient zero-degree-of-freedom columnar operators
+found in MonetDB's BAT Algebra, but embeds them in a pipelined
+relational execution model, where small slices of columns (called
+'vectors'), rather than entire columns, are pulled top-down through a
+relational operator tree."
+
+* :mod:`repro.vectorized.operators` — the pull-based operator tree;
+  vector size 1 degenerates to tuple-at-a-time, the full column length
+  to MonetDB-style operator-at-a-time (experiment E5 sweeps between).
+* :mod:`repro.vectorized.expressions` — vectorized primitives.
+* :mod:`repro.vectorized.compression` — the ultra-light compression
+  schemes of [44]: RLE, dictionary, PFOR, PFOR-DELTA.
+* :mod:`repro.vectorized.buffer` — an explicit buffer manager over a
+  simulated sequential-I/O-optimized disk.
+* :mod:`repro.vectorized.coopscan` — cooperative scans [45].
+"""
+
+from repro.vectorized.vector import Batch
+from repro.vectorized.expressions import Col, Const, BinExpr, compile_expr
+from repro.vectorized.operators import (
+    ExecutionContext,
+    ScalarVectorAggregate,
+    VectorAggregate,
+    VectorHashJoin,
+    VectorProject,
+    VectorScan,
+    VectorSelect,
+    run_engine,
+)
+from repro.vectorized.compression import (
+    CompressedColumn,
+    choose_scheme,
+    compress,
+    decompress,
+)
+from repro.vectorized.buffer import BufferManager, SimulatedDisk
+from repro.vectorized.coopscan import ScanQuery, run_scans
+
+__all__ = [
+    "Batch",
+    "Col",
+    "Const",
+    "BinExpr",
+    "compile_expr",
+    "ExecutionContext",
+    "VectorScan",
+    "VectorSelect",
+    "VectorProject",
+    "VectorHashJoin",
+    "VectorAggregate",
+    "ScalarVectorAggregate",
+    "run_engine",
+    "CompressedColumn",
+    "compress",
+    "decompress",
+    "choose_scheme",
+    "SimulatedDisk",
+    "BufferManager",
+    "ScanQuery",
+    "run_scans",
+]

@@ -1,0 +1,98 @@
+"""Vectorized expression primitives.
+
+Expressions are evaluated per batch with one numpy bulk call per node —
+the X100 "primitives" whose per-tuple cost amortizes the interpretation
+overhead over the vector length.
+"""
+
+import numpy as np
+
+_OPS = {
+    "+": np.add,
+    "-": np.subtract,
+    "*": np.multiply,
+    "/": np.divide,
+    "%": np.mod,
+    "==": np.equal,
+    "!=": np.not_equal,
+    "<": np.less,
+    "<=": np.less_equal,
+    ">": np.greater,
+    ">=": np.greater_equal,
+    "and": np.logical_and,
+    "or": np.logical_or,
+}
+
+
+class Expression:
+    """Base class: callable on a Batch, returns a numpy array."""
+
+    def __call__(self, batch):
+        raise NotImplementedError
+
+
+class Col(Expression):
+    def __init__(self, name):
+        self.name = name
+
+    def __call__(self, batch):
+        return batch.column(self.name)
+
+    def __repr__(self):
+        return "Col({0!r})".format(self.name)
+
+
+class Const(Expression):
+    def __init__(self, value):
+        self.value = value
+
+    def __call__(self, batch):
+        return self.value
+
+    def __repr__(self):
+        return "Const({0!r})".format(self.value)
+
+
+class BinExpr(Expression):
+    def __init__(self, op, left, right):
+        if op not in _OPS:
+            raise KeyError("unknown vector op {0!r}".format(op))
+        self.op = op
+        self.left = left
+        self.right = right
+
+    def __call__(self, batch):
+        return _OPS[self.op](self.left(batch), self.right(batch))
+
+    def __repr__(self):
+        return "({0!r} {1} {2!r})".format(self.left, self.op, self.right)
+
+
+class NotExpr(Expression):
+    def __init__(self, operand):
+        self.operand = operand
+
+    def __call__(self, batch):
+        return np.logical_not(self.operand(batch))
+
+
+def compile_expr(spec):
+    """Build an expression from a nested tuple spec.
+
+    ``("*", ("col", "qty"), ("const", 2))`` and plain strings/values as
+    shorthands: a string is a column, any other scalar a constant.
+    """
+    if isinstance(spec, Expression):
+        return spec
+    if isinstance(spec, str):
+        return Col(spec)
+    if isinstance(spec, tuple):
+        head = spec[0]
+        if head == "col":
+            return Col(spec[1])
+        if head == "const":
+            return Const(spec[1])
+        if head == "not":
+            return NotExpr(compile_expr(spec[1]))
+        return BinExpr(head, compile_expr(spec[1]), compile_expr(spec[2]))
+    return Const(spec)

@@ -1,0 +1,361 @@
+"""Pull-based vectorized operators.
+
+Each operator's ``next_batch()`` returns the next :class:`Batch` or
+None.  Per-batch Python overhead is constant, so tiny vectors are
+interpretation-bound (vector size 1 ≈ a tuple-at-a-time RDBMS) and the
+per-tuple cost drops with the vector size — until the query's working
+set of vectors overflows the cache, which the optional
+:class:`ExecutionContext` hierarchy accounting makes visible
+(experiment E5 reproduces Section 5's sweep).
+"""
+
+import numpy as np
+
+from repro.core.bat import global_address_space
+from repro.hardware import trace as trace_mod
+from repro.vectorized.expressions import compile_expr
+from repro.vectorized.vector import Batch, concat_batches
+
+DEFAULT_VECTOR_SIZE = 1024
+
+
+class ExecutionContext:
+    """Shared execution state: vector size and optional cache tracing.
+
+    When a hierarchy is given, every operator charges its input/output
+    vector traffic against reusable per-operator buffers: while the
+    plan's combined vectors fit the cache the buffers stay resident;
+    oversized vectors stream through and miss.
+    """
+
+    def __init__(self, vector_size=DEFAULT_VECTOR_SIZE, hierarchy=None):
+        if vector_size < 1:
+            raise ValueError("vector size must be positive")
+        self.vector_size = vector_size
+        self.hierarchy = hierarchy
+        self.batches_produced = 0
+        self.profile = {}  # operator class name -> [batches, rows]
+
+    def record(self, operator, batch):
+        """Per-primitive profiling — the bookkeeping X100 uses to tune
+        its vector size and pick primitives."""
+        entry = self.profile.setdefault(type(operator).__name__, [0, 0])
+        entry[0] += 1
+        entry[1] += len(batch)
+
+    def trace_vector_io(self, operator, batch):
+        if self.hierarchy is None or len(batch) == 0:
+            return
+        base = operator._io_base
+        if base is None:
+            base = global_address_space.allocate(
+                max(self.vector_size * 8 * max(len(batch.names), 1), 1))
+            operator._io_base = base
+        self.hierarchy.access(trace_mod.sequential(
+            base, len(batch) * len(batch.names), 8))
+
+
+class VectorOperator:
+    """Base operator: pull protocol plus per-batch accounting."""
+
+    def __init__(self, context):
+        self.context = context
+        self._io_base = None
+
+    def open(self):
+        pass
+
+    def next_batch(self):
+        raise NotImplementedError
+
+    def batches(self):
+        self.open()
+        while True:
+            batch = self.next_batch()
+            if batch is None:
+                return
+            self.context.batches_produced += 1
+            self.context.record(self, batch)
+            self.context.trace_vector_io(self, batch)
+            yield batch
+
+
+class VectorScan(VectorOperator):
+    """Scan full columns, slicing them into vectors (zero-copy views)."""
+
+    def __init__(self, context, columns):
+        super().__init__(context)
+        self.columns = {name: np.asarray(values)
+                        for name, values in columns.items()}
+        lengths = {len(v) for v in self.columns.values()}
+        if len(lengths) > 1:
+            raise ValueError("ragged scan input")
+        self._n = lengths.pop() if lengths else 0
+        self._pos = 0
+
+    def open(self):
+        self._pos = 0
+
+    def next_batch(self):
+        if self._pos >= self._n:
+            return None
+        end = min(self._pos + self.context.vector_size, self._n)
+        batch = Batch({name: v[self._pos:end]
+                       for name, v in self.columns.items()})
+        self._pos = end
+        return batch
+
+
+class VectorSelect(VectorOperator):
+    """Filter by a vectorized predicate (empty batches are skipped)."""
+
+    def __init__(self, context, child, predicate):
+        super().__init__(context)
+        self.child = child
+        self.predicate = compile_expr(predicate)
+        self._source = None
+
+    def open(self):
+        self._source = self.child.batches()
+
+    def next_batch(self):
+        for batch in self._source:
+            mask = np.asarray(self.predicate(batch), dtype=bool)
+            if mask.any():
+                return batch.filtered(mask)
+        return None
+
+
+class VectorProject(VectorOperator):
+    """Compute output columns from expressions."""
+
+    def __init__(self, context, child, outputs):
+        super().__init__(context)
+        self.child = child
+        self.outputs = {name: compile_expr(spec)
+                        for name, spec in outputs.items()}
+        self._source = None
+
+    def open(self):
+        self._source = self.child.batches()
+
+    def next_batch(self):
+        batch = next(self._source, None)
+        if batch is None:
+            return None
+        n = len(batch)
+        out = {}
+        for name, expr in self.outputs.items():
+            values = expr(batch)
+            if np.ndim(values) == 0:
+                values = np.full(n, values)
+            out[name] = values
+        return Batch(out)
+
+
+class VectorHashJoin(VectorOperator):
+    """Equi-join: blocking build side, streaming vectorized probe."""
+
+    def __init__(self, context, build_child, probe_child, build_key,
+                 probe_key, build_prefix=""):
+        super().__init__(context)
+        self.build_child = build_child
+        self.probe_child = probe_child
+        self.build_key = build_key
+        self.probe_key = probe_key
+        self.build_prefix = build_prefix
+        self._build = None
+        self._source = None
+
+    def open(self):
+        columns = concat_batches(list(self.build_child.batches()))
+        self._build = {
+            "columns": columns,
+            "keys": columns.get(self.build_key,
+                                np.empty(0, dtype=np.int64)),
+        }
+        order = np.argsort(self._build["keys"], kind="stable")
+        self._build["order"] = order
+        self._build["sorted"] = self._build["keys"][order]
+        self._source = self.probe_child.batches()
+
+    def next_batch(self):
+        for batch in self._source:
+            probe_keys = np.asarray(batch.column(self.probe_key))
+            sorted_keys = self._build["sorted"]
+            left = np.searchsorted(sorted_keys, probe_keys, side="left")
+            right = np.searchsorted(sorted_keys, probe_keys, side="right")
+            counts = right - left
+            total = int(counts.sum())
+            if total == 0:
+                continue
+            probe_pos = np.repeat(
+                np.arange(len(probe_keys), dtype=np.int64), counts)
+            ends = np.cumsum(counts)
+            offsets = np.arange(total, dtype=np.int64) - np.repeat(
+                ends - counts, counts)
+            build_pos = self._build["order"][
+                np.repeat(left, counts) + offsets]
+            out = batch.taken(probe_pos)
+            for name, values in self._build["columns"].items():
+                out_name = self.build_prefix + name
+                if out_name in out.columns:
+                    if name == self.build_key:
+                        continue  # equal by definition
+                    raise ValueError(
+                        "column collision on {0!r}".format(out_name))
+                out = out.with_column(out_name, values[build_pos])
+            return out
+        return None
+
+
+class VectorAggregate(VectorOperator):
+    """Blocking grouped aggregation with vectorized accumulation.
+
+    ``aggregates``: {output name: (kind, input expression)} with kind in
+    sum/count/min/max/avg.  Group keys map through a running dictionary
+    (one Python step per *distinct* key per batch, not per tuple).
+    """
+
+    KINDS = ("sum", "count", "min", "max", "avg")
+
+    def __init__(self, context, child, group_key, aggregates):
+        super().__init__(context)
+        self.child = child
+        self.group_key = group_key
+        for name, (kind, _) in aggregates.items():
+            if kind not in self.KINDS:
+                raise KeyError("unknown aggregate {0!r}".format(kind))
+        self.aggregates = {name: (kind, compile_expr(spec))
+                           for name, (kind, spec) in aggregates.items()}
+        self._result = None
+
+    def open(self):
+        key_to_gid = {}
+        keys = []
+        sums = {}
+        counts = {}
+        mins = {}
+        maxs = {}
+        group_counts = []
+
+        def _grow(arrays, amount, fill):
+            for name in arrays:
+                arrays[name] = np.concatenate(
+                    [arrays[name], np.full(amount, fill)])
+
+        for name in self.aggregates:
+            sums[name] = np.zeros(0)
+            counts[name] = np.zeros(0)
+            mins[name] = np.zeros(0)
+            maxs[name] = np.zeros(0)
+
+        n_groups = 0
+        for batch in self.child.batches():
+            raw_keys = np.asarray(batch.column(self.group_key))
+            uniq, inverse = np.unique(raw_keys, return_inverse=True)
+            local_to_global = np.empty(len(uniq), dtype=np.int64)
+            for i, key in enumerate(uniq.tolist()):
+                gid = key_to_gid.get(key)
+                if gid is None:
+                    gid = n_groups
+                    key_to_gid[key] = gid
+                    keys.append(key)
+                    n_groups += 1
+                local_to_global[i] = gid
+            gids = local_to_global[inverse]
+            grow = n_groups - len(next(iter(sums.values()))) \
+                if self.aggregates else 0
+            if grow > 0:
+                _grow(sums, grow, 0.0)
+                _grow(counts, grow, 0.0)
+                _grow(mins, grow, np.inf)
+                _grow(maxs, grow, -np.inf)
+            for name, (kind, expr) in self.aggregates.items():
+                if kind == "count":
+                    counts[name] += np.bincount(gids, minlength=n_groups)
+                    continue
+                values = np.asarray(expr(batch), dtype=np.float64)
+                if kind in ("sum", "avg"):
+                    sums[name] += np.bincount(gids, weights=values,
+                                              minlength=n_groups)
+                    counts[name] += np.bincount(gids, minlength=n_groups)
+                elif kind == "min":
+                    np.minimum.at(mins[name], gids, values)
+                else:
+                    np.maximum.at(maxs[name], gids, values)
+
+        out = {self.group_key: np.asarray(keys)}
+        for name, (kind, _) in self.aggregates.items():
+            if kind == "sum":
+                out[name] = sums[name]
+            elif kind == "count":
+                out[name] = counts[name].astype(np.int64)
+            elif kind == "avg":
+                with np.errstate(invalid="ignore"):
+                    out[name] = sums[name] / counts[name]
+            elif kind == "min":
+                out[name] = mins[name]
+            else:
+                out[name] = maxs[name]
+        self._result = Batch(out) if n_groups else None
+
+    def next_batch(self):
+        result = self._result
+        self._result = None
+        return result
+
+
+class ScalarVectorAggregate(VectorOperator):
+    """Aggregate everything into one row."""
+
+    def __init__(self, context, child, aggregates):
+        super().__init__(context)
+        self.child = child
+        self.aggregates = {name: (kind, compile_expr(spec))
+                           for name, (kind, spec) in aggregates.items()}
+        self._result = None
+
+    def open(self):
+        state = {name: {"sum": 0.0, "count": 0, "min": np.inf,
+                        "max": -np.inf}
+                 for name in self.aggregates}
+        saw_rows = False
+        for batch in self.child.batches():
+            saw_rows = saw_rows or len(batch) > 0
+            for name, (kind, expr) in self.aggregates.items():
+                s = state[name]
+                if kind == "count":
+                    s["count"] += len(batch)
+                    continue
+                values = np.asarray(expr(batch), dtype=np.float64)
+                s["sum"] += float(values.sum())
+                s["count"] += len(values)
+                if len(values):
+                    s["min"] = min(s["min"], float(values.min()))
+                    s["max"] = max(s["max"], float(values.max()))
+        out = {}
+        for name, (kind, _) in self.aggregates.items():
+            s = state[name]
+            if kind == "sum":
+                out[name] = np.asarray([s["sum"]])
+            elif kind == "count":
+                out[name] = np.asarray([s["count"]])
+            elif kind == "avg":
+                out[name] = np.asarray(
+                    [s["sum"] / s["count"] if s["count"] else np.nan])
+            elif kind == "min":
+                out[name] = np.asarray([s["min"] if saw_rows else np.nan])
+            else:
+                out[name] = np.asarray([s["max"] if saw_rows else np.nan])
+        self._result = Batch(out)
+
+    def next_batch(self):
+        result = self._result
+        self._result = None
+        return result
+
+
+def run_engine(root):
+    """Drain a plan; returns {column: full numpy array}."""
+    return concat_batches(list(root.batches()))

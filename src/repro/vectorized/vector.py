@@ -1,0 +1,72 @@
+"""Batches: the unit of data flow between vectorized operators.
+
+A batch is a set of equally long column vectors (numpy arrays).  The
+vector size is the engine's central tuning knob: all the vectors of a
+(sub-)query together should fit the CPU cache (Section 5).
+"""
+
+import numpy as np
+
+
+class Batch:
+    """Aligned column vectors flowing through the operator tree."""
+
+    __slots__ = ("columns",)
+
+    def __init__(self, columns):
+        self.columns = dict(columns)
+        lengths = {len(v) for v in self.columns.values()}
+        if len(lengths) > 1:
+            raise ValueError("ragged batch: {0}".format(lengths))
+
+    def __len__(self):
+        if not self.columns:
+            return 0
+        return len(next(iter(self.columns.values())))
+
+    def column(self, name):
+        try:
+            return self.columns[name]
+        except KeyError:
+            raise KeyError("batch has no column {0!r}; available: {1}"
+                           .format(name, sorted(self.columns))) from None
+
+    @property
+    def names(self):
+        return list(self.columns)
+
+    @property
+    def nbytes(self):
+        return sum(np.asarray(v).nbytes for v in self.columns.values())
+
+    def filtered(self, mask):
+        """A new batch keeping the rows where ``mask`` is true."""
+        return Batch({name: np.asarray(v)[mask]
+                      for name, v in self.columns.items()})
+
+    def taken(self, positions):
+        """A new batch gathering ``positions`` from every column."""
+        return Batch({name: np.asarray(v)[positions]
+                      for name, v in self.columns.items()})
+
+    def with_column(self, name, values):
+        columns = dict(self.columns)
+        columns[name] = values
+        return Batch(columns)
+
+    def renamed(self, mapping):
+        return Batch({mapping.get(name, name): v
+                      for name, v in self.columns.items()})
+
+    def __repr__(self):
+        return "Batch({0} rows, columns={1})".format(len(self), self.names)
+
+
+def concat_batches(batches):
+    """Concatenate a list of batches into one dict of full columns."""
+    batches = [b for b in batches if len(b)]
+    if not batches:
+        return {}
+    names = batches[0].names
+    return {name: np.concatenate([b.column(name) for b in batches])
+            for name in names}

@@ -1,0 +1,30 @@
+"""Synthetic workloads for the experiments.
+
+* :mod:`repro.workloads.generators` — column distributions (uniform,
+  zipf, sorted, clustered, dense keys) used by the algorithm benches;
+* :mod:`repro.workloads.skyserver` — a Skyserver-like observation table
+  and query log with heavy template reuse and zipf-popular sky regions
+  (the recycling workload of [19], experiment E10);
+* :mod:`repro.workloads.starschema` — a small star schema for the BI
+  examples and the bulk-vs-tuple experiment E13.
+"""
+
+from repro.workloads.generators import (
+    clustered_ints,
+    dense_keys,
+    sorted_ints,
+    uniform_ints,
+    zipf_ints,
+)
+from repro.workloads.skyserver import SkyserverWorkload
+from repro.workloads.starschema import StarSchema
+
+__all__ = [
+    "uniform_ints",
+    "zipf_ints",
+    "sorted_ints",
+    "clustered_ints",
+    "dense_keys",
+    "SkyserverWorkload",
+    "StarSchema",
+]

@@ -1,0 +1,39 @@
+"""Column value generators with controlled distributions."""
+
+import numpy as np
+
+
+def uniform_ints(n, lo=0, hi=1 << 30, seed=0):
+    """n uniform integers in [lo, hi)."""
+    rng = np.random.default_rng(seed)
+    return rng.integers(lo, hi, n).astype(np.int64)
+
+
+def zipf_ints(n, n_distinct=1000, skew=1.2, seed=0):
+    """n integers over ``n_distinct`` values with zipfian popularity."""
+    rng = np.random.default_rng(seed)
+    ranks = np.arange(1, n_distinct + 1, dtype=np.float64)
+    weights = ranks ** (-skew)
+    weights /= weights.sum()
+    return rng.choice(n_distinct, size=n, p=weights).astype(np.int64)
+
+
+def sorted_ints(n, lo=0, hi=1 << 30, seed=0):
+    """n sorted uniform integers (an RLE/delta-friendly column)."""
+    return np.sort(uniform_ints(n, lo, hi, seed))
+
+
+def clustered_ints(n, run_length=64, lo=0, hi=1 << 30, seed=0):
+    """Sorted values lightly shuffled within runs: near-sorted data."""
+    rng = np.random.default_rng(seed)
+    values = sorted_ints(n, lo, hi, seed)
+    for start in range(0, n, run_length):
+        stop = min(start + run_length, n)
+        values[start:stop] = rng.permutation(values[start:stop])
+    return values
+
+
+def dense_keys(n, base=0, seed=0):
+    """A shuffled dense key range: every value in [base, base+n) once."""
+    rng = np.random.default_rng(seed)
+    return base + rng.permutation(n).astype(np.int64)

@@ -1,0 +1,69 @@
+"""A synthetic Skyserver-like workload for the recycling experiment.
+
+The real Skyserver query log (used in [19]) has two properties that
+make recycling effective: queries instantiate a handful of *templates*,
+and their range predicates concentrate on zipf-popular sky regions, so
+consecutive queries recompute overlapping intermediates.  The generator
+reproduces exactly those properties with synthetic data.
+"""
+
+import numpy as np
+
+
+class SkyserverWorkload:
+    """An observations table plus an overlapping analytic query log."""
+
+    TEMPLATES = (
+        "SELECT count(*) FROM obs WHERE region = {region}",
+        "SELECT avg(mag) FROM obs WHERE region = {region}",
+        "SELECT count(*) FROM obs WHERE region = {region} AND mag > {m}",
+        "SELECT max(mag) FROM obs WHERE region = {region} AND mag > {m}",
+        "SELECT region, count(*) FROM obs WHERE mag > {m} "
+        "GROUP BY region ORDER BY region",
+    )
+
+    def __init__(self, n_rows=5000, n_regions=64, n_queries=200,
+                 skew=1.3, seed=0):
+        self.n_rows = n_rows
+        self.n_regions = n_regions
+        self.n_queries = n_queries
+        self.skew = skew
+        self.seed = seed
+
+    def create_statements(self):
+        """DDL + INSERTs building the observations table."""
+        rng = np.random.default_rng(self.seed)
+        regions = rng.integers(0, self.n_regions, self.n_rows)
+        mags = np.round(rng.uniform(10.0, 25.0, self.n_rows), 2)
+        statements = ["CREATE TABLE obs (region INT, mag DOUBLE)"]
+        chunk = 500
+        for start in range(0, self.n_rows, chunk):
+            rows = ", ".join(
+                "({0}, {1})".format(int(r), float(m))
+                for r, m in zip(regions[start:start + chunk],
+                                mags[start:start + chunk]))
+            statements.append("INSERT INTO obs VALUES " + rows)
+        return statements
+
+    def query_log(self):
+        """The analytic query log: template reuse + zipf-hot regions."""
+        rng = np.random.default_rng(self.seed + 1)
+        ranks = np.arange(1, self.n_regions + 1, dtype=np.float64)
+        weights = ranks ** (-self.skew)
+        weights /= weights.sum()
+        queries = []
+        # Magnitude cutoffs are drawn from a small popular set, again so
+        # that the same sub-plans recur.
+        cutoffs = [15.0, 18.0, 20.0, 22.0]
+        for _ in range(self.n_queries):
+            template = self.TEMPLATES[rng.integers(0, len(self.TEMPLATES))]
+            region = int(rng.choice(self.n_regions, p=weights))
+            cutoff = cutoffs[int(rng.integers(0, len(cutoffs)))]
+            queries.append(template.format(region=region, m=cutoff))
+        return queries
+
+    def populate(self, db):
+        """Build the table inside a Database; returns the query log."""
+        for statement in self.create_statements():
+            db.execute(statement)
+        return self.query_log()

@@ -1,0 +1,75 @@
+"""A small star schema: sales fact with item and store dimensions."""
+
+import numpy as np
+
+
+class StarSchema:
+    """Generator for a sales star schema at a given scale."""
+
+    def __init__(self, n_sales=10_000, n_items=100, n_stores=20, seed=0):
+        self.n_sales = n_sales
+        self.n_items = n_items
+        self.n_stores = n_stores
+        rng = np.random.default_rng(seed)
+        self.item_ids = np.arange(self.n_items, dtype=np.int64)
+        self.item_categories = rng.integers(0, 10, self.n_items)
+        self.item_prices = np.round(rng.uniform(1.0, 50.0, self.n_items),
+                                    2)
+        self.store_ids = np.arange(self.n_stores, dtype=np.int64)
+        self.store_regions = rng.integers(0, 5, self.n_stores)
+        self.sale_items = rng.integers(0, self.n_items, self.n_sales)
+        self.sale_stores = rng.integers(0, self.n_stores, self.n_sales)
+        self.sale_qtys = rng.integers(1, 20, self.n_sales)
+        self.sale_days = rng.integers(0, 365, self.n_sales)
+
+    # -- relational form -----------------------------------------------------
+
+    def populate(self, db, batch=500):
+        """Create and fill the three tables inside a Database."""
+        db.execute("CREATE TABLE items (item_id INT, category INT, "
+                   "price DOUBLE)")
+        db.execute("CREATE TABLE stores (store_id INT, region INT)")
+        db.execute("CREATE TABLE sales (item_id INT, store_id INT, "
+                   "qty INT, day INT)")
+        items = db.catalog.get("items")
+        items.append_rows(list(zip(self.item_ids.tolist(),
+                                   self.item_categories.tolist(),
+                                   self.item_prices.tolist())))
+        stores = db.catalog.get("stores")
+        stores.append_rows(list(zip(self.store_ids.tolist(),
+                                    self.store_regions.tolist())))
+        sales = db.catalog.get("sales")
+        sales.append_rows(list(zip(self.sale_items.tolist(),
+                                   self.sale_stores.tolist(),
+                                   self.sale_qtys.tolist(),
+                                   self.sale_days.tolist())))
+        return db
+
+    # -- columnar / row forms for the engine comparisons -----------------------
+
+    def sales_columns(self):
+        return {
+            "item_id": self.sale_items.copy(),
+            "store_id": self.sale_stores.copy(),
+            "qty": self.sale_qtys.copy(),
+            "day": self.sale_days.copy(),
+        }
+
+    def item_columns(self):
+        return {
+            "item_id": self.item_ids.copy(),
+            "category": self.item_categories.copy(),
+            "price": self.item_prices.copy(),
+        }
+
+    def sales_rows(self):
+        """(item_id, store_id, qty, day) tuples for the Volcano engine."""
+        return list(zip(self.sale_items.tolist(),
+                        self.sale_stores.tolist(),
+                        self.sale_qtys.tolist(),
+                        self.sale_days.tolist()))
+
+    def item_rows(self):
+        return list(zip(self.item_ids.tolist(),
+                        self.item_categories.tolist(),
+                        self.item_prices.tolist()))

@@ -1,0 +1,36 @@
+"""XML over BATs: the MonetDB/XQuery (Pathfinder) front-end (§3.2).
+
+"The work in the Pathfinder project makes it possible to store XML
+tree structures in relational tables as <pre,post> coordinates,
+represented as a collection of BATs.  In fact, the pre-numbers are
+densely ascending, hence can be represented as a (non-stored) dense TID
+column ... Only slight extensions to the BAT Algebra were needed, in
+particular a series of region-joins called staircase joins."
+
+* :mod:`repro.xml.shred` — shred an XML document into pre/post BATs
+  (pre as the void head);
+* :mod:`repro.xml.staircase` — the staircase region-joins for the four
+  major XPath axes;
+* :mod:`repro.xml.xpath` — a small XPath evaluator compiled onto the
+  staircase joins and the ordinary BAT algebra.
+"""
+
+from repro.xml.shred import ShreddedDocument, shred
+from repro.xml.staircase import (
+    staircase_ancestor,
+    staircase_descendant,
+    staircase_following,
+    staircase_preceding,
+)
+from repro.xml.xpath import XPathError, xpath
+
+__all__ = [
+    "shred",
+    "ShreddedDocument",
+    "staircase_descendant",
+    "staircase_ancestor",
+    "staircase_following",
+    "staircase_preceding",
+    "xpath",
+    "XPathError",
+]

@@ -1,0 +1,87 @@
+"""Shredding: XML documents into pre/post-encoded BAT columns.
+
+Each element node gets a *pre* rank (document order) and a *post* rank
+(end-of-element order).  The region-encoding property driving every
+axis step:
+
+    u is a descendant of v  <=>  pre(v) < pre(u)  and  post(u) < post(v)
+
+The pre ranks are densely ascending, so they become the (non-stored)
+void head; the stored columns are post, parent-pre, level, tag, and
+text.
+"""
+
+import xml.etree.ElementTree as ET
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.atoms import LNG, OID, STR
+from repro.core.bat import BAT
+from repro.core.heap import StringHeap
+
+
+@dataclass
+class ShreddedDocument:
+    """One document as aligned void-headed BATs (pre = head oid)."""
+
+    post: BAT     # :lng  post rank per node
+    parent: BAT   # :oid  pre of the parent (-1 for the root)
+    level: BAT    # :lng  depth (root = 0)
+    tag: BAT      # :str  element tag
+    text: BAT     # :str  concatenated direct text (may be nil)
+
+    @property
+    def n_nodes(self):
+        return len(self.post)
+
+    def node_tag(self, pre):
+        return self.tag.tail_at(pre)
+
+    def node_text(self, pre):
+        return self.text.tail_at(pre)
+
+    def children_of(self, pre):
+        """Pre ranks of the direct children, in document order."""
+        return np.flatnonzero(self.parent.tail == pre).astype(np.int64)
+
+    def subtree_size(self, pre):
+        """Number of descendants of the node at ``pre``.
+
+        A classic pre/post identity: size = post - pre + level.
+        """
+        return int(self.post.tail[pre]) - pre + int(self.level.tail[pre])
+
+
+def shred(document_text):
+    """Parse XML text and shred it into a :class:`ShreddedDocument`."""
+    root = ET.fromstring(document_text)
+    posts = []
+    parents = []
+    levels = []
+    tags = []
+    texts = []
+    post_counter = [0]
+
+    def visit(element, parent_pre, level):
+        pre = len(posts)
+        posts.append(None)  # patched after the children are visited
+        parents.append(parent_pre)
+        levels.append(level)
+        tags.append(element.tag)
+        text = (element.text or "").strip() or None
+        texts.append(text)
+        for child in element:
+            visit(child, pre, level + 1)
+        posts[pre] = post_counter[0]
+        post_counter[0] += 1
+
+    visit(root, -1, 0)
+    heap = StringHeap()
+    return ShreddedDocument(
+        post=BAT(LNG, np.asarray(posts, dtype=np.int64)),
+        parent=BAT(OID, np.asarray(parents, dtype=np.int64)),
+        level=BAT(LNG, np.asarray(levels, dtype=np.int64)),
+        tag=BAT(STR, heap.put_many(tags), heap=heap),
+        text=BAT(STR, heap.put_many(texts), heap=heap),
+    )

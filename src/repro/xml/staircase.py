@@ -1,0 +1,93 @@
+"""Staircase joins: the region-join family XPath axes compile into.
+
+A context set (pre ranks, document order) induces a "staircase" in the
+pre/post plane; each axis is answered with one sequential pass over the
+document region, after *pruning* context nodes whose axis region is
+covered by another context node — the trick that makes the join's cost
+independent of the context size.  In the tree, subtree regions are
+either nested or disjoint, which is what the pruning exploits.
+
+All functions take a :class:`repro.xml.shred.ShreddedDocument` and a
+1-D array of context pre ranks, and return the axis result as a sorted
+``int64`` array of pre ranks (set semantics, document order).
+"""
+
+import numpy as np
+
+
+def _as_context(context):
+    context = np.unique(np.asarray(context, dtype=np.int64))
+    return context
+
+
+def _subtree_end(doc, pre):
+    """Last pre rank inside the subtree rooted at ``pre``."""
+    return pre + doc.subtree_size(pre)
+
+
+def staircase_descendant(doc, context):
+    """All descendants of any context node.
+
+    Nested context nodes are pruned: their descendant region is covered
+    by the enclosing context's region, so each document node is scanned
+    at most once.
+    """
+    context = _as_context(context)
+    pieces = []
+    covered_until = -1
+    for c in context.tolist():
+        end = _subtree_end(doc, c)
+        if end <= covered_until:
+            continue  # nested inside a previous context: pruned
+        pieces.append(np.arange(c + 1, end + 1, dtype=np.int64))
+        covered_until = end
+    if not pieces:
+        return np.empty(0, dtype=np.int64)
+    return np.concatenate(pieces)
+
+
+def staircase_ancestor(doc, context):
+    """All ancestors of any context node.
+
+    Paths to the root are walked with shared-prefix pruning: once a
+    node is already in the result, the rest of its path is too.
+    """
+    context = _as_context(context)
+    parents = doc.parent.tail
+    seen = set()
+    for c in context.tolist():
+        node = int(parents[c])
+        while node >= 0 and node not in seen:
+            seen.add(node)
+            node = int(parents[node])
+    return np.asarray(sorted(seen), dtype=np.int64)
+
+
+def staircase_following(doc, context):
+    """All nodes strictly after every part of some context subtree.
+
+    following(v) = nodes with pre > subtree-end(v); the union over the
+    context is determined by the *earliest closing* context node alone
+    — the most aggressive pruning of the four axes.
+    """
+    context = _as_context(context)
+    if len(context) == 0:
+        return np.empty(0, dtype=np.int64)
+    earliest_end = min(_subtree_end(doc, int(c)) for c in context)
+    return np.arange(earliest_end + 1, doc.n_nodes, dtype=np.int64)
+
+
+def staircase_preceding(doc, context):
+    """All nodes whose whole subtree closes before some context opens.
+
+    preceding(v) = nodes u with subtree-end(u) < pre(v); the union is
+    determined by the *latest opening* context node alone.
+    """
+    context = _as_context(context)
+    if len(context) == 0:
+        return np.empty(0, dtype=np.int64)
+    latest_start = int(context.max())
+    n = doc.n_nodes
+    pres = np.arange(n, dtype=np.int64)
+    ends = doc.post.tail + doc.level.tail  # pre + size = post + level
+    return pres[ends < latest_start]

@@ -1,0 +1,128 @@
+"""A small XPath evaluator over shredded documents.
+
+Supported grammar (a practical XPath subset)::
+
+    path       := ('/' | '//') step (('/' | '//') step)*
+    step       := (tag | '*') predicate*
+    predicate  := '[' tag ']'                 # child existence
+                | '[' tag '=' 'literal' ']'   # child text equality
+                | '[' 'text()' '=' 'literal' ']'
+
+``/`` steps use the child axis; ``//`` steps the (staircase-joined)
+descendant axis.  Results are pre ranks in document order.
+"""
+
+import re
+
+import numpy as np
+
+from repro.xml.staircase import staircase_descendant
+
+_STEP_RE = re.compile(r"(//|/)((?:[^/\[\]]|\[[^\]]*\])+)")
+_PRED_RE = re.compile(r"\[([^\]]*)\]")
+
+
+class XPathError(ValueError):
+    """Raised on unsupported or malformed path expressions."""
+
+
+def _parse(path):
+    if not path or path[0] != "/":
+        raise XPathError("path must start with '/' or '//'")
+    steps = []
+    consumed = 0
+    for match in _STEP_RE.finditer(path):
+        if match.start() != consumed:
+            raise XPathError("cannot parse path near {0!r}".format(
+                path[consumed:]))
+        consumed = match.end()
+        axis = "descendant" if match.group(1) == "//" else "child"
+        body = match.group(2)
+        predicates = _PRED_RE.findall(body)
+        name = _PRED_RE.sub("", body).strip()
+        if not name:
+            raise XPathError("empty step in {0!r}".format(path))
+        steps.append((axis, name, [_parse_predicate(p)
+                                   for p in predicates]))
+    if consumed != len(path):
+        raise XPathError("trailing junk in {0!r}".format(path))
+    return steps
+
+
+def _parse_predicate(text):
+    text = text.strip()
+    match = re.fullmatch(r"text\(\)\s*=\s*'([^']*)'", text)
+    if match:
+        return ("self-text", None, match.group(1))
+    match = re.fullmatch(r"([^=\s]+)\s*=\s*'([^']*)'", text)
+    if match:
+        return ("child-text", match.group(1), match.group(2))
+    if re.fullmatch(r"[^=\[\]]+", text):
+        return ("child-exists", text, None)
+    raise XPathError("unsupported predicate [{0}]".format(text))
+
+
+def _children(doc, context):
+    if len(context) == 0:
+        return np.empty(0, dtype=np.int64)
+    mask = np.isin(doc.parent.tail, context)
+    return np.flatnonzero(mask).astype(np.int64)
+
+
+def _filter_tag(doc, nodes, name):
+    if name == "*" or len(nodes) == 0:
+        return nodes
+    offset = doc.tag.heap.find(name)
+    if offset is None:
+        return np.empty(0, dtype=np.int64)
+    return nodes[doc.tag.tail[nodes] == offset]
+
+
+def _apply_predicate(doc, nodes, predicate):
+    kind, name, literal = predicate
+    if len(nodes) == 0:
+        return nodes
+    if kind == "self-text":
+        offset = doc.text.heap.find(literal)
+        if offset is None:
+            return np.empty(0, dtype=np.int64)
+        return nodes[doc.text.tail[nodes] == offset]
+    keep = []
+    for pre in nodes.tolist():
+        children = _filter_tag(doc, doc.children_of(pre), name)
+        if kind == "child-exists":
+            if len(children):
+                keep.append(pre)
+        else:  # child-text
+            offset = doc.text.heap.find(literal)
+            if offset is not None and \
+                    (doc.text.tail[children] == offset).any():
+                keep.append(pre)
+    return np.asarray(keep, dtype=np.int64)
+
+
+def xpath(doc, path):
+    """Evaluate ``path`` on a shredded document; returns pre ranks.
+
+    The virtual document root is above the root element, so ``/a``
+    matches a root element tagged ``a`` and ``//a`` any ``a`` element.
+    """
+    steps = _parse(path)
+    # Virtual root: context "above" pre 0.
+    context = None  # None marks the virtual document node
+    for axis, name, predicates in steps:
+        if context is None:
+            if axis == "child":
+                nodes = np.asarray([0], dtype=np.int64)
+            else:
+                nodes = np.arange(doc.n_nodes, dtype=np.int64)
+        else:
+            if axis == "child":
+                nodes = _children(doc, context)
+            else:
+                nodes = staircase_descendant(doc, context)
+        nodes = _filter_tag(doc, nodes, name)
+        for predicate in predicates:
+            nodes = _apply_predicate(doc, nodes, predicate)
+        context = np.unique(nodes)
+    return context if context is not None else np.empty(0, dtype=np.int64)

@@ -1,0 +1,149 @@
+"""Tests for the SRAM dense-array front-end, cross-checked with numpy."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arrays import DenseArray, comprehend
+
+
+@pytest.fixture
+def cube():
+    return DenseArray.from_numpy(
+        np.arange(2 * 3 * 4, dtype=np.int64).reshape(2, 3, 4))
+
+
+class TestConstruction:
+    def test_roundtrip(self, cube):
+        assert np.array_equal(cube.to_numpy(),
+                              np.arange(24).reshape(2, 3, 4))
+        assert cube.ndim == 3
+        assert cube.size == 24
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            DenseArray((-1, 3), [])
+        with pytest.raises(ValueError):
+            DenseArray((2, 2), [1, 2, 3])
+
+    def test_zero_dim_allowed(self):
+        a = DenseArray((0, 3), [])
+        assert a.size == 0
+
+    def test_float_atom(self):
+        a = DenseArray((2,), [1.5, 2.5])
+        assert a.values.atom.name == "dbl"
+
+
+class TestAccess:
+    def test_point_access(self, cube):
+        ref = cube.to_numpy()
+        assert cube[1, 2, 3] == ref[1, 2, 3]
+        assert cube[0, 0, 0] == ref[0, 0, 0]
+
+    def test_point_access_bounds(self, cube):
+        with pytest.raises(IndexError):
+            cube[2, 0, 0]
+        with pytest.raises(IndexError):
+            cube[0, 0]
+
+
+class TestSlicing:
+    def test_slice_matches_numpy(self, cube):
+        ref = cube.to_numpy()
+        got = cube.slice(ax0=(0, 1), ax1=(1, 3))
+        assert np.array_equal(got.to_numpy(), ref[0:1, 1:3, :])
+
+    def test_slice_candidates_are_pure_arithmetic(self, cube):
+        candidates = cube.slice_candidates(ax2=(1, 2))
+        ref = np.flatnonzero(
+            np.indices((2, 3, 4))[2].reshape(-1) == 1)
+        assert np.array_equal(candidates.tail, ref)
+
+    def test_slice_bounds_checked(self, cube):
+        with pytest.raises(IndexError):
+            cube.slice(ax0=(0, 5))
+        with pytest.raises(KeyError):
+            cube.slice(ax9=(0, 1))
+
+    def test_empty_slice(self, cube):
+        got = cube.slice(ax1=(1, 1))
+        assert got.size == 0
+
+
+class TestBulkOps:
+    def test_map_scalar(self, cube):
+        got = cube.map("*", 3)
+        assert np.array_equal(got.to_numpy(), cube.to_numpy() * 3)
+
+    def test_map_array(self, cube):
+        got = cube.map("+", cube)
+        assert np.array_equal(got.to_numpy(), cube.to_numpy() * 2)
+
+    def test_map_shape_mismatch(self, cube):
+        with pytest.raises(ValueError):
+            cube.map("+", DenseArray((2,), [1, 2]))
+
+    def test_total_aggregates(self, cube):
+        ref = cube.to_numpy()
+        assert cube.aggregate("sum") == ref.sum()
+        assert cube.aggregate("min") == ref.min()
+        assert cube.aggregate("max") == ref.max()
+        assert cube.aggregate("avg") == ref.mean()
+
+    @pytest.mark.parametrize("axis", [0, 1, 2])
+    def test_axis_sum_matches_numpy(self, cube, axis):
+        ref = cube.to_numpy().sum(axis=axis)
+        got = cube.aggregate("sum", axis=axis)
+        assert got.shape == ref.shape
+        assert np.array_equal(got.to_numpy(), ref)
+
+    @pytest.mark.parametrize("axis", [0, 1, 2])
+    def test_axis_max_matches_numpy(self, cube, axis):
+        ref = cube.to_numpy().max(axis=axis)
+        got = cube.aggregate("max", axis=axis)
+        assert np.array_equal(got.to_numpy(), ref)
+
+    def test_axis_bounds(self, cube):
+        with pytest.raises(IndexError):
+            cube.aggregate("sum", axis=3)
+
+
+class TestComprehension:
+    def test_filter_and_map(self):
+        a = DenseArray((6,), [1, 5, 2, 8, 3, 9])
+        got = comprehend(a, where=(">", 2), select=("*", 10))
+        assert got.to_numpy().tolist() == [50, 80, 30, 90]
+
+    def test_no_matches(self):
+        a = DenseArray((3,), [1, 2, 3])
+        assert comprehend(a, where=(">", 10)) is None
+
+    def test_select_only(self):
+        a = DenseArray((3,), [1, 2, 3])
+        got = comprehend(a, select=("+", 1))
+        assert got.to_numpy().tolist() == [2, 3, 4]
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(1, 5), min_size=1, max_size=3),
+       st.integers(0, 2), st.data())
+def test_property_slices_and_sums_match_numpy(dims, axis, data):
+    shape = tuple(dims)
+    ref = np.arange(int(np.prod(shape)), dtype=np.int64).reshape(shape)
+    array = DenseArray.from_numpy(ref)
+    # Random slice bounds per axis.
+    bounds = {}
+    slices = []
+    for i, d in enumerate(shape):
+        lo = data.draw(st.integers(0, d))
+        hi = data.draw(st.integers(lo, d))
+        bounds["ax{0}".format(i)] = (lo, hi)
+        slices.append(slice(lo, hi))
+    got = array.slice(**bounds)
+    assert np.array_equal(got.to_numpy(), ref[tuple(slices)])
+    # Axis aggregate on the full array.
+    if axis < len(shape):
+        s = array.aggregate("sum", axis=axis)
+        assert np.array_equal(np.asarray(s.to_numpy()),
+                              ref.sum(axis=axis).reshape(s.shape))

@@ -1,0 +1,81 @@
+"""Unit tests for the atom type system."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core import atoms
+from repro.core.atoms import (
+    BIT, BTE, DBL, FLT, INT, LNG, OID, SHT, STR,
+    atom_by_name, atom_for_dtype, nil_value,
+)
+
+
+class TestLookup:
+    def test_by_monetdb_name(self):
+        assert atom_by_name("int") is INT
+        assert atom_by_name("lng") is LNG
+        assert atom_by_name("oid") is OID
+        assert atom_by_name("str") is STR
+
+    def test_sql_aliases(self):
+        assert atom_by_name("INTEGER") is INT
+        assert atom_by_name("BIGINT") is LNG
+        assert atom_by_name("varchar") is STR
+        assert atom_by_name("double") is DBL
+        assert atom_by_name("boolean") is BIT
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            atom_by_name("quaternion")
+
+    def test_atom_for_dtype(self):
+        assert atom_for_dtype(np.int64) is LNG
+        assert atom_for_dtype(np.float64) is DBL
+        with pytest.raises(KeyError):
+            atom_for_dtype(np.complex128)
+
+
+class TestWidths:
+    def test_fixed_widths(self):
+        assert BTE.width == 1
+        assert SHT.width == 2
+        assert INT.width == 4
+        assert LNG.width == 8
+        assert FLT.width == 4
+        assert DBL.width == 8
+
+    def test_str_width_is_offset_width(self):
+        assert STR.width == 8
+        assert STR.varsized
+
+
+class TestNil:
+    def test_integer_nil_is_domain_min(self):
+        assert nil_value(INT) == np.iinfo(np.int32).min
+        assert nil_value(LNG) == np.iinfo(np.int64).min
+
+    def test_float_nil_is_nan(self):
+        assert math.isnan(nil_value(DBL))
+
+    def test_is_nil_elementwise(self):
+        arr = INT.array([1, INT.nil, 3])
+        assert list(INT.is_nil(arr)) == [False, True, False]
+
+    def test_is_nil_nan(self):
+        arr = DBL.array([1.0, float("nan")])
+        assert list(DBL.is_nil(arr)) == [False, True]
+
+
+class TestArrays:
+    def test_array_coerces_dtype(self):
+        arr = INT.array([1, 2, 3])
+        assert arr.dtype == np.int32
+
+    def test_empty(self):
+        assert len(LNG.empty()) == 0
+        assert LNG.empty(5).dtype == np.int64
+
+    def test_repr(self):
+        assert repr(INT) == ":int"

@@ -1,0 +1,174 @@
+"""Unit tests for the BAT storage structure."""
+
+import numpy as np
+import pytest
+
+from repro.core import BAT, INT, LNG, OID, STR, AddressSpace
+
+
+class TestConstruction:
+    def test_from_values_infers_int(self):
+        b = BAT.from_values([1, 2, 3])
+        assert b.atom is LNG
+        assert len(b) == 3
+        assert b.hdense
+
+    def test_from_values_strings_build_heap(self):
+        b = BAT.from_values(["john", "roger", "bob", "will"])
+        assert b.atom is STR
+        assert b.heap is not None
+        assert b.decoded() == ["john", "roger", "bob", "will"]
+
+    def test_explicit_atom(self):
+        b = BAT.from_values([1, 2], atom=INT)
+        assert b.tail.dtype == np.int32
+
+    def test_dense(self):
+        b = BAT.dense(4, base=10)
+        assert b.decoded() == [10, 11, 12, 13]
+        assert b.tsorted
+        assert b.tkey
+
+    def test_head_tail_length_mismatch(self):
+        with pytest.raises(ValueError):
+            BAT(LNG, [1, 2, 3], head=[0, 1])
+
+    def test_varsized_requires_heap(self):
+        with pytest.raises(ValueError):
+            BAT(STR, [0, 4])
+
+    def test_rejects_2d_tail(self):
+        with pytest.raises(ValueError):
+            BAT(LNG, np.zeros((2, 2), dtype=np.int64))
+
+
+class TestHeads:
+    def test_void_head_materializes_on_demand(self):
+        b = BAT.from_values([5, 6, 7], hseqbase=100)
+        assert list(b.head) == [100, 101, 102]
+        assert b.hdense
+
+    def test_positional_lookup_dense(self):
+        """The O(1) array-index lookup of Section 3."""
+        b = BAT.from_values([10, 20, 30], hseqbase=7)
+        assert b.find(8) == 20
+        assert b.position_of(8) == 1
+
+    def test_positional_lookup_out_of_range(self):
+        b = BAT.from_values([10], hseqbase=0)
+        with pytest.raises(KeyError):
+            b.find(5)
+
+    def test_materialized_head_lookup(self):
+        b = BAT(LNG, [10, 20], head=[42, 99])
+        assert b.find(99) == 20
+        assert not b.hdense
+        with pytest.raises(KeyError):
+            b.find(0)
+
+
+class TestProperties:
+    def test_sortedness_lazily_computed(self):
+        assert BAT.from_values([1, 2, 2, 3]).tsorted
+        assert not BAT.from_values([3, 1]).tsorted
+        assert BAT.from_values([3, 2, 1]).trevsorted
+
+    def test_key_property(self):
+        assert BAT.from_values([1, 2, 3]).tkey
+        assert not BAT.from_values([1, 1]).tkey
+        assert BAT.from_values([]).tkey
+
+    def test_string_sortedness(self):
+        assert BAT.from_values(["a", "b", "c"]).tsorted
+        assert not BAT.from_values(["b", "a"]).tsorted
+
+    def test_properties_invalidated_on_append(self):
+        b = BAT.from_values([1, 2, 3])
+        assert b.tsorted
+        b.append_values([0])
+        assert not b.tsorted
+
+
+class TestAccess:
+    def test_tail_at_decodes(self):
+        b = BAT.from_values(["x", None])
+        assert b.tail_at(0) == "x"
+        assert b.tail_at(1) is None
+
+    def test_fetch_gathers_positions(self):
+        b = BAT.from_values([10, 20, 30, 40])
+        got = b.fetch([3, 0, 2])
+        assert got.decoded() == [40, 10, 30]
+
+    def test_items(self):
+        b = BAT.from_values([7, 8], hseqbase=5)
+        assert list(b.items()) == [(5, 7), (6, 8)]
+
+    def test_slice(self):
+        b = BAT.from_values([1, 2, 3, 4], hseqbase=10)
+        s = b.slice(1, 3)
+        assert list(s.items()) == [(11, 2), (12, 3)]
+
+
+class TestTransforms:
+    def test_mirror(self):
+        b = BAT.from_values([5, 6], hseqbase=3)
+        m = b.mirror()
+        assert list(m.items()) == [(3, 3), (4, 4)]
+
+    def test_mark(self):
+        b = BAT.from_values([9, 9, 9])
+        m = b.mark(base=100)
+        assert m.decoded() == [100, 101, 102]
+
+    def test_reverse_swaps_columns(self):
+        b = BAT(OID, [7, 8], head=[1, 2])
+        r = b.reverse()
+        assert list(r.items()) == [(7, 1), (8, 2)]
+
+    def test_reverse_requires_oid_tail(self):
+        with pytest.raises(TypeError):
+            BAT.from_values([1.5]).reverse()
+
+    def test_copy_is_independent(self):
+        b = BAT.from_values([1, 2])
+        c = b.copy()
+        c.append_values([3])
+        assert len(b) == 2
+        assert len(c) == 3
+
+    def test_replace_at(self):
+        b = BAT.from_values([1, 2, 3])
+        b.replace_at([1], [99])
+        assert b.decoded() == [1, 99, 3]
+
+    def test_append_requires_void_head(self):
+        b = BAT(LNG, [1], head=[0])
+        with pytest.raises(ValueError):
+            b.append_values([2])
+
+
+class TestAddressSpace:
+    def test_allocations_do_not_overlap(self):
+        space = AddressSpace(base=0, alignment=64)
+        a = space.allocate(100)
+        b = space.allocate(10)
+        c = space.allocate(1)
+        assert b >= a + 100
+        assert c >= b + 10
+
+    def test_bat_tail_base_is_stable(self):
+        b = BAT.from_values([1, 2, 3])
+        assert b.tail_base == b.tail_base
+
+    def test_distinct_bats_distinct_ranges(self):
+        b1 = BAT.from_values(list(range(100)))
+        b2 = BAT.from_values(list(range(100)))
+        r1 = range(b1.tail_base, b1.tail_base + b1.tail_nbytes)
+        r2 = range(b2.tail_base, b2.tail_base + b2.tail_nbytes)
+        assert r1.stop <= r2.start or r2.stop <= r1.start
+
+    def test_same_pairs(self):
+        a = BAT.from_values([1, 2])
+        b = BAT(LNG, [2, 1], head=[1, 0])
+        assert a.same_pairs(b)

@@ -1,0 +1,63 @@
+"""Unit tests for the string heap."""
+
+import numpy as np
+from hypothesis import given, strategies as st
+
+from repro.core import StringHeap
+
+
+class TestStringHeap:
+    def test_roundtrip(self):
+        heap = StringHeap()
+        off = heap.put("john wayne")
+        assert heap.get(off) == "john wayne"
+
+    def test_interning_shares_storage(self):
+        heap = StringHeap()
+        a = heap.put("actor")
+        size = heap.nbytes
+        b = heap.put("actor")
+        assert a == b
+        assert heap.nbytes == size
+
+    def test_nil(self):
+        heap = StringHeap()
+        assert heap.put(None) == StringHeap.NIL_OFFSET
+        assert heap.get(StringHeap.NIL_OFFSET) is None
+
+    def test_put_many_get_many(self):
+        heap = StringHeap()
+        offsets = heap.put_many(["a", "bb", "a", None])
+        assert offsets.dtype == np.int64
+        assert heap.get_many(offsets) == ["a", "bb", "a", None]
+        assert offsets[0] == offsets[2]
+
+    def test_find(self):
+        heap = StringHeap()
+        heap.put("present")
+        assert heap.find("present") is not None
+        assert heap.find("absent") is None
+        assert heap.find(None) == StringHeap.NIL_OFFSET
+
+    def test_contains(self):
+        heap = StringHeap()
+        heap.put("x")
+        assert "x" in heap
+        assert "y" not in heap
+
+    def test_unicode(self):
+        heap = StringHeap()
+        off = heap.put("名前—ünïcode")
+        assert heap.get(off) == "名前—ünïcode"
+
+    def test_empty_string(self):
+        heap = StringHeap()
+        off = heap.put("")
+        assert heap.get(off) == ""
+
+    @given(st.lists(st.text(alphabet=st.characters(blacklist_characters="\0"),
+                            max_size=20), max_size=50))
+    def test_property_roundtrip_any_strings(self, strings):
+        heap = StringHeap()
+        offsets = heap.put_many(strings)
+        assert heap.get_many(offsets) == strings

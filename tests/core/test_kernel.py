@@ -1,0 +1,49 @@
+"""Tests for the kernel registry (MAL op name -> implementation)."""
+
+import pytest
+
+from repro.core import BAT, KERNEL, KernelFunction, lookup_op
+from repro.core.kernel import register
+
+
+class TestRegistry:
+    def test_lookup_known_op(self):
+        fn = lookup_op("algebra.select")
+        assert isinstance(fn, KernelFunction)
+        assert fn.n_results == 1
+
+    def test_lookup_unknown_op(self):
+        with pytest.raises(KeyError):
+            lookup_op("algebra.teleport")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError):
+            register("algebra.select", lambda: None)
+
+    def test_multi_result_ops_declared(self):
+        assert lookup_op("algebra.join").n_results == 2
+        assert lookup_op("group.group").n_results == 3
+        assert lookup_op("algebra.sort").n_results == 2
+
+    def test_callable_dispatch(self):
+        b = BAT.from_values([5, 1, 5])
+        cand = lookup_op("algebra.select")(b, 5)
+        assert cand.decoded() == [0, 2]
+
+    def test_expected_op_families_present(self):
+        prefixes = {name.split(".")[0] for name in KERNEL}
+        assert {"algebra", "aggr", "batcalc", "calc", "bat", "group",
+                "candidates", "sql"} <= prefixes
+
+    def test_scalar_calc_ops(self):
+        assert lookup_op("calc.+")(2, 3) == 5
+        assert lookup_op("calc.and")(True, False) is False
+        assert lookup_op("calc.not")(False) is True
+
+    def test_const_column(self):
+        cand = BAT.from_values([0, 1, 2])
+        col = lookup_op("sql.constcolumn")(cand, 9, "lng")
+        assert col.decoded() == [9, 9, 9]
+
+    def test_bat_count(self):
+        assert lookup_op("bat.count")(BAT.from_values([1, 2])) == 2

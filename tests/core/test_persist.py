@@ -1,0 +1,149 @@
+"""Tests for memory-mapped BAT and database persistence."""
+
+import numpy as np
+import pytest
+
+from repro.core import BAT, load_bat, load_database, save_bat, \
+    save_database
+from repro.sql import Database
+
+
+class TestBATRoundtrip:
+    def test_int_roundtrip(self, tmp_path):
+        bat = BAT.from_values([5, 1, 4, 1])
+        prefix = str(tmp_path / "col")
+        save_bat(bat, prefix)
+        loaded = load_bat(prefix)
+        assert loaded.decoded() == [5, 1, 4, 1]
+        assert loaded.atom.name == "lng"
+
+    def test_mmap_is_demand_paged_view(self, tmp_path):
+        bat = BAT.from_values(list(range(1000)))
+        prefix = str(tmp_path / "col")
+        save_bat(bat, prefix)
+        loaded = load_bat(prefix, mmap=True)
+        # The tail is the memmap or a zero-copy view of it.
+        backing = loaded.tail if isinstance(loaded.tail, np.memmap) \
+            else loaded.tail.base
+        assert isinstance(backing, np.memmap)
+        assert loaded.find(123) == 123  # O(1) positional lookup works
+
+    def test_non_mmap_load(self, tmp_path):
+        bat = BAT.from_values([1.5, 2.5])
+        prefix = str(tmp_path / "col")
+        save_bat(bat, prefix)
+        loaded = load_bat(prefix, mmap=False)
+        assert not isinstance(loaded.tail, np.memmap)
+        assert loaded.decoded() == [1.5, 2.5]
+
+    def test_string_roundtrip_with_nil_and_interning(self, tmp_path):
+        bat = BAT.from_values(["bob", None, "ann", "bob"])
+        prefix = str(tmp_path / "names")
+        save_bat(bat, prefix)
+        loaded = load_bat(prefix)
+        assert loaded.decoded() == ["bob", None, "ann", "bob"]
+        # Interning map was rebuilt: new puts reuse existing offsets.
+        assert loaded.heap.find("ann") is not None
+        assert loaded.heap.put("bob") == loaded.heap.find("bob")
+
+    def test_loaded_bat_appends_copy_on_write(self, tmp_path):
+        bat = BAT.from_values([1, 2])
+        prefix = str(tmp_path / "col")
+        save_bat(bat, prefix)
+        loaded = load_bat(prefix)
+        loaded.append_values([3])
+        assert loaded.decoded() == [1, 2, 3]
+        # The file is untouched.
+        assert load_bat(prefix).decoded() == [1, 2]
+
+    def test_materialized_head_rejected(self, tmp_path):
+        bat = BAT.dense(3).reverse()  # materialized oid head
+        with pytest.raises(ValueError):
+            save_bat(bat, str(tmp_path / "x"))
+
+    def test_hseqbase_preserved(self, tmp_path):
+        bat = BAT.from_values([7], hseqbase=100)
+        prefix = str(tmp_path / "col")
+        save_bat(bat, prefix)
+        assert load_bat(prefix).find(100) == 7
+
+
+from hypothesis import given, settings, strategies as st
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.integers(-10**12, 10**12), max_size=100))
+def test_property_int_bat_roundtrip(tmp_path_factory, values):
+    from repro.core import LNG
+    tmp = tmp_path_factory.mktemp("bats")
+    bat = BAT(LNG, np.asarray(values, dtype=np.int64))
+    prefix = str(tmp / "col")
+    save_bat(bat, prefix)
+    for mmap in (True, False):
+        assert load_bat(prefix, mmap=mmap).decoded() == values
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.one_of(st.none(),
+                          st.text(alphabet=st.characters(
+                              blacklist_characters="\0"), max_size=10)),
+                max_size=50))
+def test_property_str_bat_roundtrip(tmp_path_factory, strings):
+    from repro.core import STR
+    from repro.core.heap import StringHeap
+    tmp = tmp_path_factory.mktemp("bats")
+    heap = StringHeap()
+    bat = BAT(STR, heap.put_many(strings), heap=heap)
+    prefix = str(tmp / "col")
+    save_bat(bat, prefix)
+    assert load_bat(prefix).decoded() == strings
+
+
+class TestDatabaseRoundtrip:
+    def make_db(self):
+        db = Database()
+        db.execute("CREATE TABLE people (name VARCHAR, age INT)")
+        db.execute("INSERT INTO people VALUES ('ann', 30), ('bob', 41), "
+                   "('carol', 30)")
+        db.execute("DELETE FROM people WHERE name = 'bob'")
+        return db
+
+    def test_roundtrip_preserves_query_results(self, tmp_path):
+        db = self.make_db()
+        save_database(db, str(tmp_path / "db"))
+        loaded = load_database(str(tmp_path / "db"))
+        q = "SELECT name, age FROM people ORDER BY name"
+        assert loaded.query(q) == db.query(q)
+
+    def test_deleted_rows_stay_deleted(self, tmp_path):
+        db = self.make_db()
+        save_database(db, str(tmp_path / "db"))
+        loaded = load_database(str(tmp_path / "db"))
+        assert loaded.execute("SELECT count(*) FROM people").scalar() == 2
+
+    def test_loaded_database_is_writable(self, tmp_path):
+        db = self.make_db()
+        save_database(db, str(tmp_path / "db"))
+        loaded = load_database(str(tmp_path / "db"))
+        loaded.execute("INSERT INTO people VALUES ('dave', 25)")
+        loaded.execute("UPDATE people SET age = 31 WHERE name = 'ann'")
+        assert loaded.query("SELECT name FROM people WHERE age = 31") \
+            == [("ann",)]
+        # On-disk state unchanged until saved again.
+        again = load_database(str(tmp_path / "db"))
+        assert again.execute("SELECT count(*) FROM people").scalar() == 2
+
+    def test_transactions_on_loaded_database(self, tmp_path):
+        db = self.make_db()
+        save_database(db, str(tmp_path / "db"))
+        loaded = load_database(str(tmp_path / "db"))
+        with loaded.begin() as txn:
+            txn.execute("INSERT INTO people VALUES ('eve', 1)")
+        assert loaded.execute("SELECT count(*) FROM people").scalar() == 3
+
+    def test_save_load_empty_table(self, tmp_path):
+        db = Database()
+        db.execute("CREATE TABLE empty (x INT)")
+        save_database(db, str(tmp_path / "db"))
+        loaded = load_database(str(tmp_path / "db"))
+        assert loaded.query("SELECT * FROM empty") == []

@@ -1,0 +1,122 @@
+"""Validation of the algorithm predictors against the trace simulator."""
+
+import numpy as np
+import pytest
+
+from repro.costmodel import (
+    best_partitioning,
+    predict_partitioned_hash_join,
+    predict_radix_cluster,
+    predict_simple_hash_join,
+)
+from repro.costmodel.model import total_cycles
+from repro.hardware import SCALED_DEFAULT, TINY
+from repro.joins import partitioned_hash_join, radix_cluster, \
+    simple_hash_join
+from repro.joins.radix_cluster import split_bits
+
+
+def simulate_radix_cluster(n, bits, passes, profile):
+    rng = np.random.default_rng(42)
+    values = rng.integers(0, 1 << 31, n)
+    h = profile.make_hierarchy()
+    radix_cluster(values, bits, passes, hierarchy=h)
+    return h
+
+
+def simulate_simple_join(n, profile):
+    rng = np.random.default_rng(42)
+    left = rng.permutation(n)
+    right = rng.permutation(n)
+    h = profile.make_hierarchy()
+    simple_hash_join(left, right, hierarchy=h)
+    return h
+
+
+class TestRadixClusterPrediction:
+    @pytest.mark.parametrize("bits,passes", [(2, 1), (6, 1), (6, 2),
+                                             (10, 2)])
+    def test_total_cycles_within_factor_two(self, bits, passes):
+        n = 1 << 14
+        pass_bits = split_bits(bits, passes)
+        cost, cpu = predict_radix_cluster(n, bits, pass_bits,
+                                          SCALED_DEFAULT)
+        predicted = cost.cycles(SCALED_DEFAULT) + cpu
+        h = simulate_radix_cluster(n, bits, passes, SCALED_DEFAULT)
+        simulated = h.total_cycles
+        assert simulated / 2 < predicted < simulated * 2
+
+    def test_predicts_thrashing_crossover(self):
+        """The model reproduces E1's shape: beyond the TLB/line budget,
+        one-pass clustering costs explode while two-pass stays flat."""
+        n = 1 << 15
+        cheap_bits = 4
+        thrash_bits = 10  # 1024 cursors of >= line-sized regions
+        one_cheap = total_cycles(predict_radix_cluster(
+            n, cheap_bits, [cheap_bits], SCALED_DEFAULT), SCALED_DEFAULT)
+        one_thrash = total_cycles(predict_radix_cluster(
+            n, thrash_bits, [thrash_bits], SCALED_DEFAULT), SCALED_DEFAULT)
+        two_pass = total_cycles(predict_radix_cluster(
+            n, thrash_bits, split_bits(thrash_bits, 2), SCALED_DEFAULT),
+            SCALED_DEFAULT)
+        assert one_thrash > 3 * one_cheap
+        assert two_pass < one_thrash / 2
+
+    def test_zero_bits_costs_nothing(self):
+        cost, cpu = predict_radix_cluster(1000, 0, [0], TINY)
+        assert cost.misses == {}
+        assert cpu == 0
+
+
+class TestHashJoinPrediction:
+    def test_simple_join_within_factor_two(self):
+        n = 1 << 14
+        cost, cpu = predict_simple_hash_join(n, n, SCALED_DEFAULT)
+        predicted = cost.cycles(SCALED_DEFAULT) + cpu
+        simulated = simulate_simple_join(n, SCALED_DEFAULT).total_cycles
+        assert simulated / 2 < predicted < simulated * 2
+
+    def test_partitioned_cheaper_than_simple_in_model(self):
+        """The model itself predicts the Section 4.2 win."""
+        n = 1 << 16
+        simple = total_cycles(
+            predict_simple_hash_join(n, n, SCALED_DEFAULT), SCALED_DEFAULT)
+        bits, pass_bits, part = best_partitioning(n, n, SCALED_DEFAULT)
+        assert part < simple / 2
+        assert bits > 0
+
+    def test_cpu_optimization_term(self):
+        n = 1 << 12
+        _, cpu_fast = predict_simple_hash_join(n, n, SCALED_DEFAULT,
+                                               cpu_optimized=True)
+        _, cpu_slow = predict_simple_hash_join(n, n, SCALED_DEFAULT,
+                                               cpu_optimized=False)
+        assert cpu_slow == 4 * cpu_fast
+
+
+class TestTuningAgreement:
+    """E4's punchline: the model picks (close to) the simulator's best
+    tuning — the automation Section 4.4 promises."""
+
+    def test_model_argmin_close_to_simulated_argmin(self):
+        n = 1 << 13
+        rng = np.random.default_rng(7)
+        left = rng.permutation(n)
+        right = rng.permutation(n)
+        candidates = [(0, (0,)), (4, (4,)), (8, (8,)), (8, (4, 4)),
+                      (12, (6, 6))]
+        simulated = {}
+        predicted = {}
+        for bits, pass_bits in candidates:
+            h = SCALED_DEFAULT.make_hierarchy()
+            partitioned_hash_join(left, right, bits=bits,
+                                  passes=list(pass_bits), hierarchy=h)
+            simulated[(bits, pass_bits)] = h.total_cycles
+            predicted[(bits, pass_bits)] = total_cycles(
+                predict_partitioned_hash_join(n, n, bits, pass_bits,
+                                              SCALED_DEFAULT),
+                SCALED_DEFAULT)
+        sim_best = min(simulated, key=simulated.get)
+        model_best = min(predicted, key=predicted.get)
+        # The model's choice must be within 50% of the true optimum.
+        assert simulated[model_best] <= 1.5 * simulated[sim_best]

@@ -1,0 +1,140 @@
+"""Tests for data regions, basic patterns, and cost composition."""
+
+import numpy as np
+import pytest
+
+from repro.costmodel import (
+    Cost,
+    DataRegion,
+    interleaved_multi_cursor,
+    random_traversal,
+    repeated_random_access,
+    sequential_traversal,
+)
+from repro.hardware import TINY, SCALED_DEFAULT, trace
+
+
+class TestDataRegion:
+    def test_geometry(self):
+        r = DataRegion(100, 8)
+        assert r.nbytes == 800
+        assert r.lines(64) == 13  # ceil(800/64)
+
+    def test_empty(self):
+        assert DataRegion(0, 8).lines(64) == 0
+
+
+class TestCost:
+    def test_add_and_sum(self):
+        a = Cost().add("L1", sequential=10, random=2)
+        b = Cost().add("L1", random=3).add("L2", sequential=1)
+        c = a + b
+        assert c.misses["L1"] == (10, 5)
+        assert c.misses["L2"] == (1, 0)
+        assert c.level_misses("L1") == 15
+
+    def test_scaled(self):
+        c = Cost().add("L1", sequential=4, random=2).scaled(3)
+        assert c.misses["L1"] == (12, 6)
+
+    def test_cycles_uses_profile_latencies(self):
+        c = Cost().add("L1", sequential=1, random=1)
+        c.add("L2", random=1).add("TLB", random=2)
+        cycles = c.cycles(TINY)
+        assert cycles == 4 + 10 + 100 + 2 * 30
+
+
+class TestSequentialTraversal:
+    def test_exactness_against_simulator(self):
+        """For a pure sequential pass, the model is exact per level."""
+        n = 512
+        region = DataRegion(n, 8)
+        predicted = sequential_traversal(region, TINY)
+        h = TINY.make_hierarchy()
+        h.access(trace.sequential(0, n, 8))
+        rep = h.report()
+        for name in ("L1", "L2"):
+            assert predicted.level_misses(name) == \
+                rep.cache_stats[name].misses
+        assert predicted.level_misses("TLB") == rep.tlb_stats.misses
+
+
+class TestRandomTraversal:
+    def test_fits_in_cache_only_compulsory(self):
+        region = DataRegion(32, 8)  # 256 bytes fits TINY L2 (4 KB)
+        cost = random_traversal(region, TINY)
+        assert cost.level_misses("L2") == region.lines(64)
+
+    def test_exceeds_cache_roughly_one_miss_per_touch(self):
+        region = DataRegion(8192, 8)  # 64 KB >> 4 KB
+        cost = random_traversal(region, TINY)
+        l2 = cost.level_misses("L2")
+        assert 0.8 * 8192 < l2 <= 8192 + region.lines(64)
+
+    def test_simulator_agreement_within_factor_two(self):
+        region = DataRegion(4096, 8)
+        predicted = random_traversal(region, TINY)
+        h = TINY.make_hierarchy()
+        rng = np.random.default_rng(0)
+        h.access(trace.random_permutation(rng, 0, 4096, 8))
+        simulated = h.report().cache_stats["L2"].misses
+        assert simulated / 2 < predicted.level_misses("L2") < simulated * 2
+
+
+class TestRepeatedRandomAccess:
+    def test_fits_capped_by_lines(self):
+        region = DataRegion(64, 8)  # 512 B fits
+        cost = repeated_random_access(region, 10_000, TINY)
+        assert cost.level_misses("L2") == region.lines(64)
+
+    def test_few_accesses_capped_by_accesses(self):
+        region = DataRegion(64, 8)
+        cost = repeated_random_access(region, 3, TINY)
+        assert cost.level_misses("L2") == 3
+
+    def test_zero_accesses(self):
+        assert repeated_random_access(DataRegion(64, 8), 0,
+                                      TINY).misses == {}
+
+    def test_large_region_most_accesses_miss(self):
+        region = DataRegion(1 << 16, 8)  # 512 KB >> 4 KB
+        cost = repeated_random_access(region, 1000, TINY)
+        assert cost.level_misses("L2") > 900
+
+
+class TestInterleavedMultiCursor:
+    def test_few_cursors_behave_sequential(self):
+        region = DataRegion(4096, 8)
+        seq = sequential_traversal(region, TINY)
+        multi = interleaved_multi_cursor(region, 4, TINY)
+        assert multi.level_misses("L2") == seq.level_misses("L2")
+
+    def test_thrashing_zone_explodes(self):
+        region = DataRegion(4096, 8)
+        few = interleaved_multi_cursor(region, 4, TINY)
+        many = interleaved_multi_cursor(region, 1024, TINY)
+        assert many.level_misses("L2") > 5 * few.level_misses("L2")
+
+    def test_cost_monotone_in_cursors(self):
+        region = DataRegion(8192, 8)
+        costs = [interleaved_multi_cursor(region, h, SCALED_DEFAULT)
+                 .cycles(SCALED_DEFAULT)
+                 for h in (2, 8, 32, 256, 4096)]
+        assert costs == sorted(costs)
+
+    def test_simulator_agreement_sequential_zone(self):
+        """Within the stream budget, model ~ simulator on the scatter."""
+        n = 4096
+        region = DataRegion(n, 8)
+        predicted = interleaved_multi_cursor(region, 8, TINY)
+        # Simulate an 8-cursor scatter: values round-robin over 8
+        # regions of n/8 items each.
+        h = TINY.make_hierarchy()
+        part = np.arange(n) % 8
+        order = np.argsort(part, kind="stable")
+        dest = np.empty(n, dtype=np.int64)
+        dest[order] = np.arange(n)
+        h.access(dest * 8)
+        simulated = h.report().cache_stats["L2"].misses
+        predicted_l2 = predicted.level_misses("L2")
+        assert simulated / 2 < predicted_l2 < simulated * 2

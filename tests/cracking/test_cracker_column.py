@@ -1,0 +1,186 @@
+"""Tests for the cracker column."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cracking import CrackerColumn, FullSortIndex, ScanSelect
+
+
+def reference_select(values, lo, hi, lo_incl=True, hi_incl=False):
+    out = []
+    for i, v in enumerate(values):
+        if lo is not None and (v < lo or (v == lo and not lo_incl)):
+            continue
+        if hi is not None and (v > hi or (v == hi and not hi_incl)):
+            continue
+        out.append(i)
+    return out
+
+
+@pytest.fixture
+def column():
+    rng = np.random.default_rng(0)
+    return rng.integers(0, 1000, 500), None
+
+
+class TestSelect:
+    def test_basic_range(self):
+        values = np.asarray([13, 16, 4, 9, 2, 12, 7, 1, 19, 3])
+        col = CrackerColumn(values)
+        got = col.select_range(5, 14).tolist()
+        assert got == reference_select(values, 5, 14)
+        col.check_invariants()
+
+    def test_bounds_inclusive_variants(self):
+        values = np.asarray([1, 5, 5, 9])
+        for lo_incl in (True, False):
+            for hi_incl in (True, False):
+                col = CrackerColumn(values)
+                got = col.select_range(5, 9, lo_incl, hi_incl).tolist()
+                assert got == reference_select(values, 5, 9, lo_incl,
+                                               hi_incl)
+
+    def test_open_bounds(self):
+        values = np.asarray([4, 8, 1])
+        col = CrackerColumn(values)
+        assert col.select_range(lo=5).tolist() == [1]
+        assert col.select_range(hi=5).tolist() == [0, 2]
+        assert col.select_range().tolist() == [0, 1, 2]
+
+    def test_empty_range(self):
+        col = CrackerColumn(np.asarray([1, 2, 3]))
+        assert len(col.select_range(10, 20)) == 0
+
+    def test_empty_column(self):
+        col = CrackerColumn(np.asarray([], dtype=np.int64))
+        assert len(col.select_range(1, 2)) == 0
+
+    def test_duplicates(self):
+        values = np.asarray([5] * 10 + [3] * 5)
+        col = CrackerColumn(values)
+        assert col.select_range(5, 6).tolist() == list(range(10))
+
+
+class TestSelfOrganization:
+    def test_pieces_grow_with_queries(self):
+        rng = np.random.default_rng(1)
+        col = CrackerColumn(rng.integers(0, 10_000, 2000))
+        assert col.n_pieces() == 1
+        for lo in range(0, 9000, 1000):
+            col.select_range(lo, lo + 500)
+        assert col.n_pieces() > 10
+        col.check_invariants()
+
+    def test_work_converges(self):
+        """First query ~ a scan; later queries touch ever less — the
+        cracking convergence of E9."""
+        rng = np.random.default_rng(2)
+        n = 20_000
+        col = CrackerColumn(rng.integers(0, 1 << 30, n))
+        costs = []
+        for _ in range(60):
+            lo = int(rng.integers(0, (1 << 30) - (1 << 20)))
+            before = col.tuples_touched
+            col.select_range(lo, lo + (1 << 20))
+            costs.append(col.tuples_touched - before)
+        assert costs[0] >= n  # first query cracks the whole column
+        late = sum(costs[-10:]) / 10
+        assert late < costs[0] / 20  # converged
+
+    def test_repeated_query_is_free(self):
+        rng = np.random.default_rng(3)
+        col = CrackerColumn(rng.integers(0, 1000, 1000))
+        col.select_range(100, 200)
+        before = col.tuples_touched
+        col.select_range(100, 200)
+        assert col.tuples_touched == before
+
+    def test_cracks_counted(self):
+        col = CrackerColumn(np.arange(100)[::-1].copy())
+        col.select_range(10, 20)
+        assert col.cracks_performed == 2
+
+
+class TestTracedCracking:
+    def test_crack_pattern_is_scan_like(self):
+        """Cracking's memory pattern is two merged sequential streams:
+        its sequential-miss share stays high even while reorganizing."""
+        from repro.hardware import SCALED_DEFAULT
+        from repro.workloads import uniform_ints
+        h = SCALED_DEFAULT.make_hierarchy()
+        col = CrackerColumn(uniform_ints(1 << 14, seed=9), hierarchy=h)
+        col.select_range(1 << 28, 1 << 29)
+        stats = h.level("L2").stats
+        assert stats.misses > 0
+        assert stats.sequential_misses > stats.random_misses
+
+    def test_traced_results_match_untraced(self):
+        from repro.hardware import TINY
+        values = np.asarray([9, 2, 7, 4, 5])
+        plain = CrackerColumn(values)
+        traced = CrackerColumn(values, hierarchy=TINY.make_hierarchy())
+        assert plain.select_range(3, 8).tolist() == \
+            traced.select_range(3, 8).tolist()
+
+    def test_converged_queries_stop_touching_memory(self):
+        from repro.hardware import TINY
+        h = TINY.make_hierarchy()
+        col = CrackerColumn(np.arange(1000)[::-1].copy(), hierarchy=h)
+        col.select_range(100, 200)
+        cycles_after_crack = h.total_cycles
+        col.select_range(100, 200)  # already cracked: no reorganization
+        assert h.total_cycles == cycles_after_crack
+
+
+class TestBaselines:
+    def test_scan_matches_reference(self):
+        values = np.asarray([13, 16, 4, 9, 2])
+        scan = ScanSelect(values)
+        assert scan.select_range(4, 14).tolist() == \
+            reference_select(values, 4, 14)
+        assert scan.tuples_touched == 5
+
+    def test_sort_index_matches_reference(self):
+        rng = np.random.default_rng(4)
+        values = rng.integers(0, 100, 200)
+        index = FullSortIndex(values)
+        assert index.select_range(20, 60).tolist() == \
+            reference_select(values, 20, 60)
+
+    def test_sort_index_pays_upfront(self):
+        values = np.arange(1024)
+        index = FullSortIndex(values)
+        assert index.build_touched >= 1024 * 10
+
+    def test_all_three_agree(self):
+        rng = np.random.default_rng(5)
+        values = rng.integers(0, 500, 300)
+        cracker = CrackerColumn(values)
+        scan = ScanSelect(values)
+        index = FullSortIndex(values)
+        for lo, hi in [(0, 100), (250, 400), (450, 600), (90, 91)]:
+            expected = scan.select_range(lo, hi).tolist()
+            assert cracker.select_range(lo, hi).tolist() == expected
+            assert index.select_range(lo, hi).tolist() == expected
+        cracker.check_invariants()
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=100), max_size=80),
+       st.lists(st.tuples(st.integers(min_value=-5, max_value=105),
+                          st.integers(min_value=0, max_value=40)),
+                max_size=15))
+def test_property_cracking_select_equals_scan(values, queries):
+    """Any query sequence: cracked results == scan results, and the
+    cracker-index invariant holds throughout."""
+    arr = np.asarray(values, dtype=np.int64)
+    col = CrackerColumn(arr)
+    for lo, width in queries:
+        hi = lo + width
+        expected = reference_select(arr, lo, hi)
+        assert col.select_range(lo, hi).tolist() == expected
+        col.check_invariants()
+    # The data is a permutation of the original multiset.
+    assert sorted(col.values.tolist()) == sorted(values)
+    assert sorted(col.oids.tolist()) == list(range(len(values)))

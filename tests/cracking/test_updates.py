@@ -1,0 +1,119 @@
+"""Tests for cracking under updates."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cracking import CrackedStore
+
+
+class TestInsertDelete:
+    def test_insert_visible_immediately(self):
+        store = CrackedStore(np.asarray([10, 20, 30]),
+                             merge_threshold=100)
+        oids = store.insert([15, 25])
+        got = store.select_range(12, 27)
+        assert set(got.tolist()) == {1, oids[0], oids[1]}
+
+    def test_delete_hides_base_tuples(self):
+        store = CrackedStore(np.asarray([10, 20, 30]))
+        store.delete([1])
+        assert store.select_range(0, 100).tolist() == [0, 2]
+        assert len(store) == 2
+
+    def test_delete_pending_insert(self):
+        store = CrackedStore(np.asarray([10]), merge_threshold=100)
+        oids = store.insert([50])
+        store.delete(oids)
+        assert store.select_range(0, 100).tolist() == [0]
+
+    def test_unknown_delete_ignored(self):
+        store = CrackedStore(np.asarray([10]))
+        store.delete([999])
+        assert len(store) == 1
+
+    def test_merge_triggered_by_threshold(self):
+        store = CrackedStore(np.asarray([1, 2, 3]), merge_threshold=4)
+        store.insert([4, 5])
+        assert store.merges_performed == 0
+        store.insert([6, 7])
+        assert store.merges_performed == 1
+        assert store._pending_values == []
+
+
+class TestMergePreservesIndex:
+    def test_merge_keeps_cracker_invariant(self):
+        rng = np.random.default_rng(0)
+        store = CrackedStore(rng.integers(0, 1000, 500),
+                             merge_threshold=50)
+        # Crack a bit first.
+        store.select_range(100, 300)
+        store.select_range(600, 800)
+        pieces_before = store.n_pieces
+        store.insert(rng.integers(0, 1000, 60).tolist())  # forces merge
+        assert store.merges_performed == 1
+        store.check_invariants()
+        assert store.n_pieces == pieces_before  # index survived
+
+    def test_benefit_survives_update_load(self):
+        """E9's update claim: query work stays converged under a
+        stream of interleaved inserts."""
+        rng = np.random.default_rng(1)
+        n = 10_000
+        store = CrackedStore(rng.integers(0, 1 << 20, n),
+                             merge_threshold=256)
+        # Converge first.
+        for _ in range(40):
+            lo = int(rng.integers(0, (1 << 20) - 1000))
+            store.select_range(lo, lo + 1000)
+        converged = store.tuples_touched
+        # Now a high update load with interleaved queries.
+        for _ in range(40):
+            store.insert(rng.integers(0, 1 << 20, 64).tolist())
+            lo = int(rng.integers(0, (1 << 20) - 1000))
+            store.select_range(lo, lo + 1000)
+        per_query = (store.tuples_touched - converged) / 40
+        # Far below scan cost; merging kept the pieces.
+        assert per_query < n / 4
+        store.check_invariants()
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=60), min_size=1,
+                max_size=40),
+       st.lists(st.one_of(
+           st.tuples(st.just("q"), st.integers(0, 60),
+                     st.integers(0, 30)),
+           st.tuples(st.just("i"), st.integers(0, 60),
+                     st.integers(0, 60)),
+           st.tuples(st.just("d"), st.integers(0, 80),
+                     st.integers(0, 80))), max_size=25))
+def test_property_store_matches_naive_model(initial, operations):
+    """Random interleavings of queries, inserts, and deletes match a
+    naive dict model."""
+    store = CrackedStore(np.asarray(initial, dtype=np.int64),
+                         merge_threshold=7)
+    model = {i: v for i, v in enumerate(initial)}
+    next_oid = len(initial)
+    for op in operations:
+        if op[0] == "q":
+            _, lo, width = op
+            hi = lo + width
+            expected = sorted(o for o, v in model.items()
+                              if lo <= v < hi)
+            assert store.select_range(lo, hi).tolist() == expected
+        elif op[0] == "i":
+            _, a, b = op
+            oids = store.insert([a, b])
+            model[oids[0]] = a
+            model[oids[1]] = b
+            next_oid += 2
+        else:
+            _, x, y = op
+            store.delete([x, y])
+            model.pop(x, None)
+            model.pop(y, None)
+    store.merge()
+    store.check_invariants()
+    expected_all = sorted(model)
+    assert store.select_range().tolist() == expected_all

@@ -1,0 +1,164 @@
+"""Tests for baskets, windows, and the DataCell engine."""
+
+import numpy as np
+import pytest
+
+from repro.datacell import (
+    Basket,
+    ContinuousQuery,
+    DataCellEngine,
+    PredicateWindow,
+    SlidingCountWindow,
+    TumblingCountWindow,
+)
+
+
+class TestBasket:
+    def test_append_and_drain(self):
+        b = Basket(["ts", "v"], capacity=4)
+        b.append((1, 10))
+        b.append((2, 20))
+        cols = b.drain()
+        assert cols["v"].tolist() == [10, 20]
+        assert len(b) == 0
+        assert b.events_seen == 2
+
+    def test_full_flag(self):
+        b = Basket(["x"], capacity=2)
+        assert not b.full
+        b.append((1,))
+        b.append((2,))
+        assert b.full
+
+    def test_arity_checked(self):
+        b = Basket(["a", "b"], capacity=2)
+        with pytest.raises(ValueError):
+            b.append((1,))
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            Basket(["a"], capacity=0)
+
+
+class TestWindows:
+    def feed_all(self, window, columns, chunk=3):
+        fired = []
+        n = len(columns["v"])
+        for start in range(0, n, chunk):
+            part = {k: np.asarray(v[start:start + chunk])
+                    for k, v in columns.items()}
+            fired.extend(window.feed(part))
+        return fired
+
+    def test_tumbling(self):
+        window = TumblingCountWindow(4)
+        fired = self.feed_all(window, {"v": list(range(10))})
+        assert [f["v"].tolist() for f in fired] == [[0, 1, 2, 3],
+                                                    [4, 5, 6, 7]]
+
+    def test_tumbling_independent_of_chunking(self):
+        for chunk in (1, 2, 5, 10):
+            window = TumblingCountWindow(4)
+            fired = self.feed_all(window, {"v": list(range(10))},
+                                  chunk=chunk)
+            assert [f["v"].tolist() for f in fired] == [[0, 1, 2, 3],
+                                                        [4, 5, 6, 7]]
+
+    def test_sliding(self):
+        window = SlidingCountWindow(width=4, slide=2)
+        fired = self.feed_all(window, {"v": list(range(8))})
+        assert [f["v"].tolist() for f in fired] == [
+            [0, 1, 2, 3], [2, 3, 4, 5], [4, 5, 6, 7]]
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            TumblingCountWindow(0)
+        with pytest.raises(ValueError):
+            SlidingCountWindow(3, 0)
+
+    def test_predicate_window(self):
+        # Windows close at sentinel events (v == -1); members are
+        # positive values.
+        window = PredicateWindow(member=(">", "v", 0),
+                                 close=("==", "v", -1))
+        fired = self.feed_all(
+            window, {"v": [5, 0, 3, -1, 7, -1, 2]}, chunk=2)
+        assert [f["v"].tolist() for f in fired] == [[5, 3], [7]]
+
+
+class TestContinuousQuery:
+    def test_filter_aggregate_per_basket(self):
+        q = ContinuousQuery("hot", predicate=(">", "temp", 30),
+                            aggregate=("count", "temp"))
+        q.process({"temp": np.asarray([10, 35, 40, 20])})
+        q.process({"temp": np.asarray([50])})
+        assert q.results == [2, 1]
+
+    def test_no_match_emits_nothing(self):
+        q = ContinuousQuery("hot", predicate=(">", "temp", 100),
+                            aggregate=("count", "temp"))
+        q.process({"temp": np.asarray([1, 2])})
+        assert q.results == []
+
+    def test_unknown_aggregate(self):
+        with pytest.raises(KeyError):
+            ContinuousQuery("x", aggregate=("median", "v"))
+
+    def test_raw_event_emission(self):
+        q = ContinuousQuery("passthrough", predicate=("<", "v", 3))
+        q.process({"v": np.asarray([1, 5, 2])})
+        assert q.results[0]["v"].tolist() == [1, 2]
+
+    def test_windowed_aggregate(self):
+        q = ContinuousQuery("avg4", window=TumblingCountWindow(4),
+                            aggregate=("avg", "v"))
+        q.process({"v": np.asarray([1, 2, 3, 4, 5])})
+        q.process({"v": np.asarray([6, 7, 8])})
+        assert q.results == [2.5, 6.5]
+
+
+class TestEngine:
+    def run_stream(self, basket_size, events):
+        engine = DataCellEngine(["ts", "v"], basket_size=basket_size)
+        engine.register(ContinuousQuery(
+            "sums", predicate=(">", "v", 10),
+            window=TumblingCountWindow(8), aggregate=("sum", "v")))
+        engine.push_many(events)
+        engine.flush()
+        return engine.query("sums").results
+
+    def test_results_independent_of_basket_size(self):
+        """Basket (bulk) processing is an optimization, not a semantic
+        change: any basket size yields identical windows."""
+        rng = np.random.default_rng(0)
+        events = [(i, int(rng.integers(0, 100))) for i in range(500)]
+        reference = self.run_stream(1, events)
+        for size in (2, 7, 64, 512):
+            assert self.run_stream(size, events) == reference
+
+    def test_activation_amortization(self):
+        """Bigger baskets -> far fewer query activations for the same
+        events (E11's mechanism)."""
+        events = [(i, i % 50) for i in range(1024)]
+        engine1 = DataCellEngine(["ts", "v"], basket_size=1)
+        engine1.register(ContinuousQuery("c", aggregate=("count", "v")))
+        engine1.push_many(events)
+        engine_big = DataCellEngine(["ts", "v"], basket_size=256)
+        engine_big.register(ContinuousQuery("c", aggregate=("count", "v")))
+        engine_big.push_many(events)
+        q1 = engine1.query("c")
+        qb = engine_big.query("c")
+        assert q1.activations == 1024
+        assert qb.activations == 4
+        assert sum(q1.results) == sum(qb.results) == 1024
+
+    def test_unknown_query(self):
+        engine = DataCellEngine(["v"])
+        with pytest.raises(KeyError):
+            engine.query("ghost")
+
+    def test_flush_empty_is_noop(self):
+        engine = DataCellEngine(["v"], basket_size=4)
+        engine.register(ContinuousQuery("c", aggregate=("count", "v")))
+        engine.flush()
+        assert engine.query("c").results == []

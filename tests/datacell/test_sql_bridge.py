@@ -1,0 +1,71 @@
+"""Tests for SQL-driven continuous queries over baskets."""
+
+import numpy as np
+import pytest
+
+from repro.datacell import SQLStreamEngine
+
+
+def make_engine(basket_size=8):
+    engine = SQLStreamEngine([("ts", "int"), ("sensor", "int"),
+                              ("temp", "double")],
+                             basket_size=basket_size)
+    engine.register("alerts",
+                    "SELECT ts, temp FROM stream WHERE temp > 30")
+    engine.register("per_sensor",
+                    "SELECT sensor, count(*) FROM stream "
+                    "GROUP BY sensor ORDER BY sensor")
+    return engine
+
+
+EVENTS = [(i, i % 3, 20.0 + (i % 20)) for i in range(40)]
+
+
+class TestSQLBridge:
+    def test_alert_stream_matches_reference(self):
+        engine = make_engine()
+        engine.push_many(EVENTS)
+        engine.flush()
+        expected = [(ts, temp) for ts, _, temp in EVENTS if temp > 30]
+        assert engine.stream("alerts") == expected
+
+    def test_grouped_query_fires_per_basket(self):
+        engine = make_engine(basket_size=9)  # 3 sensors x 3 events
+        engine.push_many(EVENTS[:18])
+        assert engine.stream("per_sensor") == [(0, 3), (1, 3), (2, 3)] * 2
+        assert engine.baskets_processed == 2
+
+    def test_results_independent_of_basket_size(self):
+        outputs = []
+        for size in (1, 4, 40):
+            engine = make_engine(basket_size=size)
+            engine.push_many(EVENTS)
+            engine.flush()
+            outputs.append(engine.stream("alerts"))
+        assert outputs[0] == outputs[1] == outputs[2]
+
+    def test_duplicate_registration(self):
+        engine = make_engine()
+        with pytest.raises(ValueError):
+            engine.register("alerts", "SELECT ts FROM stream")
+
+    def test_unknown_stream(self):
+        with pytest.raises(KeyError):
+            make_engine().stream("ghost")
+
+    def test_flush_on_empty_basket(self):
+        engine = make_engine()
+        engine.flush()
+        assert engine.baskets_processed == 0
+
+    def test_predicate_window_in_sql(self):
+        """'General predicate based window processing': the window is
+        whatever the WHERE clause says, per basket."""
+        engine = SQLStreamEngine([("ts", "int"), ("v", "int")],
+                                 basket_size=10)
+        engine.register("band",
+                        "SELECT sum(v) FROM stream "
+                        "WHERE ts % 10 >= 2 AND ts % 10 < 5")
+        engine.push_many([(i, i) for i in range(30)])
+        sums = [row[0] for row in engine.stream("band")]
+        assert sums == [2 + 3 + 4, 12 + 13 + 14, 22 + 23 + 24]

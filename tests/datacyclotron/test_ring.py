@@ -1,0 +1,116 @@
+"""Tests for the DataCyclotron ring simulation."""
+
+import pytest
+
+from repro.datacyclotron import (
+    RingQuery,
+    run_centralized,
+    run_ring,
+)
+
+
+def full_scan_queries(n_queries, n_nodes, n_chunks, arrivals=0):
+    return [RingQuery("q{0}".format(i), home_node=i % n_nodes,
+                      chunks_needed=frozenset(range(n_chunks)),
+                      arrival_step=arrivals * i)
+            for i in range(n_queries)]
+
+
+class TestRing:
+    def test_single_query_latency_is_one_rotation(self):
+        queries = full_scan_queries(1, 4, 4)
+        result = run_ring(4, 4, queries)
+        # All chunks pass the home node within one full rotation.
+        assert queries[0].finish_step <= 4
+        assert result.steps <= 4
+
+    def test_all_queries_complete(self):
+        queries = full_scan_queries(12, 4, 8)
+        result = run_ring(4, 8, queries)
+        assert all(q.finish_step is not None for q in queries)
+        assert result.throughput_qps > 0
+
+    def test_partial_scans_finish_early(self):
+        q_small = RingQuery("small", 0, frozenset({0}))
+        q_big = RingQuery("big", 0, frozenset(range(8)))
+        run_ring(4, 8, [q_small, q_big])
+        assert q_small.finish_step <= q_big.finish_step
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_ring(0, 4, [])
+        with pytest.raises(ValueError):
+            RingQuery("empty", 0, frozenset())
+        with pytest.raises(ValueError):
+            run_ring(2, 2, [RingQuery("bad", 5, frozenset({0}))])
+        with pytest.raises(ValueError):
+            run_ring(2, 2, [RingQuery("bad", 0, frozenset({9}))])
+
+    def test_queries_ride_the_same_rotation(self):
+        """Many concurrent full scans finish in ~one rotation: the
+        ring's aggregate throughput scales with the query load."""
+        few = full_scan_queries(2, 8, 8)
+        many = full_scan_queries(64, 8, 8)
+        r_few = run_ring(8, 8, few)
+        r_many = run_ring(8, 8, many)
+        assert r_many.steps <= r_few.steps + 1
+        assert r_many.throughput_qps > 10 * r_few.throughput_qps
+
+
+class TestCentralized:
+    def test_in_memory_no_disk(self):
+        queries = full_scan_queries(3, 1, 4)
+        result = run_centralized(4, queries, memory_chunks=4)
+        assert result.disk_loads == 4  # cold loads only
+        assert all(q.finish_step is not None for q in queries)
+
+    def test_thrash_when_memory_short(self):
+        queries = full_scan_queries(3, 1, 8)
+        result = run_centralized(8, queries, memory_chunks=2)
+        assert result.disk_loads == 24  # every chunk reloaded per query
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_centralized(4, [], memory_chunks=0)
+
+
+class TestArchitectureComparison:
+    def test_ring_beats_centralized_beyond_single_node_memory(self):
+        """Section 6.2's 'obvious benefit': throughput, once the hot
+        set exceeds one node's memory."""
+        n_chunks = 16
+        n_queries = 32
+        ring_queries = full_scan_queries(n_queries, 8, n_chunks)
+        ring = run_ring(8, n_chunks, ring_queries, process_ms=1.0,
+                        transfer_ms=0.5)
+        central_queries = full_scan_queries(n_queries, 1, n_chunks)
+        central = run_centralized(n_chunks, central_queries,
+                                  memory_chunks=4, process_ms=1.0,
+                                  disk_ms=10.0)
+        assert ring.throughput_qps > 5 * central.throughput_qps
+
+    def test_ring_scales_with_nodes(self):
+        """Fixed CPU per node: more nodes, more aggregate throughput."""
+        n_chunks = 16
+        results = {}
+        for n_nodes in (2, 4, 8, 16):
+            queries = full_scan_queries(64, n_nodes, n_chunks)
+            results[n_nodes] = run_ring(
+                n_nodes, n_chunks, queries,
+                capacity_per_step=8).throughput_qps
+        assert results[4] > results[2]
+        assert results[16] > 2 * results[2]
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            run_ring(2, 2, full_scan_queries(1, 2, 2),
+                     capacity_per_step=0)
+
+    def test_cpu_bound_queries_catch_next_rotation(self):
+        # One CPU unit per step and two full scans homed at the SAME
+        # node: they must share rotations.
+        queries = [RingQuery("a", 0, frozenset(range(4))),
+                   RingQuery("b", 0, frozenset(range(4)))]
+        result = run_ring(4, 4, queries, capacity_per_step=1)
+        assert all(q.finish_step is not None for q in queries)
+        assert result.steps > 4

@@ -1,0 +1,112 @@
+"""Unit tests for the set-associative LRU cache simulation."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import Cache
+
+
+def make_cache(capacity=256, line=32, assoc=2, lat_r=100, lat_s=25):
+    return Cache("L", capacity, line, assoc, lat_r, lat_s)
+
+
+class TestConstruction:
+    def test_basic_geometry(self):
+        c = make_cache(capacity=256, line=32, assoc=2)
+        assert c.n_lines == 8
+        assert c.n_sets == 4
+
+    def test_capacity_must_be_line_multiple(self):
+        with pytest.raises(ValueError):
+            Cache("L", 100, 32, 2, 10)
+
+    def test_line_size_must_be_power_of_two(self):
+        with pytest.raises(ValueError):
+            Cache("L", 96, 24, 2, 10)
+
+    def test_overlarge_associativity_clamps_to_fully_associative(self):
+        c = Cache("L", 128, 32, 64, 10)
+        assert c.associativity == 4
+        assert c.n_sets == 1
+
+
+class TestAccess:
+    def test_cold_miss_then_hit(self):
+        c = make_cache()
+        misses = c.access_lines(np.array([5, 5, 5]))
+        assert list(misses) == [True, False, False]
+        assert c.stats.hits == 2
+        assert c.stats.misses == 1
+
+    def test_distinct_lines_all_cold_miss(self):
+        c = make_cache()
+        misses = c.access_lines(np.arange(8))
+        assert misses.all()
+        assert c.stats.misses == 8
+
+    def test_working_set_within_capacity_hits_on_second_round(self):
+        c = make_cache(capacity=256, line=32, assoc=8)  # fully associative
+        lines = np.arange(8)
+        c.access_lines(lines)
+        misses = c.access_lines(lines)
+        assert not misses.any()
+
+    def test_working_set_exceeding_capacity_thrashes(self):
+        c = make_cache(capacity=256, line=32, assoc=8)  # 8 lines, full assoc
+        lines = np.arange(9)  # one more than fits: LRU evicts in our face
+        c.access_lines(lines)
+        misses = c.access_lines(lines)
+        assert misses.all()
+
+    def test_lru_eviction_order(self):
+        c = Cache("L", 64, 32, 2, 10)  # one set of 2 ways per... 2 lines
+        c.access_lines(np.array([0, 2]))   # both map to set 0
+        c.access_lines(np.array([0]))      # touch 0: now 2 is LRU
+        c.access_lines(np.array([4]))      # evicts 2
+        assert c.contains_line(0)
+        assert not c.contains_line(2)
+        assert c.contains_line(4)
+
+    def test_set_conflict_despite_free_capacity(self):
+        # 4 sets x 2 ways; lines 0, 4, 8 all map to set 0 -> conflict.
+        c = make_cache(capacity=256, line=32, assoc=2)
+        c.access_lines(np.array([0, 4, 8]))
+        assert not c.contains_line(0)
+        assert c.contains_line(4)
+        assert c.contains_line(8)
+
+
+class TestMissClassification:
+    def test_sequential_scan_is_sequential_misses(self):
+        c = make_cache()
+        c.access_lines(np.arange(100))
+        # The very first miss has no predecessor: counted random.
+        assert c.stats.random_misses == 1
+        assert c.stats.sequential_misses == 99
+
+    def test_random_pattern_is_random_misses(self):
+        c = make_cache(capacity=256, line=32, assoc=8)
+        c.access_lines(np.array([100, 7, 900, 44, 5000]))
+        assert c.stats.random_misses == 5
+        assert c.stats.sequential_misses == 0
+
+    def test_miss_cycles_scoring(self):
+        c = make_cache(lat_r=100, lat_s=25)
+        c.access_lines(np.array([10, 11, 500]))  # rand, seq, rand
+        assert c.miss_cycles() == 100 + 25 + 100
+
+
+class TestReset:
+    def test_reset_clears_contents_and_stats(self):
+        c = make_cache()
+        c.access_lines(np.arange(4))
+        c.reset()
+        assert c.stats.accesses == 0
+        assert not c.contains_line(0)
+        assert c.access_lines(np.array([0]))[0]  # cold again
+
+    def test_stats_miss_ratio(self):
+        c = make_cache()
+        assert c.stats.miss_ratio == 0.0
+        c.access_lines(np.array([1, 1, 1, 1]))
+        assert c.stats.miss_ratio == 0.25

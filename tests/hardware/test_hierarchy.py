@@ -1,0 +1,180 @@
+"""Unit and property tests for the memory hierarchy."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hardware import (
+    Cache,
+    MemoryHierarchy,
+    TINY,
+    SCALED_DEFAULT,
+    PENTIUM4_XEON,
+    ITANIUM2,
+    TLB,
+    profile_by_name,
+    trace,
+)
+
+
+@pytest.fixture
+def tiny():
+    return TINY.make_hierarchy()
+
+
+class TestConstruction:
+    def test_requires_at_least_one_level(self):
+        with pytest.raises(ValueError):
+            MemoryHierarchy([])
+
+    def test_rejects_shrinking_line_sizes(self):
+        l1 = Cache("L1", 512, 64, 2, 10)
+        l2 = Cache("L2", 4096, 32, 4, 100)
+        with pytest.raises(ValueError):
+            MemoryHierarchy([l1, l2])
+
+    def test_level_lookup(self, tiny):
+        assert tiny.level("L2").capacity == 4096
+        with pytest.raises(KeyError):
+            tiny.level("L9")
+
+    def test_profiles_build(self):
+        for profile in (TINY, SCALED_DEFAULT, PENTIUM4_XEON, ITANIUM2):
+            h = profile.make_hierarchy()
+            assert h.total_cycles == 0
+        assert profile_by_name("tiny") is TINY
+        with pytest.raises(KeyError):
+            profile_by_name("cray")
+
+
+class TestAccessPath:
+    def test_sequential_scan_misses_once_per_line(self, tiny):
+        # 64 items x 8 bytes = 512 bytes = 16 L1 lines = 8 L2 lines.
+        tiny.access(trace.sequential(0, 64, 8))
+        rep = tiny.report()
+        assert rep.cache_stats["L1"].misses == 16
+        assert rep.cache_stats["L2"].misses == 8
+        assert rep.cache_stats["L1"].hits == 48
+
+    def test_l1_hit_does_not_reach_l2(self, tiny):
+        tiny.access(np.array([0, 0, 0, 0]))
+        rep = tiny.report()
+        assert rep.cache_stats["L2"].accesses == 1
+
+    def test_tlb_counts_pages(self, tiny):
+        # 256-byte pages; touch 4 pages sequentially.
+        tiny.access(trace.sequential(0, 4, 256))
+        assert tiny.tlb.stats.misses == 4
+
+    def test_empty_access_is_noop(self, tiny):
+        tiny.access(np.array([], dtype=np.int64))
+        assert tiny.accesses == 0
+
+    def test_rejects_2d(self, tiny):
+        with pytest.raises(ValueError):
+            tiny.access(np.zeros((2, 2), dtype=np.int64))
+
+    def test_cycles_accumulate(self, tiny):
+        tiny.access(trace.sequential(0, 64, 8))
+        assert tiny.memory_cycles > 0
+        assert tiny.tlb_cycles > 0
+        tiny.add_cpu_cycles(123)
+        assert tiny.total_cycles == tiny.memory_cycles + tiny.tlb_cycles + 123
+
+    def test_reset(self, tiny):
+        tiny.access(trace.sequential(0, 64, 8))
+        tiny.reset()
+        assert tiny.total_cycles == 0
+        assert tiny.accesses == 0
+
+    def test_report_delta(self, tiny):
+        tiny.access(trace.sequential(0, 64, 8))
+        before = tiny.report()
+        tiny.access(trace.sequential(0, 64, 8))  # all hot now
+        delta = tiny.report().delta(before)
+        assert delta.cache_stats["L1"].misses == 0
+        assert delta.accesses == 64
+        assert delta.memory_cycles == 0
+
+
+class TestLocalityEffects:
+    """The behaviours the paper's algorithms rely on."""
+
+    def test_random_access_to_large_region_thrashes_l2(self):
+        h = TINY.make_hierarchy()
+        rng = np.random.default_rng(1)
+        region_items = 4096  # 32 KB of 8-byte items >> 4 KB L2
+        addrs = trace.random_uniform(rng, 0, region_items, 2000, 8)
+        h.access(addrs)
+        rep = h.report()
+        assert rep.cache_stats["L2"].miss_ratio > 0.8
+
+    def test_random_access_within_cache_is_cheap_when_hot(self):
+        h = TINY.make_hierarchy()
+        rng = np.random.default_rng(1)
+        region_items = 256  # 2 KB fits in the 4 KB L2
+        warm = trace.sequential(0, region_items, 8)
+        h.access(warm)
+        before = h.report()
+        h.access(trace.random_uniform(rng, 0, region_items, 2000, 8))
+        delta = h.report().delta(before)
+        assert delta.cache_stats["L2"].misses == 0
+
+    def test_sequential_cheaper_than_random_at_equal_volume(self):
+        h_seq = TINY.make_hierarchy()
+        h_rnd = TINY.make_hierarchy()
+        n = 4096
+        h_seq.access(trace.sequential(0, n, 8))
+        rng = np.random.default_rng(2)
+        h_rnd.access(trace.random_uniform(rng, 0, n, n, 8))
+        assert h_seq.total_cycles < h_rnd.total_cycles
+
+    def test_bigger_cache_never_more_misses(self):
+        """Miss count is monotone non-increasing in capacity (full assoc)."""
+        rng = np.random.default_rng(3)
+        addrs = trace.random_uniform(rng, 0, 2048, 3000, 8)
+        misses = []
+        for cap in (512, 2048, 8192, 32768):
+            c = Cache("L", cap, 32, cap // 32, 100)
+            c.access_lines(addrs >> 5)
+            misses.append(c.stats.misses)
+        assert misses == sorted(misses, reverse=True)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=1 << 16),
+                min_size=1, max_size=300))
+def test_property_miss_counts_bounded(addresses):
+    """Misses never exceed accesses; cycles consistent with counters."""
+    h = TINY.make_hierarchy()
+    h.access(np.asarray(addresses, dtype=np.int64))
+    rep = h.report()
+    l1 = rep.cache_stats["L1"]
+    assert l1.accesses == len(trace.collapse_runs(
+        np.asarray(addresses, dtype=np.int64) >> 5)[0]) + \
+        (len(addresses) - len(trace.collapse_runs(
+            np.asarray(addresses, dtype=np.int64) >> 5)[0]))
+    assert rep.cache_stats["L2"].accesses == l1.misses
+    assert rep.memory_cycles == sum(
+        s.sequential_misses * c.miss_latency_sequential
+        + s.random_misses * c.miss_latency_random
+        for s, c in zip(rep.cache_stats.values(), h.caches))
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=1 << 14),
+                min_size=1, max_size=200))
+def test_property_repeating_a_hot_trace_is_free(addresses):
+    """Replaying a trace that fits in cache costs no further misses."""
+    addrs = np.asarray(sorted(set(addresses))[:64], dtype=np.int64)
+    if len(addrs) == 0:
+        return
+    h = TINY.make_hierarchy()
+    # Restrict to a region that fits L2 (4 KB) and the TLB reach (2 KB).
+    addrs = addrs % 2048
+    h.access(addrs)
+    before = h.report()
+    h.access(addrs)
+    h.access(addrs)
+    delta = h.report().delta(before)
+    assert delta.cache_stats["L2"].misses == 0

@@ -1,0 +1,59 @@
+"""Unit tests for the TLB simulation."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import TLB
+
+
+class TestTLB:
+    def test_page_size_power_of_two(self):
+        with pytest.raises(ValueError):
+            TLB(8, 1000, 30)
+
+    def test_hit_after_fill(self):
+        tlb = TLB(entries=4, page_size=256, miss_latency=30)
+        tlb.access_pages(np.array([1, 1, 2, 1]))
+        assert tlb.stats.misses == 2
+        assert tlb.stats.hits == 2
+
+    def test_lru_eviction(self):
+        tlb = TLB(entries=2, page_size=256, miss_latency=30)
+        tlb.access_pages(np.array([1, 2]))
+        tlb.access_pages(np.array([1]))   # 2 becomes LRU
+        tlb.access_pages(np.array([3]))   # evicts 2
+        tlb.access_pages(np.array([2]))
+        assert tlb.stats.misses == 4  # 1, 2, 3, 2-again
+        assert tlb.stats.hits == 1
+
+    def test_thrashing_when_regions_exceed_entries(self):
+        tlb = TLB(entries=4, page_size=256, miss_latency=30)
+        # Round-robin over 8 pages with only 4 entries: every access misses.
+        pattern = np.tile(np.arange(8), 10)
+        tlb.access_pages(pattern)
+        assert tlb.stats.misses == 80
+
+    def test_no_thrashing_within_reach(self):
+        tlb = TLB(entries=8, page_size=256, miss_latency=30)
+        pattern = np.tile(np.arange(8), 10)
+        tlb.access_pages(pattern)
+        assert tlb.stats.misses == 8
+        assert tlb.stats.hits == 72
+
+    def test_reach_and_cycles(self):
+        tlb = TLB(entries=8, page_size=256, miss_latency=30)
+        assert tlb.reach == 2048
+        tlb.access_pages(np.array([1, 2, 3]))
+        assert tlb.miss_cycles() == 90
+
+    def test_reset(self):
+        tlb = TLB(entries=2, page_size=256, miss_latency=30)
+        tlb.access_pages(np.array([1, 2]))
+        tlb.reset()
+        assert tlb.stats.accesses == 0
+        tlb.access_pages(np.array([1]))
+        assert tlb.stats.misses == 1
+
+    def test_miss_ratio_empty(self):
+        tlb = TLB(entries=2, page_size=256, miss_latency=30)
+        assert tlb.stats.miss_ratio == 0.0

@@ -1,0 +1,66 @@
+"""Unit tests for address-trace builders."""
+
+import numpy as np
+from hypothesis import given, strategies as st
+
+from repro.hardware import trace
+
+
+class TestBuilders:
+    def test_sequential(self):
+        addrs = trace.sequential(base=100, count=4, item_size=8)
+        assert list(addrs) == [100, 108, 116, 124]
+
+    def test_gather(self):
+        addrs = trace.gather(base=0, indexes=[3, 1, 2], item_size=4)
+        assert list(addrs) == [12, 4, 8]
+
+    def test_random_uniform_within_region(self):
+        rng = np.random.default_rng(0)
+        addrs = trace.random_uniform(rng, base=1000, region_items=10,
+                                     count=100, item_size=8)
+        assert addrs.min() >= 1000
+        assert addrs.max() <= 1000 + 9 * 8
+
+    def test_random_permutation_covers_region(self):
+        rng = np.random.default_rng(0)
+        addrs = trace.random_permutation(rng, base=0, region_items=16,
+                                         item_size=4)
+        assert sorted(addrs) == [i * 4 for i in range(16)]
+
+    def test_interleave(self):
+        merged = trace.interleave([0, 2, 4], [100, 102, 104])
+        assert list(merged) == [0, 100, 2, 102, 4, 104]
+
+    def test_interleave_rejects_ragged(self):
+        import pytest
+        with pytest.raises(ValueError):
+            trace.interleave([1, 2], [3])
+
+    def test_concat(self):
+        merged = trace.concat([1, 2], [3], [4, 5])
+        assert list(merged) == [1, 2, 3, 4, 5]
+
+
+class TestCollapseRuns:
+    def test_empty(self):
+        collapsed, removed = trace.collapse_runs(np.array([], dtype=np.int64))
+        assert len(collapsed) == 0
+        assert removed == 0
+
+    def test_collapses_adjacent_duplicates_only(self):
+        collapsed, removed = trace.collapse_runs(np.array([1, 1, 2, 1, 1, 1]))
+        assert list(collapsed) == [1, 2, 1]
+        assert removed == 3
+
+    @given(st.lists(st.integers(min_value=0, max_value=5), max_size=200))
+    def test_property_reconstructible(self, values):
+        arr = np.asarray(values, dtype=np.int64)
+        collapsed, removed = trace.collapse_runs(arr)
+        assert removed + len(collapsed) == len(arr)
+        # No two adjacent equal values survive.
+        assert not (collapsed[1:] == collapsed[:-1]).any()
+        # Order of first occurrences per run is preserved.
+        expected = [v for i, v in enumerate(values)
+                    if i == 0 or values[i - 1] != v]
+        assert list(collapsed) == expected

@@ -1,0 +1,135 @@
+"""Integration: cracking wired into the SQL engine via the optimizer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mal.optimizer import CRACKING_PIPELINE
+from repro.sql import Database
+from repro.workloads import uniform_ints
+
+
+def make_pair(n=2000, seed=0):
+    """A plain and a cracking database with identical contents."""
+    values = uniform_ints(n, 0, 1000, seed=seed)
+    plain = Database()
+    cracked = Database.with_cracking()
+    for db in (plain, cracked):
+        db.execute("CREATE TABLE t (v INT, tag VARCHAR)")
+        db.catalog.get("t").append_rows(
+            [(int(v), "x" if v % 2 else "y") for v in values])
+    return plain, cracked
+
+
+class TestRewrite:
+    def test_plan_uses_crackedselect(self):
+        _, cracked = make_pair(50)
+        plan = cracked.explain("SELECT v FROM t WHERE v > 100 AND v < 200")
+        assert "sql.crackedselect" in plan
+        assert "algebra.selectrange" not in plan.split("\n")[2]
+
+    def test_equality_select_rewritten(self):
+        _, cracked = make_pair(50)
+        plan = cracked.explain("SELECT v FROM t WHERE v = 7")
+        assert "sql.crackedselect" in plan
+
+    def test_string_select_falls_back_safely(self):
+        plain, cracked = make_pair(100)
+        q = "SELECT count(*) FROM t WHERE tag = 'x'"
+        assert cracked.execute(q).scalar() == plain.execute(q).scalar()
+
+    def test_chained_conjuncts_partially_rewritten(self):
+        _, cracked = make_pair(50)
+        # Only the first conjunct sees the raw tid candidates; later
+        # ones refine its output and stay on the plain path.
+        plan = cracked.explain(
+            "SELECT v FROM t WHERE v > 10 AND v % 2 = 0")
+        assert "sql.crackedselect" in plan
+
+
+class TestEquivalence:
+    def test_same_results_over_query_sequence(self):
+        plain, cracked = make_pair()
+        rng = np.random.default_rng(1)
+        for _ in range(30):
+            lo = int(rng.integers(0, 900))
+            q = ("SELECT v FROM t WHERE v >= {0} AND v < {1} "
+                 "ORDER BY v".format(lo, lo + 50))
+            assert cracked.query(q) == plain.query(q)
+
+    def test_cracker_actually_cracks(self):
+        _, cracked = make_pair()
+        for lo in (100, 300, 700):
+            cracked.execute(
+                "SELECT count(*) FROM t WHERE v >= {0} AND v < {1}"
+                .format(lo, lo + 50))
+        touched, pieces = cracked.catalog.get("t").cracker_stats("v")
+        assert pieces >= 4
+        assert touched > 0
+
+    def test_updates_stay_consistent(self):
+        plain, cracked = make_pair()
+        statements = [
+            "INSERT INTO t VALUES (150, 'new'), (151, 'new')",
+            "DELETE FROM t WHERE v = 150",
+            "UPDATE t SET v = v + 1 WHERE v >= 300 AND v < 310",
+        ]
+        probe = "SELECT count(*) FROM t WHERE v >= 100 AND v < 400"
+        for db in (plain, cracked):
+            db.execute(probe)
+        for stmt in statements:
+            for db in (plain, cracked):
+                db.execute(stmt)
+            assert cracked.execute(probe).scalar() == \
+                plain.execute(probe).scalar()
+
+    def test_transactions_bypass_shared_cracker(self):
+        plain, cracked = make_pair()
+        with cracked.begin() as txn:
+            txn.execute("INSERT INTO t VALUES (42, 'txn')")
+            inside = txn.execute(
+                "SELECT count(*) FROM t WHERE v = 42").scalar()
+            txn.abort()
+        with plain.begin() as txn:
+            txn.execute("INSERT INTO t VALUES (42, 'txn')")
+            assert txn.execute(
+                "SELECT count(*) FROM t WHERE v = 42").scalar() == inside
+            txn.abort()
+
+    def test_merge_deltas_resets_crackers(self):
+        _, cracked = make_pair(200)
+        cracked.execute("SELECT count(*) FROM t WHERE v > 500")
+        cracked.execute("DELETE FROM t WHERE v < 100")
+        table = cracked.catalog.get("t")
+        table.merge_deltas()
+        q = "SELECT count(*) FROM t WHERE v > 500"
+        before = cracked.execute(q).scalar()
+        assert cracked.execute(q).scalar() == before  # still consistent
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.integers(0, 100), min_size=1, max_size=60),
+       st.lists(st.tuples(st.sampled_from(["q", "i", "d"]),
+                          st.integers(0, 100), st.integers(0, 30)),
+                max_size=12))
+def test_property_cracked_engine_equals_plain_engine(values, ops):
+    plain = Database()
+    cracked = Database.with_cracking()
+    for db in (plain, cracked):
+        db.execute("CREATE TABLE t (v INT)")
+        db.catalog.get("t").append_rows([(int(v),) for v in values])
+    for kind, a, b in ops:
+        if kind == "q":
+            q = ("SELECT v FROM t WHERE v >= {0} AND v < {1} "
+                 "ORDER BY v".format(a, a + b))
+            assert cracked.query(q) == plain.query(q)
+        elif kind == "i":
+            stmt = "INSERT INTO t VALUES ({0}), ({1})".format(a, a + b)
+            plain.execute(stmt)
+            cracked.execute(stmt)
+        else:
+            stmt = "DELETE FROM t WHERE v = {0}".format(a)
+            plain.execute(stmt)
+            cracked.execute(stmt)
+    final = "SELECT v FROM t ORDER BY v"
+    assert cracked.query(final) == plain.query(final)

@@ -1,0 +1,106 @@
+"""Integration: catalogued join indices turn joins into fetches."""
+
+import numpy as np
+import pytest
+
+from repro.sql import Database
+from repro.workloads import StarSchema
+
+
+def make_pair(n_sales=2000, seed=0):
+    """Two identical star-schema databases, one with a join index."""
+    schema = StarSchema(n_sales=n_sales, seed=seed)
+    plain = schema.populate(Database())
+    indexed = schema.populate(Database())
+    indexed.catalog.declare_join_index("sales", "item_id",
+                                       "items", "item_id")
+    return plain, indexed
+
+
+QUERIES = [
+    "SELECT category, sum(qty) FROM sales JOIN items "
+    "ON sales.item_id = items.item_id GROUP BY category ORDER BY category",
+    "SELECT price FROM sales JOIN items ON sales.item_id = items.item_id "
+    "WHERE qty > 15 ORDER BY price LIMIT 5",
+    "SELECT count(*) FROM sales JOIN items "
+    "ON sales.item_id = items.item_id WHERE category = 3",
+]
+
+
+class TestJoinIndex:
+    def test_declaration_validates_columns(self):
+        plain, indexed = make_pair(50)
+        with pytest.raises(KeyError):
+            indexed.catalog.declare_join_index("sales", "ghost",
+                                               "items", "item_id")
+
+    def test_plan_uses_index(self):
+        _, indexed = make_pair(50)
+        plan = indexed.explain(QUERIES[0])
+        assert "sql.joinindex" in plan
+        assert "algebra.join" not in plan
+
+    def test_plain_plan_does_not(self):
+        plain, _ = make_pair(50)
+        assert "sql.joinindex" not in plain.explain(QUERIES[0])
+
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_identical_results(self, query):
+        plain, indexed = make_pair()
+        assert indexed.query(query) == plain.query(query)
+
+    def test_mapping_contents(self):
+        _, indexed = make_pair(100)
+        mapping = indexed.catalog.join_index("sales", "item_id",
+                                             "items", "item_id")
+        sales = indexed.catalog.get("sales")
+        items = indexed.catalog.get("items")
+        for row in range(20):
+            target = int(mapping.tail[row])
+            assert items.row(target)[0] == sales.row(row)[0]
+
+    def test_index_rebuilds_after_updates(self):
+        plain, indexed = make_pair(500)
+        for db in (plain, indexed):
+            db.execute("DELETE FROM items WHERE item_id = 7")
+            db.execute("INSERT INTO items VALUES (7, 99, 1.25)")
+            db.execute("UPDATE sales SET qty = qty + 1 WHERE item_id = 3")
+        for query in QUERIES:
+            assert indexed.query(query) == plain.query(query)
+
+    def test_deleted_pk_rows_drop_matches(self):
+        plain, indexed = make_pair(500)
+        for db in (plain, indexed):
+            db.execute("DELETE FROM items WHERE item_id < 10")
+        q = ("SELECT count(*) FROM sales JOIN items "
+             "ON sales.item_id = items.item_id")
+        assert indexed.execute(q).scalar() == plain.execute(q).scalar()
+
+    def test_index_cached_until_version_changes(self):
+        _, indexed = make_pair(200)
+        first = indexed.catalog.join_index("sales", "item_id",
+                                           "items", "item_id")
+        again = indexed.catalog.join_index("sales", "item_id",
+                                           "items", "item_id")
+        assert first is again
+        indexed.execute("INSERT INTO sales VALUES (1, 1, 1, 1)")
+        rebuilt = indexed.catalog.join_index("sales", "item_id",
+                                             "items", "item_id")
+        assert rebuilt is not first
+        assert len(rebuilt) == len(first) + 1
+
+    def test_join_index_inside_transaction(self):
+        plain, indexed = make_pair(300)
+        q = QUERIES[2]
+        with indexed.begin() as txn_i, plain.begin() as txn_p:
+            txn_i.execute("INSERT INTO sales VALUES (3, 1, 5, 1)")
+            txn_p.execute("INSERT INTO sales VALUES (3, 1, 5, 1)")
+            assert txn_i.execute(q).scalar() == txn_p.execute(q).scalar()
+            txn_i.abort()
+            txn_p.abort()
+
+    def test_undeclared_index_raises(self):
+        plain, _ = make_pair(50)
+        with pytest.raises(KeyError):
+            plain.catalog.join_index("sales", "item_id",
+                                     "items", "item_id")

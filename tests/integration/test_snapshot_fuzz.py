@@ -1,0 +1,82 @@
+"""Property tests for snapshot isolation under concurrent activity."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sql import Database
+
+
+def fresh_db(values):
+    db = Database()
+    db.execute("CREATE TABLE t (v INT)")
+    if values:
+        db.catalog.get("t").append_rows([(int(v),) for v in values])
+    return db
+
+
+operation = st.one_of(
+    st.tuples(st.just("outside_insert"), st.integers(0, 50)),
+    st.tuples(st.just("outside_delete"), st.integers(0, 50)),
+    st.tuples(st.just("txn_insert"), st.integers(0, 50)),
+    st.tuples(st.just("txn_delete"), st.integers(0, 50)),
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(0, 50), max_size=20),
+       st.lists(operation, max_size=12))
+def test_property_snapshot_reads_are_frozen_plus_own_writes(initial, ops):
+    """At every point, the transaction sees exactly: the initial rows,
+    minus its own deletes, plus its own inserts — never any concurrent
+    (outside) activity."""
+    db = fresh_db(initial)
+    txn = db.begin()
+    txn.execute("SELECT count(*) FROM t")  # pin the snapshot
+    model = sorted(initial)  # what the txn should see
+    outside_model = sorted(initial)
+    for kind, value in ops:
+        if kind == "outside_insert":
+            db.execute("INSERT INTO t VALUES ({0})".format(value))
+            outside_model.append(value)
+        elif kind == "outside_delete":
+            removed = db.execute(
+                "DELETE FROM t WHERE v = {0}".format(value))
+            outside_model = [v for v in outside_model if v != value]
+        elif kind == "txn_insert":
+            txn.execute("INSERT INTO t VALUES ({0})".format(value))
+            model.append(value)
+        else:
+            txn.execute("DELETE FROM t WHERE v = {0}".format(value))
+            model = [v for v in model if v != value]
+        seen = [r[0] for r in
+                txn.execute("SELECT v FROM t ORDER BY v").rows()]
+        assert seen == sorted(model)
+        outside_seen = [r[0] for r in
+                        db.query("SELECT v FROM t ORDER BY v")]
+        assert outside_seen == sorted(outside_model)
+    txn.abort()
+    # Abort leaves only the outside state.
+    assert [r[0] for r in db.query("SELECT v FROM t ORDER BY v")] == \
+        sorted(outside_model)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(0, 30), max_size=15),
+       st.lists(st.integers(0, 30), min_size=1, max_size=8),
+       st.lists(st.integers(0, 30), min_size=1, max_size=8))
+def test_property_append_only_commits_merge(initial, txn_a_vals,
+                                            txn_b_vals):
+    """Two concurrent append-only transactions both commit, and the
+    final state is the union — appends never conflict."""
+    db = fresh_db(initial)
+    a = db.begin()
+    b = db.begin()
+    for v in txn_a_vals:
+        a.execute("INSERT INTO t VALUES ({0})".format(v))
+    for v in txn_b_vals:
+        b.execute("INSERT INTO t VALUES ({0})".format(v))
+    a.commit()
+    b.commit()
+    final = [r[0] for r in db.query("SELECT v FROM t ORDER BY v")]
+    assert final == sorted(initial + txn_a_vals + txn_b_vals)

@@ -1,0 +1,152 @@
+"""Tests for simple and radix-partitioned hash joins."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import BAT, algebra
+from repro.hardware import TINY, SCALED_DEFAULT
+from repro.joins import (
+    partitioned_hash_join,
+    plan_partitioning,
+    simple_hash_join,
+)
+
+
+def reference_pairs(left, right):
+    lc, rc = algebra.nested_loop_join(
+        BAT.from_values(list(left)), BAT.from_values(list(right)))
+    return sorted(zip(lc.decoded(), rc.decoded()))
+
+
+class TestSimpleHashJoin:
+    def test_basic_match(self):
+        res = simple_hash_join(np.array([1, 2, 3]), np.array([3, 1, 1]))
+        assert sorted(res.pairs()) == [(0, 1), (0, 2), (2, 0)]
+
+    def test_empty_sides(self):
+        assert len(simple_hash_join(np.array([], dtype=np.int64),
+                                    np.array([1]))) == 0
+        assert len(simple_hash_join(np.array([1]),
+                                    np.array([], dtype=np.int64))) == 0
+
+    def test_probe_order_preserved(self):
+        res = simple_hash_join(np.array([5, 1, 5]), np.array([5, 9]))
+        assert res.left_positions.tolist() == [0, 2]
+
+    def test_trace_random_pattern_thrashes_when_table_large(self):
+        rng = np.random.default_rng(0)
+        n = 4096  # hash table 4096*8 = 32 KB >> 4 KB TINY L2
+        right = rng.permutation(n)
+        left = rng.permutation(n)
+        h = TINY.make_hierarchy()
+        simple_hash_join(left, right, hierarchy=h)
+        l2 = h.level("L2").stats
+        assert l2.miss_ratio > 0.5
+
+    def test_trace_cheap_when_table_fits(self):
+        rng = np.random.default_rng(0)
+        n = 64  # table fits TINY L2 easily
+        right = rng.permutation(n)
+        left = rng.permutation(n)
+        h = TINY.make_hierarchy()
+        simple_hash_join(left, right, hierarchy=h)
+        # Beyond cold misses, the table stays resident.
+        assert h.level("L2").stats.misses < 3 * n
+
+    def test_cpu_optimization_flag(self):
+        rng = np.random.default_rng(0)
+        values = rng.permutation(512)
+        h_fast = TINY.make_hierarchy()
+        simple_hash_join(values, values, hierarchy=h_fast,
+                         cpu_optimized=True)
+        h_slow = TINY.make_hierarchy()
+        simple_hash_join(values, values, hierarchy=h_slow,
+                         cpu_optimized=False)
+        assert h_slow.cpu_cycles > h_fast.cpu_cycles
+        assert h_slow.memory_cycles == h_fast.memory_cycles
+
+
+class TestPartitionedHashJoin:
+    def test_matches_reference(self):
+        rng = np.random.default_rng(1)
+        left = rng.integers(0, 50, 80)
+        right = rng.integers(0, 50, 60)
+        res = partitioned_hash_join(left, right, bits=3, passes=1)
+        assert sorted(zip(res.left_positions.tolist(),
+                          res.right_positions.tolist())) == \
+            reference_pairs(left, right)
+
+    def test_multi_pass_matches_reference(self):
+        rng = np.random.default_rng(2)
+        left = rng.integers(0, 1 << 20, 200)
+        right = rng.integers(0, 1 << 20, 150)
+        res = partitioned_hash_join(left, right, bits=6, passes=[3, 3])
+        assert sorted(zip(res.left_positions.tolist(),
+                          res.right_positions.tolist())) == \
+            reference_pairs(left, right)
+
+    def test_auto_plan(self):
+        rng = np.random.default_rng(3)
+        keys = rng.permutation(4096)
+        res = partitioned_hash_join(keys, keys, profile=TINY)
+        assert len(res) == 4096
+        assert np.array_equal(keys[res.left_positions],
+                              keys[res.right_positions])
+
+    def test_empty(self):
+        res = partitioned_hash_join(np.array([], dtype=np.int64),
+                                    np.array([], dtype=np.int64),
+                                    bits=2, passes=1)
+        assert len(res) == 0
+
+    def test_beats_simple_join_beyond_cache(self):
+        """The order-of-magnitude claim of Section 4.2, in miniature."""
+        rng = np.random.default_rng(4)
+        n = 1 << 15  # 256 KB of keys >> the 64 KB scaled L2
+        right = rng.permutation(n)
+        left = rng.permutation(n)
+        h_simple = SCALED_DEFAULT.make_hierarchy()
+        simple_hash_join(left, right, hierarchy=h_simple)
+        h_part = SCALED_DEFAULT.make_hierarchy()
+        partitioned_hash_join(left, right, hierarchy=h_part,
+                              profile=SCALED_DEFAULT)
+        assert h_part.total_cycles < h_simple.total_cycles / 2.5
+
+
+class TestPlanPartitioning:
+    def test_small_relation_needs_no_partitioning(self):
+        plan = plan_partitioning(8, profile=TINY)
+        assert plan.bits == 0
+
+    def test_bits_grow_with_relation(self):
+        small = plan_partitioning(1 << 10, profile=SCALED_DEFAULT)
+        large = plan_partitioning(1 << 16, profile=SCALED_DEFAULT)
+        assert large.bits > small.bits
+
+    def test_per_pass_bits_bounded_by_tlb(self):
+        plan = plan_partitioning(1 << 22, profile=SCALED_DEFAULT)
+        max_bits = int(np.log2(SCALED_DEFAULT.tlb.entries))
+        assert all(b <= max_bits for b in plan.pass_bits)
+        assert sum(plan.pass_bits) == plan.bits
+
+    def test_cluster_fits_target_cache(self):
+        plan = plan_partitioning(1 << 16, item_size=8,
+                                 profile=SCALED_DEFAULT)
+        cluster_bytes = (1 << 16) * 8 / plan.n_clusters
+        assert cluster_bytes <= SCALED_DEFAULT.cache("L1").capacity
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=100), max_size=60),
+       st.lists(st.integers(min_value=0, max_value=100), max_size=60),
+       st.integers(min_value=0, max_value=5),
+       st.integers(min_value=1, max_value=3))
+def test_property_partitioned_join_equals_nested_loop(lvals, rvals, bits,
+                                                      passes):
+    left = np.asarray(lvals, dtype=np.int64)
+    right = np.asarray(rvals, dtype=np.int64)
+    res = partitioned_hash_join(left, right, bits=bits, passes=passes)
+    assert sorted(zip(res.left_positions.tolist(),
+                      res.right_positions.tolist())) == \
+        reference_pairs(left, right)

@@ -1,0 +1,147 @@
+"""Unit and property tests for multi-pass radix-cluster."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hardware import TINY
+from repro.joins import radix_bits, radix_cluster
+from repro.joins.radix_cluster import split_bits
+
+
+class TestSplitBits:
+    def test_even(self):
+        assert split_bits(6, 2) == [3, 3]
+
+    def test_leftmost_heavy(self):
+        assert split_bits(7, 2) == [4, 3]
+        assert split_bits(8, 3) == [3, 3, 2]
+
+    def test_single_pass(self):
+        assert split_bits(5, 1) == [5]
+
+    def test_more_passes_than_bits(self):
+        assert split_bits(2, 5) == [1, 1]
+
+    def test_zero_passes_rejected(self):
+        with pytest.raises(ValueError):
+            split_bits(4, 0)
+
+
+class TestFigure2:
+    """The paper's Figure 2: 2-pass radix-cluster, B=3, H=8."""
+
+    VALUES = [92, 57, 17, 81, 66, 6, 96, 75, 3, 20, 37, 47]
+
+    def test_final_clusters_match_low_bits(self):
+        out = radix_cluster(np.array(self.VALUES), bits=3, passes=[2, 1])
+        radices = radix_bits(out.values, 3)
+        # Clusters appear in radix order, consecutively.
+        assert list(radices) == sorted(radices)
+
+    def test_cluster_contents(self):
+        out = radix_cluster(np.array(self.VALUES), bits=3, passes=[2, 1])
+        for c in range(8):
+            expected = {v for v in self.VALUES if v & 7 == c}
+            assert set(out.cluster(c).tolist()) == expected
+
+    def test_all_clusters_partition_input(self):
+        out = radix_cluster(np.array(self.VALUES), bits=3, passes=[2, 1])
+        assert sorted(out.values.tolist()) == sorted(self.VALUES)
+        for c in range(8):
+            assert all(v & 7 == c for v in out.cluster(c))
+
+    def test_offsets_consistent(self):
+        out = radix_cluster(np.array(self.VALUES), bits=3, passes=2)
+        assert out.offsets[0] == 0
+        assert out.offsets[-1] == len(self.VALUES)
+        assert out.n_clusters == 8
+
+
+class TestBasics:
+    def test_zero_bits_is_identity(self):
+        values = np.array([5, 3, 1])
+        out = radix_cluster(values, bits=0)
+        assert out.values.tolist() == [5, 3, 1]
+        assert out.n_clusters == 1
+
+    def test_permutation_reconstructs(self):
+        rng = np.random.default_rng(0)
+        values = rng.integers(0, 1000, 200)
+        out = radix_cluster(values, bits=4, passes=2)
+        assert np.array_equal(out.values, values[out.permutation])
+
+    def test_pass_split_does_not_change_result_clusters(self):
+        rng = np.random.default_rng(1)
+        values = rng.integers(0, 1 << 20, 500)
+        single = radix_cluster(values, bits=6, passes=1)
+        multi = radix_cluster(values, bits=6, passes=3)
+        for c in range(64):
+            assert sorted(single.cluster(c)) == sorted(multi.cluster(c))
+
+    def test_explicit_pass_bits_must_sum(self):
+        with pytest.raises(ValueError):
+            radix_cluster(np.arange(8), bits=4, passes=[1, 1])
+
+    def test_custom_hash(self):
+        values = np.array([10, 11, 12, 13])
+        out = radix_cluster(values, bits=1,
+                            hash_fn=lambda v: v >> 1)
+        assert set(out.cluster(0)) <= {10, 11, 12, 13}
+        for c in range(2):
+            assert all((v >> 1) & 1 == c for v in out.cluster(c))
+
+
+class TestTraces:
+    def test_trace_accounts_accesses(self):
+        h = TINY.make_hierarchy()
+        values = np.arange(256)
+        radix_cluster(values, bits=2, passes=1, hierarchy=h)
+        # Count scan (n) + scatter (2n reads+writes).
+        assert h.accesses == 3 * 256
+        assert h.cpu_cycles > 0
+
+    def test_multipass_traces_more_passes(self):
+        values = np.arange(256)
+        h1 = TINY.make_hierarchy()
+        radix_cluster(values, bits=4, passes=1, hierarchy=h1)
+        h2 = TINY.make_hierarchy()
+        radix_cluster(values, bits=4, passes=2, hierarchy=h2)
+        assert h2.accesses == 2 * h1.accesses
+
+    def test_thrashing_shape(self):
+        """The E1 effect in miniature: with H far beyond the TLB entries
+        and cache lines, one-pass clustering misses much more than
+        two-pass on the same total bits."""
+        rng = np.random.default_rng(2)
+        values = rng.integers(0, 1 << 30, 4096)
+        h1 = TINY.make_hierarchy()
+        radix_cluster(values, bits=8, passes=1, hierarchy=h1)
+        h2 = TINY.make_hierarchy()
+        radix_cluster(values, bits=8, passes=[4, 4], hierarchy=h2)
+        # Two passes move the data twice but avoid thrashing: fewer
+        # random L2 misses per pass and a lower total cost.
+        assert h2.total_cycles < h1.total_cycles
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=1 << 31),
+                min_size=1, max_size=200),
+       st.integers(min_value=0, max_value=6),
+       st.integers(min_value=1, max_value=3))
+def test_property_cluster_invariants(values, bits, passes):
+    arr = np.asarray(values, dtype=np.int64)
+    out = radix_cluster(arr, bits=bits, passes=passes)
+    # Permutation is a bijection.
+    assert sorted(out.permutation.tolist()) == list(range(len(arr)))
+    # Output is input permuted.
+    assert np.array_equal(out.values, arr[out.permutation])
+    # Each cluster holds exactly the values with its radix.
+    radices = radix_bits(arr, bits)
+    for c in range(out.n_clusters):
+        expected = sorted(arr[radices == c].tolist())
+        assert sorted(out.cluster(c).tolist()) == expected
+    # Clustering is stable within clusters (counting sort property).
+    for c in range(out.n_clusters):
+        positions = out.cluster_positions(c)
+        assert positions.tolist() == sorted(positions.tolist())

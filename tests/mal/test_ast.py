@@ -1,0 +1,72 @@
+"""Unit tests for the MAL program representation."""
+
+import pytest
+
+from repro.mal import Const, MALInstruction, MALProgram, Var
+
+
+class TestInstruction:
+    def test_rejects_raw_arguments(self):
+        with pytest.raises(TypeError):
+            MALInstruction(("x",), "algebra.select", ("not-wrapped",))
+
+    def test_arg_vars(self):
+        i = MALInstruction(("x",), "op.f", (Var("a"), Const(1), Var("b")))
+        assert i.arg_vars == ("a", "b")
+
+    def test_signature_distinguishes_const_and_var(self):
+        a = MALInstruction(("x",), "op.f", (Var("v"),))
+        b = MALInstruction(("y",), "op.f", (Const("v"),))
+        assert a.signature() != b.signature()
+
+    def test_signature_ignores_result_names(self):
+        a = MALInstruction(("x",), "op.f", (Var("v"),))
+        b = MALInstruction(("y",), "op.f", (Var("v"),))
+        assert a.signature() == b.signature()
+
+    def test_str_single_result(self):
+        i = MALInstruction(("x",), "algebra.select", (Var("age"), Const(1927)))
+        assert str(i) == "x := algebra.select(age, 1927);"
+
+    def test_str_multi_result_and_string_const(self):
+        i = MALInstruction(("a", "b"), "algebra.join",
+                           (Var("l"), Const("x")))
+        assert str(i) == '(a, b) := algebra.join(l, "x");'
+
+    def test_str_nil_and_bool(self):
+        i = MALInstruction(("x",), "op.f", (Const(None), Const(True)))
+        assert "nil" in str(i)
+        assert "true" in str(i)
+
+
+class TestProgram:
+    def test_append_builder(self):
+        p = MALProgram()
+        p.append(("x",), "algebra.select", (Var("c"), Const(3)))
+        assert len(p) == 1
+
+    def test_validate_def_before_use(self):
+        p = MALProgram()
+        p.append(("x",), "op.f", (Var("ghost"),))
+        with pytest.raises(ValueError):
+            p.validate()
+
+    def test_validate_returns_defined(self):
+        p = MALProgram(returns=("nope",))
+        with pytest.raises(ValueError):
+            p.validate()
+
+    def test_copy_is_deep_for_instructions(self):
+        p = MALProgram()
+        p.append(("x",), "language.pass", (Const(1),))
+        q = p.copy()
+        q.instructions[0].recycle = True
+        assert not p.instructions[0].recycle
+
+    def test_str_roundtrippable_shape(self):
+        p = MALProgram(name="q1")
+        p.append(("x",), "language.pass", (Const(1),))
+        p.returns = ("x",)
+        text = str(p)
+        assert "function q1():" in text
+        assert "return x;" in text

@@ -1,0 +1,181 @@
+"""Unit tests for the MAL interpreter."""
+
+import pytest
+
+from repro.core import BAT
+from repro.mal import Const, Interpreter, MALProgram, Var, parse_program
+
+
+class FakeCatalog:
+    """Minimal catalog: {table: {column: BAT}}."""
+
+    def __init__(self, tables):
+        self.tables = tables
+
+    def bind(self, table, column):
+        return self.tables[table][column]
+
+    def count(self, table):
+        columns = self.tables[table]
+        return len(next(iter(columns.values())))
+
+
+@pytest.fixture
+def people():
+    return FakeCatalog({
+        "people": {
+            "age": BAT.from_values([1907, 1927, 1927, 1968]),
+            "name": BAT.from_values(["john", "roger", "bob", "will"]),
+        }
+    })
+
+
+class TestExecution:
+    def test_figure1_query(self, people):
+        """The paper's Figure 1: select(age, 1927) + name projection."""
+        program = parse_program('''
+        age := sql.bind("people", "age");
+        cand := algebra.select(age, 1927);
+        name := sql.bind("people", "name");
+        res := algebra.leftfetchjoin(cand, name);
+        return res;
+        ''')
+        result = Interpreter(people).run_single(program)
+        assert result.decoded() == ["roger", "bob"]
+
+    def test_multi_result_instruction(self, people):
+        program = parse_program('''
+        a := sql.bind("people", "age");
+        (s, perm) := algebra.sort(a);
+        return s;
+        ''')
+        result = Interpreter(people).run_single(program)
+        assert result.decoded() == [1907, 1927, 1927, 1968]
+
+    def test_scalar_aggregate(self, people):
+        program = parse_program('''
+        a := sql.bind("people", "age");
+        s := aggr.sum(a);
+        return s;
+        ''')
+        assert Interpreter(people).run_single(program) == 7729
+
+    def test_sql_count(self, people):
+        program = parse_program('''
+        n := sql.count("people");
+        return n;
+        ''')
+        assert Interpreter(people).run_single(program) == 4
+
+    def test_language_pass(self):
+        program = parse_program('''
+        a := language.pass(42);
+        return a;
+        ''')
+        assert Interpreter().run_single(program) == 42
+
+    def test_bindings_injection(self):
+        program = MALProgram(returns=("y",))
+        program.append(("y",), "language.pass", (Var("x"),))
+        out = Interpreter().run(program, bindings={"x": 7})
+        assert out == {"y": 7}
+
+    def test_undefined_variable(self):
+        program = MALProgram(returns=("y",))
+        program.append(("y",), "language.pass", (Var("nope"),))
+        with pytest.raises(NameError):
+            Interpreter().run(program)
+
+    def test_bind_without_catalog(self):
+        program = parse_program('a := sql.bind("t", "c");\nreturn a;')
+        with pytest.raises(RuntimeError):
+            Interpreter().run(program)
+
+    def test_unknown_op(self):
+        program = MALProgram(returns=("y",))
+        program.append(("y",), "warp.drive", (Const(1),))
+        with pytest.raises(KeyError):
+            Interpreter().run(program)
+
+    def test_run_single_requires_one_return(self, people):
+        program = parse_program('''
+        a := sql.bind("people", "age");
+        (s, perm) := algebra.sort(a);
+        return s, perm;
+        ''')
+        with pytest.raises(ValueError):
+            Interpreter(people).run_single(program)
+
+
+class TestStats:
+    def test_materialization_accounting(self, people):
+        program = parse_program('''
+        age := sql.bind("people", "age");
+        cand := algebra.select(age, 1927);
+        return cand;
+        ''')
+        interp = Interpreter(people)
+        interp.run(program)
+        # sql.bind returns the 4-tuple column; select materializes 2 oids.
+        assert interp.stats.instructions_executed == 2
+        assert interp.stats.tuples_materialized == 4 + 2
+        assert interp.stats.op_counts["algebra.select"] == 1
+
+    def test_stats_accumulate_across_runs(self, people):
+        program = parse_program('''
+        n := sql.count("people");
+        return n;
+        ''')
+        interp = Interpreter(people)
+        interp.run(program)
+        interp.run(program)
+        assert interp.stats.instructions_executed == 2
+
+
+class RecordingRecycler:
+    cache_all = True
+
+    def __init__(self):
+        self.cache = {}
+        self.lookups = 0
+        self.hits = 0
+
+    def lookup(self, key):
+        self.lookups += 1
+        if key in self.cache:
+            self.hits += 1
+            return True, self.cache[key]
+        return False, None
+
+    def store(self, key, value, cost, nbytes):
+        self.cache[key] = value
+
+
+class TestRecyclerHook:
+    def test_second_run_hits_cache(self, people):
+        program = parse_program('''
+        age := sql.bind("people", "age");
+        cand := algebra.select(age, 1927);
+        return cand;
+        ''')
+        recycler = RecordingRecycler()
+        interp = Interpreter(people, recycler=recycler)
+        first = interp.run_single(program)
+        second = interp.run_single(program)
+        assert first.decoded() == second.decoded()
+        assert recycler.hits >= 1
+        assert interp.stats.instructions_recycled >= 1
+
+    def test_mutation_invalidates_key(self, people):
+        program = parse_program('''
+        age := sql.bind("people", "age");
+        cand := algebra.select(age, 1927);
+        return cand;
+        ''')
+        recycler = RecordingRecycler()
+        interp = Interpreter(people, recycler=recycler)
+        interp.run(program)
+        people.tables["people"]["age"].append_values([1927])
+        result = interp.run_single(program)
+        # New version of the BAT -> recomputed, seeing the new tuple.
+        assert result.decoded() == [1, 2, 4]

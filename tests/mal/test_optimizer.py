@@ -1,0 +1,178 @@
+"""Unit tests for the optimizer pipeline and its modules."""
+
+import pytest
+
+from repro.core import BAT
+from repro.mal import (
+    Const,
+    DEFAULT_PIPELINE,
+    Interpreter,
+    MALProgram,
+    Var,
+    common_subexpression_elimination,
+    constant_folding,
+    dead_code_elimination,
+    parse_program,
+)
+from repro.mal.optimizer import Pipeline, RECYCLING_PIPELINE
+from repro.mal.optimizer.base import IMPURE_OPS, is_pure, register_impure
+
+
+class TestConstantFolding:
+    def test_folds_scalar_chain(self):
+        program = parse_program('''
+        a := calc.+(1, 2);
+        b := calc.*(a, 10);
+        c := language.pass(b);
+        return c;
+        ''')
+        out = constant_folding(program)
+        ops = [i.op for i in out.instructions]
+        assert "calc.+" not in ops
+        assert "calc.*" not in ops
+        assert Interpreter().run_single(out) == 30
+
+    def test_folded_return_value_reemitted(self):
+        program = parse_program('''
+        a := calc.+(2, 3);
+        return a;
+        ''')
+        out = constant_folding(program)
+        assert Interpreter().run_single(out) == 5
+
+    def test_does_not_fold_variables(self):
+        program = MALProgram(returns=("b",))
+        program.append(("a",), "language.pass", (Const(1),))
+        program.append(("b",), "calc.+", (Var("a"), Const(2)))
+        out = constant_folding(program)
+        assert any(i.op == "calc.+" for i in out.instructions)
+
+
+class TestCSE:
+    def test_duplicate_instruction_removed(self):
+        program = parse_program('''
+        age := sql.bind("t", "age");
+        c1 := algebra.select(age, 1927);
+        c2 := algebra.select(age, 1927);
+        n1 := aggr.count(c1);
+        n2 := aggr.count(c2);
+        s := calc.+(n1, n2);
+        return s;
+        ''')
+        out = common_subexpression_elimination(program)
+        selects = [i for i in out.instructions if i.op == "algebra.select"]
+        counts = [i for i in out.instructions if i.op == "aggr.count"]
+        assert len(selects) == 1
+        assert len(counts) == 1
+
+    def test_different_constants_not_merged(self):
+        program = parse_program('''
+        age := sql.bind("t", "age");
+        c1 := algebra.select(age, 1927);
+        c2 := algebra.select(age, 1968);
+        n1 := aggr.count(c1);
+        n2 := aggr.count(c2);
+        s := calc.+(n1, n2);
+        return s;
+        ''')
+        out = common_subexpression_elimination(program)
+        selects = [i for i in out.instructions if i.op == "algebra.select"]
+        assert len(selects) == 2
+
+    def test_returns_renamed_to_canonical(self):
+        program = parse_program('''
+        a := language.pass(1);
+        b := language.pass(1);
+        return b;
+        ''')
+        out = common_subexpression_elimination(program)
+        assert out.returns == ("a",)
+        assert Interpreter().run_single(out) == 1
+
+
+class TestDeadCode:
+    def test_unused_pure_instructions_removed(self):
+        program = parse_program('''
+        a := language.pass(1);
+        unused := calc.+(a, 1);
+        also_unused := calc.+(unused, 1);
+        return a;
+        ''')
+        out = dead_code_elimination(program)
+        assert len(out) == 1
+
+    def test_transitively_live_kept(self):
+        program = parse_program('''
+        a := language.pass(1);
+        b := calc.+(a, 1);
+        c := calc.+(b, 1);
+        return c;
+        ''')
+        out = dead_code_elimination(program)
+        assert len(out) == 3
+
+    def test_impure_ops_survive(self):
+        register_impure("test.sideeffect")
+        try:
+            program = MALProgram(returns=("a",))
+            program.append(("a",), "language.pass", (Const(1),))
+            program.append(("x",), "test.sideeffect", ())
+            out = dead_code_elimination(program)
+            assert any(i.op == "test.sideeffect" for i in out.instructions)
+        finally:
+            IMPURE_OPS.discard("test.sideeffect")
+        assert is_pure("test.sideeffect")
+
+
+class TestPipeline:
+    def test_default_pipeline_end_to_end(self):
+        program = parse_program('''
+        a := calc.+(1, 2);
+        dead := calc.*(a, 100);
+        x := language.pass(a);
+        y := language.pass(a);
+        s := calc.+(x, y);
+        return s;
+        ''')
+        out = DEFAULT_PIPELINE.optimize(program)
+        assert Interpreter().run_single(out) == 6
+        assert len(out) < len(program)
+
+    def test_optimization_preserves_semantics_on_bats(self):
+        from tests.mal.test_interpreter import FakeCatalog
+        catalog = FakeCatalog({
+            "t": {"v": BAT.from_values([3, 1, 4, 1, 5])}
+        })
+        program = parse_program('''
+        v := sql.bind("t", "v");
+        c1 := algebra.selectrange(v, 1, 5);
+        c2 := algebra.selectrange(v, 1, 5);
+        p1 := algebra.leftfetchjoin(c1, v);
+        p2 := algebra.leftfetchjoin(c2, v);
+        s1 := aggr.sum(p1);
+        s2 := aggr.sum(p2);
+        total := calc.+(s1, s2);
+        return total;
+        ''')
+        plain = Interpreter(catalog).run_single(program)
+        optimized = DEFAULT_PIPELINE.optimize(program)
+        fast = Interpreter(catalog).run_single(optimized)
+        assert plain == fast
+
+    def test_recycling_pipeline_marks_algebra_ops(self):
+        program = parse_program('''
+        v := sql.bind("t", "v");
+        c := algebra.select(v, 1);
+        return c;
+        ''')
+        out = RECYCLING_PIPELINE.optimize(program)
+        marked = {i.op: i.recycle for i in out.instructions}
+        assert marked["algebra.select"]
+        # Catalog reads are recyclable too (version-keyed).
+        assert marked["sql.bind"]
+
+    def test_with_module_extends(self):
+        p = Pipeline([constant_folding])
+        q = p.with_module(dead_code_elimination)
+        assert len(q.modules) == 2
+        assert len(p.modules) == 1

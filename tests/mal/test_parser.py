@@ -1,0 +1,80 @@
+"""Unit tests for the textual MAL parser."""
+
+import pytest
+
+from repro.mal import Const, Var, parse_program
+from repro.mal.parser import MALSyntaxError
+
+
+class TestParser:
+    def test_figure1_program(self):
+        text = '''
+        age := sql.bind("people", "age");
+        cand := algebra.select(age, 1927);
+        name := sql.bind("people", "name");
+        res := algebra.leftfetchjoin(cand, name);
+        return res;
+        '''
+        p = parse_program(text)
+        assert len(p) == 4
+        assert p.returns == ("res",)
+        assert p.instructions[1].op == "algebra.select"
+        assert p.instructions[1].args == (Var("age"), Const(1927))
+
+    def test_multi_result(self):
+        text = '''
+        a := sql.bind("t", "x");
+        b := sql.bind("t", "y");
+        (l, r) := algebra.join(a, b);
+        return l, r;
+        '''
+        p = parse_program(text)
+        assert p.instructions[2].results == ("l", "r")
+        assert p.returns == ("l", "r")
+
+    def test_literals(self):
+        text = '''
+        a := language.pass(3);
+        b := language.pass(2.5);
+        c := language.pass("hi, \\"there\\"");
+        d := language.pass(true);
+        e := language.pass(nil);
+        return a;
+        '''
+        p = parse_program(text)
+        consts = [i.args[0].value for i in p.instructions]
+        assert consts == [3, 2.5, 'hi, "there"', True, None]
+
+    def test_comments_and_blank_lines(self):
+        text = '''
+        # leading comment
+        a := language.pass(1);  # trailing
+
+        return a;
+        '''
+        assert len(parse_program(text)) == 1
+
+    def test_operator_op_names(self):
+        text = '''
+        a := language.pass(1);
+        b := calc.+(a, 2);
+        return b;
+        '''
+        p = parse_program(text)
+        assert p.instructions[1].op == "calc.+"
+
+    def test_syntax_error(self):
+        with pytest.raises(MALSyntaxError):
+            parse_program("this is not MAL")
+
+    def test_unterminated_string(self):
+        with pytest.raises(MALSyntaxError):
+            parse_program('a := language.pass("oops);\nreturn a;')
+
+    def test_use_before_def_rejected(self):
+        with pytest.raises(ValueError):
+            parse_program("x := language.pass(ghost);\nreturn x;")
+
+    def test_commas_inside_strings(self):
+        p = parse_program('a := language.pass("x, y");\nreturn a;')
+        assert p.instructions[0].args[0].value == "x, y"

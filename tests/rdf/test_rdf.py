@@ -1,0 +1,150 @@
+"""Tests for the triple store and the SPARQL subset."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.rdf import SPARQLError, TripleStore, Var, sparql
+
+TRIPLES = [
+    ("alice", "knows", "bob"),
+    ("alice", "knows", "carol"),
+    ("bob", "knows", "carol"),
+    ("carol", "knows", "dave"),
+    ("alice", "age", "30"),
+    ("bob", "age", "30"),
+    ("carol", "age", "41"),
+    ("bob", "likes", "databases"),
+]
+
+
+@pytest.fixture
+def store():
+    s = TripleStore()
+    s.add_many(TRIPLES)
+    return s
+
+
+class TestStore:
+    def test_interning(self, store):
+        assert store.lookup("alice") is not None
+        assert store.lookup("zeus") is None
+        assert store.term(store.lookup("bob")) == "bob"
+        assert len(store) == len(TRIPLES)
+
+    def test_match_by_constants(self, store):
+        got = store.triples(store.match(s="alice", p="knows"))
+        assert got == [("alice", "knows", "bob"),
+                       ("alice", "knows", "carol")]
+
+    def test_match_unknown_term(self, store):
+        assert len(store.match(s="zeus")) == 0
+
+    def test_match_all(self, store):
+        assert store.triples() == TRIPLES
+
+    def test_solve_single_pattern(self, store):
+        names, table = store.solve([(Var("x"), "knows", Var("y"))])
+        assert names == ["x", "y"]
+        pairs = {(store.term(a), store.term(b))
+                 for a, b in zip(table["x"], table["y"])}
+        assert pairs == {("alice", "bob"), ("alice", "carol"),
+                         ("bob", "carol"), ("carol", "dave")}
+
+    def test_solve_join_on_shared_var(self, store):
+        names, table = store.solve([
+            (Var("x"), "knows", Var("y")),
+            (Var("y"), "age", "30"),
+        ])
+        pairs = {(store.term(a), store.term(b))
+                 for a, b in zip(table["x"], table["y"])}
+        assert pairs == {("alice", "bob")}
+
+    def test_repeated_variable_in_pattern(self):
+        s = TripleStore()
+        s.add("a", "loves", "a")
+        s.add("a", "loves", "b")
+        names, table = s.solve([(Var("x"), "loves", Var("x"))])
+        assert {s.term(v) for v in table["x"]} == {"a"}
+
+    def test_ground_pattern_filters(self, store):
+        # Existing ground triple keeps solutions; missing one empties.
+        _, table = store.solve([(Var("x"), "age", "30"),
+                                ("bob", "likes", "databases")])
+        assert len(table["x"]) == 2
+        _, table = store.solve([(Var("x"), "age", "30"),
+                                ("bob", "likes", "cobol")])
+        assert len(table["x"]) == 0
+
+    def test_cross_product_when_no_shared_vars(self, store):
+        _, table = store.solve([(Var("x"), "likes", Var("z")),
+                                (Var("y"), "age", "41")])
+        assert len(table["x"]) == 1
+        assert store.term(table["y"][0]) == "carol"
+
+
+class TestSPARQL:
+    def test_basic_select(self, store):
+        names, rows = sparql(store,
+                             'SELECT ?x WHERE { ?x <age> "30" . }')
+        assert names == ["x"]
+        assert rows == [("alice",), ("bob",)]
+
+    def test_join_query(self, store):
+        _, rows = sparql(store, """
+            SELECT ?x ?z WHERE {
+                ?x <knows> ?y .
+                ?y <knows> ?z .
+            }""")
+        assert ("alice", "carol") in rows
+        assert ("alice", "dave") in rows
+        assert ("bob", "dave") in rows
+
+    def test_star_projection(self, store):
+        names, rows = sparql(store,
+                             "SELECT * WHERE { ?a <likes> ?b . }")
+        assert names == ["a", "b"]
+        assert rows == [("bob", "databases")]
+
+    def test_duplicate_solutions_deduplicated(self, store):
+        _, rows = sparql(store, "SELECT ?p WHERE { ?x <age> ?p . }")
+        assert rows == [("30",), ("41",)]
+
+    def test_unbound_projection_rejected(self, store):
+        with pytest.raises(SPARQLError):
+            sparql(store, "SELECT ?ghost WHERE { ?x <age> ?y . }")
+
+    def test_malformed_queries(self, store):
+        for bad in ("SELECT ?x { }", "SELECT ?x WHERE { ?x <p> . }",
+                    "FETCH ?x WHERE { ?x <p> ?y . }",
+                    "SELECT ?x WHERE { }"):
+            with pytest.raises(SPARQLError):
+                sparql(store, bad)
+
+    def test_literals_with_spaces(self):
+        s = TripleStore()
+        s.add("paper", "title", "mammals and dinosaurs")
+        _, rows = sparql(
+            s, 'SELECT ?x WHERE { ?x <title> "mammals and dinosaurs" . }')
+        assert rows == [("paper",)]
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.tuples(st.sampled_from("abcd"),
+                          st.sampled_from(["p", "q"]),
+                          st.sampled_from("abcd")),
+                min_size=1, max_size=20))
+def test_property_two_pattern_join_matches_nested_loop(triples):
+    store = TripleStore()
+    store.add_many([(s, p, o) for s, p, o in triples])
+    _, table = store.solve([(Var("x"), "p", Var("y")),
+                            (Var("y"), "q", Var("z"))])
+    got = {(store.term(a), store.term(b), store.term(c))
+           for a, b, c in zip(table["x"], table["y"], table["z"])}
+    unique = set(triples)
+    expected = {(s1, o1, o2)
+                for (s1, p1, o1) in unique for (s2, p2, o2) in unique
+                if p1 == "p" and p2 == "q" and o1 == s2}
+    assert got == expected

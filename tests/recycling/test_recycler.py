@@ -1,0 +1,120 @@
+"""Tests for the recycler and its integration with the engine."""
+
+import pytest
+
+from repro.recycling import Recycler
+from repro.sql import Database
+
+
+class TestRecyclerCache:
+    def test_lookup_miss_then_hit(self):
+        r = Recycler()
+        hit, _ = r.lookup(("op", 1))
+        assert not hit
+        r.store(("op", 1), ("result",), cost=0.5, nbytes=100)
+        hit, value = r.lookup(("op", 1))
+        assert hit
+        assert value == ("result",)
+        assert r.stats.hit_ratio == 0.5
+        assert r.stats.seconds_saved == 0.5
+
+    def test_unknown_policy(self):
+        with pytest.raises(KeyError):
+            Recycler(policy="magic")
+
+    def test_capacity_respected(self):
+        r = Recycler(capacity_bytes=250, policy="lru")
+        for i in range(5):
+            r.store(("op", i), i, cost=1.0, nbytes=100)
+        assert r.bytes_cached <= 250
+        assert r.stats.evictions == 3
+
+    def test_lru_evicts_oldest(self):
+        r = Recycler(capacity_bytes=200, policy="lru")
+        r.store(("a",), 1, cost=1.0, nbytes=100)
+        r.store(("b",), 2, cost=1.0, nbytes=100)
+        r.lookup(("a",))            # refresh a
+        r.store(("c",), 3, cost=1.0, nbytes=100)  # evicts b
+        assert r.lookup(("a",))[0]
+        assert not r.lookup(("b",))[0]
+
+    def test_benefit_keeps_expensive_entries(self):
+        r = Recycler(capacity_bytes=200, policy="benefit")
+        r.store(("cheap",), 1, cost=0.001, nbytes=100)
+        r.store(("dear",), 2, cost=10.0, nbytes=100)
+        r.store(("new",), 3, cost=0.001, nbytes=100)
+        assert r.lookup(("dear",))[0]
+
+    def test_oversized_entry_rejected(self):
+        r = Recycler(capacity_bytes=100)
+        r.store(("big",), 1, cost=1.0, nbytes=1000)
+        assert len(r) == 0
+
+    def test_clear_and_invalidate(self):
+        r = Recycler()
+        r.store(("t1", 1), 1, cost=1.0, nbytes=10)
+        r.store(("t2", 2), 2, cost=1.0, nbytes=10)
+        r.invalidate_where(lambda k: k[0] == "t1")
+        assert not r.lookup(("t1", 1))[0]
+        assert r.lookup(("t2", 2))[0]
+        r.clear()
+        assert len(r) == 0
+
+
+class TestEngineIntegration:
+    def make_db(self):
+        db = Database.with_recycling()
+        db.execute("CREATE TABLE obs (region INT, mag DOUBLE)")
+        db.execute("INSERT INTO obs VALUES "
+                   + ", ".join("({0}, {1}.5)".format(i % 50, i % 13)
+                               for i in range(400)))
+        return db
+
+    def test_transparent_results(self):
+        db = self.make_db()
+        plain = Database()
+        plain.execute("CREATE TABLE obs (region INT, mag DOUBLE)")
+        plain.execute("INSERT INTO obs VALUES "
+                      + ", ".join("({0}, {1}.5)".format(i % 50, i % 13)
+                                  for i in range(400)))
+        q = ("SELECT region, sum(mag) FROM obs WHERE region < 20 "
+             "GROUP BY region ORDER BY region")
+        for _ in range(3):
+            assert db.query(q) == plain.query(q)
+
+    def test_repeated_query_recycles(self):
+        db = self.make_db()
+        q = "SELECT count(*) FROM obs WHERE region = 7"
+        db.execute(q)
+        executed_before = db.interpreter.stats.instructions_executed
+        db.execute(q)
+        executed_again = (db.interpreter.stats.instructions_executed
+                          - executed_before)
+        assert db.interpreter.stats.instructions_recycled > 0
+        # The repeat run recomputes fewer instructions than the first.
+        first_run = executed_before
+        assert executed_again < first_run
+
+    def test_overlapping_queries_share_work(self):
+        db = self.make_db()
+        db.query("SELECT mag FROM obs WHERE region = 3")
+        hits_before = db.recycler.stats.hits
+        # Same selection feeding a different aggregate: the select and
+        # bind results recycle.
+        db.query("SELECT count(*) FROM obs WHERE region = 3")
+        assert db.recycler.stats.hits > hits_before
+
+    def test_updates_invalidate(self):
+        db = self.make_db()
+        q = "SELECT count(*) FROM obs WHERE region = 7"
+        first = db.execute(q).scalar()
+        db.execute("INSERT INTO obs VALUES (7, 1.0)")
+        assert db.execute(q).scalar() == first + 1
+
+    def test_deletes_invalidate(self):
+        db = self.make_db()
+        q = "SELECT count(*) FROM obs WHERE region = 7"
+        first = db.execute(q).scalar()
+        db.execute("DELETE FROM obs WHERE region = 7")
+        assert db.execute(q).scalar() == 0
+        assert first > 0

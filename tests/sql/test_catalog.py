@@ -1,0 +1,121 @@
+"""Unit tests for tables, delta BATs, and deleted positions."""
+
+import pytest
+
+from repro.sql import Catalog, Table
+
+
+@pytest.fixture
+def table():
+    t = Table("people", [("name", "varchar"), ("age", "int")])
+    t.append_rows([("john", 1907), ("roger", 1927), ("bob", 1927)])
+    return t
+
+
+class TestTable:
+    def test_requires_columns(self):
+        with pytest.raises(ValueError):
+            Table("empty", [])
+
+    def test_duplicate_column(self):
+        with pytest.raises(ValueError):
+            Table("t", [("a", "int"), ("a", "int")])
+
+    def test_append_and_counts(self, table):
+        assert table.physical_count == 3
+        assert table.visible_count == 3
+        assert table.delta_count == 3  # nothing merged yet
+        assert table.base_count == 0
+
+    def test_bind_returns_column_bat(self, table):
+        assert table.bind("age").decoded() == [1907, 1927, 1927]
+        with pytest.raises(KeyError):
+            table.bind("ghost")
+
+    def test_row_access(self, table):
+        assert table.row(1) == ("roger", 1927)
+
+    def test_append_row_arity_checked(self, table):
+        with pytest.raises(ValueError):
+            table.append_rows([("too", "many", "values")])
+
+    def test_append_partial_columns_rejected(self, table):
+        with pytest.raises(ValueError):
+            table.append_rows([("x",)], columns=["name"])
+
+    def test_append_reordered_columns(self, table):
+        table.append_rows([(1968, "will")], columns=["age", "name"])
+        assert table.row(3) == ("will", 1968)
+
+    def test_null_becomes_nil(self, table):
+        table.append_rows([(None, None)])
+        name, age = table.row(3)
+        assert name is None
+        from repro.core import INT
+        assert age == INT.nil
+
+    def test_tid_excludes_deleted(self, table):
+        table.delete_oids([1])
+        assert table.tid().decoded() == [0, 2]
+        assert table.visible_count == 2
+        with pytest.raises(KeyError):
+            table.row(1)
+
+    def test_delete_idempotent_and_bounded(self, table):
+        assert table.delete_oids([1, 1, 99, -5]) == 1
+        assert table.delete_oids([1]) == 0
+
+    def test_delete_bumps_version_only_when_effective(self, table):
+        v = table.version
+        table.delete_oids([99])
+        assert table.version == v
+        table.delete_oids([0])
+        assert table.version == v + 1
+
+    def test_merge_deltas_compacts(self, table):
+        table.delete_oids([0])
+        table.merge_deltas()
+        assert table.physical_count == 2
+        assert table.base_count == 2
+        assert table.deleted == set()
+        assert table.bind("name").decoded() == ["roger", "bob"]
+
+    def test_atom_lookup(self, table):
+        from repro.core import INT, STR
+        assert table.atom("age") is INT
+        assert table.atom("name") is STR
+        with pytest.raises(KeyError):
+            table.atom("ghost")
+
+
+class TestCatalog:
+    def test_create_get_contains(self):
+        cat = Catalog()
+        cat.create_table("t", [("a", "int")])
+        assert "t" in cat
+        assert cat.get("t").name == "t"
+
+    def test_duplicate_table(self):
+        cat = Catalog()
+        cat.create_table("t", [("a", "int")])
+        with pytest.raises(ValueError):
+            cat.create_table("t", [("a", "int")])
+
+    def test_unknown_table(self):
+        with pytest.raises(KeyError):
+            Catalog().get("ghost")
+
+    def test_drop(self):
+        cat = Catalog()
+        cat.create_table("t", [("a", "int")])
+        cat.drop_table("t")
+        assert "t" not in cat
+
+    def test_interpreter_protocol(self):
+        cat = Catalog()
+        t = cat.create_table("t", [("a", "int")])
+        t.append_rows([(1,), (2,)])
+        t.delete_oids([0])
+        assert cat.count("t") == 1
+        assert cat.tid("t").decoded() == [1]
+        assert cat.bind("t", "a").decoded() == [1, 2]

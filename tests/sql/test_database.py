@@ -1,0 +1,264 @@
+"""End-to-end tests: SQL text -> MAL -> BAT kernel -> results."""
+
+import pytest
+
+from repro.sql import Database
+from repro.sql.compiler import SQLCompileError
+
+
+@pytest.fixture
+def db():
+    d = Database()
+    d.execute("CREATE TABLE people (name VARCHAR, age INT)")
+    d.execute("INSERT INTO people VALUES "
+              "('john', 1907), ('roger', 1927), ('bob', 1927), "
+              "('will', 1968)")
+    return d
+
+
+@pytest.fixture
+def shop():
+    d = Database()
+    d.execute("CREATE TABLE items (id INT, label VARCHAR, price DOUBLE)")
+    d.execute("CREATE TABLE sales (item_id INT, qty INT, day INT)")
+    d.execute("INSERT INTO items VALUES "
+              "(1, 'apple', 0.5), (2, 'pear', 0.75), (3, 'fig', 2.0)")
+    d.execute("INSERT INTO sales VALUES "
+              "(1, 10, 1), (1, 5, 2), (2, 7, 1), (3, 2, 3), (1, 1, 3)")
+    return d
+
+
+class TestBasicSelect:
+    def test_figure1_query(self, db):
+        rows = db.query("SELECT name FROM people WHERE age = 1927")
+        assert rows == [("roger",), ("bob",)]
+
+    def test_star(self, db):
+        rows = db.query("SELECT * FROM people WHERE age > 1950")
+        assert rows == [("will", 1968)]
+
+    def test_projection_expression(self, db):
+        rows = db.query("SELECT age + 1 FROM people WHERE name = 'john'")
+        assert rows == [(1908,)]
+
+    def test_alias_in_result(self, db):
+        result = db.execute("SELECT age AS born FROM people LIMIT 1")
+        assert result.names == ["born"]
+
+    def test_where_and(self, db):
+        rows = db.query(
+            "SELECT name FROM people WHERE age >= 1927 AND age < 1968")
+        assert rows == [("roger",), ("bob",)]
+
+    def test_where_or(self, db):
+        rows = db.query(
+            "SELECT name FROM people WHERE age = 1907 OR age = 1968")
+        assert rows == [("john",), ("will",)]
+
+    def test_where_not(self, db):
+        rows = db.query("SELECT name FROM people WHERE NOT age = 1927")
+        assert rows == [("john",), ("will",)]
+
+    def test_where_between(self, db):
+        rows = db.query(
+            "SELECT name FROM people WHERE age BETWEEN 1927 AND 1968")
+        assert len(rows) == 3
+
+    def test_where_in(self, db):
+        rows = db.query("SELECT name FROM people WHERE age IN (1907, 1968)")
+        assert rows == [("john",), ("will",)]
+
+    def test_where_string(self, db):
+        assert db.query("SELECT age FROM people WHERE name = 'bob'") == \
+            [(1927,)]
+
+    def test_where_arithmetic(self, db):
+        rows = db.query("SELECT name FROM people WHERE age % 2 = 0")
+        assert rows == [("will",)]
+
+    def test_order_by(self, db):
+        rows = db.query("SELECT name FROM people ORDER BY age DESC, name")
+        assert rows == [("will",), ("bob",), ("roger",), ("john",)]
+
+    def test_limit(self, db):
+        assert len(db.query("SELECT name FROM people LIMIT 2")) == 2
+
+    def test_distinct(self, db):
+        rows = db.query("SELECT DISTINCT age FROM people ORDER BY age")
+        assert rows == [(1907,), (1927,), (1968,)]
+
+    def test_empty_result(self, db):
+        assert db.query("SELECT name FROM people WHERE age = 1800") == []
+
+    def test_constant_select_item(self, db):
+        rows = db.query("SELECT name, 7 FROM people WHERE age = 1907")
+        assert rows == [("john", 7)]
+
+    def test_fromless_constant(self, db):
+        assert db.query("SELECT 1 + 2") == [(3,)]
+
+
+class TestAggregates:
+    def test_scalar_aggregates(self, db):
+        result = db.execute(
+            "SELECT count(*), min(age), max(age), sum(age), avg(age) "
+            "FROM people")
+        assert result.rows() == [(4, 1907, 1927 + 41, 7729, 7729 / 4)]
+
+    def test_count_star_respects_where(self, db):
+        assert db.execute(
+            "SELECT count(*) FROM people WHERE age = 1927").scalar() == 2
+
+    def test_count_distinct(self, db):
+        assert db.execute(
+            "SELECT count(DISTINCT age) FROM people").scalar() == 3
+
+    def test_aggregate_expression(self, db):
+        assert db.execute(
+            "SELECT max(age) - min(age) FROM people").scalar() == 61
+
+    def test_group_by(self, shop):
+        rows = db_rows = shop.query(
+            "SELECT item_id, sum(qty) FROM sales GROUP BY item_id "
+            "ORDER BY item_id")
+        assert rows == [(1, 16), (2, 7), (3, 2)]
+
+    def test_group_by_count_star(self, shop):
+        rows = shop.query(
+            "SELECT day, count(*) FROM sales GROUP BY day ORDER BY day")
+        assert rows == [(1, 2), (2, 1), (3, 2)]
+
+    def test_group_by_having(self, shop):
+        rows = shop.query(
+            "SELECT item_id, sum(qty) AS total FROM sales "
+            "GROUP BY item_id HAVING sum(qty) > 5 ORDER BY item_id")
+        assert rows == [(1, 16), (2, 7)]
+
+    def test_group_by_avg_min_max(self, shop):
+        rows = shop.query(
+            "SELECT item_id, avg(qty), min(qty), max(qty) FROM sales "
+            "GROUP BY item_id ORDER BY item_id")
+        assert rows[0] == (1, 16 / 3, 1, 10)
+
+    def test_group_by_expression_key(self, shop):
+        rows = shop.query(
+            "SELECT day % 2, count(*) FROM sales GROUP BY day % 2 "
+            "ORDER BY day % 2")
+        assert rows == [(0, 1), (1, 4)]
+
+    def test_bare_column_outside_group_rejected(self, shop):
+        with pytest.raises(SQLCompileError):
+            shop.execute("SELECT qty FROM sales GROUP BY item_id")
+
+
+class TestJoins:
+    def test_two_way_join(self, shop):
+        rows = shop.query(
+            "SELECT label, qty FROM sales JOIN items "
+            "ON sales.item_id = items.id ORDER BY label, qty")
+        assert rows == [("apple", 1), ("apple", 5), ("apple", 10),
+                        ("fig", 2), ("pear", 7)]
+
+    def test_join_with_where(self, shop):
+        rows = shop.query(
+            "SELECT label FROM sales JOIN items ON sales.item_id = items.id "
+            "WHERE qty > 6 ORDER BY label")
+        assert rows == [("apple",), ("pear",)]
+
+    def test_join_aggregate(self, shop):
+        rows = shop.query(
+            "SELECT label, sum(qty * price) AS revenue FROM sales "
+            "JOIN items ON sales.item_id = items.id "
+            "GROUP BY label ORDER BY label")
+        assert rows == [("apple", 8.0), ("fig", 4.0), ("pear", 5.25)]
+
+    def test_join_residual_condition(self, shop):
+        rows = shop.query(
+            "SELECT label, qty FROM sales JOIN items "
+            "ON sales.item_id = items.id AND qty > 5 ORDER BY label")
+        assert rows == [("apple", 10), ("pear", 7)]
+
+    def test_self_join_with_aliases(self, shop):
+        rows = shop.query(
+            "SELECT a.day, b.day FROM sales a JOIN sales b "
+            "ON a.item_id = b.item_id WHERE a.day < b.day "
+            "ORDER BY a.day, b.day")
+        assert rows == [(1, 2), (1, 3), (2, 3)]
+
+    def test_join_requires_equality(self, shop):
+        with pytest.raises(SQLCompileError):
+            shop.execute("SELECT label FROM sales JOIN items "
+                         "ON sales.qty > items.id")
+
+    def test_ambiguous_column(self, shop):
+        with pytest.raises(SQLCompileError):
+            shop.execute("SELECT day FROM sales a JOIN sales b "
+                         "ON a.item_id = b.item_id")
+
+
+class TestDML:
+    def test_insert_returns_count(self, db):
+        assert db.execute(
+            "INSERT INTO people VALUES ('x', 1), ('y', 2)") == 2
+
+    def test_delete_where(self, db):
+        assert db.execute("DELETE FROM people WHERE age = 1927") == 2
+        assert db.execute("SELECT count(*) FROM people").scalar() == 2
+
+    def test_delete_all(self, db):
+        assert db.execute("DELETE FROM people") == 4
+        assert db.query("SELECT * FROM people") == []
+
+    def test_update(self, db):
+        assert db.execute(
+            "UPDATE people SET age = age + 1 WHERE name = 'bob'") == 1
+        assert db.query("SELECT age FROM people WHERE name = 'bob'") == \
+            [(1928,)]
+
+    def test_update_multiple_columns(self, db):
+        db.execute("UPDATE people SET age = 0, name = 'anon' "
+                   "WHERE age < 1920")
+        assert db.query("SELECT name, age FROM people WHERE age = 0") == \
+            [("anon", 0)]
+
+    def test_update_unknown_column(self, db):
+        with pytest.raises(KeyError):
+            db.execute("UPDATE people SET ghost = 1")
+
+    def test_queries_after_deletes_use_tid(self, db):
+        db.execute("DELETE FROM people WHERE name = 'roger'")
+        rows = db.query("SELECT name FROM people WHERE age = 1927")
+        assert rows == [("bob",)]
+
+
+class TestResultSet:
+    def test_column_access(self, db):
+        result = db.execute("SELECT name, age FROM people LIMIT 2")
+        assert result.column("age") == [1907, 1927]
+        with pytest.raises(KeyError):
+            result.column("ghost")
+
+    def test_len_and_iter(self, db):
+        result = db.execute("SELECT name FROM people")
+        assert len(result) == 4
+        assert list(result)[0] == ("john",)
+
+    def test_pretty_print(self, db):
+        text = str(db.execute("SELECT name, age FROM people LIMIT 1"))
+        assert "name" in text and "age" in text and "john" in text
+
+    def test_scalar_requires_1x1(self, db):
+        with pytest.raises(ValueError):
+            db.execute("SELECT name FROM people").scalar()
+
+
+class TestExplain:
+    def test_explain_shows_mal(self, db):
+        text = db.explain("SELECT name FROM people WHERE age = 1927")
+        assert "algebra.select" in text
+        assert "sql.tid" in text
+        assert "algebra.leftfetchjoin" in text
+
+    def test_explain_rejects_dml(self, db):
+        with pytest.raises(TypeError):
+            db.explain("DELETE FROM people")

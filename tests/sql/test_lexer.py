@@ -1,0 +1,46 @@
+"""Unit tests for the SQL tokenizer."""
+
+import pytest
+
+from repro.sql import SQLSyntaxError, tokenize
+
+
+def kinds(text):
+    return [(t.kind, t.value) for t in tokenize(text)[:-1]]
+
+
+class TestTokenize:
+    def test_keywords_case_insensitive(self):
+        assert kinds("SELECT select SeLeCt") == [("keyword", "select")] * 3
+
+    def test_identifiers_lowercased(self):
+        assert kinds("MyTable") == [("ident", "mytable")]
+
+    def test_numbers(self):
+        assert kinds("42 3.14 1e3") == [
+            ("number", 42), ("number", 3.14), ("number", 1000.0)]
+
+    def test_strings_with_escaped_quotes(self):
+        assert kinds("'it''s'") == [("string", "it's")]
+
+    def test_operators(self):
+        assert kinds("<> <= >= != = < >") == [
+            ("op", "<>"), ("op", "<="), ("op", ">="), ("op", "!="),
+            ("op", "="), ("op", "<"), ("op", ">")]
+
+    def test_comments_skipped(self):
+        assert kinds("select -- a comment\n1") == [
+            ("keyword", "select"), ("number", 1)]
+
+    def test_punctuation(self):
+        assert kinds("(a, b.c);") == [
+            ("op", "("), ("ident", "a"), ("op", ","), ("ident", "b"),
+            ("op", "."), ("ident", "c"), ("op", ")"), ("op", ";")]
+
+    def test_unexpected_character(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("select @")
+
+    def test_end_token(self):
+        tokens = tokenize("select")
+        assert tokens[-1].kind == "end"

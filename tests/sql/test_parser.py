@@ -1,0 +1,159 @@
+"""Unit tests for the SQL parser."""
+
+import pytest
+
+from repro.sql import (
+    BinOp, Column, CreateTable, Delete, FuncCall, Insert, Literal,
+    Select, SQLSyntaxError, Star, UnaryOp, Update, parse_sql,
+)
+
+
+class TestCreateTable:
+    def test_basic(self):
+        stmt = parse_sql("CREATE TABLE people (name VARCHAR, age INT)")
+        assert isinstance(stmt, CreateTable)
+        assert stmt.name == "people"
+        assert stmt.columns == [("name", "varchar"), ("age", "int")]
+
+    def test_varchar_length_swallowed(self):
+        stmt = parse_sql("CREATE TABLE t (s VARCHAR(20))")
+        assert stmt.columns == [("s", "varchar")]
+
+    def test_unknown_type(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_sql("CREATE TABLE t (x quaternion)")
+
+
+class TestInsert:
+    def test_values(self):
+        stmt = parse_sql("INSERT INTO t VALUES (1, 'a'), (2, 'b')")
+        assert isinstance(stmt, Insert)
+        assert stmt.rows == [(1, "a"), (2, "b")]
+        assert stmt.columns is None
+
+    def test_explicit_columns(self):
+        stmt = parse_sql("INSERT INTO t (b, a) VALUES ('x', 1)")
+        assert stmt.columns == ["b", "a"]
+
+    def test_negative_null_bool(self):
+        stmt = parse_sql("INSERT INTO t VALUES (-3, NULL, true)")
+        assert stmt.rows == [(-3, None, True)]
+
+
+class TestDeleteUpdate:
+    def test_delete_where(self):
+        stmt = parse_sql("DELETE FROM t WHERE x > 3")
+        assert isinstance(stmt, Delete)
+        assert stmt.where == BinOp(">", Column("x"), Literal(3))
+
+    def test_delete_all(self):
+        assert parse_sql("DELETE FROM t").where is None
+
+    def test_update(self):
+        stmt = parse_sql("UPDATE t SET a = a + 1, b = 'x' WHERE a < 2")
+        assert isinstance(stmt, Update)
+        assert stmt.assignments[0] == (
+            "a", BinOp("+", Column("a"), Literal(1)))
+        assert stmt.assignments[1] == ("b", Literal("x"))
+
+
+class TestSelect:
+    def test_star(self):
+        stmt = parse_sql("SELECT * FROM t")
+        assert isinstance(stmt.items[0].expr, Star)
+        assert stmt.table.name == "t"
+
+    def test_aliases(self):
+        stmt = parse_sql("SELECT a AS x, b y FROM t u")
+        assert stmt.items[0].alias == "x"
+        assert stmt.items[1].alias == "y"
+        assert stmt.table.alias == "u"
+
+    def test_qualified_columns(self):
+        stmt = parse_sql("SELECT t.a FROM t")
+        assert stmt.items[0].expr == Column("a", table="t")
+
+    def test_join_on(self):
+        stmt = parse_sql(
+            "SELECT a FROM t JOIN u ON t.k = u.k WHERE u.v > 0")
+        assert len(stmt.joins) == 1
+        assert stmt.joins[0].table.name == "u"
+        assert stmt.joins[0].condition == BinOp(
+            "=", Column("k", "t"), Column("k", "u"))
+
+    def test_inner_join(self):
+        stmt = parse_sql("SELECT a FROM t INNER JOIN u ON t.k = u.k")
+        assert len(stmt.joins) == 1
+
+    def test_group_by_having(self):
+        stmt = parse_sql(
+            "SELECT a, sum(b) FROM t GROUP BY a HAVING sum(b) > 10")
+        assert stmt.group_by == [Column("a")]
+        assert stmt.having == BinOp(
+            ">", FuncCall("sum", (Column("b"),)), Literal(10))
+
+    def test_order_by_directions(self):
+        stmt = parse_sql("SELECT a FROM t ORDER BY a DESC, b ASC, c")
+        assert [o.ascending for o in stmt.order_by] == [False, True, True]
+
+    def test_limit(self):
+        assert parse_sql("SELECT a FROM t LIMIT 5").limit == 5
+
+    def test_distinct(self):
+        assert parse_sql("SELECT DISTINCT a FROM t").distinct
+
+    def test_between_desugars_to_and(self):
+        stmt = parse_sql("SELECT a FROM t WHERE a BETWEEN 1 AND 5")
+        where = stmt.where
+        assert where.op == "and"
+        assert where.left == BinOp(">=", Column("a"), Literal(1))
+        assert where.right == BinOp("<=", Column("a"), Literal(5))
+
+    def test_in_desugars_to_or(self):
+        stmt = parse_sql("SELECT a FROM t WHERE a IN (1, 2)")
+        assert stmt.where == BinOp(
+            "or", BinOp("=", Column("a"), Literal(1)),
+            BinOp("=", Column("a"), Literal(2)))
+
+    def test_precedence(self):
+        stmt = parse_sql("SELECT a FROM t WHERE a + 1 * 2 > 3 AND b = 1 "
+                         "OR c = 2")
+        where = stmt.where
+        assert where.op == "or"
+        assert where.left.op == "and"
+        left_cmp = where.left.left
+        assert left_cmp.op == ">"
+        assert left_cmp.left == BinOp(
+            "+", Column("a"), BinOp("*", Literal(1), Literal(2)))
+
+    def test_not(self):
+        stmt = parse_sql("SELECT a FROM t WHERE NOT a = 1")
+        assert isinstance(stmt.where, UnaryOp)
+        assert stmt.where.op == "not"
+
+    def test_count_star(self):
+        stmt = parse_sql("SELECT count(*) FROM t")
+        call = stmt.items[0].expr
+        assert call == FuncCall("count", (Star(),))
+
+    def test_count_distinct(self):
+        stmt = parse_sql("SELECT count(DISTINCT a) FROM t")
+        assert stmt.items[0].expr.distinct
+
+    def test_neq_normalized(self):
+        stmt = parse_sql("SELECT a FROM t WHERE a != 1")
+        assert stmt.where.op == "<>"
+
+    def test_parenthesized_expressions(self):
+        stmt = parse_sql("SELECT (a + 1) * 2 FROM t")
+        expr = stmt.items[0].expr
+        assert expr.op == "*"
+        assert expr.left.op == "+"
+
+    def test_unsupported_statement(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_sql("DROP TABLE t")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_sql("SELECT a FROM t extra garbage here")

@@ -1,0 +1,146 @@
+"""Tests for snapshot isolation over delta BATs."""
+
+import pytest
+
+from repro.sql import ConflictError, Database
+from repro.sql.transactions import TransactionClosedError
+
+
+@pytest.fixture
+def db():
+    d = Database()
+    d.execute("CREATE TABLE accounts (owner VARCHAR, balance INT)")
+    d.execute("INSERT INTO accounts VALUES ('ann', 100), ('bob', 50)")
+    return d
+
+
+class TestSnapshotReads:
+    def test_reader_does_not_see_later_commits(self, db):
+        txn = db.begin()
+        # Take the snapshot by reading.
+        assert txn.execute("SELECT count(*) FROM accounts").scalar() == 2
+        db.execute("INSERT INTO accounts VALUES ('carl', 10)")
+        db.execute("DELETE FROM accounts WHERE owner = 'ann'")
+        # The snapshot is frozen.
+        assert txn.execute("SELECT count(*) FROM accounts").scalar() == 2
+        rows = txn.execute(
+            "SELECT owner FROM accounts ORDER BY owner").rows()
+        assert rows == [("ann",), ("bob",)]
+        txn.abort()
+        # Outside, the new state is visible.
+        assert db.execute("SELECT count(*) FROM accounts").scalar() == 2
+        assert db.query("SELECT owner FROM accounts ORDER BY owner") == \
+            [("bob",), ("carl",)]
+
+    def test_reads_see_own_writes(self, db):
+        with db.begin() as txn:
+            txn.execute("INSERT INTO accounts VALUES ('dora', 5)")
+            assert txn.execute(
+                "SELECT count(*) FROM accounts").scalar() == 3
+            txn.execute("UPDATE accounts SET balance = 7 "
+                        "WHERE owner = 'dora'")
+            assert txn.execute("SELECT balance FROM accounts "
+                               "WHERE owner = 'dora'").rows() == [(7,)]
+            txn.abort()
+
+    def test_own_deletes_visible(self, db):
+        txn = db.begin()
+        txn.execute("DELETE FROM accounts WHERE owner = 'ann'")
+        assert txn.execute("SELECT count(*) FROM accounts").scalar() == 1
+        txn.abort()
+        assert db.execute("SELECT count(*) FROM accounts").scalar() == 2
+
+
+class TestCommitAbort:
+    def test_commit_applies_buffered_writes(self, db):
+        txn = db.begin()
+        txn.execute("INSERT INTO accounts VALUES ('eve', 1)")
+        txn.execute("DELETE FROM accounts WHERE owner = 'bob'")
+        assert db.execute("SELECT count(*) FROM accounts").scalar() == 2
+        txn.commit()
+        assert db.query("SELECT owner FROM accounts ORDER BY owner") == \
+            [("ann",), ("eve",)]
+
+    def test_abort_discards(self, db):
+        txn = db.begin()
+        txn.execute("DELETE FROM accounts")
+        txn.abort()
+        assert db.execute("SELECT count(*) FROM accounts").scalar() == 2
+
+    def test_closed_transaction_unusable(self, db):
+        txn = db.begin()
+        txn.commit()
+        with pytest.raises(TransactionClosedError):
+            txn.execute("SELECT * FROM accounts")
+        with pytest.raises(TransactionClosedError):
+            txn.commit()
+
+    def test_context_manager_commits(self, db):
+        with db.begin() as txn:
+            txn.execute("INSERT INTO accounts VALUES ('fred', 3)")
+        assert db.execute("SELECT count(*) FROM accounts").scalar() == 3
+
+    def test_context_manager_aborts_on_exception(self, db):
+        with pytest.raises(RuntimeError):
+            with db.begin() as txn:
+                txn.execute("DELETE FROM accounts")
+                raise RuntimeError("boom")
+        assert db.execute("SELECT count(*) FROM accounts").scalar() == 2
+
+    def test_ddl_rejected(self, db):
+        txn = db.begin()
+        with pytest.raises(NotImplementedError):
+            txn.execute("CREATE TABLE t (a INT)")
+        txn.abort()
+
+    def test_update_in_transaction_commits(self, db):
+        with db.begin() as txn:
+            txn.execute("UPDATE accounts SET balance = balance + 10 "
+                        "WHERE owner = 'ann'")
+        assert db.query("SELECT balance FROM accounts "
+                        "WHERE owner = 'ann'") == [(110,)]
+
+
+class TestConflicts:
+    def test_append_append_merges(self, db):
+        t1 = db.begin()
+        t2 = db.begin()
+        t1.execute("INSERT INTO accounts VALUES ('gina', 1)")
+        t2.execute("INSERT INTO accounts VALUES ('hank', 2)")
+        t1.commit()
+        t2.commit()  # appends never conflict
+        assert db.execute("SELECT count(*) FROM accounts").scalar() == 4
+
+    def test_delete_after_concurrent_write_conflicts(self, db):
+        t1 = db.begin()
+        # Snapshot t1 by touching the table.
+        t1.execute("SELECT count(*) FROM accounts")
+        t1.execute("DELETE FROM accounts WHERE owner = 'ann'")
+        db.execute("UPDATE accounts SET balance = 0 WHERE owner = 'ann'")
+        with pytest.raises(ConflictError):
+            t1.commit()
+        assert t1.closed
+
+    def test_delete_without_concurrent_write_commits(self, db):
+        t1 = db.begin()
+        t1.execute("DELETE FROM accounts WHERE owner = 'ann'")
+        t1.commit()
+        assert db.execute("SELECT count(*) FROM accounts").scalar() == 1
+
+
+class TestSnapshotCost:
+    def test_bind_is_zero_copy_without_concurrent_writes(self, db):
+        """Snapshot reads share the physical column (E14's claim)."""
+        txn = db.begin()
+        shared = db.catalog.get("accounts").bind("balance")
+        viewed = txn.bind("accounts", "balance")
+        assert viewed is shared
+        txn.abort()
+
+    def test_bind_slices_after_concurrent_append(self, db):
+        txn = db.begin()
+        txn.execute("SELECT count(*) FROM accounts")  # snapshot now
+        db.execute("INSERT INTO accounts VALUES ('zed', 9)")
+        viewed = txn.bind("accounts", "balance")
+        assert viewed.decoded() == [100, 50]
+        txn.abort()

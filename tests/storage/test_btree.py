@@ -1,0 +1,117 @@
+"""Tests for the B+-tree baseline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import BAT
+from repro.hardware import TINY
+from repro.storage import BPlusTree
+
+
+class TestBasics:
+    def test_order_validation(self):
+        with pytest.raises(ValueError):
+            BPlusTree(order=2)
+
+    def test_insert_search(self):
+        tree = BPlusTree(order=4)
+        tree.insert_many((k, k * 10) for k in [5, 1, 9, 3, 7])
+        assert tree.search(3) == 30
+        assert tree.search(4) is None
+        assert len(tree) == 5
+
+    def test_overwrite_duplicate(self):
+        tree = BPlusTree(order=4)
+        tree.insert(1, "a")
+        tree.insert(1, "b")
+        assert tree.search(1) == "b"
+        assert len(tree) == 1
+
+    def test_grows_in_height(self):
+        tree = BPlusTree(order=4)
+        assert tree.height == 1
+        tree.insert_many((k, k) for k in range(100))
+        assert tree.height >= 3
+        assert tree.node_count() > 20
+
+    def test_large_tree_all_found(self):
+        tree = BPlusTree(order=8)
+        keys = list(range(0, 5000, 3))
+        tree.insert_many((k, -k) for k in keys)
+        for k in keys[::37]:
+            assert tree.search(k) == -k
+        assert tree.search(1) is None
+
+    def test_range_scan(self):
+        tree = BPlusTree(order=4)
+        tree.insert_many((k, k) for k in range(0, 100, 2))
+        got = tree.range_scan(10, 21)
+        assert got == [(k, k) for k in range(10, 21, 2)]
+
+    def test_range_scan_across_leaves(self):
+        tree = BPlusTree(order=4)
+        tree.insert_many((k, str(k)) for k in range(200))
+        got = tree.range_scan(50, 150)
+        assert [k for k, _ in got] == list(range(50, 150))
+
+    def test_delete_tombstone(self):
+        tree = BPlusTree(order=4)
+        tree.insert_many((k, k) for k in range(20))
+        assert tree.delete(7)
+        assert not tree.delete(7)
+        assert not tree.delete(99)
+        assert tree.search(7) is None
+        assert len(tree) == 19
+        assert (7, 7) not in tree.range_scan(0, 20)
+
+    def test_reinsert_after_delete(self):
+        tree = BPlusTree(order=4)
+        tree.insert(1, "x")
+        tree.delete(1)
+        tree.insert(1, "y")
+        assert tree.search(1) == "y"
+
+
+class TestLookupTrace:
+    def test_trace_depth_grows_with_size(self):
+        small = BPlusTree(order=8)
+        small.insert_many((k, k) for k in range(50))
+        big = BPlusTree(order=8)
+        big.insert_many((k, k) for k in range(5000))
+        assert len(big.lookup_trace(4321)) > len(small.lookup_trace(43))
+
+    def test_positional_lookup_cheaper_than_btree(self):
+        """E8's claim: array positional lookup beats B-tree descent."""
+        n = 20000
+        bat = BAT.from_values(list(range(n)))
+        tree = BPlusTree(order=16)
+        tree.insert_many((k, k) for k in range(n))
+        rng = np.random.default_rng(0)
+        probes = rng.integers(0, n, 200)
+        h_bat = TINY.make_hierarchy()
+        h_tree = TINY.make_hierarchy()
+        for key in probes:
+            # BAT: one address computation + one array read.
+            h_bat.access(np.asarray([bat.tail_base + int(key) * 8]))
+            h_tree.access(tree.lookup_trace(int(key)))
+        assert h_bat.accesses < h_tree.accesses
+        assert h_bat.total_cycles < h_tree.total_cycles
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=10000), max_size=300),
+       st.integers(min_value=3, max_value=32))
+def test_property_btree_matches_dict(keys, order):
+    tree = BPlusTree(order=order)
+    reference = {}
+    for k in keys:
+        tree.insert(k, k * 7)
+        reference[k] = k * 7
+    assert len(tree) == len(reference)
+    for k in reference:
+        assert tree.search(k) == reference[k]
+    lo, hi = 2000, 8000
+    expected = sorted((k, v) for k, v in reference.items()
+                      if lo <= k < hi)
+    assert tree.range_scan(lo, hi) == expected

@@ -1,0 +1,85 @@
+"""Tests for the tuple-at-a-time Volcano engine."""
+
+import pytest
+
+from repro.storage import (
+    GroupAggregate,
+    HashJoinOp,
+    LimitOp,
+    ProjectOp,
+    ScalarAggregate,
+    SelectOp,
+    TableScan,
+    run_plan,
+)
+
+SALES = [(1, 10), (2, 7), (1, 5), (3, 2), (1, 1)]  # (item, qty)
+ITEMS = [(1, "apple"), (2, "pear"), (3, "fig")]
+
+
+class TestOperators:
+    def test_scan(self):
+        assert run_plan(TableScan(SALES)) == SALES
+
+    def test_select(self):
+        plan = SelectOp(TableScan(SALES), lambda r: r[1] > 4)
+        assert run_plan(plan) == [(1, 10), (2, 7), (1, 5)]
+
+    def test_project(self):
+        plan = ProjectOp(TableScan(SALES), lambda r: (r[1] * 2,))
+        assert run_plan(plan) == [(20,), (14,), (10,), (4,), (2,)]
+
+    def test_hash_join(self):
+        plan = HashJoinOp(TableScan(ITEMS), TableScan(SALES),
+                          build_key=lambda r: r[0],
+                          probe_key=lambda r: r[0])
+        rows = run_plan(plan)
+        assert (1, 10, 1, "apple") in rows
+        assert len(rows) == 5
+
+    def test_join_no_matches(self):
+        plan = HashJoinOp(TableScan([(9, "x")]), TableScan(SALES),
+                          build_key=lambda r: r[0],
+                          probe_key=lambda r: r[0])
+        assert run_plan(plan) == []
+
+    def test_group_aggregate(self):
+        plan = GroupAggregate(
+            TableScan(SALES), key_fn=lambda r: r[0],
+            aggregates=[(0, lambda acc, r: acc + r[1]),
+                        (0, lambda acc, r: acc + 1)])
+        rows = sorted(run_plan(plan))
+        assert rows == [(1, 16, 3), (2, 7, 1), (3, 2, 1)]
+
+    def test_scalar_aggregate(self):
+        plan = ScalarAggregate(
+            TableScan(SALES),
+            aggregates=[(0, lambda acc, r: acc + r[1])])
+        assert run_plan(plan) == [(25,)]
+
+    def test_scalar_aggregate_empty_input(self):
+        plan = ScalarAggregate(TableScan([]),
+                               aggregates=[(0, lambda a, r: a + 1)])
+        assert run_plan(plan) == [(0,)]
+
+    def test_limit(self):
+        assert run_plan(LimitOp(TableScan(SALES), 2)) == SALES[:2]
+        assert run_plan(LimitOp(TableScan(SALES), 0)) == []
+
+    def test_composed_pipeline(self):
+        """select -> join -> group: the E13 query shape."""
+        filtered = SelectOp(TableScan(SALES), lambda r: r[1] >= 2)
+        joined = HashJoinOp(TableScan(ITEMS), filtered,
+                            build_key=lambda r: r[0],
+                            probe_key=lambda r: r[0])
+        grouped = GroupAggregate(
+            joined, key_fn=lambda r: r[3],
+            aggregates=[(0, lambda acc, r: acc + r[1])])
+        assert sorted(run_plan(grouped)) == [
+            ("apple", 15), ("fig", 2), ("pear", 7)]
+
+    def test_iterators_restartable(self):
+        plan = SelectOp(TableScan(SALES), lambda r: r[0] == 1)
+        first = run_plan(plan)
+        second = run_plan(plan)
+        assert first == second == [(1, 10), (1, 5), (1, 1)]

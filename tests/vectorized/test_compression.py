@@ -1,0 +1,123 @@
+"""Tests for the ultra-lightweight compression schemes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.vectorized import choose_scheme, compress, decompress
+from repro.vectorized.compression import SCHEMES
+
+
+def roundtrip(values, scheme):
+    col = compress(np.asarray(values), scheme)
+    return decompress(col)
+
+
+class TestRoundtrips:
+    @pytest.mark.parametrize("scheme", ["rle", "dict", "pfor",
+                                        "pfor-delta", "raw"])
+    def test_roundtrip_random(self, scheme):
+        rng = np.random.default_rng(0)
+        values = rng.integers(0, 10_000, 5000)
+        assert np.array_equal(roundtrip(values, scheme), values)
+
+    @pytest.mark.parametrize("scheme", ["rle", "dict", "pfor",
+                                        "pfor-delta", "raw"])
+    def test_roundtrip_empty(self, scheme):
+        values = np.asarray([], dtype=np.int64)
+        assert len(roundtrip(values, scheme)) == 0
+
+    def test_roundtrip_negative(self):
+        values = np.asarray([-100, -5, 0, 3, -100])
+        for scheme in ("pfor", "pfor-delta", "dict", "rle"):
+            assert np.array_equal(roundtrip(values, scheme), values)
+
+    def test_unknown_scheme(self):
+        with pytest.raises(KeyError):
+            compress(np.arange(4), "zip")
+
+
+class TestRatios:
+    def test_rle_on_sorted_runs(self):
+        values = np.repeat(np.arange(100, dtype=np.int64), 100)
+        col = compress(values, "rle")
+        assert col.ratio > 20
+
+    def test_dict_on_low_cardinality(self):
+        rng = np.random.default_rng(1)
+        values = rng.choice(np.asarray([10**9, 2 * 10**9, 3 * 10**9]),
+                            10_000)
+        col = compress(values, "dict")
+        assert col.ratio > 6
+
+    def test_pfor_on_small_spread(self):
+        rng = np.random.default_rng(2)
+        values = (10**12 + rng.integers(0, 200, 10_000)).astype(np.int64)
+        col = compress(values, "pfor")
+        assert col.ratio > 6
+
+    def test_pfor_exceptions_preserved(self):
+        # 1% outliers: kept as patched exceptions, not widened codes.
+        values = np.arange(1000, dtype=np.int64) % 200
+        values[::100] = 10**9
+        col = compress(values, "pfor")
+        assert len(col.payload["exc_pos"]) == 10
+        assert col.payload["codes"].dtype == np.uint8
+        assert np.array_equal(decompress(col), values)
+
+    def test_pfor_delta_on_dense_keys(self):
+        values = np.arange(0, 10**6, 7, dtype=np.int64)  # huge spread
+        plain = compress(values, "pfor")
+        delta = compress(values, "pfor-delta")
+        assert delta.ratio > 3 * plain.ratio
+
+    def test_decode_cycles_budget(self):
+        """[44]: decompression in < 5 cycles/tuple (PFOR-DELTA is the
+        ceiling)."""
+        values = np.arange(1000, dtype=np.int64)
+        for scheme in ("rle", "dict", "pfor", "pfor-delta"):
+            col = compress(values, scheme)
+            assert col.decode_cycles <= 5 * len(values)
+
+
+class TestChooseScheme:
+    def test_sorted_runs_pick_rle(self):
+        assert choose_scheme(np.repeat(np.arange(50), 50)) == "rle"
+
+    def test_low_cardinality_picks_dict(self):
+        rng = np.random.default_rng(3)
+        assert choose_scheme(rng.choice([1, 2], 10_000)) in ("dict", "rle")
+
+    def test_dense_ascending_picks_delta(self):
+        values = np.arange(0, 10**9, 997, dtype=np.int64)
+        assert choose_scheme(values) == "pfor-delta"
+
+    def test_small_spread_picks_pfor(self):
+        rng = np.random.default_rng(4)
+        values = rng.integers(0, 1000, 10_000)
+        assert choose_scheme(values) == "pfor"
+
+    def test_incompressible_picks_raw(self):
+        rng = np.random.default_rng(5)
+        values = rng.integers(0, 1 << 60, 10_000)
+        assert choose_scheme(values) == "raw"
+
+    def test_floats_pick_raw(self):
+        assert choose_scheme(np.asarray([1.5, 2.5])) == "raw"
+
+    def test_auto_roundtrip(self):
+        rng = np.random.default_rng(6)
+        values = rng.integers(0, 100, 1000)
+        col = compress(values)  # heuristic choice
+        assert np.array_equal(decompress(col), values)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(min_value=-10**12, max_value=10**12),
+                max_size=200),
+       st.sampled_from(["rle", "dict", "pfor", "pfor-delta", "raw"]))
+def test_property_all_schemes_roundtrip(values, scheme):
+    arr = np.asarray(values, dtype=np.int64)
+    col = compress(arr, scheme)
+    assert np.array_equal(decompress(col), arr)
+    assert col.count == len(arr)

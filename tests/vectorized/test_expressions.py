@@ -1,0 +1,77 @@
+"""Unit tests for the vectorized expression primitives."""
+
+import numpy as np
+import pytest
+
+from repro.vectorized import Batch, BinExpr, Col, Const, compile_expr
+from repro.vectorized.expressions import NotExpr
+
+
+@pytest.fixture
+def batch():
+    return Batch({"a": np.asarray([1, 2, 3]),
+                  "b": np.asarray([10, 20, 30])})
+
+
+class TestNodes:
+    def test_col(self, batch):
+        assert Col("a")(batch).tolist() == [1, 2, 3]
+
+    def test_const(self, batch):
+        assert Const(5)(batch) == 5
+
+    def test_binexpr(self, batch):
+        expr = BinExpr("+", Col("a"), Col("b"))
+        assert expr(batch).tolist() == [11, 22, 33]
+
+    def test_unknown_op(self):
+        with pytest.raises(KeyError):
+            BinExpr("**", Col("a"), Const(2))
+
+    def test_not(self, batch):
+        expr = NotExpr(BinExpr(">", Col("a"), Const(1)))
+        assert expr(batch).tolist() == [True, False, False]
+
+    def test_reprs(self):
+        assert "a" in repr(Col("a"))
+        assert "5" in repr(Const(5))
+        assert "+" in repr(BinExpr("+", Col("a"), Const(5)))
+
+
+class TestCompileExpr:
+    def test_string_shorthand_is_column(self, batch):
+        assert compile_expr("a")(batch).tolist() == [1, 2, 3]
+
+    def test_scalar_shorthand_is_constant(self, batch):
+        assert compile_expr(7)(batch) == 7
+
+    def test_nested_tuple_spec(self, batch):
+        expr = compile_expr(("*", ("+", "a", 1), 10))
+        assert expr(batch).tolist() == [20, 30, 40]
+
+    def test_explicit_col_const_tags(self, batch):
+        expr = compile_expr(("-", ("col", "b"), ("const", 5)))
+        assert expr(batch).tolist() == [5, 15, 25]
+
+    def test_not_spec(self, batch):
+        expr = compile_expr(("not", ("==", "a", 2)))
+        assert expr(batch).tolist() == [True, False, True]
+
+    def test_logic_spec(self, batch):
+        expr = compile_expr(("and", (">", "a", 1), ("<", "b", 30)))
+        assert expr(batch).tolist() == [False, True, False]
+
+    def test_expression_instances_pass_through(self, batch):
+        original = Col("a")
+        assert compile_expr(original) is original
+
+    def test_comparison_ops(self, batch):
+        for op, expected in ((">=", [False, True, True]),
+                             ("<=", [True, True, False]),
+                             ("!=", [True, False, True])):
+            assert compile_expr((op, "a", 2))(batch).tolist() == expected
+
+    def test_division_and_modulo(self, batch):
+        assert compile_expr(("/", "b", "a"))(batch).tolist() == \
+            [10.0, 10.0, 10.0]
+        assert compile_expr(("%", "b", 7))(batch).tolist() == [3, 6, 2]

@@ -1,0 +1,259 @@
+"""Tests for the vectorized operator tree."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import TINY
+from repro.vectorized import (
+    Batch,
+    ExecutionContext,
+    ScalarVectorAggregate,
+    VectorAggregate,
+    VectorHashJoin,
+    VectorProject,
+    VectorScan,
+    VectorSelect,
+    run_engine,
+)
+
+
+def sales_columns(n=1000):
+    rng = np.random.default_rng(0)
+    return {
+        "item": rng.integers(0, 10, n),
+        "qty": rng.integers(1, 100, n),
+        "price": rng.uniform(0.5, 5.0, n),
+    }
+
+
+class TestBatch:
+    def test_ragged_rejected(self):
+        with pytest.raises(ValueError):
+            Batch({"a": np.arange(3), "b": np.arange(2)})
+
+    def test_missing_column(self):
+        with pytest.raises(KeyError):
+            Batch({"a": np.arange(3)}).column("z")
+
+    def test_filtered_taken(self):
+        b = Batch({"a": np.asarray([1, 2, 3])})
+        assert b.filtered(np.asarray([True, False, True])) \
+            .column("a").tolist() == [1, 3]
+        assert b.taken(np.asarray([2, 0])).column("a").tolist() == [3, 1]
+
+
+class TestScan:
+    @pytest.mark.parametrize("vector_size", [1, 7, 100, 1000, 5000])
+    def test_batches_cover_input(self, vector_size):
+        ctx = ExecutionContext(vector_size)
+        cols = sales_columns(1000)
+        out = run_engine(VectorScan(ctx, cols))
+        assert np.array_equal(out["qty"], cols["qty"])
+        expected_batches = -(-1000 // vector_size)
+        assert ctx.batches_produced == expected_batches
+
+    def test_vector_size_validation(self):
+        with pytest.raises(ValueError):
+            ExecutionContext(0)
+
+    def test_ragged_scan_rejected(self):
+        ctx = ExecutionContext()
+        with pytest.raises(ValueError):
+            VectorScan(ctx, {"a": np.arange(3), "b": np.arange(4)})
+
+
+class TestSelectProject:
+    def test_select(self):
+        ctx = ExecutionContext(64)
+        cols = sales_columns()
+        plan = VectorSelect(ctx, VectorScan(ctx, cols), (">", "qty", 50))
+        out = run_engine(plan)
+        assert (out["qty"] > 50).all()
+        assert len(out["qty"]) == int((cols["qty"] > 50).sum())
+
+    def test_select_none_matching(self):
+        ctx = ExecutionContext(64)
+        plan = VectorSelect(ctx, VectorScan(ctx, sales_columns()),
+                            (">", "qty", 1000))
+        assert run_engine(plan) == {}
+
+    def test_project_expression(self):
+        ctx = ExecutionContext(128)
+        cols = sales_columns()
+        plan = VectorProject(ctx, VectorScan(ctx, cols),
+                             {"revenue": ("*", "qty", "price")})
+        out = run_engine(plan)
+        assert np.allclose(out["revenue"], cols["qty"] * cols["price"])
+
+    def test_project_constant(self):
+        ctx = ExecutionContext(128)
+        plan = VectorProject(ctx, VectorScan(ctx, {"a": np.arange(5)}),
+                             {"k": ("const", 7), "a": "a"})
+        out = run_engine(plan)
+        assert out["k"].tolist() == [7] * 5
+
+    def test_compound_predicate(self):
+        ctx = ExecutionContext(32)
+        cols = sales_columns()
+        plan = VectorSelect(
+            ctx, VectorScan(ctx, cols),
+            ("and", (">", "qty", 20), ("<", "qty", 40)))
+        out = run_engine(plan)
+        assert ((out["qty"] > 20) & (out["qty"] < 40)).all()
+
+
+class TestHashJoin:
+    def test_join_matches_reference(self):
+        ctx = ExecutionContext(64)
+        items = {"item": np.asarray([0, 1, 2]),
+                 "label": np.asarray([10, 11, 12])}
+        sales = {"item": np.asarray([2, 0, 2, 9]),
+                 "qty": np.asarray([5, 6, 7, 8])}
+        plan = VectorHashJoin(ctx, VectorScan(ctx, items),
+                              VectorScan(ctx, sales),
+                              build_key="item", probe_key="item")
+        out = run_engine(plan)
+        assert out["qty"].tolist() == [5, 6, 7]  # 9 has no match
+        assert out["label"].tolist() == [12, 10, 12]
+
+    def test_join_duplicates(self):
+        ctx = ExecutionContext(8)
+        build = {"k": np.asarray([1, 1])}
+        probe = {"k": np.asarray([1, 1, 2])}
+        plan = VectorHashJoin(ctx, VectorScan(ctx, build),
+                              VectorScan(ctx, probe),
+                              build_key="k", probe_key="k")
+        out = run_engine(plan)
+        assert len(out["k"]) == 4
+
+    def test_column_collision_detected(self):
+        ctx = ExecutionContext(8)
+        build = {"k": np.asarray([1]), "x": np.asarray([1])}
+        probe = {"k": np.asarray([1]), "x": np.asarray([2])}
+        plan = VectorHashJoin(ctx, VectorScan(ctx, build),
+                              VectorScan(ctx, probe),
+                              build_key="k", probe_key="k")
+        with pytest.raises(ValueError):
+            run_engine(plan)
+
+    def test_prefix_avoids_collision(self):
+        ctx = ExecutionContext(8)
+        build = {"k": np.asarray([1]), "x": np.asarray([1])}
+        probe = {"k": np.asarray([1]), "x": np.asarray([2])}
+        plan = VectorHashJoin(ctx, VectorScan(ctx, build),
+                              VectorScan(ctx, probe),
+                              build_key="k", probe_key="k",
+                              build_prefix="b_")
+        out = run_engine(plan)
+        assert out["x"].tolist() == [2]
+        assert out["b_x"].tolist() == [1]
+
+
+class TestAggregates:
+    def test_grouped_matches_numpy(self):
+        ctx = ExecutionContext(100)
+        cols = sales_columns(5000)
+        plan = VectorAggregate(
+            ctx, VectorScan(ctx, cols), group_key="item",
+            aggregates={"total": ("sum", "qty"),
+                        "n": ("count", "qty"),
+                        "lo": ("min", "qty"),
+                        "hi": ("max", "qty"),
+                        "mean": ("avg", "qty")})
+        out = run_engine(plan)
+        order = np.argsort(out["item"])
+        for g, item in zip(order, np.sort(np.unique(cols["item"]))):
+            mask = cols["item"] == item
+            assert out["item"][g] == item
+            assert out["total"][g] == cols["qty"][mask].sum()
+            assert out["n"][g] == mask.sum()
+            assert out["lo"][g] == cols["qty"][mask].min()
+            assert out["hi"][g] == cols["qty"][mask].max()
+            assert np.isclose(out["mean"][g], cols["qty"][mask].mean())
+
+    def test_grouped_result_independent_of_vector_size(self):
+        cols = sales_columns(3000)
+        results = []
+        for vs in (1, 13, 512, 3000):
+            ctx = ExecutionContext(vs)
+            plan = VectorAggregate(
+                ctx, VectorScan(ctx, cols), group_key="item",
+                aggregates={"total": ("sum", "qty")})
+            out = run_engine(plan)
+            order = np.argsort(out["item"])
+            results.append((out["item"][order].tolist(),
+                            out["total"][order].tolist()))
+        assert all(r == results[0] for r in results)
+
+    def test_unknown_aggregate_kind(self):
+        ctx = ExecutionContext()
+        with pytest.raises(KeyError):
+            VectorAggregate(ctx, VectorScan(ctx, {"a": np.arange(2)}),
+                            group_key="a",
+                            aggregates={"x": ("median", "a")})
+
+    def test_scalar_aggregate(self):
+        ctx = ExecutionContext(77)
+        cols = sales_columns(500)
+        plan = ScalarVectorAggregate(
+            ctx, VectorScan(ctx, cols),
+            aggregates={"total": ("sum", "qty"),
+                        "n": ("count", "qty"),
+                        "hi": ("max", "price")})
+        out = run_engine(plan)
+        assert out["total"][0] == cols["qty"].sum()
+        assert out["n"][0] == 500
+        assert np.isclose(out["hi"][0], cols["price"].max())
+
+    def test_scalar_aggregate_empty(self):
+        ctx = ExecutionContext(8)
+        plan = ScalarVectorAggregate(
+            ctx, VectorScan(ctx, {"a": np.asarray([], dtype=np.int64)}),
+            aggregates={"n": ("count", "a"), "s": ("sum", "a")})
+        out = run_engine(plan)
+        assert out["n"][0] == 0
+        assert out["s"][0] == 0
+
+
+class TestProfiling:
+    def test_per_operator_counters(self):
+        cols = sales_columns(1000)
+        ctx = ExecutionContext(100)
+        plan = VectorSelect(ctx, VectorScan(ctx, cols), (">", "qty", 0))
+        run_engine(plan)
+        assert ctx.profile["VectorScan"][0] == 10
+        assert ctx.profile["VectorScan"][1] == 1000
+        assert ctx.profile["VectorSelect"][1] <= 1000
+
+    def test_profile_empty_before_run(self):
+        assert ExecutionContext().profile == {}
+
+
+class TestInterpretationOverhead:
+    def test_batch_count_drives_overhead(self):
+        """Vector size 1 produces n batches — the per-tuple method-call
+        overhead of tuple-at-a-time engines (Section 5)."""
+        cols = sales_columns(2000)
+        ctx1 = ExecutionContext(1)
+        run_engine(VectorSelect(ctx1, VectorScan(ctx1, cols),
+                                (">", "qty", 0)))
+        ctx_big = ExecutionContext(1000)
+        run_engine(VectorSelect(ctx_big, VectorScan(ctx_big, cols),
+                                (">", "qty", 0)))
+        assert ctx1.batches_produced >= 1000 * ctx_big.batches_produced / 3
+
+    def test_cache_tracing_shows_vector_overflow(self):
+        """Vectors beyond the cache stream and miss; cache-resident
+        vectors are reused for free — E5's degrade-at-huge-vectors."""
+        cols = {"a": np.arange(1 << 14, dtype=np.int64)}
+        cycles = {}
+        for vs in (128, 1 << 14):
+            h = TINY.make_hierarchy()
+            ctx = ExecutionContext(vs, hierarchy=h)
+            plan = VectorProject(
+                ctx, VectorProject(
+                    ctx, VectorScan(ctx, cols), {"a": ("*", "a", 2)}),
+                {"a": ("+", "a", 1)})
+            run_engine(plan)
+            cycles[vs] = h.total_cycles
+        assert cycles[128] < cycles[1 << 14]

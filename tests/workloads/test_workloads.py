@@ -1,0 +1,107 @@
+"""Tests for the workload generators."""
+
+import numpy as np
+import pytest
+
+from repro.sql import Database
+from repro.workloads import (
+    SkyserverWorkload,
+    StarSchema,
+    clustered_ints,
+    dense_keys,
+    sorted_ints,
+    uniform_ints,
+    zipf_ints,
+)
+
+
+class TestGenerators:
+    def test_uniform_range_and_determinism(self):
+        a = uniform_ints(1000, 10, 20, seed=7)
+        b = uniform_ints(1000, 10, 20, seed=7)
+        assert np.array_equal(a, b)
+        assert a.min() >= 10 and a.max() < 20
+
+    def test_zipf_is_skewed(self):
+        values = zipf_ints(10_000, n_distinct=100, skew=1.5)
+        counts = np.bincount(values, minlength=100)
+        assert counts[0] > 10 * max(counts[50], 1)
+
+    def test_sorted(self):
+        values = sorted_ints(500)
+        assert (np.diff(values) >= 0).all()
+
+    def test_clustered_is_locally_shuffled(self):
+        values = clustered_ints(1000, run_length=50)
+        assert not (np.diff(values) >= 0).all()  # not fully sorted
+        # But globally ascending at run granularity.
+        run_mins = values.reshape(20, 50).min(axis=1)
+        assert (np.diff(run_mins) >= 0).all()
+
+    def test_dense_keys_are_a_permutation(self):
+        values = dense_keys(256, base=100)
+        assert sorted(values.tolist()) == list(range(100, 356))
+
+
+class TestSkyserver:
+    def test_populates_database(self):
+        db = Database()
+        workload = SkyserverWorkload(n_rows=200, n_queries=20)
+        log = workload.populate(db)
+        assert db.execute("SELECT count(*) FROM obs").scalar() == 200
+        assert len(log) == 20
+
+    def test_queries_run(self):
+        db = Database()
+        workload = SkyserverWorkload(n_rows=300, n_queries=30, seed=3)
+        for q in workload.populate(db):
+            db.execute(q)  # all must compile and execute
+
+    def test_log_has_template_reuse(self):
+        log = SkyserverWorkload(n_queries=100).query_log()
+        assert len(set(log)) < len(log)  # literal repeats exist
+
+    def test_log_is_region_skewed(self):
+        workload = SkyserverWorkload(n_queries=400, n_regions=32,
+                                     skew=1.5)
+        import re
+        regions = [int(m.group(1)) for q in workload.query_log()
+                   for m in [re.search(r"region = (\d+)", q)] if m]
+        counts = np.bincount(regions, minlength=32)
+        assert counts.max() > 4 * np.median(counts[counts > 0])
+
+
+class TestStarSchema:
+    def test_populates_database(self):
+        schema = StarSchema(n_sales=500, n_items=20, n_stores=5)
+        db = schema.populate(Database())
+        assert db.execute("SELECT count(*) FROM sales").scalar() == 500
+        assert db.execute("SELECT count(*) FROM items").scalar() == 20
+
+    def test_referential_integrity(self):
+        schema = StarSchema(n_sales=300)
+        db = schema.populate(Database())
+        orphan = db.execute(
+            "SELECT count(*) FROM sales JOIN items "
+            "ON sales.item_id = items.item_id").scalar()
+        assert orphan == 300  # every sale joins exactly one item
+
+    def test_forms_are_consistent(self):
+        schema = StarSchema(n_sales=100)
+        cols = schema.sales_columns()
+        rows = schema.sales_rows()
+        assert len(rows) == 100
+        assert rows[0][0] == cols["item_id"][0]
+
+    def test_bi_query_cross_check(self):
+        """The same revenue query through SQL and through numpy."""
+        schema = StarSchema(n_sales=1000, n_items=10)
+        db = schema.populate(Database())
+        sql_rows = db.query(
+            "SELECT item_id, sum(qty) FROM sales GROUP BY item_id "
+            "ORDER BY item_id")
+        totals = np.bincount(schema.sale_items,
+                             weights=schema.sale_qtys,
+                             minlength=10).astype(int)
+        expected = [(i, int(t)) for i, t in enumerate(totals) if t > 0]
+        assert sql_rows == expected

@@ -1,0 +1,225 @@
+"""Tests for XML shredding, staircase joins, and the XPath evaluator."""
+
+import xml.etree.ElementTree as ET
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.xml import (
+    shred,
+    staircase_ancestor,
+    staircase_descendant,
+    staircase_following,
+    staircase_preceding,
+    xpath,
+    XPathError,
+)
+
+DOC = """
+<library>
+  <shelf id="a">
+    <book><title>Mammals</title><year>2009</year></book>
+    <book><title>Dinosaurs</title><year>1999</year></book>
+  </shelf>
+  <shelf id="b">
+    <book><title>Columns</title><year>2005</year></book>
+  </shelf>
+  <lamp/>
+</library>
+"""
+
+
+@pytest.fixture
+def doc():
+    return shred(DOC)
+
+
+def reference_maps(document_text):
+    """pre rank, parent, descendant sets computed naively via DOM."""
+    root = ET.fromstring(document_text)
+    pre_of = {}
+    nodes = []
+
+    def number(el):
+        pre_of[id(el)] = len(nodes)
+        nodes.append(el)
+        for child in el:
+            number(child)
+
+    number(root)
+    parent = {pre_of[id(c)]: pre_of[id(e)]
+              for e in nodes for c in e}
+    descendants = {}
+    for el in nodes:
+        descendants[pre_of[id(el)]] = sorted(
+            pre_of[id(d)] for d in el.iter() if d is not el)
+    return nodes, pre_of, parent, descendants
+
+
+class TestShred:
+    def test_counts_and_tags(self, doc):
+        assert doc.n_nodes == 13
+        assert doc.node_tag(0) == "library"
+        assert doc.node_tag(1) == "shelf"
+
+    def test_pre_is_document_order(self, doc):
+        nodes, pre_of, _, _ = reference_maps(DOC)
+        for pre, el in enumerate(nodes):
+            assert doc.node_tag(pre) == el.tag
+
+    def test_parent_pointers(self, doc):
+        _, _, parent, _ = reference_maps(DOC)
+        for pre in range(1, doc.n_nodes):
+            assert int(doc.parent.tail[pre]) == parent[pre]
+        assert int(doc.parent.tail[0]) == -1
+
+    def test_text(self, doc):
+        titles = [doc.node_text(p) for p in range(doc.n_nodes)
+                  if doc.node_tag(p) == "title"]
+        assert titles == ["Mammals", "Dinosaurs", "Columns"]
+
+    def test_subtree_size_identity(self, doc):
+        _, _, _, descendants = reference_maps(DOC)
+        for pre in range(doc.n_nodes):
+            assert doc.subtree_size(pre) == len(descendants[pre])
+
+    def test_children_of(self, doc):
+        assert [doc.node_tag(c) for c in doc.children_of(0)] == \
+            ["shelf", "shelf", "lamp"]
+
+
+class TestStaircase:
+    def test_descendant_single(self, doc):
+        _, _, _, descendants = reference_maps(DOC)
+        for pre in range(doc.n_nodes):
+            got = staircase_descendant(doc, [pre]).tolist()
+            assert got == descendants[pre]
+
+    def test_descendant_prunes_nested_contexts(self, doc):
+        # Context {shelf-a, book-inside-it}: the nested book is pruned.
+        got = staircase_descendant(doc, [1, 2]).tolist()
+        assert got == staircase_descendant(doc, [1]).tolist()
+
+    def test_descendant_disjoint_contexts(self, doc):
+        _, _, _, descendants = reference_maps(DOC)
+        got = staircase_descendant(doc, [1, 8]).tolist()
+        assert got == sorted(descendants[1] + descendants[8])
+
+    def test_ancestor(self, doc):
+        # title "Columns" is pre 10: ancestors book(9), shelf(8), lib(0).
+        assert staircase_ancestor(doc, [10]).tolist() == [0, 8, 9]
+
+    def test_ancestor_shares_paths(self, doc):
+        merged = staircase_ancestor(doc, [3, 5]).tolist()
+        assert merged == [0, 1, 2, 4][:len(merged)] or 0 in merged
+
+    def test_following(self, doc):
+        # following(shelf a): everything after pre 1..7 region.
+        got = staircase_following(doc, [1]).tolist()
+        assert got == list(range(8, 13))
+
+    def test_preceding(self, doc):
+        # preceding(shelf b at pre 8): all nodes whose subtree closed.
+        got = staircase_preceding(doc, [8]).tolist()
+        # shelf a's whole subtree (pre 1..7) precedes; library does not.
+        assert got == list(range(1, 8))
+
+    def test_empty_context(self, doc):
+        assert len(staircase_following(doc, [])) == 0
+        assert len(staircase_preceding(doc, [])) == 0
+
+
+class TestXPath:
+    def et_find(self, path):
+        root = ET.fromstring(DOC)
+        pre_of = {}
+
+        def number(el):
+            pre_of[id(el)] = len(pre_of)
+            for child in el:
+                number(child)
+
+        number(root)
+        return sorted(pre_of[id(el)] for el in root.findall(path))
+
+    @pytest.mark.parametrize("ours,theirs", [
+        ("//book", ".//book"),
+        ("//title", ".//title"),
+        ("/library/shelf", "./shelf"),
+        ("/library/shelf/book/title", "./shelf/book/title"),
+        ("//shelf/book", ".//shelf/book"),
+        ("//book[title]", ".//book[title]"),
+        ("//*", ".//*"),
+    ])
+    def test_against_elementtree(self, doc, ours, theirs):
+        got = xpath(doc, ours).tolist()
+        expected = self.et_find(theirs)
+        if ours == "//*":
+            expected = sorted(set(expected) | {0} - {0})
+            expected = self.et_find(".//*") + [0]
+            expected = sorted(expected)
+        assert got == expected
+
+    def test_root_step(self, doc):
+        assert xpath(doc, "/library").tolist() == [0]
+        assert xpath(doc, "/nonexistent").tolist() == []
+
+    def test_text_predicate(self, doc):
+        got = xpath(doc, "//book[title='Mammals']")
+        assert got.tolist() == [2]
+
+    def test_self_text_predicate(self, doc):
+        got = xpath(doc, "//year[text()='1999']")
+        assert len(got) == 1
+        assert doc.node_text(int(got[0])) == "1999"
+
+    def test_unknown_tag_empty(self, doc):
+        assert xpath(doc, "//robot").tolist() == []
+
+    def test_malformed_paths(self, doc):
+        for bad in ("book", "//", "//book[", "//book]extra"):
+            with pytest.raises(XPathError):
+                xpath(doc, bad)
+
+
+# -- property test: staircase joins vs the naive region predicate ----------
+
+@st.composite
+def random_document(draw):
+    """A random small XML tree as text."""
+    def build(depth):
+        tag = draw(st.sampled_from(["a", "b", "c"]))
+        n_children = draw(st.integers(0, 3)) if depth < 3 else 0
+        inner = "".join(build(depth + 1) for _ in range(n_children))
+        return "<{0}>{1}</{0}>".format(tag, inner)
+    return build(0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_document(), st.lists(st.integers(0, 30), min_size=1,
+                                   max_size=4))
+def test_property_staircase_equals_region_predicates(doc_text, raw_context):
+    doc = shred(doc_text)
+    context = np.unique(np.asarray(
+        [c % doc.n_nodes for c in raw_context], dtype=np.int64))
+    pre = np.arange(doc.n_nodes)
+    post = doc.post.tail
+
+    def union(predicate):
+        out = set()
+        for c in context.tolist():
+            for u in range(doc.n_nodes):
+                if predicate(u, c):
+                    out.add(u)
+        return sorted(out)
+
+    assert staircase_descendant(doc, context).tolist() == union(
+        lambda u, v: pre[v] < pre[u] and post[u] < post[v])
+    assert staircase_ancestor(doc, context).tolist() == union(
+        lambda u, v: pre[u] < pre[v] and post[u] > post[v])
+    assert staircase_following(doc, context).tolist() == sorted(
+        set(range(doc.n_nodes))
+        & set(union(lambda u, v: pre[u] > pre[v] and post[u] > post[v])))
+    assert staircase_preceding(doc, context).tolist() == union(
+        lambda u, v: pre[u] < pre[v] and post[u] < post[v])
