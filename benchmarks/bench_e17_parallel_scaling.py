@@ -1,0 +1,139 @@
+"""E17 — morsel-driven parallel scaling and the shared-LLC ceiling.
+
+The paper's X100 line removes interpretation overhead with vectors;
+the next wall is hardware parallelism, and its limit on paper-era SMPs
+is the *shared* last-level cache.  Two measurements on a streaming
+scan -> filter -> project pipeline, parallelized with morsel scans and
+an exchange union over simulated workers (private L1/L2 each, one
+shared 2 MB LLC — the ``scaled-smp`` profile):
+
+* E17a: simulated speedup vs worker count at a cache-friendly vector
+  size — near-linear, because each worker's vector working set stays
+  inside its private levels.
+* E17b: fixed 4 workers, growing vector size — once the workers'
+  *aggregate* vector working set exceeds the shared LLC they evict each
+  other's lines, every pull pays memory latency, and the speedup curve
+  knees over.  Bigger vectors amortize interpretation (E5) but feed the
+  contention; the parallel sweet spot is below the serial one.
+
+Speedup is simulated critical path: ``cycles(1 worker) / cycles(N)``,
+where a worker's cycles are its private-hierarchy cycles plus the
+shared-LLC cycles attributed to its pulls.
+"""
+
+import numpy as np
+
+from conftest import run_once
+
+from repro.hardware.profiles import SCALED_SMP
+from repro.parallel import Exchange, MorselScan, MorselScheduler, WorkerSet
+from repro.vectorized.operators import (
+    ExecutionContext, VectorProject, VectorSelect,
+)
+
+N = 120_000
+WORKER_SWEEP = (1, 2, 4, 8)
+FRIENDLY_VECTOR = 512
+VECTOR_SWEEP = (512, 2048, 8192, 16384, 32768)
+CONTENTION_WORKERS = 4
+
+
+def _columns():
+    return {"a": np.arange(N, dtype=np.int64) % 1000,
+            "b": (np.arange(N, dtype=np.int64) * 7) % 1000}
+
+
+def _plan_factory(columns):
+    def build(ctx, scheduler, worker):
+        scan = MorselScan(ctx, columns, scheduler, worker=worker)
+        keep = (">=", "a", 100)  # ~90% selectivity: stays streaming
+        return VectorProject(ctx, VectorSelect(ctx, scan, keep),
+                             {"a": "a", "v": ("+", "a", "b")})
+    return build
+
+
+def _run(columns, workers, vector_size):
+    """One parallel run; returns (rows seen, worker set)."""
+    worker_set = WorkerSet(workers, profile=SCALED_SMP,
+                           vector_size=vector_size)
+    scheduler = MorselScheduler(N, workers=workers,
+                                morsel_size=max(4096, vector_size))
+    union_ctx = ExecutionContext(vector_size=vector_size)
+    exchange = Exchange(union_ctx, _plan_factory(columns), worker_set,
+                        scheduler)
+    rows = 0
+    checksum = 0
+    for batch in exchange.batches():
+        rows += len(batch)
+        checksum += int(batch.column("v").sum())
+    return rows, checksum, worker_set, scheduler
+
+
+def worker_sweep(columns):
+    rows = []
+    baseline = None
+    reference = None
+    for workers in WORKER_SWEEP:
+        n_rows, checksum, worker_set, scheduler = _run(
+            columns, workers, FRIENDLY_VECTOR)
+        if reference is None:
+            reference = (n_rows, checksum)
+        assert (n_rows, checksum) == reference  # same answer at any DOP
+        cycles = worker_set.critical_path_cycles()
+        if baseline is None:
+            baseline = cycles
+        rows.append((workers, cycles, round(baseline / cycles, 2),
+                     scheduler.steals))
+    return rows
+
+
+def contention_sweep(columns):
+    rows = []
+    for vector_size in VECTOR_SWEEP:
+        _, _, serial_set, _ = _run(columns, 1, vector_size)
+        _, _, parallel_set, _ = _run(columns, CONTENTION_WORKERS,
+                                     vector_size)
+        serial = serial_set.critical_path_cycles()
+        parallel = parallel_set.critical_path_cycles()
+        # Aggregate reusable vector-buffer working set across workers:
+        # 3 operators x 2 columns x 8 bytes per worker.
+        working_set = CONTENTION_WORKERS * 3 * 2 * 8 * vector_size
+        llc = parallel_set.shared_llc.stats
+        rows.append((vector_size, working_set // 1024,
+                     serial, parallel, round(serial / parallel, 2),
+                     llc.misses))
+    return rows
+
+
+def test_e17_parallel_scaling(benchmark, sink):
+    columns = _columns()
+
+    def harness():
+        return worker_sweep(columns), contention_sweep(columns)
+
+    scaling_rows, knee_rows = run_once(benchmark, harness)
+    sink.table(
+        "E17a: speedup vs workers (scan+filter+project, N={0:,}, "
+        "vectors of {1})".format(N, FRIENDLY_VECTOR),
+        ["workers", "critical path cycles", "speedup", "steals"],
+        scaling_rows)
+    sink.table(
+        "E17b: shared-LLC contention knee ({0} workers, growing "
+        "vectors; LLC = 2MB)".format(CONTENTION_WORKERS),
+        ["vector size", "agg working set KB", "serial cycles",
+         "parallel cycles", "speedup", "shared LLC misses"],
+        knee_rows)
+
+    speedup_at = {r[0]: r[2] for r in scaling_rows}
+    assert speedup_at[4] > 1.5, "no parallel speedup at 4 workers"
+    assert speedup_at[2] > 1.2
+
+    knee_by_vector = {r[0]: r[4] for r in knee_rows}
+    friendly = knee_by_vector[FRIENDLY_VECTOR]
+    thrashing = knee_by_vector[VECTOR_SWEEP[-1]]
+    # Once the aggregate vector working set blows past the shared LLC,
+    # parallel speedup must visibly collapse versus the friendly point.
+    assert thrashing < friendly - 0.5, (
+        "no contention knee: {0} vs {1}".format(thrashing, friendly))
+    benchmark.extra_info["speedup_4_workers"] = speedup_at[4]
+    benchmark.extra_info["knee_speedup"] = thrashing

@@ -19,7 +19,9 @@ from repro.hardware.profiles import (
     ITANIUM2,
     PENTIUM4_XEON,
     SCALED_DEFAULT,
+    SCALED_SMP,
     TINY,
+    TINY_SMP,
     profile_by_name,
 )
 from repro.hardware import trace
@@ -32,7 +34,9 @@ __all__ = [
     "AccessReport",
     "HardwareProfile",
     "TINY",
+    "TINY_SMP",
     "SCALED_DEFAULT",
+    "SCALED_SMP",
     "PENTIUM4_XEON",
     "ITANIUM2",
     "profile_by_name",

@@ -131,7 +131,40 @@ ITANIUM2 = HardwareProfile(
     tlb=TLBSpec(entries=128, page_size=16 * 1024, miss_latency=30),
 )
 
-_PROFILES = {p.name: p for p in (TINY, SCALED_DEFAULT, PENTIUM4_XEON, ITANIUM2)}
+SCALED_SMP = HardwareProfile(
+    name="scaled-smp",
+    description=("SMP profile for morsel-driven parallelism: per-worker "
+                 "private L1/L2 plus a last level meant to be *shared* "
+                 "between workers (see repro.parallel.context), scaled so "
+                 "the contention knee appears within second-long runs."),
+    caches=(
+        CacheSpec("L1", capacity=8 * 1024, line_size=32, associativity=256,
+                  miss_latency_random=10, miss_latency_sequential=6),
+        CacheSpec("L2", capacity=64 * 1024, line_size=128,
+                  associativity=512, miss_latency_random=40,
+                  miss_latency_sequential=12),
+        CacheSpec("LLC", capacity=2 * 1024 * 1024, line_size=128,
+                  associativity=16384, miss_latency_random=220,
+                  miss_latency_sequential=35),
+    ),
+    tlb=TLBSpec(entries=64, page_size=4096, miss_latency=60),
+)
+
+TINY_SMP = HardwareProfile(
+    name="tiny-smp",
+    description=("Miniature SMP profile for fast parallel unit tests: "
+                 "private L1 plus a tiny shared last level."),
+    caches=(
+        CacheSpec("L1", capacity=512, line_size=32, associativity=16,
+                  miss_latency_random=10, miss_latency_sequential=4),
+        CacheSpec("LLC", capacity=4096, line_size=64, associativity=64,
+                  miss_latency_random=100, miss_latency_sequential=25),
+    ),
+    tlb=TLBSpec(entries=32, page_size=256, miss_latency=30),
+)
+
+_PROFILES = {p.name: p for p in (TINY, SCALED_DEFAULT, PENTIUM4_XEON,
+                                 ITANIUM2, SCALED_SMP, TINY_SMP)}
 
 
 def profile_by_name(name):

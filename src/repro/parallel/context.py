@@ -1,0 +1,155 @@
+"""Per-worker execution contexts over a shared last-level cache.
+
+Each simulated worker owns a private cache hierarchy (the inner levels
+of an SMP :class:`~repro.hardware.profiles.HardwareProfile`) but all
+workers' hierarchies end in the *same* last-level :class:`Cache`
+instance.  Misses out of a worker's private levels therefore land in a
+cache whose contents all workers fight over — the paper-era reality
+that intra-query parallel speedup is bounded by shared-cache capacity:
+once the workers' aggregate vector working set exceeds the LLC they
+evict each other's lines and every worker's per-batch cost jumps to
+memory latency (experiment E17 shows the knee).
+
+LLC cycles are *attributed* to the worker whose pull caused them (the
+exchange snapshots the shared counters around each pull), so the
+simulated elapsed time of a parallel plan is the critical path::
+
+    elapsed = max over workers of (private cycles + attributed LLC cycles)
+"""
+
+from repro.hardware.hierarchy import MemoryHierarchy
+from repro.hardware.profiles import SCALED_SMP
+from repro.vectorized.operators import DEFAULT_VECTOR_SIZE, ExecutionContext
+
+
+class WorkerContext(ExecutionContext):
+    """One simulated worker's execution state (id + private hierarchy)."""
+
+    def __init__(self, worker_id, vector_size=DEFAULT_VECTOR_SIZE,
+                 hierarchy=None):
+        super().__init__(vector_size, hierarchy)
+        self.worker_id = worker_id
+
+
+class WorkerSet:
+    """N worker contexts whose hierarchies share one last-level cache.
+
+    Parameters
+    ----------
+    workers:
+        Number of simulated workers.
+    profile:
+        An SMP :class:`HardwareProfile`; its last cache level becomes the
+        shared LLC, the inner levels are built privately per worker.
+        Pass ``profile=None`` for pure result-parallelism with no cache
+        simulation at all (fast unit tests).
+    vector_size:
+        Vector size of every worker's pipelines.
+    """
+
+    def __init__(self, workers, profile=SCALED_SMP,
+                 vector_size=DEFAULT_VECTOR_SIZE):
+        if workers < 1:
+            raise ValueError("need at least one worker")
+        self.profile = profile
+        self.shared_llc = None
+        self.contexts = []
+        self.llc_cycles = [0] * workers
+        self.llc_misses = [0] * workers
+        if profile is None:
+            self.contexts = [WorkerContext(w, vector_size)
+                             for w in range(workers)]
+            return
+        if len(profile.caches) < 2:
+            raise ValueError("an SMP profile needs private levels plus "
+                             "a shared last level")
+        self.shared_llc = profile.caches[-1].build()
+        for w in range(workers):
+            privates = [spec.build() for spec in profile.caches[:-1]]
+            tlb = profile.tlb.build() if profile.tlb is not None else None
+            hierarchy = MemoryHierarchy(privates + [self.shared_llc],
+                                        tlb=tlb,
+                                        name="worker-{0}".format(w))
+            self.contexts.append(WorkerContext(w, vector_size, hierarchy))
+
+    def __len__(self):
+        return len(self.contexts)
+
+    # -- attribution (called by the exchange around each pull) ---------------
+
+    def charge_llc(self, worker, cycles_before, misses_before):
+        if self.shared_llc is None:
+            return
+        self.llc_cycles[worker] += self.shared_llc.miss_cycles() \
+            - cycles_before
+        self.llc_misses[worker] += self.shared_llc.stats.misses \
+            - misses_before
+
+    def llc_snapshot(self):
+        if self.shared_llc is None:
+            return (0, 0)
+        return (self.shared_llc.miss_cycles(), self.shared_llc.stats.misses)
+
+    # -- reporting -----------------------------------------------------------
+
+    def private_cycles(self, worker):
+        """Cycles of one worker excluding the shared LLC."""
+        ctx = self.contexts[worker]
+        if ctx.hierarchy is None:
+            return 0
+        h = ctx.hierarchy
+        private = sum(c.miss_cycles() for c in h.caches
+                      if c is not self.shared_llc)
+        return private + h.tlb_cycles + h.cpu_cycles
+
+    def worker_cycles(self, worker):
+        """Simulated cycles attributable to one worker."""
+        return self.private_cycles(worker) + self.llc_cycles[worker]
+
+    def critical_path_cycles(self):
+        """Simulated elapsed cycles: the slowest worker bounds the query."""
+        return max(self.worker_cycles(w) for w in range(len(self)))
+
+    def total_cycles(self):
+        """Aggregate work (the sum a serial run would have paid)."""
+        return sum(self.worker_cycles(w) for w in range(len(self)))
+
+    def profile_report(self):
+        """Per-worker profiles in the ``ExecutionContext.profile`` shape.
+
+        ``{"worker-0": {operator: [batches, rows]}, ...}`` plus a
+        ``"cycles"`` map and the shared-LLC counters, so callers see
+        where both rows and simulated time went.
+        """
+        report = {}
+        cycles = {}
+        for w, ctx in enumerate(self.contexts):
+            name = "worker-{0}".format(w)
+            report[name] = {op: list(entry)
+                            for op, entry in ctx.profile.items()}
+            cycles[name] = self.worker_cycles(w)
+        report["cycles"] = cycles
+        if self.shared_llc is not None:
+            stats = self.shared_llc.stats
+            report["shared_llc"] = {
+                "hits": stats.hits,
+                "misses": stats.misses,
+                "miss_cycles": self.shared_llc.miss_cycles(),
+            }
+        return report
+
+    def miss_counts(self):
+        """Deterministic fingerprint of all cache traffic (tests)."""
+        counts = {}
+        for w, ctx in enumerate(self.contexts):
+            if ctx.hierarchy is None:
+                continue
+            for cache in ctx.hierarchy.caches:
+                if cache is self.shared_llc:
+                    continue
+                counts[("worker-{0}".format(w), cache.name)] = \
+                    cache.stats.misses
+        if self.shared_llc is not None:
+            counts[("shared", self.shared_llc.name)] = \
+                self.shared_llc.stats.misses
+        return counts

@@ -1,0 +1,133 @@
+"""Exchange operators: plugging parallelism into pull-based pipelines.
+
+The exchange idiom (Graefe's Volcano; "Query Optimization in the Wild"
+notes every industrial engine converged on it) encapsulates parallelism
+*inside* operators so the rest of the pipeline stays oblivious:
+
+* :class:`MorselScan` — a leaf that pulls morsels from the scheduler
+  instead of owning a fixed range, so the scan parallelizes by data.
+* :class:`ExchangeUnion` — N:1 merge of per-worker partial streams,
+  pulling round-robin so the workers' simulated cache traffic
+  interleaves in the shared LLC exactly as concurrent cores would.
+* :class:`Exchange` — 1:N:1 convenience: clones a pipeline once per
+  worker via a plan factory, drives the clones over one shared morsel
+  scheduler, and unions their outputs.
+
+Batch arrival order is the deterministic round-robin interleaving —
+stable for a fixed worker count, but *not* the serial row order; use
+``tests.helpers.assert_same_rows`` when comparing.
+"""
+
+from repro.vectorized.operators import VectorOperator
+from repro.vectorized.vector import Batch
+
+
+class MorselScan(VectorOperator):
+    """Scan whose row ranges come from a morsel scheduler.
+
+    ``columns`` maps names to full numpy arrays; the operator slices
+    vectors out of whichever morsel the scheduler hands its worker next,
+    so two MorselScans over the same scheduler partition the table
+    between them dynamically.
+    """
+
+    def __init__(self, context, columns, scheduler, worker=0):
+        super().__init__(context)
+        self.columns = dict(columns)
+        lengths = {len(v) for v in self.columns.values()}
+        if len(lengths) > 1:
+            raise ValueError("ragged scan input")
+        self.scheduler = scheduler
+        self.worker = worker
+        self._morsel = None
+        self._pos = 0
+
+    def open(self):
+        self._morsel = None
+        self._pos = 0
+
+    def next_batch(self):
+        while True:
+            if self._morsel is None:
+                self._morsel = self.scheduler.next_morsel(self.worker)
+                if self._morsel is None:
+                    return None
+                self._pos = self._morsel.start
+            if self._pos >= self._morsel.stop:
+                self._morsel = None
+                continue
+            end = min(self._pos + self.context.vector_size,
+                      self._morsel.stop)
+            batch = Batch({name: v[self._pos:end]
+                           for name, v in self.columns.items()})
+            self._pos = end
+            return batch
+
+
+class ExchangeUnion(VectorOperator):
+    """N:1 exchange: merge per-worker streams, round-robin and
+    deterministic.
+
+    Pulling one batch per worker per round interleaves the workers'
+    memory traffic in the shared LLC (via ``worker_set``), which is what
+    makes cache *contention* — not just capacity — visible in the
+    simulation.  Shared-LLC cycles are attributed to the worker whose
+    pull caused them.
+    """
+
+    def __init__(self, context, children, worker_set=None):
+        super().__init__(context)
+        self.children = list(children)
+        if not self.children:
+            raise ValueError("exchange needs at least one child")
+        self.worker_set = worker_set
+        self._streams = None
+        self._alive = None
+        self._turn = 0
+
+    def open(self):
+        self._streams = [child.batches() for child in self.children]
+        self._alive = [True] * len(self._streams)
+        self._turn = 0
+
+    def _pull(self, worker):
+        ws = self.worker_set
+        if ws is None:
+            return next(self._streams[worker], None)
+        cycles, misses = ws.llc_snapshot()
+        batch = next(self._streams[worker], None)
+        ws.charge_llc(worker, cycles, misses)
+        return batch
+
+    def next_batch(self):
+        n = len(self._streams)
+        attempts = 0
+        while attempts < n:
+            worker = self._turn
+            self._turn = (self._turn + 1) % n
+            if not self._alive[worker]:
+                attempts += 1
+                continue
+            batch = self._pull(worker)
+            if batch is None:
+                self._alive[worker] = False
+                attempts += 1
+                continue
+            return batch
+        return None
+
+
+class Exchange(ExchangeUnion):
+    """1:N:1 exchange: parallelize a pipeline across a worker set.
+
+    ``plan_factory(worker_ctx, scheduler, worker_id)`` builds one
+    worker's pipeline (typically rooted in a :class:`MorselScan` on the
+    shared ``scheduler``); the exchange instantiates one clone per
+    worker in ``worker_set`` and unions their outputs.
+    """
+
+    def __init__(self, context, plan_factory, worker_set, scheduler):
+        children = [plan_factory(ctx, scheduler, w)
+                    for w, ctx in enumerate(worker_set.contexts)]
+        super().__init__(context, children, worker_set)
+        self.scheduler = scheduler

@@ -97,6 +97,14 @@ class Update:
 
 
 @dataclass
+class SetPragma:
+    """``SET <name> = <value>`` session pragma (e.g. ``SET workers = 4``)."""
+
+    name: str
+    value: object
+
+
+@dataclass
 class TableRef:
     name: str
     alias: str = None

@@ -4,7 +4,8 @@ from repro.core.bat import BAT
 from repro.mal.interpreter import Interpreter
 from repro.mal.optimizer import DEFAULT_PIPELINE
 from repro.sql.ast import (
-    Column, CreateTable, Delete, Insert, Select, SelectItem, Update,
+    Column, CreateTable, Delete, Insert, Select, SelectItem, SetPragma,
+    Update,
 )
 from repro.sql.catalog import Catalog
 from repro.sql.compiler import compile_select, compile_where_candidates
@@ -77,9 +78,23 @@ class Database:
         recycling pipeline marking is expected to be part of ``pipeline``
         (see :data:`repro.mal.optimizer.RECYCLING_PIPELINE`) or the
         recycler must set ``cache_all``.
+    smp_profile:
+        Optional SMP :class:`~repro.hardware.profiles.HardwareProfile`
+        for parallel SELECTs: each worker then simulates a private
+        cache hierarchy over a shared last-level cache (see
+        :mod:`repro.parallel`).  None (the default) runs parallel plans
+        without cache simulation.
+
+    Parallel execution: ``execute(sql, workers=N)`` (or the session
+    pragma ``SET workers = N``) runs SELECTs on N simulated morsel
+    workers; queries without a parallel plan shape silently fall back
+    to the serial engine (counted in ``parallel_fallbacks``).  Parallel
+    answers are the same multiset as serial answers, in exchange-union
+    order rather than scan order.
     """
 
-    def __init__(self, pipeline=DEFAULT_PIPELINE, recycler=None):
+    def __init__(self, pipeline=DEFAULT_PIPELINE, recycler=None,
+                 smp_profile=None):
         self.catalog = Catalog()
         self.pipeline = pipeline
         self.recycler = recycler
@@ -87,6 +102,12 @@ class Database:
         # Plan-for-reuse (§2): optimized MAL plans cached per SQL text.
         self._plan_cache = {}
         self.plans_reused = 0
+        # Intra-query parallelism (repro.parallel).
+        self.smp_profile = smp_profile
+        self.default_workers = 1
+        self.parallel_runs = 0
+        self.parallel_fallbacks = 0
+        self.last_parallel = None  # ParallelResult of the latest SELECT
 
     @classmethod
     def with_recycling(cls, capacity_bytes=None, policy="benefit"):
@@ -105,19 +126,25 @@ class Database:
 
     # -- statement routing ---------------------------------------------------
 
-    def execute(self, sql):
+    def execute(self, sql, workers=None):
         """Execute one SQL statement (autocommit).
 
         Returns a :class:`ResultSet` for SELECT, the affected row count
-        for DML, and None for DDL.
+        for DML, and None for DDL.  ``workers`` overrides the session's
+        worker count (``SET workers = N``) for this statement.
         """
-        if isinstance(sql, str):
+        effective = self.default_workers if workers is None else workers
+        if effective < 1:
+            raise ValueError("workers must be at least 1")
+        if isinstance(sql, str) and effective == 1:
             cached = self._plan_cache.get(sql)
             if cached is not None:
                 self.plans_reused += 1
                 return self._run_compiled(cached[0], cached[1],
                                           view=self.catalog)
         statement = parse_sql(sql)
+        if isinstance(statement, SetPragma):
+            return self._apply_pragma(statement)
         if isinstance(statement, CreateTable):
             self.catalog.create_table(statement.name, statement.columns)
             self._plan_cache.clear()  # schema changed
@@ -134,15 +161,46 @@ class Database:
         if isinstance(statement, Update):
             return self._apply_update(statement)
         if isinstance(statement, Select):
+            if effective > 1:
+                result = self._try_parallel(statement, effective)
+                if result is not None:
+                    return result
             program, names = compile_select(self.catalog, statement)
             program = self.pipeline.optimize(program)
             self._plan_cache[sql] = (program, names)
             return self._run_compiled(program, names, view=self.catalog)
         raise TypeError("unsupported statement {0!r}".format(statement))
 
-    def query(self, sql):
+    def query(self, sql, workers=None):
         """Shorthand: execute a SELECT and return its rows."""
-        return self.execute(sql).rows()
+        return self.execute(sql, workers=workers).rows()
+
+    def _apply_pragma(self, pragma):
+        if pragma.name == "workers":
+            value = pragma.value
+            if not isinstance(value, int) or isinstance(value, bool) \
+                    or value < 1:
+                raise ValueError("SET workers needs a positive integer")
+            self.default_workers = value
+            return None
+        raise ValueError("unknown pragma {0!r}".format(pragma.name))
+
+    def _try_parallel(self, statement, workers):
+        """Morsel-parallel SELECT; None when the shape has no parallel
+        plan (the caller then runs the serial engine)."""
+        from repro.parallel.executor import (
+            ParallelSelectExecutor, ParallelUnsupported,
+        )
+        executor = ParallelSelectExecutor(self.catalog, workers,
+                                          smp_profile=self.smp_profile)
+        try:
+            result = executor.execute(statement)
+        except ParallelUnsupported:
+            self.parallel_fallbacks += 1
+            return None
+        self.parallel_runs += 1
+        self.last_parallel = result
+        return ResultSet(result.names, result.columns)
 
     def explain(self, sql):
         """The optimized MAL program for a SELECT, as text."""

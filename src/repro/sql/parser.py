@@ -1,14 +1,16 @@
 """Recursive-descent SQL parser for the supported subset.
 
 Statements: CREATE TABLE, INSERT, DELETE, UPDATE, SELECT (joins, WHERE,
-GROUP BY, HAVING, ORDER BY, LIMIT, DISTINCT, BETWEEN, IN).  Expressions
+GROUP BY, HAVING, ORDER BY, LIMIT, DISTINCT, BETWEEN, IN), and the
+session pragma SET (``SET workers = 4``).  Expressions
 follow standard precedence: OR < AND < NOT < comparison < additive <
 multiplicative < unary minus.
 """
 
 from repro.sql.ast import (
     BinOp, Column, CreateTable, Delete, FuncCall, Insert, Join, Literal,
-    OrderItem, Select, SelectItem, Star, TableRef, UnaryOp, Update,
+    OrderItem, Select, SelectItem, SetPragma, Star, TableRef, UnaryOp,
+    Update,
 )
 from repro.sql.lexer import END, SQLSyntaxError, tokenize
 
@@ -61,8 +63,20 @@ class _Parser:
             return self.update()
         if token.matches("keyword", "select"):
             return self.select()
+        if token.matches("keyword", "set"):
+            return self.set_pragma()
         raise SQLSyntaxError("unsupported statement start: {0!r}".format(
             token.value))
+
+    def set_pragma(self):
+        """``SET name = value`` session pragma (e.g. ``SET workers = 4``)."""
+        self.expect("keyword", "set")
+        name = self.expect("ident").value
+        self.expect("op", "=")
+        value = self._literal_value()
+        self.accept("op", ";")
+        self.expect(END)
+        return SetPragma(name, value)
 
     def create_table(self):
         self.expect("keyword", "create")

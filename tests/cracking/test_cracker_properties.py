@@ -1,0 +1,120 @@
+"""Property-based invariant tests for database cracking.
+
+Hypothesis drives the cracker through random query (and update)
+sequences and checks, after every step, that:
+
+* the cracker-index invariant holds (pieces partition the array, all
+  values left of a cut are < its pivot, all values right are >= it),
+* every range query returns exactly the oids a brute-force filter over
+  the *original* values would — cracking reorganizes, never corrupts,
+* the column remains a permutation of its initial multiset.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cracking.cracker_column import CrackerColumn
+from repro.cracking.updates import CrackedStore
+
+values_strategy = st.lists(st.integers(min_value=-100, max_value=100),
+                           min_size=0, max_size=120)
+
+range_strategy = st.tuples(
+    st.one_of(st.none(), st.integers(min_value=-110, max_value=110)),
+    st.one_of(st.none(), st.integers(min_value=-110, max_value=110)),
+    st.booleans(),
+    st.booleans(),
+)
+
+
+def brute_force_oids(values, lo, hi, lo_incl, hi_incl):
+    out = []
+    for oid, value in enumerate(values):
+        if lo is not None and (value < lo or (value == lo and not lo_incl)):
+            continue
+        if hi is not None and (value > hi or (value == hi and not hi_incl)):
+            continue
+        out.append(oid)
+    return out
+
+
+@settings(max_examples=60, deadline=None)
+@given(values=values_strategy,
+       queries=st.lists(range_strategy, min_size=1, max_size=15))
+def test_cracker_column_query_sequences(values, queries):
+    column = CrackerColumn(np.asarray(values, dtype=np.int64))
+    original = list(values)
+    for lo, hi, lo_incl, hi_incl in queries:
+        got = column.select_range(lo, hi, lo_incl, hi_incl).tolist()
+        want = brute_force_oids(original, lo, hi, lo_incl, hi_incl)
+        assert got == want, (lo, hi, lo_incl, hi_incl)
+        assert column.check_invariants()
+        # Cracking permutes; it must never lose or change a value.
+        assert sorted(column.values.tolist()) == sorted(original)
+        assert sorted(column.oids.tolist()) == list(range(len(original)))
+
+
+@settings(max_examples=40, deadline=None)
+@given(values=values_strategy,
+       queries=st.lists(range_strategy, min_size=1, max_size=10))
+def test_cracker_pieces_partition_the_column(values, queries):
+    column = CrackerColumn(np.asarray(values, dtype=np.int64))
+    for lo, hi, lo_incl, hi_incl in queries:
+        column.select_range(lo, hi, lo_incl, hi_incl)
+        pieces = column.pieces()
+        if values:
+            assert pieces[0].lo == 0
+            assert pieces[-1].hi == len(values)
+        for left, right in zip(pieces, pieces[1:]):
+            assert left.hi == right.lo  # contiguous, no gaps or overlap
+        assert sum(p.size for p in pieces) == len(values)
+
+
+_steps = st.lists(
+    st.one_of(
+        st.tuples(st.just("query"), range_strategy),
+        st.tuples(st.just("insert"),
+                  st.lists(st.integers(min_value=-100, max_value=100),
+                           min_size=1, max_size=20)),
+        st.tuples(st.just("delete"),
+                  st.lists(st.integers(min_value=0, max_value=200),
+                           min_size=1, max_size=10)),
+        st.tuples(st.just("merge"), st.none()),
+    ),
+    min_size=1, max_size=20)
+
+
+@settings(max_examples=40, deadline=None)
+@given(values=values_strategy, steps=_steps)
+def test_cracked_store_under_updates(values, steps):
+    """CrackedStore == a shadow dict, through inserts/deletes/merges."""
+    store = CrackedStore(np.asarray(values, dtype=np.int64),
+                         merge_threshold=16)
+    shadow = dict(enumerate(values))  # oid -> value
+    next_oid = len(values)
+    for kind, payload in steps:
+        if kind == "query":
+            lo, hi, lo_incl, hi_incl = payload
+            got = store.select_range(lo, hi, lo_incl, hi_incl).tolist()
+            want = sorted(
+                oid for oid, value in shadow.items()
+                if not (lo is not None and
+                        (value < lo or (value == lo and not lo_incl)))
+                and not (hi is not None and
+                         (value > hi or (value == hi and not hi_incl))))
+            assert got == want, (lo, hi, lo_incl, hi_incl)
+        elif kind == "insert":
+            oids = store.insert(payload)
+            assert oids == list(range(next_oid, next_oid + len(payload)))
+            for oid, value in zip(oids, payload):
+                shadow[oid] = value
+            next_oid += len(payload)
+        elif kind == "delete":
+            store.delete(payload)
+            for oid in payload:
+                shadow.pop(oid, None)
+        else:
+            store.merge()
+        assert store.check_invariants()
+        assert len(store) == len(shadow)

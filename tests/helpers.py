@@ -1,0 +1,51 @@
+"""Shared test helpers.
+
+``assert_same_rows`` compares query results as *multisets*: SQL
+semantics fix row order only under ORDER BY, and parallel plans return
+exchange-union order rather than scan order, so any test comparing
+results across engines (serial / parallel / reference oracle) or
+across worker counts must ignore order.  Numeric values are normalized
+(int vs numpy int vs float of equal value compare equal, floats are
+rounded to 10 significant digits) so engine-internal representation
+differences don't register as result differences.
+"""
+
+import math
+from collections import Counter
+
+
+def normalize_value(value):
+    """A representation-insensitive, hashable stand-in for a value."""
+    if isinstance(value, bool):
+        return ("bool", value)
+    if value is None:
+        return ("null",)
+    if isinstance(value, (int, float)):
+        if isinstance(value, float) and math.isnan(value):
+            return ("nan",)
+        return ("num", float("{0:.10g}".format(float(value))))
+    return ("val", value)
+
+
+def normalize_row(row):
+    return tuple(normalize_value(v) for v in row)
+
+
+def assert_same_rows(actual, expected, context=""):
+    """Assert two row iterables are equal as multisets."""
+    got = Counter(normalize_row(r) for r in actual)
+    want = Counter(normalize_row(r) for r in expected)
+    if got == want:
+        return
+    missing = want - got
+    extra = got - want
+    parts = []
+    if context:
+        parts.append(context)
+    if missing:
+        parts.append("missing rows: {0}".format(
+            sorted(missing.elements())[:10]))
+    if extra:
+        parts.append("unexpected rows: {0}".format(
+            sorted(extra.elements())[:10]))
+    raise AssertionError("row multisets differ; " + "; ".join(parts))

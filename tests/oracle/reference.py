@@ -1,0 +1,252 @@
+"""An obviously-correct row-at-a-time reference SQL executor.
+
+This is the differential-testing oracle: it evaluates the same SELECT
+ASTs the engine runs, but with the dumbest possible strategy — nested
+loops, per-row Python expression evaluation, dict-based grouping —
+over plain Python rows.  No BATs, no vectors, no optimizer, nothing
+shared with the engine under test, so agreement is meaningful.
+
+Semantics mirror the engine's documented behaviour:
+
+* ``sum``/``min``/``max``/``avg`` of zero rows are None, ``count`` is 0
+* ``sum`` of integers stays an int, ``avg`` is always a float
+* ``/`` is true division, comparisons/arithmetic are plain Python
+* ORDER BY is a stable sort; DISTINCT keeps first occurrences
+"""
+
+from repro.sql.ast import (
+    BinOp, Column, FuncCall, Literal, Star, UnaryOp, contains_aggregate,
+)
+
+
+class ReferenceError(Exception):
+    """The reference executor does not model this query shape."""
+
+
+class ReferenceExecutor:
+    """Row-at-a-time evaluator over plain Python tables.
+
+    ``tables`` maps table name -> (column names, list of row tuples).
+    """
+
+    def __init__(self, tables):
+        self.tables = dict(tables)
+
+    # -- driver --------------------------------------------------------------
+
+    def execute(self, select):
+        """All result rows of ``select``, as a list of tuples."""
+        rows = self._from_rows(select)
+        if select.where is not None:
+            rows = [r for r in rows if _truthy(self._eval(select.where, r))]
+        if select.group_by or any(contains_aggregate(i.expr)
+                                  for i in select.items):
+            out = self._grouped(select, rows)
+        else:
+            out = [tuple(self._eval(item.expr, r) for item in select.items)
+                   for r in rows]
+            if select.order_by:
+                out = self._ordered(select, rows)
+        if select.distinct:
+            seen = set()
+            unique = []
+            for row in out:
+                if row not in seen:
+                    seen.add(row)
+                    unique.append(row)
+            out = unique
+        if select.limit is not None:
+            out = out[:select.limit]
+        return out
+
+    # -- FROM / JOIN ---------------------------------------------------------
+
+    def _from_rows(self, select):
+        """Environment dicts for every surviving FROM/JOIN row combo."""
+        if select.table is None:
+            return [{}]
+        rows = self._bind(select.table)
+        for join in select.joins:
+            right = self._bind(join.table)
+            joined = []
+            for left_env in rows:
+                for right_env in right:
+                    env = dict(left_env)
+                    env.update(right_env)
+                    if _truthy(self._eval(join.condition, env)):
+                        joined.append(env)
+            rows = joined
+        return rows
+
+    def _bind(self, ref):
+        try:
+            names, data = self.tables[ref.name]
+        except KeyError:
+            raise ReferenceError("unknown table {0!r}".format(ref.name))
+        alias = ref.binding
+        envs = []
+        for row in data:
+            env = {}
+            for name, value in zip(names, row):
+                env["{0}.{1}".format(alias, name)] = value
+                # Unqualified shorthand; generator keeps names unique.
+                env[name] = value
+            envs.append(env)
+        return envs
+
+    # -- grouping ------------------------------------------------------------
+
+    def _grouped(self, select, rows):
+        if select.group_by:
+            keys = select.group_by
+            groups = {}
+            for row in rows:
+                key = tuple(self._eval(k, row) for k in keys)
+                groups.setdefault(key, []).append(row)
+            group_list = list(groups.values())
+        else:
+            group_list = [rows]  # scalar aggregate: one group, even empty
+        out = []
+        ordered = []
+        for group in group_list:
+            sample = group[0] if group else {}
+            if select.having is not None:
+                if not _truthy(self._agg_eval(select.having, group, sample)):
+                    continue
+            out.append(tuple(self._agg_eval(i.expr, group, sample)
+                             for i in select.items))
+            ordered.append((group, sample))
+        if select.order_by:
+            decorated = list(zip(out, ordered))
+            for item in reversed(select.order_by):
+                decorated.sort(
+                    key=lambda pair: _sort_key(
+                        self._agg_eval(item.expr, pair[1][0], pair[1][1])),
+                    reverse=not item.ascending)
+            out = [row for row, _ in decorated]
+        return out
+
+    def _agg_eval(self, expr, group, sample):
+        """Evaluate an expression in aggregate context."""
+        if isinstance(expr, FuncCall) and expr.is_aggregate:
+            return self._aggregate(expr, group)
+        if isinstance(expr, BinOp):
+            left = self._agg_eval(expr.left, group, sample)
+            right = self._agg_eval(expr.right, group, sample)
+            return _binop(expr.op, left, right)
+        if isinstance(expr, UnaryOp):
+            value = self._agg_eval(expr.operand, group, sample)
+            return _unary(expr.op, value)
+        if isinstance(expr, (Column, Literal)):
+            return self._eval(expr, sample)
+        raise ReferenceError("unsupported aggregate item "
+                             "{0!r}".format(expr))
+
+    def _aggregate(self, call, group):
+        name = call.name
+        if name == "count":
+            if call.args and not isinstance(call.args[0], Star):
+                values = [self._eval(call.args[0], r) for r in group]
+                values = [v for v in values if v is not None]
+                if call.distinct:
+                    return len(set(values))
+                return len(values)
+            return len(group)
+        if len(call.args) != 1:
+            raise ReferenceError("aggregate arity")
+        values = [self._eval(call.args[0], r) for r in group]
+        values = [v for v in values if v is not None]
+        if call.distinct:
+            values = list(set(values))
+        if not values:
+            return None
+        if name == "sum":
+            return sum(values)
+        if name == "min":
+            return min(values)
+        if name == "max":
+            return max(values)
+        if name == "avg":
+            return sum(values) / len(values)
+        raise ReferenceError("unknown aggregate {0!r}".format(name))
+
+    # -- scalar expressions --------------------------------------------------
+
+    def _eval(self, expr, env):
+        if isinstance(expr, Literal):
+            return expr.value
+        if isinstance(expr, Column):
+            key = "{0}.{1}".format(expr.table, expr.name) if expr.table \
+                else expr.name
+            try:
+                return env[key]
+            except KeyError:
+                raise ReferenceError("unknown column {0!r}".format(key))
+        if isinstance(expr, BinOp):
+            if expr.op == "and":
+                return _truthy(self._eval(expr.left, env)) and \
+                    _truthy(self._eval(expr.right, env))
+            if expr.op == "or":
+                return _truthy(self._eval(expr.left, env)) or \
+                    _truthy(self._eval(expr.right, env))
+            return _binop(expr.op, self._eval(expr.left, env),
+                          self._eval(expr.right, env))
+        if isinstance(expr, UnaryOp):
+            return _unary(expr.op, self._eval(expr.operand, env))
+        raise ReferenceError("unsupported expression {0!r}".format(expr))
+
+    def _ordered(self, select, rows):
+        decorated = [(tuple(self._eval(i.expr, r) for i in select.items), r)
+                     for r in rows]
+        for item in reversed(select.order_by):
+            decorated.sort(key=lambda pair: _sort_key(
+                self._eval(item.expr, pair[1])),
+                reverse=not item.ascending)
+        return [row for row, _ in decorated]
+
+
+def _truthy(value):
+    return bool(value) if value is not None else False
+
+
+def _binop(op, left, right):
+    if left is None or right is None:
+        return None
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        return left / right
+    if op == "%":
+        return left % right
+    if op == "=":
+        return left == right
+    if op == "<>":
+        return left != right
+    if op == "<":
+        return left < right
+    if op == "<=":
+        return left <= right
+    if op == ">":
+        return left > right
+    if op == ">=":
+        return left >= right
+    raise ReferenceError("unknown operator {0!r}".format(op))
+
+
+def _unary(op, value):
+    if value is None:
+        return None
+    if op == "-":
+        return -value
+    if op == "not":
+        return not value
+    raise ReferenceError("unknown unary {0!r}".format(op))
+
+
+def _sort_key(value):
+    """Total order with None first, mirroring the engine's sort."""
+    return (value is not None, value)

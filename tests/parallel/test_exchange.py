@@ -1,0 +1,119 @@
+"""Exchange operators: morsel scans, unions, and shared-LLC attribution."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.profiles import TINY_SMP
+from repro.parallel import (
+    Exchange, ExchangeUnion, MorselScan, MorselScheduler, WorkerSet,
+)
+from repro.vectorized.expressions import BinExpr, Col, Const
+from repro.vectorized.operators import ExecutionContext, VectorSelect
+from tests.helpers import assert_same_rows
+
+
+def _table(n):
+    return {"a": np.arange(n, dtype=np.int64),
+            "b": np.arange(n, dtype=np.int64) * 3}
+
+
+def _collect(root, names):
+    rows = []
+    for batch in root.batches():
+        rows.extend(zip(*(batch.column(n) for n in names)))
+    return rows
+
+
+def test_morsel_scan_emits_all_rows():
+    columns = _table(1000)
+    scheduler = MorselScheduler(1000, workers=1, morsel_size=128)
+    ctx = ExecutionContext(vector_size=100)
+    scan = MorselScan(ctx, columns, scheduler, worker=0)
+    rows = _collect(scan, ["a", "b"])
+    assert_same_rows(rows, zip(columns["a"], columns["b"]))
+    # Vector boundaries never cross morsel boundaries.
+    assert scheduler.remaining() == 0
+
+
+def test_exchange_union_is_complete_and_deterministic():
+    columns = _table(5000)
+
+    def run(workers):
+        scheduler = MorselScheduler(5000, workers=workers, morsel_size=512)
+        ctx = ExecutionContext(vector_size=256)
+        scans = [MorselScan(ctx, columns, scheduler, worker=w)
+                 for w in range(workers)]
+        union = ExchangeUnion(ctx, scans)
+        return _collect(union, ["a", "b"])
+
+    serial = run(1)
+    for workers in (2, 4):
+        rows = run(workers)
+        assert_same_rows(rows, serial)
+        assert run(workers) == rows  # same interleaving every time
+
+
+def test_exchange_with_filter_matches_serial():
+    columns = _table(4000)
+    expected = [(a, b) for a, b in zip(columns["a"], columns["b"])
+                if a % 7 == 0]
+
+    worker_set = WorkerSet(3, profile=None, vector_size=128)
+    scheduler = MorselScheduler(4000, workers=3, morsel_size=256)
+
+    def plan(ctx, sched, worker):
+        scan = MorselScan(ctx, columns, sched, worker=worker)
+        predicate = BinExpr("==", BinExpr("%", Col("a"), Const(7)),
+                            Const(0))
+        return VectorSelect(ctx, scan, predicate)
+
+    union_ctx = ExecutionContext(vector_size=128)
+    exchange = Exchange(union_ctx, plan, worker_set, scheduler)
+    assert_same_rows(_collect(exchange, ["a", "b"]), expected)
+
+
+def test_worker_set_requires_smp_profile_with_shared_level():
+    with pytest.raises(ValueError):
+        WorkerSet(0, profile=None)
+
+
+def test_shared_llc_is_one_instance():
+    worker_set = WorkerSet(4, profile=TINY_SMP)
+    llcs = {id(ctx.hierarchy.caches[-1]) for ctx in worker_set.contexts}
+    assert llcs == {id(worker_set.shared_llc)}
+    privates = {id(ctx.hierarchy.caches[0]) for ctx in worker_set.contexts}
+    assert len(privates) == 4
+
+
+def test_llc_cycles_attributed_to_pulling_worker():
+    columns = _table(8192)
+    worker_set = WorkerSet(2, profile=TINY_SMP, vector_size=128)
+    scheduler = MorselScheduler(8192, workers=2, morsel_size=512)
+
+    def plan(ctx, sched, worker):
+        return MorselScan(ctx, columns, sched, worker=worker)
+
+    union_ctx = ExecutionContext(vector_size=128)
+    exchange = Exchange(union_ctx, plan, worker_set, scheduler)
+    for _ in exchange.batches():
+        pass
+    total_attributed = sum(worker_set.llc_cycles)
+    assert total_attributed == worker_set.shared_llc.miss_cycles()
+    assert worker_set.critical_path_cycles() <= worker_set.total_cycles()
+    assert worker_set.critical_path_cycles() > 0
+
+
+def test_profile_report_shape():
+    columns = _table(2048)
+    worker_set = WorkerSet(2, profile=TINY_SMP, vector_size=256)
+    scheduler = MorselScheduler(2048, workers=2, morsel_size=512)
+    exchange = Exchange(
+        ExecutionContext(vector_size=256),
+        lambda ctx, sched, w: MorselScan(ctx, columns, sched, worker=w),
+        worker_set, scheduler)
+    for _ in exchange.batches():
+        pass
+    report = worker_set.profile_report()
+    assert set(report) == {"worker-0", "worker-1", "cycles", "shared_llc"}
+    assert "MorselScan" in report["worker-0"]
+    assert report["shared_llc"]["misses"] >= 0

@@ -1,0 +1,79 @@
+"""Morsel splitting and the work-stealing scheduler."""
+
+import pytest
+
+from repro.parallel import Morsel, MorselScheduler, split_morsels
+
+
+def test_split_covers_rows_exactly():
+    morsels = split_morsels(10000, morsel_size=4096)
+    assert [m.start for m in morsels] == [0, 4096, 8192]
+    assert [m.stop for m in morsels] == [4096, 8192, 10000]
+    assert sum(m.size for m in morsels) == 10000
+    assert [m.index for m in morsels] == [0, 1, 2]
+
+
+def test_split_empty_and_tiny():
+    assert split_morsels(0) == []
+    assert split_morsels(1, morsel_size=4) == [Morsel(0, 0, 1)]
+    with pytest.raises(ValueError):
+        split_morsels(10, morsel_size=0)
+
+
+def _drain(scheduler, order):
+    """Pull morsels in the given worker order until everything is gone."""
+    served = []
+    exhausted = set()
+    i = 0
+    while len(exhausted) < scheduler.workers:
+        worker = order[i % len(order)]
+        i += 1
+        if worker in exhausted:
+            continue
+        morsel = scheduler.next_morsel(worker)
+        if morsel is None:
+            exhausted.add(worker)
+        else:
+            served.append((worker, morsel))
+    return served
+
+
+def test_scheduler_serves_every_morsel_once():
+    scheduler = MorselScheduler(100, workers=3, morsel_size=7)
+    served = _drain(scheduler, order=[0, 1, 2])
+    indexes = sorted(m.index for _, m in served)
+    assert indexes == list(range(len(scheduler.morsels)))
+    assert scheduler.remaining() == 0
+    assert sum(scheduler.dispatched) == len(scheduler.morsels)
+
+
+def test_scheduler_steals_when_own_queue_dry():
+    # Worker 1 never gets a turn until worker 0 has drained its own
+    # queue; from then on worker 0 must steal from worker 1.
+    scheduler = MorselScheduler(8 * 10, workers=2, morsel_size=10)
+    own = len(scheduler.queues[0])
+    for _ in range(own):
+        assert scheduler.next_morsel(0) is not None
+    assert scheduler.steals == 0
+    stolen = scheduler.next_morsel(0)
+    assert stolen is not None
+    assert scheduler.steals == 1
+    # Steals come from the *tail* of the victim queue.
+    assert stolen.index == max(m.index for m in scheduler.morsels)
+
+
+def test_scheduler_no_stealing_mode():
+    scheduler = MorselScheduler(40, workers=2, morsel_size=10,
+                                stealing=False)
+    while scheduler.next_morsel(0) is not None:
+        pass
+    assert scheduler.steals == 0
+    assert scheduler.remaining() == 2  # worker 1's share is untouched
+
+
+def test_scheduler_deterministic_schedule():
+    def schedule():
+        s = MorselScheduler(1000, workers=4, morsel_size=64)
+        return [(w, m.index) for w, m in _drain(s, order=[2, 0, 3, 1])]
+
+    assert schedule() == schedule()

@@ -1,0 +1,122 @@
+"""SQL-level parallel execution: pragma, fallback, and determinism."""
+
+import pytest
+
+from repro.hardware.profiles import TINY_SMP
+from repro.parallel import ParallelSelectExecutor
+from repro.sql.database import Database
+from tests.helpers import assert_same_rows
+
+
+def make_db(**kwargs):
+    db = Database(**kwargs)
+    db.execute("CREATE TABLE t (a INTEGER, b INTEGER, s VARCHAR(8))")
+    rows = ", ".join(
+        "({0}, {1}, '{2}')".format(i, (i * 37) % 100, "tag{0}".format(i % 5))
+        for i in range(500))
+    db.execute("INSERT INTO t VALUES " + rows)
+    return db
+
+
+QUERIES = [
+    "SELECT a, b FROM t WHERE b < 40",
+    "SELECT a + b, a * 2 FROM t WHERE a >= 100 AND b <> 3",
+    "SELECT count(*), sum(a), min(b), max(b), avg(a) FROM t",
+    "SELECT s, count(*), sum(b) FROM t GROUP BY s",
+    "SELECT s, sum(a) FROM t GROUP BY s HAVING sum(a) > 10000",
+    "SELECT DISTINCT s FROM t WHERE a < 250",
+]
+
+
+@pytest.mark.parametrize("sql", QUERIES)
+def test_parallel_matches_serial(sql):
+    db = make_db()
+    serial = db.query(sql)
+    for workers in (2, 3, 4):
+        assert_same_rows(db.query(sql, workers=workers), serial,
+                         context="workers={0}".format(workers))
+    assert db.parallel_fallbacks == 0
+
+
+def test_workers_pragma_sets_session_default():
+    db = make_db()
+    assert db.default_workers == 1
+    db.execute("SET workers = 4")
+    assert db.default_workers == 4
+    before = db.parallel_runs
+    assert db.query("SELECT count(*) FROM t") == [(500,)]
+    assert db.parallel_runs == before + 1
+    # Explicit workers= overrides the session default back to serial.
+    db.query("SELECT count(*) FROM t", workers=1)
+    assert db.parallel_runs == before + 1
+
+
+def test_workers_pragma_validation():
+    db = make_db()
+    with pytest.raises(ValueError):
+        db.execute("SET workers = 0")
+    with pytest.raises(ValueError):
+        db.execute("SET workers = 1.5")
+    with pytest.raises(ValueError):
+        db.execute("SET bogus = 3")
+    with pytest.raises(ValueError):
+        db.execute("SELECT a FROM t", workers=0)
+
+
+def test_unsupported_shape_falls_back_to_serial():
+    db = make_db()
+    # LIMIT without ORDER BY has no deterministic parallel answer, so
+    # the engine silently runs it serially.
+    rows = db.query("SELECT a FROM t LIMIT 5", workers=4)
+    assert len(rows) == 5
+    assert db.parallel_fallbacks == 1
+    assert db.parallel_runs == 0
+
+
+def test_order_by_is_preserved_in_parallel():
+    db = make_db()
+    sql = "SELECT a, b FROM t WHERE b < 30 ORDER BY b DESC, a ASC LIMIT 10"
+    assert db.query(sql, workers=4) == db.query(sql)
+    assert db.parallel_runs == 1
+
+
+def test_parallel_profile_reports_workers():
+    db = make_db(smp_profile=TINY_SMP)
+    db.query("SELECT a, b FROM t WHERE b < 50", workers=2)
+    report = db.last_parallel.profile()
+    assert "worker-0" in report and "worker-1" in report
+    assert "shared_llc" in report
+    assert report["cycles"]["worker-0"] > 0
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_determinism_rows_and_misses(workers):
+    """Same query, same data: bit-identical rows *and* identical
+    simulated cache traffic, run after run."""
+
+    def run():
+        db = make_db(smp_profile=TINY_SMP)
+        executor = ParallelSelectExecutor(db.catalog, workers,
+                                          smp_profile=TINY_SMP,
+                                          vector_size=128)
+        from repro.sql.parser import parse_sql
+        select = parse_sql("SELECT a, a + b FROM t WHERE b < 60")
+        result = executor.execute(select)
+        rows = list(zip(*result.columns))
+        return rows, result.worker_set.miss_counts()
+
+    rows_a, misses_a = run()
+    rows_b, misses_b = run()
+    assert rows_a == rows_b
+    assert misses_a == misses_b
+    assert any(misses_a.values())
+
+
+def test_worker_counts_agree_on_the_answer():
+    """Different worker counts agree on the answer as a multiset even
+    though the exchange interleaving (and hence row order) differs."""
+    db = make_db(smp_profile=TINY_SMP)
+    sql = "SELECT a, b FROM t WHERE a % 3 = 0"
+    serial = db.query(sql)
+    for workers in (2, 4):
+        assert_same_rows(db.query(sql, workers=workers), serial)

@@ -4,6 +4,7 @@ import pytest
 
 from repro.sql import Database
 from repro.sql.compiler import SQLCompileError
+from tests.helpers import assert_same_rows
 
 
 @pytest.fixture
@@ -31,7 +32,7 @@ def shop():
 class TestBasicSelect:
     def test_figure1_query(self, db):
         rows = db.query("SELECT name FROM people WHERE age = 1927")
-        assert rows == [("roger",), ("bob",)]
+        assert_same_rows(rows, [("roger",), ("bob",)])
 
     def test_star(self, db):
         rows = db.query("SELECT * FROM people WHERE age > 1950")
@@ -48,16 +49,16 @@ class TestBasicSelect:
     def test_where_and(self, db):
         rows = db.query(
             "SELECT name FROM people WHERE age >= 1927 AND age < 1968")
-        assert rows == [("roger",), ("bob",)]
+        assert_same_rows(rows, [("roger",), ("bob",)])
 
     def test_where_or(self, db):
         rows = db.query(
             "SELECT name FROM people WHERE age = 1907 OR age = 1968")
-        assert rows == [("john",), ("will",)]
+        assert_same_rows(rows, [("john",), ("will",)])
 
     def test_where_not(self, db):
         rows = db.query("SELECT name FROM people WHERE NOT age = 1927")
-        assert rows == [("john",), ("will",)]
+        assert_same_rows(rows, [("john",), ("will",)])
 
     def test_where_between(self, db):
         rows = db.query(
@@ -66,7 +67,7 @@ class TestBasicSelect:
 
     def test_where_in(self, db):
         rows = db.query("SELECT name FROM people WHERE age IN (1907, 1968)")
-        assert rows == [("john",), ("will",)]
+        assert_same_rows(rows, [("john",), ("will",)])
 
     def test_where_string(self, db):
         assert db.query("SELECT age FROM people WHERE name = 'bob'") == \
