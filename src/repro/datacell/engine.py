@@ -3,6 +3,7 @@
 import numpy as np
 
 from repro.datacell.basket import Basket
+from repro.faults import NO_FAULTS, TransientFault
 from repro.vectorized.expressions import compile_expr
 from repro.vectorized.vector import Batch
 
@@ -81,11 +82,33 @@ class DataCellEngine:
     ``basket_size`` is the bulk knob of experiment E11: size 1 is
     per-event processing; larger baskets amortize each query's fixed
     activation cost over many events.
+
+    Every flush passes through the ``datacell.flush`` injection site.
+    A transient fault there fails the flush *before* any query sees
+    the basket; ``failure_policy`` decides the fate of the drained
+    events — ``"replay"`` parks them on a pending list reprocessed at
+    the head of the next flush (no event lost, delivery delayed),
+    ``"drop"`` discards them (load shedding, counted in
+    ``events_dropped``).  An injected latency spike only stalls the
+    flush (``stall_units``); the basket still processes.
     """
 
-    def __init__(self, schema, basket_size=1024):
+    POLICIES = ("replay", "drop")
+
+    def __init__(self, schema, basket_size=1024, faults=None,
+                 failure_policy="replay"):
+        if failure_policy not in self.POLICIES:
+            raise ValueError("failure_policy must be one of {0}".format(
+                self.POLICIES))
         self.basket = Basket(schema, basket_size)
         self.queries = []
+        self.faults = faults if faults is not None else NO_FAULTS
+        self.failure_policy = failure_policy
+        self._pending = []
+        self.flushes_failed = 0
+        self.events_dropped = 0
+        self.events_replayed = 0
+        self.stall_units = 0
 
     def register(self, query):
         self.queries.append(query)
@@ -103,11 +126,31 @@ class DataCellEngine:
 
     def flush(self):
         """Force processing of a partially filled basket."""
-        if len(self.basket) == 0:
+        if len(self.basket) == 0 and not self._pending:
             return
-        columns = self.basket.drain()
-        for query in self.queries:
-            query.process(columns)
+        batches = []
+        if self._pending:
+            replayed, self._pending = self._pending, []
+            batches.extend(replayed)
+        if len(self.basket):
+            batches.append(self.basket.drain())
+        for i, columns in enumerate(batches):
+            try:
+                self.stall_units += self.faults.inject(
+                    "datacell.flush",
+                    events=len(next(iter(columns.values()), [])))
+            except TransientFault:
+                self.flushes_failed += 1
+                failed = batches[i:]
+                lost = sum(len(next(iter(c.values()), [])) for c in failed)
+                if self.failure_policy == "drop":
+                    self.events_dropped += lost
+                else:
+                    self._pending.extend(failed)
+                    self.events_replayed += lost
+                return
+            for query in self.queries:
+                query.process(columns)
 
     def query(self, name):
         for query in self.queries:

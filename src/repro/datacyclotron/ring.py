@@ -11,9 +11,21 @@ its home node.
 The centralized baseline owns all chunks on one node but can hold only
 ``memory_chunks`` of them in RAM; every out-of-memory chunk touch pays
 ``disk_time``, and one CPU serializes all queries.
+
+Fault tolerance: every hop passes through the ``ring.hop`` injection
+site.  A latency spike stalls the chunk at its node for the injected
+number of steps, capped by ``hop_timeout`` — after the timeout the
+successor declares the hop lost and the sender *retransmits* (the
+chunk advances anyway, counted in ``retransmits``).  A transient
+fault drops the hop; the sender retries next step with exponential
+backoff (1, 2, 4, ... steps, also capped by ``hop_timeout``).  A
+stalled chunk stays resident — queries at its current node keep
+processing it — so injected stalls cost steps, never answers.
 """
 
 from dataclasses import dataclass, field
+
+from repro.faults import NO_FAULTS, TransientFault
 
 
 @dataclass
@@ -38,6 +50,9 @@ class RingResult:
     steps: int
     step_time_ms: float
     queries: list
+    stalled_hops: int = 0    # hops delayed by injected latency
+    retries: int = 0         # dropped hops retried with backoff
+    retransmits: int = 0     # hops forced through after hop_timeout
 
     @property
     def total_time_ms(self):
@@ -56,7 +71,8 @@ class RingResult:
 
 
 def run_ring(n_nodes, n_chunks, queries, process_ms=1.0, transfer_ms=0.5,
-             capacity_per_step=64, max_steps=1_000_000):
+             capacity_per_step=64, max_steps=1_000_000, faults=None,
+             hop_timeout=4):
     """Simulate the rotating hot-set; returns a :class:`RingResult`.
 
     Chunks start distributed round-robin over the nodes and advance one
@@ -65,11 +81,19 @@ def run_ring(n_nodes, n_chunks, queries, process_ms=1.0, transfer_ms=0.5,
     miss a chunk for lack of CPU catch it on its next time around.
     Many queries ride the same rotation and adding nodes adds CPUs —
     which is where the throughput scaling comes from.
+
+    ``faults`` arms the ``ring.hop`` site (one hit per attempted hop);
+    ``hop_timeout`` caps any injected stall or retry backoff, after
+    which the hop is forced through as a retransmission (see module
+    docstring).
     """
     if n_nodes < 1 or n_chunks < 1:
         raise ValueError("need at least one node and one chunk")
     if capacity_per_step < 1:
         raise ValueError("capacity_per_step must be positive")
+    if hop_timeout < 1:
+        raise ValueError("hop_timeout must be positive")
+    faults = faults if faults is not None else NO_FAULTS
     for query in queries:
         if not 0 <= query.home_node < n_nodes:
             raise ValueError("query {0!r} homed at invalid node".format(
@@ -82,6 +106,11 @@ def run_ring(n_nodes, n_chunks, queries, process_ms=1.0, transfer_ms=0.5,
     step_time = max(process_ms, transfer_ms)
     step = 0
     pending = list(queries)
+    stall = {}            # chunk -> steps left before it may hop again
+    consecutive = {}      # chunk -> consecutive dropped hops (backoff)
+    stalled_hops = 0
+    retries = 0
+    retransmits = 0
     while any(q.finish_step is None for q in pending):
         if step >= max_steps:
             raise RuntimeError("ring simulation did not converge")
@@ -104,11 +133,47 @@ def run_ring(n_nodes, n_chunks, queries, process_ms=1.0, transfer_ms=0.5,
                 budget[node] -= 1
             if not query.remaining:
                 query.finish_step = step + 1
-        # Propulsion phase: every chunk moves on (RDMA, CPU-free).
-        chunk_at = {chunk: (node + 1) % n_nodes
-                    for chunk, node in chunk_at.items()}
+        # Propulsion phase: every chunk moves on (RDMA, CPU-free) —
+        # unless a stall holds it at its node for this step, or an
+        # injected fault delays/drops the hop.
+        moved = {}
+        for chunk in sorted(chunk_at):
+            node = chunk_at[chunk]
+            wait = stall.get(chunk, 0)
+            if wait > 0:
+                stall[chunk] = wait - 1
+                moved[chunk] = node
+                continue
+            try:
+                delay = faults.inject("ring.hop", chunk=chunk, node=node)
+            except TransientFault:
+                # Dropped hop: the sender retries next eligibility,
+                # backing off exponentially (capped by the timeout).
+                drops = consecutive.get(chunk, 0) + 1
+                consecutive[chunk] = drops
+                stall[chunk] = min(2 ** (drops - 1), hop_timeout) - 1
+                retries += 1
+                moved[chunk] = node
+                continue
+            consecutive[chunk] = 0
+            if delay > 0:
+                if delay >= hop_timeout:
+                    # Hop timeout: the successor gives up waiting and
+                    # the sender retransmits — the chunk advances after
+                    # the full timeout rather than the (longer) spike.
+                    stall[chunk] = hop_timeout - 1
+                    retransmits += 1
+                else:
+                    stall[chunk] = delay - 1
+                    stalled_hops += 1
+                moved[chunk] = node
+                continue
+            moved[chunk] = (node + 1) % n_nodes
+        chunk_at = moved
         step += 1
-    return RingResult(steps=step, step_time_ms=step_time, queries=pending)
+    return RingResult(steps=step, step_time_ms=step_time, queries=pending,
+                      stalled_hops=stalled_hops, retries=retries,
+                      retransmits=retransmits)
 
 
 @dataclass

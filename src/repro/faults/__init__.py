@@ -1,0 +1,30 @@
+"""Deterministic fault injection for the engine's recovery paths.
+
+Named injection sites threaded through the layers that must survive
+failure — ``wal.append``, ``commit.publish``, ``morsel.run``,
+``ring.hop``, ``datacell.flush`` — plus seedable fault plans
+(crash-at-Nth-hit, transient error, latency spike).  See
+:mod:`repro.faults.injector`.
+"""
+
+from repro.faults.injector import (
+    NO_FAULTS,
+    CrashError,
+    FaultError,
+    FaultInjector,
+    FaultPlan,
+    NullInjector,
+    TransientFault,
+    crash_points,
+)
+
+__all__ = [
+    "NO_FAULTS",
+    "CrashError",
+    "FaultError",
+    "FaultInjector",
+    "FaultPlan",
+    "NullInjector",
+    "TransientFault",
+    "crash_points",
+]

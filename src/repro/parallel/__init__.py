@@ -16,7 +16,13 @@ exactly reproducible.
 """
 
 from repro.parallel.context import WorkerContext, WorkerSet
-from repro.parallel.exchange import Exchange, ExchangeUnion, MorselScan
+from repro.parallel.exchange import (
+    Exchange,
+    ExchangeUnion,
+    MorselScan,
+    ParallelExecutionFailed,
+    WorkerFailure,
+)
 from repro.parallel.executor import (
     ParallelResult,
     ParallelSelectExecutor,
@@ -39,6 +45,8 @@ __all__ = [
     "MorselScan",
     "Exchange",
     "ExchangeUnion",
+    "ParallelExecutionFailed",
+    "WorkerFailure",
     "ParallelResult",
     "ParallelSelectExecutor",
     "ParallelUnsupported",

@@ -16,10 +16,45 @@ notes every industrial engine converged on it) encapsulates parallelism
 Batch arrival order is the deterministic round-robin interleaving —
 stable for a fixed worker count, but *not* the serial row order; use
 ``tests.helpers.assert_same_rows`` when comparing.
+
+Fault tolerance: every morsel acquisition passes through the
+``morsel.run`` injection site.  A transient fault there is retried
+with backoff (and escalates to a worker death when retries run out); a
+crash kills the worker.  :meth:`Exchange.collect` survives worker
+deaths by *quarantining* the dead worker's output and re-dispatching
+its entire served share to the survivors — discard-plus-redo, which is
+exact for streaming and blocking pipelines alike.  Only when every
+worker has died does the query fail (:class:`ParallelExecutionFailed`),
+at which point the caller falls back to the serial engine.
 """
 
+from dataclasses import dataclass
+
+from repro.faults import NO_FAULTS, CrashError, TransientFault
 from repro.vectorized.operators import VectorOperator
 from repro.vectorized.vector import Batch
+
+
+@dataclass
+class WorkerFailure:
+    """One worker death observed during a parallel query."""
+
+    worker: int
+    site: str
+    hit: int
+    requeued: int = 0
+
+    @classmethod
+    def from_fault(cls, worker, fault):
+        return cls(worker=worker, site=fault.site, hit=fault.hit)
+
+
+class ParallelExecutionFailed(RuntimeError):
+    """Every worker of a parallel query died; run it serially."""
+
+    def __init__(self, failures):
+        self.failures = list(failures)
+        super().__init__("all {0} workers died".format(len(self.failures)))
 
 
 class MorselScan(VectorOperator):
@@ -29,9 +64,16 @@ class MorselScan(VectorOperator):
     vectors out of whichever morsel the scheduler hands its worker next,
     so two MorselScans over the same scheduler partition the table
     between them dynamically.
+
+    ``faults`` arms the ``morsel.run`` site, hit once per morsel
+    acquisition (plus once per retry): transient faults are retried up
+    to ``max_retries`` times with exponential backoff (accounted in
+    ``backoff_units``, not simulated cycles), then escalate to a
+    :class:`~repro.faults.CrashError` — this worker's death.
     """
 
-    def __init__(self, context, columns, scheduler, worker=0):
+    def __init__(self, context, columns, scheduler, worker=0,
+                 faults=None, max_retries=3):
         super().__init__(context)
         self.columns = dict(columns)
         lengths = {len(v) for v in self.columns.values()}
@@ -39,6 +81,11 @@ class MorselScan(VectorOperator):
             raise ValueError("ragged scan input")
         self.scheduler = scheduler
         self.worker = worker
+        self.faults = faults if faults is not None else NO_FAULTS
+        self.max_retries = max_retries
+        self.retries = 0
+        self.backoff_units = 0
+        self.stall_units = 0
         self._morsel = None
         self._pos = 0
 
@@ -46,13 +93,33 @@ class MorselScan(VectorOperator):
         self._morsel = None
         self._pos = 0
 
+    def _acquire(self, morsel):
+        """Pass one morsel through the ``morsel.run`` fault site."""
+        attempts = 0
+        while True:
+            try:
+                self.stall_units += self.faults.inject(
+                    "morsel.run", worker=self.worker, morsel=morsel.index)
+                return
+            except TransientFault as fault:
+                attempts += 1
+                self.retries += 1
+                if attempts > self.max_retries:
+                    raise CrashError(fault.site, fault.hit,
+                                     worker=self.worker,
+                                     escalated="retries exhausted") \
+                        from fault
+                self.backoff_units += 2 ** (attempts - 1)
+
     def next_batch(self):
         while True:
             if self._morsel is None:
-                self._morsel = self.scheduler.next_morsel(self.worker)
-                if self._morsel is None:
+                morsel = self.scheduler.next_morsel(self.worker)
+                if morsel is None:
                     return None
-                self._pos = self._morsel.start
+                self._acquire(morsel)
+                self._morsel = morsel
+                self._pos = morsel.start
             if self._pos >= self._morsel.stop:
                 self._morsel = None
                 continue
@@ -130,4 +197,67 @@ class Exchange(ExchangeUnion):
         children = [plan_factory(ctx, scheduler, w)
                     for w, ctx in enumerate(worker_set.contexts)]
         super().__init__(context, children, worker_set)
+        self.plan_factory = plan_factory
         self.scheduler = scheduler
+        self.failures = []
+
+    def _revive(self, worker):
+        """A fresh pipeline clone for ``worker``, pulling whatever the
+        scheduler still holds for it."""
+        child = self.plan_factory(self.worker_set.contexts[worker],
+                                  self.scheduler, worker)
+        self.children[worker] = child
+        self._streams[worker] = child.batches()
+
+    def collect(self):
+        """Drain every worker with worker-death recovery; returns all
+        batches.
+
+        Unlike the streaming union, batches are quarantined per worker
+        until the query completes: when an injected fault kills a
+        worker, its collected output is discarded and its entire served
+        share is re-dispatched to the survivors (discard-plus-redo —
+        exact regardless of how much the dead worker had buffered in
+        blocking operators).  Survivors that had already drained are
+        revived with fresh pipeline clones so requeued morsels never
+        strand.  Raises :class:`ParallelExecutionFailed` once no worker
+        is left; failures survive on ``self.failures`` either way.
+        """
+        self.open()
+        n = len(self._streams)
+        per_worker = [[] for _ in range(n)]
+        exhausted = [False] * n
+        crashed = [False] * n
+        while not all(exhausted[w] or crashed[w] for w in range(n)):
+            for worker in range(n):
+                if exhausted[worker] or crashed[worker]:
+                    continue
+                try:
+                    batch = self._pull(worker)
+                except CrashError as fault:
+                    crashed[worker] = True
+                    per_worker[worker] = []  # quarantine: discard output
+                    failure = WorkerFailure.from_fault(worker, fault)
+                    self.failures.append(failure)
+                    survivors = [w for w in range(n) if not crashed[w]]
+                    if not survivors:
+                        raise ParallelExecutionFailed(self.failures) \
+                            from fault
+                    failure.requeued = self.scheduler.reassign(
+                        worker, survivors)
+                    for w in survivors:
+                        if exhausted[w] and self.scheduler.queues[w]:
+                            self._revive(w)
+                            exhausted[w] = False
+                    continue
+                if batch is None:
+                    # A drained pipeline whose queue has (requeued)
+                    # work left was a blocking plan that finished
+                    # before a death; run the leftovers on a clone.
+                    if self.scheduler.queues[worker]:
+                        self._revive(worker)
+                    else:
+                        exhausted[worker] = True
+                else:
+                    per_worker[worker].append(batch)
+        return [batch for batches in per_worker for batch in batches]

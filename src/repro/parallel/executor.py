@@ -15,10 +15,11 @@ run — only how.  Answers are the same *multiset* as the serial engine's
 (union order differs; compare with ``tests.helpers.assert_same_rows``).
 """
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.faults import NO_FAULTS
 from repro.parallel.context import WorkerSet
 from repro.parallel.exchange import Exchange, MorselScan
 from repro.parallel.morsels import DEFAULT_MORSEL_SIZE, MorselScheduler
@@ -86,15 +87,26 @@ class _Scope:
 
 @dataclass
 class ParallelResult:
-    """Outcome of one parallel SELECT."""
+    """Outcome of one parallel SELECT.
+
+    ``failures`` lists every worker death the query survived (the
+    morsels were re-dispatched to survivors); ``fell_back`` marks a
+    query that lost *all* its workers and was answered by the serial
+    engine instead (names/columns are then empty — the serial
+    ResultSet carries the answer).
+    """
 
     names: list
     columns: list          # python-value lists, ResultSet-ready
     worker_set: WorkerSet
     scheduler: MorselScheduler
+    failures: list = field(default_factory=list)
+    fell_back: bool = False
 
     def profile(self):
         """Per-worker/per-operator profile (ExecutionContext shape)."""
+        if self.worker_set is None:
+            return {}
         return self.worker_set.profile_report()
 
 
@@ -108,7 +120,7 @@ class ParallelSelectExecutor:
 
     def __init__(self, catalog, workers, smp_profile=None,
                  vector_size=DEFAULT_VECTOR_SIZE,
-                 morsel_size=DEFAULT_MORSEL_SIZE):
+                 morsel_size=DEFAULT_MORSEL_SIZE, faults=None):
         if workers < 1:
             raise ValueError("need at least one worker")
         self.catalog = catalog
@@ -116,6 +128,8 @@ class ParallelSelectExecutor:
         self.smp_profile = smp_profile
         self.vector_size = vector_size
         self.morsel_size = morsel_size
+        self.faults = faults if faults is not None else NO_FAULTS
+        self.failures = []
 
     # -- public entry ---------------------------------------------------------
 
@@ -154,6 +168,7 @@ class ParallelSelectExecutor:
         scheduler = MorselScheduler(n_rows, self.workers, self.morsel_size,
                                     stealing=not has_aggs)
 
+        self.failures = []
         if grouped:
             names, columns = self._run_grouped(
                 select, items, scope, tables, joins, worker_set, scheduler)
@@ -163,7 +178,8 @@ class ParallelSelectExecutor:
         else:
             names, columns = self._run_projection(
                 select, items, scope, tables, joins, worker_set, scheduler)
-        return ParallelResult(names, columns, worker_set, scheduler)
+        return ParallelResult(names, columns, worker_set, scheduler,
+                              failures=list(self.failures))
 
     # -- FROM/JOIN preparation ------------------------------------------------
 
@@ -250,7 +266,7 @@ class ParallelSelectExecutor:
 
         def factory(ctx, scheduler, worker):
             plan = MorselScan(ctx, tables[first.alias], scheduler,
-                              worker=worker)
+                              worker=worker, faults=self.faults)
             for binding, probe_key, build_key, _ in joins:
                 build = VectorScan(ctx, tables[binding.alias])
                 plan = VectorHashJoin(ctx, build, plan,
@@ -305,10 +321,18 @@ class ParallelSelectExecutor:
         return items
 
     def _run_exchange(self, factory, worker_set, scheduler):
-        """Drive an Exchange over all workers; returns the batches."""
+        """Drive an Exchange over all workers; returns the batches.
+
+        Collection quarantines per-worker output so injected worker
+        deaths recover exactly (see :meth:`Exchange.collect`); deaths
+        the query survived accumulate in ``self.failures``.
+        """
         coordinator = ExecutionContext(self.vector_size)
         exchange = Exchange(coordinator, factory, worker_set, scheduler)
-        return list(exchange.batches())
+        try:
+            return exchange.collect()
+        finally:
+            self.failures.extend(exchange.failures)
 
     # -- plain projection -----------------------------------------------------
 

@@ -64,6 +64,12 @@ class MorselScheduler:
         self.stealing = stealing
         self.steals = 0
         self.dispatched = [0] * workers
+        # Fault tolerance: morsels served to a worker are remembered
+        # until the query finishes, so a worker death can requeue its
+        # entire share (served work is discarded with its output).
+        self.served = [[] for _ in range(workers)]
+        self.dead = set()
+        self.redispatched = 0
 
     def remaining(self):
         return sum(len(q) for q in self.queues)
@@ -73,11 +79,14 @@ class MorselScheduler:
 
         Returns None when no work is left anywhere.
         """
+        if worker in self.dead:
+            return None
         queue = self.queues[worker]
         if queue:
             morsel = queue.popleft()
         elif self.stealing:
-            victim = max(range(self.workers),
+            victim = max((w for w in range(self.workers)
+                          if w not in self.dead),
                          key=lambda w: (len(self.queues[w]), -w))
             if not self.queues[victim]:
                 return None
@@ -86,7 +95,32 @@ class MorselScheduler:
         else:
             return None
         self.dispatched[worker] += 1
+        self.served[worker].append(morsel)
         return morsel
+
+    def reassign(self, worker, survivors):
+        """Re-dispatch a dead worker's whole share to the survivors.
+
+        Both the unserved queue *and* every morsel already served to
+        ``worker`` move (round-robin) onto the survivors' queues: the
+        dead worker's output is quarantined by the exchange, so served
+        morsels must be redone from scratch — which also makes the
+        policy safe for blocking operators that had consumed input
+        without emitting anything yet.  Returns the number of morsels
+        requeued.
+        """
+        if not survivors:
+            raise ValueError("no surviving workers to reassign to")
+        if any(s in self.dead or s == worker for s in survivors):
+            raise ValueError("survivors must be live, distinct workers")
+        self.dead.add(worker)
+        moved = self.served[worker] + list(self.queues[worker])
+        self.served[worker] = []
+        self.queues[worker].clear()
+        for i, morsel in enumerate(moved):
+            self.queues[survivors[i % len(survivors)]].append(morsel)
+        self.redispatched += len(moved)
+        return len(moved)
 
     def __repr__(self):
         return ("MorselScheduler({0} morsels, {1} workers, {2} left, "

@@ -1,6 +1,7 @@
 """The user-facing Database facade: parse -> compile -> optimize -> run."""
 
 from repro.core.bat import BAT
+from repro.faults import NO_FAULTS
 from repro.mal.interpreter import Interpreter
 from repro.mal.optimizer import DEFAULT_PIPELINE
 from repro.sql.ast import (
@@ -84,17 +85,31 @@ class Database:
         cache hierarchy over a shared last-level cache (see
         :mod:`repro.parallel`).  None (the default) runs parallel plans
         without cache simulation.
+    wal:
+        Optional :class:`~repro.wal.WriteAheadLog`.  When given, every
+        write (DDL, autocommit DML, ``Transaction.commit``) appends a
+        checksummed logical record *before* touching the catalog, and
+        :meth:`recover` rebuilds the catalog by replaying the log —
+        complete records only, torn tails discarded.
+    faults:
+        Optional :class:`~repro.faults.FaultInjector` threaded through
+        the commit path (``commit.validate`` / ``commit.publish`` /
+        ``commit.apply``), the WAL (``wal.append``) and parallel
+        execution (``morsel.run``).  Defaults to the inert injector.
 
     Parallel execution: ``execute(sql, workers=N)`` (or the session
     pragma ``SET workers = N``) runs SELECTs on N simulated morsel
     workers; queries without a parallel plan shape silently fall back
     to the serial engine (counted in ``parallel_fallbacks``).  Parallel
     answers are the same multiset as serial answers, in exchange-union
-    order rather than scan order.
+    order rather than scan order.  An injected worker death mid-query
+    re-dispatches the dead worker's morsels to the survivors (recorded
+    in ``last_parallel.failures``); if every worker dies the query
+    falls back to the serial engine.
     """
 
     def __init__(self, pipeline=DEFAULT_PIPELINE, recycler=None,
-                 smp_profile=None):
+                 smp_profile=None, wal=None, faults=None):
         self.catalog = Catalog()
         self.pipeline = pipeline
         self.recycler = recycler
@@ -102,6 +117,11 @@ class Database:
         # Plan-for-reuse (§2): optimized MAL plans cached per SQL text.
         self._plan_cache = {}
         self.plans_reused = 0
+        # Durability and fault injection (repro.wal / repro.faults).
+        self.faults = faults if faults is not None else NO_FAULTS
+        self.wal = wal
+        if wal is not None and wal.faults is NO_FAULTS:
+            wal.faults = self.faults
         # Intra-query parallelism (repro.parallel).
         self.smp_profile = smp_profile
         self.default_workers = 1
@@ -146,18 +166,30 @@ class Database:
         if isinstance(statement, SetPragma):
             return self._apply_pragma(statement)
         if isinstance(statement, CreateTable):
+            if self.wal is not None:
+                self.wal.append({"kind": "create", "table": statement.name,
+                                 "columns": [list(c)
+                                             for c in statement.columns]})
             self.catalog.create_table(statement.name, statement.columns)
             self._plan_cache.clear()  # schema changed
             return None
         if isinstance(statement, Insert):
             table = self.catalog.get(statement.table)
-            table.append_rows(statement.rows, columns=statement.columns)
+            rows = self._normalized_rows(table, statement.rows,
+                                         statement.columns)
+            ops = [{"table": statement.table, "appends": rows,
+                    "deletes": []}]
+            self._log_commit(ops)
+            self._apply_ops(ops)
             return len(statement.rows)
         if isinstance(statement, Delete):
-            table = self.catalog.get(statement.table)
+            self.catalog.get(statement.table)
             oids = self._eval_where(statement.table, statement.where,
                                     view=self.catalog)
-            return table.delete_oids(oids)
+            ops = [{"table": statement.table, "appends": [],
+                    "deletes": sorted(int(o) for o in oids)}]
+            self._log_commit(ops)
+            return self._apply_ops(ops)
         if isinstance(statement, Update):
             return self._apply_update(statement)
         if isinstance(statement, Select):
@@ -187,16 +219,25 @@ class Database:
 
     def _try_parallel(self, statement, workers):
         """Morsel-parallel SELECT; None when the shape has no parallel
-        plan (the caller then runs the serial engine)."""
+        plan or every worker died (the caller then runs the serial
+        engine — graceful degradation, recorded in ``last_parallel``)."""
+        from repro.parallel.exchange import ParallelExecutionFailed
         from repro.parallel.executor import (
-            ParallelSelectExecutor, ParallelUnsupported,
+            ParallelResult, ParallelSelectExecutor, ParallelUnsupported,
         )
         executor = ParallelSelectExecutor(self.catalog, workers,
-                                          smp_profile=self.smp_profile)
+                                          smp_profile=self.smp_profile,
+                                          faults=self.faults)
         try:
             result = executor.execute(statement)
         except ParallelUnsupported:
             self.parallel_fallbacks += 1
+            return None
+        except ParallelExecutionFailed as failure:
+            self.parallel_fallbacks += 1
+            self.last_parallel = ParallelResult(
+                [], [], None, None, failures=list(failure.failures),
+                fell_back=True)
             return None
         self.parallel_runs += 1
         self.last_parallel = result
@@ -225,19 +266,16 @@ class Database:
         interpreter = self.interpreter if view is self.catalog \
             else Interpreter(view, recycler=self.recycler)
         out = interpreter.run(program)
-        columns = []
-        scalar_row = []
-        for name in program.returns:
-            value = out[name]
-            if isinstance(value, BAT):
-                columns.append(value.decoded())
-            else:
-                scalar_row.append(value)
-        if scalar_row and columns:
-            raise RuntimeError("mixed scalar/column result")
-        if scalar_row:
-            return ResultSet(names, [[v] for v in scalar_row])
-        return ResultSet(names, columns)
+        values = [out[name] for name in program.returns]
+        widths = {len(v) for v in values if isinstance(v, BAT)}
+        if not widths:
+            # Pure scalar result (e.g. aggregates without GROUP BY).
+            return ResultSet(names, [[v] for v in values])
+        # Scalar returns alongside columns are constant expressions
+        # (SELECT -5, k FROM t): broadcast them to the column length.
+        n = max(widths)
+        return ResultSet(names, [v.decoded() if isinstance(v, BAT)
+                                 else [v] * n for v in values])
 
     def _eval_where(self, table_name, where, view):
         """Visible oids of ``table_name`` matching ``where``."""
@@ -267,7 +305,81 @@ class Database:
                                           view=self.catalog)
         oids = self._eval_where(statement.table, statement.where,
                                 view=self.catalog)
-        table.delete_oids(oids)
-        if new_rows:
-            table.append_rows(new_rows)
+        ops = [{"table": statement.table,
+                "appends": [list(r) for r in new_rows],
+                "deletes": sorted(int(o) for o in oids)}]
+        self._log_commit(ops)
+        self._apply_ops(ops)
         return len(oids)
+
+    # -- durability: logical ops, write-ahead logging, recovery --------------
+
+    @staticmethod
+    def _normalized_rows(table, rows, columns):
+        """Insert rows reordered to the table's column order (the
+        canonical shape of a logical append record)."""
+        order = columns or table.column_names
+        if sorted(order) != sorted(table.column_names):
+            raise ValueError(
+                "INSERT must provide every column of {0!r}".format(
+                    table.name))
+        reorder = [order.index(c) for c in table.column_names]
+        out = []
+        for row in rows:
+            if len(row) != len(order):
+                raise ValueError("row arity mismatch: {0!r}".format(row))
+            out.append([row[i] for i in reorder])
+        return out
+
+    def _log_commit(self, ops):
+        """Write-ahead: make the logical ops durable before applying."""
+        ops = [op for op in ops if op["appends"] or op["deletes"]]
+        if ops and self.wal is not None:
+            self.wal.append({"kind": "commit", "ops": ops})
+
+    def _apply_ops(self, ops):
+        """Publish logical ops to the catalog; the one code path shared
+        by live execution and WAL replay, so a recovered catalog is
+        bit-identical to one that never crashed.  Returns the number of
+        rows (freshly) deleted."""
+        deleted = 0
+        for op in ops:
+            table = self.catalog.get(op["table"])
+            if op["appends"]:
+                table.append_rows(op["appends"])
+            if op["deletes"]:
+                deleted += table.delete_oids(op["deletes"])
+        return deleted
+
+    def recover(self):
+        """Rebuild the catalog by replaying the write-ahead log.
+
+        Models restart after a crash: the in-memory catalog is
+        discarded wholesale and every *complete* WAL record is replayed
+        in order (the WAL's torn tail, if an append was cut short, is
+        discarded and truncated).  Replay is idempotent — recovering
+        twice yields the same state — because it always starts from an
+        empty catalog.  Returns the number of records replayed.
+        """
+        if self.wal is None:
+            raise RuntimeError("recover() needs a write-ahead log")
+        records = self.wal.recover()
+        self.catalog = Catalog()
+        self.interpreter = Interpreter(self.catalog,
+                                       recycler=self.recycler)
+        if self.recycler is not None:
+            self.recycler.clear()  # cached results may predate the crash
+        self._plan_cache.clear()
+        self.last_parallel = None
+        for record in records:
+            kind = record.get("kind")
+            if kind == "create":
+                self.catalog.create_table(
+                    record["table"],
+                    [tuple(c) for c in record["columns"]])
+            elif kind == "commit":
+                self._apply_ops(record["ops"])
+            else:
+                raise ValueError(
+                    "unknown WAL record kind {0!r}".format(kind))
+        return len(records)

@@ -10,8 +10,17 @@ oids) and merged at commit:
 * deletes/updates of shared rows conflict if any other writer committed
   to the table since the snapshot was taken (coarse, table-level
   first-committer-wins).
+
+Commit is write-ahead logged and fault-injectable: the buffered writes
+are first distilled into one logical record (appends + shared deletes
+per table), appended to the database's WAL, and only then published to
+the catalog.  Injection sites ``commit.validate``, ``wal.append``
+(inside the WAL), ``commit.publish`` and ``commit.apply`` cover every
+crash point; ``Database.recover()`` replays the log, so a crash
+anywhere leaves either the full commit or none of it.
 """
 
+from repro.faults import CrashError
 from repro.sql.ast import (
     Column, CreateTable, Delete, Insert, Select, Update,
 )
@@ -202,33 +211,59 @@ class Transaction:
     # -- commit / abort ----------------------------------------------------------------------
 
     def commit(self):
-        """Validate and apply the buffered writes; close the transaction."""
+        """Validate, log and apply the buffered writes; close the
+        transaction.
+
+        Three phases: validation (conflicts abort here, catalog
+        untouched), write-ahead logging of the logical commit record,
+        and publication to the catalog.  An injected crash in any
+        phase re-raises after marking the transaction crashed; the
+        catalog is then rebuilt by ``Database.recover()``.
+        """
         self._check_open()
-        touched = set(self._appends) | set(self._deleted)
-        # Validation phase: table-level first-committer-wins for
-        # non-append writes.
-        for name in touched:
-            snap_count, _, snap_version = self._snapshots[name]
-            table = self._catalog.get(name)
-            shared_deletes = {o for o in self._deleted.get(name, set())
-                              if o < snap_count}
-            if shared_deletes and table.version != snap_version:
-                self.closed = True
-                self.outcome = "aborted (conflict)"
-                raise ConflictError(
-                    "table {0!r} changed since snapshot".format(name))
-        # Apply phase.
-        for name in touched:
-            snap_count, _, _ = self._snapshots[name]
-            table = self._catalog.get(name)
-            dead = self._deleted.get(name, set())
-            rows = [row for i, row in enumerate(self._appends.get(name, []))
-                    if (snap_count + i) not in dead]
-            if rows:
-                table.append_rows(rows)
-            shared_deletes = [o for o in dead if o < snap_count]
-            if shared_deletes:
-                table.delete_oids(shared_deletes)
+        faults = self._db.faults
+        try:
+            faults.inject("commit.validate")
+            touched = sorted(set(self._appends) | set(self._deleted))
+            # Validation phase: table-level first-committer-wins for
+            # non-append writes.
+            for name in touched:
+                snap_count, _, snap_version = self._snapshots[name]
+                table = self._catalog.get(name)
+                shared_deletes = {o for o in self._deleted.get(name, set())
+                                  if o < snap_count}
+                if shared_deletes and table.version != snap_version:
+                    self.closed = True
+                    self.outcome = "aborted (conflict)"
+                    raise ConflictError(
+                        "table {0!r} changed since snapshot".format(name))
+            # Logging phase: distill the buffer into one logical record
+            # (the only state recovery needs) and make it durable
+            # before any table is touched.
+            ops = []
+            for name in touched:
+                snap_count, _, _ = self._snapshots[name]
+                dead = self._deleted.get(name, set())
+                rows = [list(row) for i, row
+                        in enumerate(self._appends.get(name, []))
+                        if (snap_count + i) not in dead]
+                shared_deletes = sorted(int(o) for o in dead
+                                        if o < snap_count)
+                if rows or shared_deletes:
+                    ops.append({"table": name, "appends": rows,
+                                "deletes": shared_deletes})
+            if ops and self._db.wal is not None:
+                self._db.wal.append({"kind": "commit", "ops": ops})
+            # Publication phase: the record (already durable) is applied
+            # to the shared catalog, table by table.
+            faults.inject("commit.publish")
+            for op in ops:
+                faults.inject("commit.apply", table=op["table"])
+                self._db._apply_ops([op])
+        except CrashError:
+            self.closed = True
+            self.outcome = "crashed"
+            raise
         self.closed = True
         self.outcome = "committed"
 

@@ -1,0 +1,7 @@
+"""Write-ahead logging: durable logical commit records + torn-tail
+recovery.  See :mod:`repro.wal.log` and ``Database.recover()``.
+"""
+
+from repro.wal.log import WriteAheadLog
+
+__all__ = ["WriteAheadLog"]

@@ -1,0 +1,87 @@
+"""Ring hops under injected stalls, drops, and latency spikes.
+
+Invariant: faults cost *steps*, never answers — every query still
+completes, and the fault-free run is a lower bound on steps.
+"""
+
+import pytest
+
+from repro.datacyclotron.ring import RingQuery, run_ring
+from repro.faults import FaultInjector
+
+
+def make_queries():
+    return [RingQuery(name="q{0}".format(i), home_node=i % 4,
+                      chunks_needed=frozenset({i % 8, (i + 3) % 8}))
+            for i in range(12)]
+
+
+def finished(result):
+    return all(q.finish_step is not None for q in result.queries)
+
+
+@pytest.fixture
+def baseline():
+    return run_ring(4, 8, make_queries())
+
+
+def test_fault_free_run_reports_zero_fault_stats(baseline):
+    assert finished(baseline)
+    assert baseline.stalled_hops == 0
+    assert baseline.retries == 0
+    assert baseline.retransmits == 0
+
+
+def test_latency_stalls_cost_steps_not_answers(baseline):
+    inj = FaultInjector().delay_at("ring.hop", hits=(3, 7, 11), delay=2)
+    result = run_ring(4, 8, make_queries(), faults=inj)
+    assert finished(result)
+    assert result.stalled_hops == 3
+    assert result.retransmits == 0
+    assert result.steps >= baseline.steps
+
+
+def test_spike_beyond_timeout_is_retransmitted(baseline):
+    inj = FaultInjector().delay_at("ring.hop", hits=(2,), delay=50)
+    result = run_ring(4, 8, make_queries(), faults=inj, hop_timeout=4)
+    assert finished(result)
+    assert result.retransmits == 1
+    assert result.stalled_hops == 0
+    # The stall is capped by the timeout, not the 50-step spike.
+    assert result.steps <= baseline.steps + 4
+
+
+def test_dropped_hops_are_retried_with_backoff(baseline):
+    inj = FaultInjector().transient_at("ring.hop", hits=(1, 2, 3, 4, 5))
+    result = run_ring(4, 8, make_queries(), faults=inj)
+    assert finished(result)
+    assert result.retries == 5
+    assert result.steps >= baseline.steps
+
+
+def test_stalled_chunk_stays_processable():
+    """A chunk stuck at a node keeps answering that node's queries."""
+    query = RingQuery(name="q", home_node=0, chunks_needed=frozenset({0}))
+    inj = FaultInjector().delay_at("ring.hop", hits=None, delay=3)
+    result = run_ring(2, 1, [query], faults=inj, hop_timeout=4)
+    # Chunk 0 starts at node 0, the query's home: processed in step 0
+    # regardless of the injected stall on every subsequent hop attempt.
+    assert query.finish_step == 1
+
+
+def test_seeded_chaos_converges_reproducibly():
+    def run():
+        inj = FaultInjector.seeded(
+            7, {"ring.hop": ("transient", 0.05)})
+        return run_ring(4, 8, make_queries(), faults=inj)
+
+    first, second = run(), run()
+    assert finished(first)
+    assert first.steps == second.steps
+    assert first.retries == second.retries
+
+
+def test_hop_timeout_validation():
+    query = RingQuery(name="q", home_node=0, chunks_needed=frozenset({0}))
+    with pytest.raises(ValueError):
+        run_ring(2, 2, [query], hop_timeout=0)

@@ -1,0 +1,133 @@
+"""Unit tests for the deterministic fault-injection harness."""
+
+import pytest
+
+from repro.faults import (
+    NO_FAULTS,
+    CrashError,
+    FaultInjector,
+    FaultPlan,
+    NullInjector,
+    TransientFault,
+    crash_points,
+)
+
+
+class TestFaultPlan:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            FaultPlan("site", "meltdown")
+
+    def test_rejects_nonpositive_latency(self):
+        with pytest.raises(ValueError):
+            FaultPlan("site", "latency", delay=0)
+
+    def test_hits_none_matches_every_hit(self):
+        plan = FaultPlan("site", "transient", hits=None)
+        assert plan.matches(1) and plan.matches(999)
+
+    def test_hits_are_exact(self):
+        plan = FaultPlan("site", "crash", hits=(2, 4))
+        assert not plan.matches(1)
+        assert plan.matches(2)
+        assert not plan.matches(3)
+        assert plan.matches(4)
+
+
+class TestFaultInjector:
+    def test_unarmed_site_is_free(self):
+        inj = FaultInjector()
+        assert inj.inject("anything") == 0
+        assert inj.hits["anything"] == 1
+        assert inj.fired == []
+
+    def test_crash_at_nth_hit(self):
+        inj = FaultInjector().crash_at("s", hit=3)
+        assert inj.inject("s") == 0
+        assert inj.inject("s") == 0
+        with pytest.raises(CrashError) as exc:
+            inj.inject("s")
+        assert exc.value.site == "s"
+        assert exc.value.hit == 3
+        # Past the armed hit the site is healthy again.
+        assert inj.inject("s") == 0
+        assert inj.fired == [("s", 3, "crash")]
+
+    def test_crash_carries_torn_and_detail(self):
+        inj = FaultInjector().crash_at("wal.append", torn=5)
+        with pytest.raises(CrashError) as exc:
+            inj.inject("wal.append", size=42)
+        assert exc.value.torn == 5
+        assert exc.value.detail["size"] == 42
+
+    def test_transient_at_hits(self):
+        inj = FaultInjector().transient_at("s", hits=(1, 2))
+        for _ in range(2):
+            with pytest.raises(TransientFault):
+                inj.inject("s")
+        assert inj.inject("s") == 0
+
+    def test_latency_returns_delay(self):
+        inj = FaultInjector().delay_at("s", hits=(2,), delay=7)
+        assert inj.inject("s") == 0
+        assert inj.inject("s") == 7
+        assert inj.fired == [("s", 2, "latency")]
+
+    def test_sites_are_counted_independently(self):
+        inj = FaultInjector().crash_at("a", hit=1)
+        assert inj.inject("b") == 0
+        with pytest.raises(CrashError):
+            inj.inject("a")
+
+    def test_seeded_schedule_is_reproducible(self):
+        def run(seed):
+            inj = FaultInjector.seeded(seed, {"s": ("transient", 0.3)})
+            outcomes = []
+            for _ in range(50):
+                try:
+                    inj.inject("s")
+                    outcomes.append("ok")
+                except TransientFault:
+                    outcomes.append("fault")
+            return outcomes
+
+        assert run(7) == run(7)
+        assert "fault" in run(7)
+        assert run(7) != run(8)
+
+    def test_seeded_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            FaultInjector.seeded(1, {"s": ("meltdown", 0.5)})
+
+    def test_explicit_plan_wins_over_seeded_rate(self):
+        inj = FaultInjector.seeded(1, {"s": ("transient", 1.0)})
+        inj.plan(FaultPlan("s", "latency", hits=(1,), delay=3))
+        assert inj.inject("s") == 3
+
+
+class TestNullInjector:
+    def test_singleton_is_inert(self):
+        assert NO_FAULTS.inject("anything") == 0
+        assert not NO_FAULTS.hits
+
+    def test_cannot_be_armed(self):
+        with pytest.raises(RuntimeError):
+            NullInjector().crash_at("s")
+
+
+class TestCrashPoints:
+    def test_enumerates_every_hit_of_every_site(self):
+        observed = {"b": 2, "a": 1}
+        assert crash_points(observed) == [("a", 1), ("b", 1), ("b", 2)]
+
+    def test_sites_filter(self):
+        observed = {"a": 1, "b": 2}
+        assert crash_points(observed, sites={"b"}) == [("b", 1), ("b", 2)]
+
+    def test_round_trips_a_dry_run(self):
+        dry = FaultInjector()
+        dry.inject("x")
+        dry.inject("x")
+        dry.inject("y")
+        assert crash_points(dry.observed()) == [("x", 1), ("x", 2),
+                                                ("y", 1)]

@@ -107,6 +107,64 @@ class QueryGenerator:
     def reference_tables(self):
         return {t.name: (t.column_names, t.rows) for t in self.tables}
 
+    # -- transactional DML scripts -------------------------------------------
+
+    def gen_dml_script(self):
+        """A short transactional script of INSERT/UPDATE/DELETE
+        statements.
+
+        The first statement is always an INSERT so the script's commit
+        record is never empty (a crash-sweep run relies on the
+        ``wal.append`` site being hit).  Deletes always carry a WHERE
+        clause so a script cannot wipe a table and starve later ones.
+        """
+        script = [self._gen_insert(self._pick_table())]
+        for _ in range(self.rng.randint(1, 3)):
+            kind = self.rng.choice(["insert", "update", "update",
+                                    "delete"])
+            table = self._pick_table()
+            if kind == "insert":
+                script.append(self._gen_insert(table))
+            elif kind == "update":
+                script.append(self._gen_update(table))
+            else:
+                script.append(self._gen_delete(table))
+        return script
+
+    def _gen_insert(self, table):
+        rows = [tuple(self._gen_value(t, key=(i == 0))
+                      for i, (_, t) in enumerate(table.columns))
+                for _ in range(self.rng.randint(1, 3))]
+        values = ", ".join(
+            "({0})".format(", ".join(_sql_literal(v) for v in row))
+            for row in rows)
+        return "INSERT INTO {0} VALUES {1}".format(table.name, values)
+
+    def _gen_update(self, table):
+        numeric = table.columns_of_type("BIGINT", "DOUBLE")
+        strings = table.columns_of_type("VARCHAR")
+        if numeric and (not strings or self.rng.random() < 0.7):
+            column = self.rng.choice(numeric)
+            if self.rng.random() < 0.5:
+                # Arithmetic on dyadic rationals stays exact.
+                assignment = "{0} = {0} + {1}".format(
+                    column, self.rng.randint(1, 5))
+            else:
+                value = self._gen_value(dict(table.columns)[column])
+                assignment = "{0} = {1}".format(column,
+                                                _sql_literal(value))
+        else:
+            assignment = "{0} = '{1}'".format(
+                self.rng.choice(strings), self.rng.choice(STRING_POOL))
+        return "UPDATE {0} SET {1}{2}".format(
+            table.name, assignment, self._where_clause(table))
+
+    def _gen_delete(self, table):
+        where = self._where_clause(table)
+        if not where:
+            where = " WHERE " + self._predicate(table)
+        return "DELETE FROM {0}{1}".format(table.name, where)
+
     # -- queries -------------------------------------------------------------
 
     def gen_query(self):

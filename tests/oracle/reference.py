@@ -15,7 +15,8 @@ Semantics mirror the engine's documented behaviour:
 """
 
 from repro.sql.ast import (
-    BinOp, Column, FuncCall, Literal, Star, UnaryOp, contains_aggregate,
+    BinOp, Column, Delete, FuncCall, Insert, Literal, Star, UnaryOp,
+    Update, contains_aggregate,
 )
 
 
@@ -58,6 +59,82 @@ class ReferenceExecutor:
         if select.limit is not None:
             out = out[:select.limit]
         return out
+
+    # -- DML (recovery differential testing) ---------------------------------
+
+    def apply_dml(self, statement):
+        """Mutate the reference tables with an INSERT/UPDATE/DELETE AST;
+        returns the affected row count.
+
+        The engine implements UPDATE as delete-plus-append over delta
+        BATs; the reference updates rows in place.  The two agree as
+        multisets, which is all :func:`tests.helpers.assert_same_rows`
+        compares.
+        """
+        if isinstance(statement, Insert):
+            return self._apply_insert(statement)
+        if isinstance(statement, Delete):
+            return self._apply_delete(statement)
+        if isinstance(statement, Update):
+            return self._apply_update(statement)
+        raise ReferenceError(
+            "not a DML statement: {0!r}".format(statement))
+
+    def _table_for_dml(self, name):
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise ReferenceError("unknown table {0!r}".format(name))
+
+    def _row_env(self, table_name, names, row):
+        env = {}
+        for name, value in zip(names, row):
+            env["{0}.{1}".format(table_name, name)] = value
+            env[name] = value
+        return env
+
+    def _matches(self, statement, names, row):
+        if statement.where is None:
+            return True
+        env = self._row_env(statement.table, names, row)
+        return _truthy(self._eval(statement.where, env))
+
+    def _apply_insert(self, statement):
+        names, rows = self._table_for_dml(statement.table)
+        order = statement.columns or names
+        if sorted(order) != sorted(names):
+            raise ReferenceError(
+                "INSERT must provide every column of {0!r}".format(
+                    statement.table))
+        reorder = [order.index(c) for c in names]
+        for row in statement.rows:
+            rows.append(tuple(row[i] for i in reorder))
+        return len(statement.rows)
+
+    def _apply_delete(self, statement):
+        names, rows = self._table_for_dml(statement.table)
+        kept = [r for r in rows if not self._matches(statement, names, r)]
+        deleted = len(rows) - len(kept)
+        rows[:] = kept
+        return deleted
+
+    def _apply_update(self, statement):
+        names, rows = self._table_for_dml(statement.table)
+        assigned = dict(statement.assignments)
+        unknown = set(assigned) - set(names)
+        if unknown:
+            raise ReferenceError("UPDATE of unknown column(s) "
+                                 "{0}".format(sorted(unknown)))
+        updated = 0
+        for i, row in enumerate(rows):
+            if not self._matches(statement, names, row):
+                continue
+            env = self._row_env(statement.table, names, row)
+            rows[i] = tuple(self._eval(assigned[c], env)
+                            if c in assigned else v
+                            for c, v in zip(names, row))
+            updated += 1
+        return updated
 
     # -- FROM / JOIN ---------------------------------------------------------
 

@@ -1,0 +1,133 @@
+"""Differential testing of transactional DML and crash recovery.
+
+The generator emits random transactional INSERT/UPDATE/DELETE scripts;
+the reference executor applies them to plain Python rows.  The engine
+must agree after every commit, after replaying the WAL from scratch,
+and — the robustness claim — after a crash injected at any site of the
+commit path, where the recovered state must equal the reference's
+*pre*- or *post*-script tables depending on whether the crash struck
+before or after the commit record became durable.
+"""
+
+import pytest
+
+from repro.faults import CrashError, FaultInjector
+from repro.sql.database import Database
+from repro.sql.parser import parse_sql
+from repro.wal import WriteAheadLog
+from tests.helpers import assert_same_rows
+from tests.oracle.generator import QueryGenerator
+from tests.oracle.reference import ReferenceExecutor
+
+SEEDS = list(range(1, 13))
+SCRIPTS_PER_SEED = 4
+
+# (site, which reference state a crash there must recover to)
+CRASH_SITES = [("commit.validate", "pre"), ("wal.append", "pre"),
+               ("commit.publish", "post"), ("commit.apply", "post")]
+
+
+def build_engine(generator):
+    db = Database(wal=WriteAheadLog())
+    for statement in generator.setup_statements():
+        db.execute(statement)
+    return db
+
+
+def copy_tables(tables):
+    return {name: (list(names), [tuple(r) for r in rows])
+            for name, (names, rows) in tables.items()}
+
+
+def assert_engine_state(db, tables, context):
+    for name, (names, rows) in tables.items():
+        got = db.query("SELECT {0} FROM {1}".format(", ".join(names),
+                                                    name))
+        assert_same_rows(got, rows,
+                         context="{0} table={1}".format(context, name))
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_transactional_dml_matches_reference(seed):
+    """Commit after commit, the engine's tables equal the reference's;
+    a full WAL replay at the end reproduces the same state."""
+    generator = QueryGenerator(seed)
+    db = build_engine(generator)
+    reference = ReferenceExecutor(copy_tables(
+        generator.reference_tables()))
+    for i in range(SCRIPTS_PER_SEED):
+        script = generator.gen_dml_script()
+        with db.begin() as txn:
+            for sql in script:
+                txn.execute(sql)
+        for sql in script:
+            reference.apply_dml(parse_sql(sql))
+        assert_engine_state(
+            db, reference.tables,
+            "seed={0} script#{1} {2!r}".format(seed, i, script))
+    db.recover()
+    assert_engine_state(db, reference.tables,
+                        "seed={0} after replay".format(seed))
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("site,expect", CRASH_SITES)
+def test_crashed_commit_recovers_to_reference_state(seed, site, expect):
+    generator = QueryGenerator(seed)
+    db = build_engine(generator)
+    pre = copy_tables(generator.reference_tables())
+    post_ref = ReferenceExecutor(copy_tables(
+        generator.reference_tables()))
+    script = generator.gen_dml_script()
+    for sql in script:
+        post_ref.apply_dml(parse_sql(sql))
+
+    inj = FaultInjector()
+    db.faults = inj
+    db.wal.faults = inj
+    inj.crash_at(site)
+    txn = db.begin()
+    for sql in script:
+        txn.execute(sql)
+    with pytest.raises(CrashError):
+        txn.commit()
+    assert txn.closed and txn.outcome == "crashed"
+    db.recover()
+    expected = pre if expect == "pre" else post_ref.tables
+    assert_engine_state(
+        db, expected,
+        "seed={0} crash at {1} -> {2} {3!r}".format(seed, site, expect,
+                                                    script))
+
+
+def test_scripts_cover_all_dml_kinds():
+    """Meta: across seeds the generator emits every DML verb, so the
+    suite above actually exercises inserts, updates and deletes."""
+    verbs = set()
+    for seed in SEEDS:
+        generator = QueryGenerator(seed)
+        for _ in range(SCRIPTS_PER_SEED):
+            for sql in generator.gen_dml_script():
+                verbs.add(sql.split(None, 1)[0])
+    assert verbs == {"INSERT", "UPDATE", "DELETE"}
+
+
+def test_scripts_agree_under_autocommit_and_transaction():
+    """The same script applied statement-by-statement (autocommit) and
+    as one transaction yields the same final state: the transactional
+    buffer is invisible in the absence of concurrency."""
+    generator_a = QueryGenerator(42)
+    generator_b = QueryGenerator(42)
+    auto = build_engine(generator_a)
+    txn_db = build_engine(generator_b)
+    script = generator_a.gen_dml_script()
+    assert script == generator_b.gen_dml_script()
+    for sql in script:
+        auto.execute(sql)
+    with txn_db.begin() as txn:
+        for sql in script:
+            txn.execute(sql)
+    for name, (names, _) in generator_a.reference_tables().items():
+        select = "SELECT {0} FROM {1}".format(", ".join(names), name)
+        assert_same_rows(txn_db.query(select), auto.query(select),
+                         context=select)

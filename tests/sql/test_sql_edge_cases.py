@@ -178,3 +178,17 @@ class TestMisc:
     def test_negative_literals_in_where(self, db):
         db.execute("INSERT INTO logs VALUES ('z', -5, 0.0)")
         assert db.query("SELECT host FROM logs WHERE code < 0") == [("z",)]
+
+    def test_constant_expression_broadcasts_over_rows(self, db):
+        """A compiled-to-scalar item (unary minus folds to a constant)
+        next to real columns broadcasts to the row count instead of
+        raising 'mixed scalar/column result'."""
+        rows = db.query("SELECT -5, host FROM logs WHERE code = 200")
+        assert len(rows) == 3
+        assert all(row[0] == -5 for row in rows)
+
+    def test_update_to_negative_constant(self, db):
+        assert db.execute("UPDATE logs SET code = -1 "
+                          "WHERE host = 'a'") == 3
+        assert db.query("SELECT count(*) FROM logs "
+                        "WHERE code = -1") == [(3,)]

@@ -128,6 +128,124 @@ class TestConflicts:
         assert db.execute("SELECT count(*) FROM accounts").scalar() == 1
 
 
+class TestAbortSemantics:
+    """Regression: however a transaction ends — abort, conflict, crash,
+    context-manager exit — it must end *closed*, with the catalog (and
+    the WAL, when present) untouched unless the commit fully applied."""
+
+    def _walled_db(self):
+        from repro.faults import FaultInjector
+        from repro.wal import WriteAheadLog
+        d = Database(wal=WriteAheadLog())
+        d.execute("CREATE TABLE accounts (owner VARCHAR, balance INT)")
+        d.execute("INSERT INTO accounts VALUES ('ann', 100), ('bob', 50)")
+        inj = FaultInjector()
+        d.faults = inj
+        d.wal.faults = inj
+        return d, inj
+
+    def test_conflict_leaves_catalog_and_wal_untouched(self):
+        db, _ = self._walled_db()
+        wal_len = len(db.wal)
+        version = db.catalog.get("accounts").version
+        t1 = db.begin()
+        t1.execute("DELETE FROM accounts WHERE owner = 'ann'")
+        t1.execute("INSERT INTO accounts VALUES ('gus', 9)")
+        db.execute("UPDATE accounts SET balance = 0 WHERE owner = 'bob'")
+        version_after_update = db.catalog.get("accounts").version
+        with pytest.raises(ConflictError):
+            t1.commit()
+        assert t1.closed and t1.outcome == "aborted (conflict)"
+        # Neither the buffered insert nor the delete reached the table,
+        # and no commit record was logged for the failed transaction.
+        assert db.query("SELECT owner FROM accounts ORDER BY owner") == \
+            [("ann",), ("bob",)]
+        assert db.catalog.get("accounts").version == version_after_update
+        assert len(db.wal) == wal_len + 1  # only the autocommit UPDATE
+        assert version_after_update > version
+
+    def test_conflicted_transaction_is_unusable(self, db):
+        t1 = db.begin()
+        t1.execute("DELETE FROM accounts WHERE owner = 'ann'")
+        db.execute("DELETE FROM accounts WHERE owner = 'bob'")
+        with pytest.raises(ConflictError):
+            t1.commit()
+        with pytest.raises(TransactionClosedError):
+            t1.execute("SELECT * FROM accounts")
+        with pytest.raises(TransactionClosedError):
+            t1.commit()
+        with pytest.raises(TransactionClosedError):
+            t1.abort()
+
+    def test_exit_after_conflict_does_not_double_close(self, db):
+        """__exit__ must not re-commit or re-abort a transaction the
+        failed commit already closed."""
+        db2_writer = db  # same database; conflict via autocommit write
+        with pytest.raises(ConflictError):
+            with db.begin() as txn:
+                txn.execute("DELETE FROM accounts WHERE owner = 'ann'")
+                db2_writer.execute(
+                    "UPDATE accounts SET balance = 1 WHERE owner = 'ann'")
+        assert txn.closed and txn.outcome == "aborted (conflict)"
+
+    def test_exit_commit_conflict_propagates(self, db):
+        """A conflict raised by the implicit commit on clean __exit__
+        still propagates to the caller."""
+        with pytest.raises(ConflictError):
+            with db.begin() as txn:
+                txn.execute("DELETE FROM accounts WHERE owner = 'bob'")
+                db.execute(
+                    "UPDATE accounts SET balance = 2 WHERE owner = 'bob'")
+                # No exception here: __exit__ will call commit().
+        assert txn.closed
+        assert db.query("SELECT balance FROM accounts "
+                        "WHERE owner = 'bob'") == [(2,)]
+
+    def test_rollback_is_abort(self, db):
+        txn = db.begin()
+        txn.execute("DELETE FROM accounts")
+        txn.rollback()
+        assert txn.outcome == "aborted"
+        assert db.execute("SELECT count(*) FROM accounts").scalar() == 2
+
+    def test_crashed_commit_closes_the_transaction(self):
+        from repro.faults import CrashError
+        db, inj = self._walled_db()
+        inj.crash_at("commit.publish")
+        txn = db.begin()
+        txn.execute("INSERT INTO accounts VALUES ('ida', 4)")
+        with pytest.raises(CrashError):
+            txn.commit()
+        assert txn.closed and txn.outcome == "crashed"
+        with pytest.raises(TransactionClosedError):
+            txn.execute("SELECT * FROM accounts")
+
+    def test_empty_commit_writes_no_wal_record(self):
+        db, _ = self._walled_db()
+        wal_len = len(db.wal)
+        txn = db.begin()
+        txn.execute("SELECT count(*) FROM accounts")
+        txn.commit()
+        assert txn.outcome == "committed"
+        assert len(db.wal) == wal_len
+
+    def test_self_inserted_then_deleted_rows_not_logged(self):
+        """Rows a transaction inserts and deletes itself are invisible
+        to the log — the commit record holds only the net effect."""
+        db, _ = self._walled_db()
+        txn = db.begin()
+        txn.execute("INSERT INTO accounts VALUES ('tmp', 1), ('kay', 2)")
+        txn.execute("DELETE FROM accounts WHERE owner = 'tmp'")
+        txn.commit()
+        record = list(db.wal.records())[-1]
+        assert record["kind"] == "commit"
+        (op,) = record["ops"]
+        assert op["appends"] == [["kay", 2]]
+        assert op["deletes"] == []
+        assert db.query("SELECT owner FROM accounts ORDER BY owner") == \
+            [("ann",), ("bob",), ("kay",)]
+
+
 class TestSnapshotCost:
     def test_bind_is_zero_copy_without_concurrent_writes(self, db):
         """Snapshot reads share the physical column (E14's claim)."""
