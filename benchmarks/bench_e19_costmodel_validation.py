@@ -1,0 +1,61 @@
+"""E19 — cost-model validation through the observability harness.
+
+E4 checks the Section 4.4 model against the composed join algorithms;
+E19 goes one level down and replays the *basic access patterns* the
+model is built from (sequential, random, repeated-random, interleaved
+multi-cursor in its cache-resident and thrashing zones) plus the
+composed algorithms, each traced through a fresh hierarchy via
+``repro.observability.validate``.  The per-pattern relative error is
+the table the tier-1 error-band test pins
+(``tests/observability/test_validate.py``).
+"""
+
+from conftest import run_once
+
+from repro.hardware.profiles import SCALED_DEFAULT, PENTIUM4_XEON
+from repro.observability.tracer import Tracer
+from repro.observability.validate import (
+    ERROR_BAND,
+    check_error_band,
+    validate_cost_model,
+)
+
+N = 1 << 14
+
+
+def _rows(reports):
+    return [(r.pattern, int(r.predicted), r.actual,
+             round(r.relative_error, 3),
+             ERROR_BAND.get(r.pattern, "-"))
+            for r in reports]
+
+
+def test_e19_costmodel_validation(benchmark, sink):
+    def harness():
+        tracer = Tracer()
+        default = validate_cost_model(n=N, tracer=tracer)
+        xeon = validate_cost_model(profile=PENTIUM4_XEON, n=N)
+        return default, xeon, tracer
+
+    default, xeon, tracer = run_once(benchmark, harness)
+    sink.table("E19a: predicted vs traced cycles, scaled default "
+               "profile (N={0})".format(N),
+               ["pattern", "predicted", "traced", "rel_err", "band"],
+               _rows(default))
+    sink.table("E19b: same patterns, Pentium4/Xeon profile "
+               "(N={0})".format(N),
+               ["pattern", "predicted", "traced", "rel_err", "band"],
+               _rows(xeon))
+    sink.note("band: tier-1 asserted relative-error ceiling per "
+              "pattern (see repro.observability.validate.ERROR_BAND)")
+
+    # The harness doubles as a trace producer: one pattern span per
+    # replay, each carrying the traced cycles it was scored against.
+    assert len(tracer.roots) == len(default)
+    for span, report in zip(tracer.roots, default):
+        assert span.inclusive("cycles") == report.actual
+
+    violations = check_error_band(default)
+    assert violations == [], [v.pattern for v in violations]
+    benchmark.extra_info["max_rel_err"] = max(
+        round(r.relative_error, 3) for r in default)

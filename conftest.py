@@ -1,0 +1,16 @@
+"""Repo-level pytest configuration.
+
+``--update-golden`` regenerates the checked-in normalized span trees
+used by the golden-trace regression suite
+(``tests/observability/test_golden.py``) after an intentional change
+to the traced plan shapes::
+
+    PYTHONPATH=src python -m pytest tests/observability/test_golden.py \
+        --update-golden
+"""
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden", action="store_true", default=False,
+        help="rewrite golden span-tree files instead of comparing")

@@ -22,6 +22,15 @@ from dataclasses import dataclass, field
 from repro.core.bat import BAT
 from repro.core.kernel import lookup_op
 from repro.mal.ast import Const, MALProgram, Var
+from repro.observability.tracer import NO_TRACE
+
+#: Simulated CPU cost of one interpreted MAL instruction (function-call
+#: and dispatch overhead — the operator-at-a-time interpretation tax
+#: Section 5 contrasts with vectorized execution).
+DISPATCH_CYCLES = 50
+
+#: Simulated CPU cycles per tuple materialized by an instruction.
+CPU_CYCLES_PER_TUPLE = 4
 
 
 @dataclass
@@ -59,11 +68,25 @@ class Interpreter:
         nbytes)`` (see :mod:`repro.recycling`).  Only instructions whose
         ``recycle`` flag was set by the recycler optimizer module are
         considered, unless the recycler declares ``cache_all = True``.
+    tracer:
+        A :class:`~repro.observability.tracer.Tracer` (default: the
+        disabled :data:`~repro.observability.tracer.NO_TRACE`).  When
+        enabled, every instruction runs inside an ``operator`` span
+        carrying ``tuples_out`` plus recycler/cracking counters.
+    hierarchy:
+        Optional :class:`~repro.hardware.MemoryHierarchy` to charge the
+        interpreter's simulated memory traffic against: each executed
+        instruction reads its input BATs and writes its result BATs
+        sequentially (the operator-at-a-time full-materialization
+        pattern of Section 3.1) plus per-instruction CPU dispatch cost.
     """
 
-    def __init__(self, catalog=None, recycler=None):
+    def __init__(self, catalog=None, recycler=None, tracer=None,
+                 hierarchy=None):
         self.catalog = catalog
         self.recycler = recycler
+        self.tracer = tracer if tracer is not None else NO_TRACE
+        self.hierarchy = hierarchy
         self.stats = ExecutionStats()
 
     # -- argument resolution -------------------------------------------------
@@ -114,6 +137,13 @@ class Interpreter:
         return next(iter(out.values()))
 
     def _execute(self, instr, env):
+        if not self.tracer.enabled and self.hierarchy is None:
+            self._execute_plain(instr, env)
+            return
+        with self.tracer.span(instr.op, kind="operator") as span:
+            self._execute_instrumented(instr, env, span)
+
+    def _execute_plain(self, instr, env):
         values = [self._resolve(a, env) for a in instr.args]
         recycler = self.recycler
         use_recycler = recycler is not None and (
@@ -134,6 +164,84 @@ class Interpreter:
             nbytes = sum(v.tail_nbytes for v in results if isinstance(v, BAT))
             recycler.store(key, results, cost=elapsed, nbytes=nbytes)
         self._bind_results(instr, results, env)
+
+    def _execute_instrumented(self, instr, env, span):
+        """One instruction under an operator span and/or simulated
+        memory charging.  ``span`` is None when only a hierarchy is
+        attached (tracing disabled)."""
+        values = [self._resolve(a, env) for a in instr.args]
+        recycler = self.recycler
+        use_recycler = recycler is not None and (
+            instr.recycle or getattr(recycler, "cache_all", False))
+        key = None
+        if use_recycler:
+            key = self._recycle_key(instr, values)
+            hit, cached = recycler.lookup(key)
+            if hit:
+                self.stats.instructions_recycled += 1
+                if span is not None:
+                    span.add("recycler_hits")
+                    span.add("tuples_out",
+                             sum(len(v) for v in cached
+                                 if isinstance(v, BAT)))
+                self._bind_results(instr, cached, env)
+                return
+        crack_stats = self._cracker_stats_before(instr, values)
+        start = time.perf_counter()
+        results = self._dispatch(instr, values)
+        elapsed = time.perf_counter() - start
+        self.stats.record(instr.op, results, elapsed)
+        self._charge_memory(values, results)
+        if span is not None:
+            span.add("tuples_out", sum(len(v) for v in results
+                                       if isinstance(v, BAT)))
+            if crack_stats is not None:
+                touched, pieces = self._cracker_stats_delta(
+                    instr, values, crack_stats)
+                span.add("cracking_tuples_touched", touched)
+                span.add("cracking_pieces", pieces)
+        if use_recycler:
+            nbytes = sum(v.tail_nbytes for v in results if isinstance(v, BAT))
+            recycler.store(key, results, cost=elapsed, nbytes=nbytes)
+        self._bind_results(instr, results, env)
+
+    def _charge_memory(self, values, results):
+        """Charge the instruction's simulated memory traffic: read every
+        input BAT sequentially, write every result BAT sequentially,
+        plus CPU dispatch and per-tuple work."""
+        hierarchy = self.hierarchy
+        if hierarchy is None:
+            return
+        from repro.hardware import trace as trace_mod
+        tuples = 0
+        for value in values:
+            if isinstance(value, BAT) and len(value):
+                hierarchy.access(trace_mod.sequential(
+                    value.tail_base, len(value), value.atom.width))
+        for result in results:
+            if isinstance(result, BAT) and len(result):
+                hierarchy.access(trace_mod.sequential(
+                    result.tail_base, len(result), result.atom.width))
+                tuples += len(result)
+        hierarchy.add_cpu_cycles(DISPATCH_CYCLES
+                                 + CPU_CYCLES_PER_TUPLE * tuples)
+
+    def _cracker_stats_before(self, instr, values):
+        """(tuples touched, pieces) of the target cracker before a
+        cracked select, or None when not applicable."""
+        if instr.op != "sql.crackedselect" or len(values) < 2 or \
+                not hasattr(self.catalog, "get"):
+            return None
+        try:
+            return self.catalog.get(values[0]).cracker_stats(values[1])
+        except (KeyError, AttributeError):
+            return None
+
+    def _cracker_stats_delta(self, instr, values, before):
+        after = self._cracker_stats_before(instr, values)
+        if after is None:
+            return (0, 0)
+        return (after[0] - before[0], after[1] - before[1])
 
     def _dispatch(self, instr, values):
         op = instr.op

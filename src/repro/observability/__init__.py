@@ -1,0 +1,30 @@
+"""Query-level observability: tracing spans, counters, and validation.
+
+The subsystem has three layers:
+
+* :mod:`repro.observability.tracer` — zero-dependency hierarchical
+  spans (query -> pipeline -> operator -> morsel) with named counters
+  and optional per-span snapshots of simulated hardware counters;
+* :mod:`repro.observability.profiling` — the :class:`QueryProfile`
+  returned by ``Database.profile`` (span tree + result + renderings);
+* :mod:`repro.observability.validate` — the cost-model validation
+  harness replaying the E01-E05 access patterns against the trace
+  simulator (imported lazily; it pulls in the join algorithms).
+
+Tracing is *off by default*: every instrumented code path checks a
+single ``tracer.enabled`` boolean, and the shared :data:`NO_TRACE`
+null tracer makes the disabled path allocation-free.
+"""
+
+from repro.observability.profiling import QueryProfile
+from repro.observability.schema import validate_span_tree
+from repro.observability.tracer import NO_TRACE, Span, Tracer, render_text
+
+__all__ = [
+    "NO_TRACE",
+    "QueryProfile",
+    "Span",
+    "Tracer",
+    "render_text",
+    "validate_span_tree",
+]

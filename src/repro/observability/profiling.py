@@ -1,0 +1,55 @@
+"""The object ``Database.profile`` returns: span tree + result + views."""
+
+from repro.observability.tracer import render_text
+
+
+class QueryProfile:
+    """One profiled query: the result plus its full trace.
+
+    Attributes
+    ----------
+    root:
+        The query's root :class:`~repro.observability.tracer.Span`.
+    result:
+        The query's :class:`~repro.sql.database.ResultSet`.
+    hierarchy:
+        The :class:`~repro.hardware.hierarchy.MemoryHierarchy` the
+        profiled (serial) run was charged against, or None for
+        parallel runs (each worker then owns a private hierarchy; see
+        ``worker_set``).
+    worker_set:
+        The :class:`~repro.parallel.context.WorkerSet` of a parallel
+        profile run, or None.
+    """
+
+    def __init__(self, root, result, hierarchy=None, worker_set=None):
+        self.root = root
+        self.result = result
+        self.hierarchy = hierarchy
+        self.worker_set = worker_set
+
+    @property
+    def cycles(self):
+        """Total simulated cycles attributed across the span tree."""
+        return self.root.inclusive("cycles")
+
+    def counter(self, name):
+        """A named counter summed over the whole tree."""
+        return self.root.inclusive(name)
+
+    def text(self):
+        """The EXPLAIN ANALYZE text tree."""
+        return render_text(self.root)
+
+    def to_dict(self):
+        return self.root.to_dict()
+
+    def to_json(self, indent=None):
+        return self.root.to_json(indent=indent)
+
+    def __str__(self):
+        return self.text()
+
+    def __repr__(self):
+        return "QueryProfile({0!r}, {1} spans, {2} cycles)".format(
+            self.root.name, sum(1 for _ in self.root.walk()), self.cycles)

@@ -1,0 +1,69 @@
+"""Span-tree schema validation (no external dependency).
+
+The exported span tree (``Span.to_dict``) is plain JSON with a fixed
+shape; :func:`validate_span_tree` checks it recursively and raises
+:class:`SpanSchemaError` naming the offending path.  The differential
+oracle validates every profiled query's tree through this, so a
+malformed exporter cannot ship silently.
+"""
+
+_SCALAR_TYPES = (str, int, float, bool, type(None))
+
+
+class SpanSchemaError(ValueError):
+    """A span-tree dict violates the exported schema."""
+
+
+def _fail(path, message):
+    raise SpanSchemaError("{0}: {1}".format(path or "<root>", message))
+
+
+def validate_span_tree(node, path="", max_depth=64):
+    """Validate one span dict (and its subtree); returns the span count.
+
+    Required keys: ``name`` (non-empty str), ``kind`` (non-empty str),
+    ``attrs`` (dict of str -> JSON scalar), ``counters`` (dict of
+    str -> finite int/float), ``children`` (list of span dicts).  No
+    extra keys are allowed.
+    """
+    if max_depth <= 0:
+        _fail(path, "span tree deeper than the schema bound")
+    if not isinstance(node, dict):
+        _fail(path, "span must be a dict, got {0}".format(
+            type(node).__name__))
+    expected = {"name", "kind", "attrs", "counters", "children"}
+    extra = set(node) - expected
+    if extra:
+        _fail(path, "unexpected keys {0}".format(sorted(extra)))
+    missing = expected - set(node)
+    if missing:
+        _fail(path, "missing keys {0}".format(sorted(missing)))
+    for key in ("name", "kind"):
+        if not isinstance(node[key], str) or not node[key]:
+            _fail(path, "{0} must be a non-empty string".format(key))
+    here = (path + "/" if path else "") + node["name"]
+    if not isinstance(node["attrs"], dict):
+        _fail(here, "attrs must be a dict")
+    for key, value in node["attrs"].items():
+        if not isinstance(key, str):
+            _fail(here, "attr keys must be strings")
+        if not isinstance(value, _SCALAR_TYPES):
+            _fail(here, "attr {0!r} must be a JSON scalar, got {1}".format(
+                key, type(value).__name__))
+    if not isinstance(node["counters"], dict):
+        _fail(here, "counters must be a dict")
+    for key, value in node["counters"].items():
+        if not isinstance(key, str) or not key:
+            _fail(here, "counter names must be non-empty strings")
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            _fail(here, "counter {0!r} must be a number, got {1}".format(
+                key, type(value).__name__))
+        if value != value or value in (float("inf"), float("-inf")):
+            _fail(here, "counter {0!r} must be finite".format(key))
+    if not isinstance(node["children"], list):
+        _fail(here, "children must be a list")
+    count = 1
+    for i, child in enumerate(node["children"]):
+        count += validate_span_tree(
+            child, "{0}[{1}]".format(here, i), max_depth - 1)
+    return count

@@ -1,0 +1,335 @@
+"""Hierarchical tracing spans and named counters.
+
+A :class:`Span` is one timed region of query execution (a query, a
+pipeline, one operator, one morsel); spans nest, forming a tree per
+traced query.  Counters are plain named numbers attached to the span
+they occurred under: ``tuples_out``, ``vectors``, ``wal_bytes``,
+``recycler_hits``, ``cracking_tuples_touched`` and the hardware
+counters below.
+
+Hardware accounting: a tracer can *watch* one or more simulated
+:class:`~repro.hardware.hierarchy.MemoryHierarchy` objects.  Watched
+counters (``cycles``, ``cpu_cycles``, per-level ``<L>_misses``,
+``TLB_misses``, ``accesses``) are snapshotted when a span opens and
+closes; the delta is attributed *exclusively* — a span's own counters
+cover only work not already attributed to its children — so summing
+any counter over every span of a tree reproduces the hierarchy's
+global counters exactly, and :meth:`Span.inclusive` reconstructs the
+usual subtree totals.
+
+Overhead discipline: instrumented code guards every span/counter call
+with ``tracer.enabled``; :data:`NO_TRACE` (the default tracer
+everywhere) answers ``enabled = False`` and turns all methods into
+no-ops, so a database that never profiles pays one attribute test per
+instrumented site.
+"""
+
+import json
+
+
+class Span:
+    """One node of a trace tree: name, kind, attributes, counters.
+
+    ``counters`` holds this span's *own* (exclusive) values; use
+    :meth:`inclusive` for subtree totals.  ``attrs`` carries static
+    JSON-able context (SQL text, worker id, morsel range, ...).
+    """
+
+    __slots__ = ("name", "kind", "attrs", "counters", "children",
+                 "_hw_enter", "_hw_children")
+
+    def __init__(self, name, kind="span", attrs=None):
+        self.name = name
+        self.kind = kind
+        self.attrs = dict(attrs) if attrs else {}
+        self.counters = {}
+        self.children = []
+        self._hw_enter = None     # watched-hierarchy totals at open
+        self._hw_children = None  # counters already attributed below
+
+    def add(self, counter, value=1):
+        """Accumulate a named counter on this span."""
+        self.counters[counter] = self.counters.get(counter, 0) + value
+
+    def counter(self, name, default=0):
+        return self.counters.get(name, default)
+
+    def inclusive(self, name):
+        """This span's counter plus the whole subtree's."""
+        total = self.counters.get(name, 0)
+        for child in self.children:
+            total += child.inclusive(name)
+        return total
+
+    def walk(self):
+        """Yield this span and every descendant, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name):
+        """First span named ``name`` in the subtree, or None."""
+        for span in self.walk():
+            if span.name == name:
+                return span
+        return None
+
+    def find_all(self, name=None, kind=None):
+        """Every subtree span matching the given name and/or kind."""
+        return [span for span in self.walk()
+                if (name is None or span.name == name)
+                and (kind is None or span.kind == kind)]
+
+    def to_dict(self):
+        """JSON-able dict form (the exported span-tree schema)."""
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "attrs": dict(self.attrs),
+            "counters": dict(self.counters),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    def to_json(self, indent=None):
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def __repr__(self):
+        return "Span({0!r}, kind={1!r}, {2} children)".format(
+            self.name, self.kind, len(self.children))
+
+
+class _NullContext:
+    """Shared no-op context manager returned by the null tracer."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+
+_NULL_CONTEXT = _NullContext()
+
+
+class NullTracer:
+    """The disabled tracer: every operation is a cheap no-op."""
+
+    __slots__ = ()
+    enabled = False
+
+    def span(self, name, kind="span", **attrs):
+        return _NULL_CONTEXT
+
+    def begin(self, name, kind="span", **attrs):
+        return None
+
+    def end(self):
+        return None
+
+    def end_all(self):
+        return None
+
+    def add(self, counter, value=1):
+        return None
+
+    def watch(self, hierarchy):
+        return None
+
+    def adopt(self, spans):
+        return None
+
+
+NO_TRACE = NullTracer()
+
+
+class _SpanContext:
+    """Context manager pairing one begin/end on a tracer."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer, span):
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self):
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb):
+        if exc_type is not None:
+            self._span.attrs.setdefault("error", exc_type.__name__)
+        self._tracer._close(self._span)
+        return False
+
+
+class Tracer:
+    """Collects span trees; one instance per traced query (or worker).
+
+    Spans open with :meth:`span` (a context manager) or the explicit
+    :meth:`begin`/:meth:`end` pair — the latter exists for spans whose
+    lifetime does not match a Python block (per-morsel spans inside a
+    pull-based operator).  Completed top-level spans accumulate in
+    ``roots``.
+    """
+
+    enabled = True
+
+    def __init__(self):
+        self.roots = []
+        self._stack = []
+        self._hierarchies = []
+
+    # -- hardware watching -------------------------------------------------
+
+    def watch(self, hierarchy):
+        """Snapshot this hierarchy's counters around every span."""
+        if hierarchy is not None and hierarchy not in self._hierarchies:
+            self._hierarchies.append(hierarchy)
+
+    def _hw_totals(self):
+        totals = {}
+        for h in self._hierarchies:
+            totals["cycles"] = totals.get("cycles", 0) + h.total_cycles
+            totals["cpu_cycles"] = totals.get("cpu_cycles", 0) \
+                + h.cpu_cycles
+            totals["accesses"] = totals.get("accesses", 0) + h.accesses
+            for cache in h.caches:
+                key = cache.name + "_misses"
+                totals[key] = totals.get(key, 0) + cache.stats.misses
+            if h.tlb is not None:
+                totals["TLB_misses"] = totals.get("TLB_misses", 0) \
+                    + h.tlb.stats.misses
+        return totals
+
+    # -- span lifecycle ----------------------------------------------------
+
+    def span(self, name, kind="span", **attrs):
+        """Open a span as a context manager."""
+        return _SpanContext(self, self.begin(name, kind=kind, **attrs))
+
+    def begin(self, name, kind="span", **attrs):
+        """Open a span explicitly; pair with :meth:`end`."""
+        span = Span(name, kind=kind, attrs=attrs)
+        if self._hierarchies:
+            span._hw_enter = self._hw_totals()
+            span._hw_children = {}
+        self._stack.append(span)
+        return span
+
+    def end(self):
+        """Close the innermost open span."""
+        if not self._stack:
+            raise RuntimeError("no open span to end")
+        self._close(self._stack[-1])
+
+    def end_all(self):
+        """Close every open span (cleanup after failures)."""
+        while self._stack:
+            self.end()
+
+    def _close(self, span):
+        if not self._stack or self._stack[-1] is not span:
+            raise RuntimeError("span {0!r} is not the innermost open "
+                               "span".format(span.name))
+        self._stack.pop()
+        if span._hw_enter is not None:
+            exit_totals = self._hw_totals()
+            attributed = span._hw_children
+            for key, total in exit_totals.items():
+                delta = total - span._hw_enter.get(key, 0)
+                own = delta - attributed.get(key, 0)
+                if own:
+                    span.add(key, own)
+            if self._stack:
+                parent = self._stack[-1]
+                if parent._hw_children is not None:
+                    for key, total in exit_totals.items():
+                        delta = total - span._hw_enter.get(key, 0)
+                        parent._hw_children[key] = \
+                            parent._hw_children.get(key, 0) + delta
+        span._hw_enter = None
+        span._hw_children = None
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+
+    # -- counters and merging ----------------------------------------------
+
+    @property
+    def current(self):
+        """The innermost open span, or None."""
+        return self._stack[-1] if self._stack else None
+
+    def add(self, counter, value=1):
+        """Accumulate a counter on the innermost open span."""
+        if self._stack:
+            self._stack[-1].add(counter, value)
+
+    def adopt(self, spans):
+        """Graft completed span trees (e.g. a worker tracer's roots)
+        under the innermost open span — the merge step of per-worker
+        span streams."""
+        target = self._stack[-1].children if self._stack else self.roots
+        target.extend(spans)
+
+    def to_dict(self):
+        return {"roots": [span.to_dict() for span in self.roots]}
+
+    def to_json(self, indent=None):
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+
+# -- rendering ----------------------------------------------------------------
+
+_TREE_COUNTER_ORDER = ("tuples_out", "vectors", "cycles", "cpu_cycles",
+                       "L1_misses", "L2_misses", "L3_misses", "LLC_misses",
+                       "TLB_misses", "recycler_hits", "wal_bytes",
+                       "cracking_tuples_touched", "cracking_pieces")
+
+
+def _format_counters(span):
+    shown = []
+    cycles = span.inclusive("cycles")
+    if cycles and "cycles" not in span.counters:
+        shown.append("cycles~={0}".format(cycles))
+    for name in _TREE_COUNTER_ORDER:
+        if name in span.counters:
+            shown.append("{0}={1}".format(name, span.counters[name]))
+    for name in sorted(span.counters):
+        if name not in _TREE_COUNTER_ORDER:
+            shown.append("{0}={1}".format(name, span.counters[name]))
+    return " ".join(shown)
+
+
+def _span_label(span):
+    label = span.name
+    extras = []
+    for key in ("worker", "index", "engine", "workers"):
+        if key in span.attrs:
+            extras.append("{0}={1}".format(key, span.attrs[key]))
+    if extras:
+        label += " [" + " ".join(extras) + "]"
+    return label
+
+
+def render_text(span, _prefix="", _is_last=True, _is_root=True):
+    """Render a span tree as a compact EXPLAIN ANALYZE style text tree."""
+    lines = []
+    if _is_root:
+        head = _span_label(span)
+    else:
+        head = _prefix + ("`- " if _is_last else "|- ") + _span_label(span)
+    counters = _format_counters(span)
+    if counters:
+        head += "  (" + counters + ")"
+    lines.append(head)
+    child_prefix = "" if _is_root else _prefix + ("   " if _is_last
+                                                  else "|  ")
+    for i, child in enumerate(span.children):
+        lines.extend(render_text(child, child_prefix,
+                                 i == len(span.children) - 1, False))
+    if _is_root:
+        return "\n".join(lines)
+    return lines

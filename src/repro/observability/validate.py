@@ -1,0 +1,209 @@
+"""Cost-model validation: predicted cycles vs traced actuals.
+
+The Section 4.4 cost model earns its keep only if its predictions
+track what the trace simulator actually charges.  This harness replays
+the basic access patterns underlying experiments E01-E05 — sequential
+traversal (E03/E05 streaming), random traversal and repeated random
+access (E02 probes, E08 positional lookup), the interleaved
+multi-cursor scatter in both its in-cache and thrashing zones (E01),
+and the composed radix-cluster and hash-join algorithms themselves
+(E01/E02/E04) — through a fresh simulated hierarchy, and reports the
+relative error of the model's prediction per pattern.
+
+Bench E19 prints the resulting table; the tier-1 error-band test
+asserts every pattern stays within :data:`ERROR_BAND`.
+"""
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.costmodel.model import (
+    predict_radix_cluster,
+    predict_simple_hash_join,
+    total_cycles,
+)
+from repro.costmodel.patterns import (
+    DataRegion,
+    interleaved_multi_cursor,
+    random_traversal,
+    repeated_random_access,
+    sequential_traversal,
+)
+from repro.hardware import trace as trace_mod
+from repro.hardware.profiles import SCALED_DEFAULT
+from repro.observability.tracer import NO_TRACE
+
+#: Default item width: an 8-byte value, the BAT tail convention.
+ITEM_SIZE = 8
+
+#: Per-pattern relative-error band the tier-1 test asserts.  The basic
+#: patterns are modelled directly and stay tight; the composed
+#: algorithms inherit the model's factor-of-two accuracy claim (E04).
+ERROR_BAND = {
+    "sequential_traversal": 0.10,
+    "random_traversal": 0.35,
+    "repeated_random_access": 0.35,
+    "multi_cursor_resident": 0.35,
+    # The thrash zone deliberately charges *every* touch at full random
+    # cost (a worst-case bound); the simulator still enjoys partial
+    # residency, so this pattern only holds to the paper's factor-2.
+    "multi_cursor_thrashing": 1.0,
+    "radix_cluster": 1.0,
+    "hash_join": 1.0,
+}
+
+
+@dataclass
+class PatternReport:
+    """Predicted vs traced cycles for one access pattern."""
+
+    pattern: str
+    predicted: float
+    actual: int
+
+    @property
+    def relative_error(self):
+        if self.actual == 0:
+            return 0.0 if self.predicted == 0 else float("inf")
+        return abs(self.predicted - self.actual) / self.actual
+
+    @property
+    def ratio(self):
+        return self.predicted / self.actual if self.actual else float("inf")
+
+
+def _multi_cursor_addresses(base, count, cursors, item_size, rng):
+    """The radix-scatter write stream: each item goes to a uniformly
+    random cursor (as uniform key values do), the chosen cursor then
+    advancing sequentially through its own region.  A round-robin
+    cursor choice would produce ascending — prefetchable — misses the
+    real scatter never sees."""
+    cursor_ids = rng.integers(0, cursors, size=count)
+    order = np.argsort(cursor_ids, kind="stable")
+    sorted_ids = cursor_ids[order]
+    starts = np.searchsorted(sorted_ids, np.arange(cursors))
+    positions = np.empty(count, dtype=np.int64)
+    positions[order] = np.arange(count, dtype=np.int64) \
+        - starts[sorted_ids]
+    per_cursor = -(-count // cursors)
+    slots = cursor_ids * per_cursor + positions
+    return base + slots * item_size
+
+
+def _basic_cases(n, seed):
+    """(name, predict(profile) -> cycles, replay(hierarchy)) triples."""
+    region = DataRegion(n, ITEM_SIZE)
+    base = 1 << 26  # fixed notional base: runs are reproducible
+    rng = np.random.default_rng(seed)
+    permutation = rng.permutation(n)
+    uniform = rng.integers(0, n, size=n)
+    resident_cursors = 8
+    thrash_cursors = 1 << 12
+
+    def replay_sequential(h):
+        h.access(trace_mod.sequential(base, n, ITEM_SIZE))
+
+    def replay_random(h):
+        h.access(trace_mod.gather(base, permutation, ITEM_SIZE))
+
+    def replay_repeated(h):
+        h.access(trace_mod.gather(base, uniform, ITEM_SIZE))
+
+    resident_trace = _multi_cursor_addresses(base, n, resident_cursors,
+                                             ITEM_SIZE, rng)
+    thrash_trace = _multi_cursor_addresses(base, n, thrash_cursors,
+                                           ITEM_SIZE, rng)
+
+    def replay_resident(h):
+        h.access(resident_trace)
+
+    def replay_thrashing(h):
+        h.access(thrash_trace)
+
+    return [
+        ("sequential_traversal",
+         lambda p: sequential_traversal(region, p).cycles(p),
+         replay_sequential),
+        ("random_traversal",
+         lambda p: random_traversal(region, p).cycles(p),
+         replay_random),
+        ("repeated_random_access",
+         lambda p: repeated_random_access(region, n, p).cycles(p),
+         replay_repeated),
+        ("multi_cursor_resident",
+         lambda p: interleaved_multi_cursor(region, resident_cursors,
+                                            p).cycles(p),
+         replay_resident),
+        ("multi_cursor_thrashing",
+         lambda p: interleaved_multi_cursor(region, thrash_cursors,
+                                            p).cycles(p),
+         replay_thrashing),
+    ]
+
+
+def _algorithm_cases(n, seed):
+    from repro.joins import radix_cluster, simple_hash_join
+    from repro.joins.radix_cluster import split_bits
+    from repro.workloads import dense_keys, uniform_ints
+
+    bits, passes = 6, 2
+    pass_bits = split_bits(bits, passes)
+    values = uniform_ints(n, seed=seed)
+    left = dense_keys(n, seed=seed + 1)
+    right = dense_keys(n, seed=seed + 2)
+
+    def replay_cluster(h):
+        radix_cluster(values, bits, passes, hierarchy=h)
+
+    def replay_join(h):
+        simple_hash_join(left, right, hierarchy=h)
+
+    return [
+        ("radix_cluster",
+         lambda p: total_cycles(
+             predict_radix_cluster(n, bits, pass_bits, p), p),
+         replay_cluster),
+        ("hash_join",
+         lambda p: total_cycles(predict_simple_hash_join(n, n, p), p),
+         replay_join),
+    ]
+
+
+def validate_cost_model(profile=SCALED_DEFAULT, n=1 << 14, seed=7,
+                        tracer=NO_TRACE):
+    """Replay every pattern; return a list of :class:`PatternReport`.
+
+    Each replay runs against a fresh hierarchy built from ``profile``.
+    When a tracer is given, every replay is wrapped in a span carrying
+    the traced hardware counters plus ``predicted_cycles`` /
+    ``relative_error`` attributes.
+    """
+    reports = []
+    for name, predict, replay in _basic_cases(n, seed) \
+            + _algorithm_cases(n, seed):
+        predicted = float(predict(profile))
+        hierarchy = profile.make_hierarchy()
+        if tracer.enabled:
+            tracer.watch(hierarchy)
+            with tracer.span(name, kind="pattern", n=n) as span:
+                replay(hierarchy)
+            span.attrs["predicted_cycles"] = predicted
+        else:
+            replay(hierarchy)
+        report = PatternReport(name, predicted, hierarchy.total_cycles)
+        if tracer.enabled:
+            span.attrs["relative_error"] = report.relative_error
+        reports.append(report)
+    return reports
+
+
+def check_error_band(reports, band=None):
+    """Reports violating the error band; empty means the model holds."""
+    band = ERROR_BAND if band is None else band
+    violations = []
+    for report in reports:
+        limit = band.get(report.pattern)
+        if limit is not None and report.relative_error > limit:
+            violations.append(report)
+    return violations

@@ -138,6 +138,23 @@ class WorkerSet:
             }
         return report
 
+    def tracer_view(self, worker):
+        """What worker ``worker``'s tracer should watch.
+
+        The worker's hierarchy *object* ends in the shared LLC, whose
+        counters move whenever ANY worker runs — watching it directly
+        would attribute every peer's traffic to this worker's open
+        spans.  The view exposes only the private levels plus this
+        worker's *attributed* share of the LLC (``llc_cycles`` /
+        ``llc_misses``, charged per pull by the exchange), so summing
+        any counter over all workers' span trees reproduces the global
+        accounting exactly.
+        """
+        ctx = self.contexts[worker]
+        if ctx.hierarchy is None:
+            return None
+        return _WorkerHierarchyView(self, worker)
+
     def miss_counts(self):
         """Deterministic fingerprint of all cache traffic (tests)."""
         counts = {}
@@ -153,3 +170,64 @@ class WorkerSet:
             counts[("shared", self.shared_llc.name)] = \
                 self.shared_llc.stats.misses
         return counts
+
+
+class _AttributedLLCProxy:
+    """Stats-only stand-in for the shared LLC inside a tracer view:
+    reports the misses *attributed* to one worker, not the global
+    counter."""
+
+    __slots__ = ("_worker_set", "_worker", "name")
+
+    def __init__(self, worker_set, worker):
+        self._worker_set = worker_set
+        self._worker = worker
+        self.name = worker_set.shared_llc.name
+
+    @property
+    def stats(self):
+        from repro.hardware.cache import CacheStats
+        return CacheStats(random_misses=self._worker_set
+                          .llc_misses[self._worker])
+
+
+class _WorkerHierarchyView:
+    """Tracer-facing view of one worker's hierarchy (see
+    :meth:`WorkerSet.tracer_view`): private levels as-is, the shared
+    LLC replaced by this worker's attributed share."""
+
+    __slots__ = ("_worker_set", "_worker")
+
+    def __init__(self, worker_set, worker):
+        self._worker_set = worker_set
+        self._worker = worker
+
+    @property
+    def _hierarchy(self):
+        return self._worker_set.contexts[self._worker].hierarchy
+
+    @property
+    def caches(self):
+        shared = self._worker_set.shared_llc
+        out = [c for c in self._hierarchy.caches if c is not shared]
+        if shared is not None:
+            out.append(_AttributedLLCProxy(self._worker_set, self._worker))
+        return out
+
+    @property
+    def tlb(self):
+        return self._hierarchy.tlb
+
+    @property
+    def cpu_cycles(self):
+        return self._hierarchy.cpu_cycles
+
+    @property
+    def accesses(self):
+        return self._hierarchy.accesses
+
+    @property
+    def total_cycles(self):
+        """This worker's cycles: private levels + TLB + CPU plus its
+        attributed LLC share — :meth:`WorkerSet.worker_cycles`."""
+        return self._worker_set.worker_cycles(self._worker)

@@ -88,10 +88,26 @@ class MorselScan(VectorOperator):
         self.stall_units = 0
         self._morsel = None
         self._pos = 0
+        self._span_open = False
 
     def open(self):
         self._morsel = None
         self._pos = 0
+        self._span_open = False
+
+    def _end_morsel_span(self):
+        if self._span_open:
+            self.context.tracer.end()
+            self._span_open = False
+
+    def _begin_morsel_span(self, morsel):
+        tracer = self.context.tracer
+        if tracer.enabled:
+            self._end_morsel_span()
+            tracer.begin("morsel", kind="morsel", worker=self.worker,
+                         index=morsel.index, start=morsel.start,
+                         stop=morsel.stop)
+            self._span_open = True
 
     def _acquire(self, morsel):
         """Pass one morsel through the ``morsel.run`` fault site."""
@@ -116,8 +132,10 @@ class MorselScan(VectorOperator):
             if self._morsel is None:
                 morsel = self.scheduler.next_morsel(self.worker)
                 if morsel is None:
+                    self._end_morsel_span()
                     return None
                 self._acquire(morsel)
+                self._begin_morsel_span(morsel)
                 self._morsel = morsel
                 self._pos = morsel.start
             if self._pos >= self._morsel.stop:
@@ -128,6 +146,8 @@ class MorselScan(VectorOperator):
             batch = Batch({name: v[self._pos:end]
                            for name, v in self.columns.items()})
             self._pos = end
+            if self._span_open:
+                self.context.tracer.add("tuples_scanned", len(batch))
             return batch
 
 
@@ -160,10 +180,15 @@ class ExchangeUnion(VectorOperator):
     def _pull(self, worker):
         ws = self.worker_set
         if ws is None:
-            return next(self._streams[worker], None)
-        cycles, misses = ws.llc_snapshot()
-        batch = next(self._streams[worker], None)
-        ws.charge_llc(worker, cycles, misses)
+            batch = next(self._streams[worker], None)
+        else:
+            cycles, misses = ws.llc_snapshot()
+            batch = next(self._streams[worker], None)
+            ws.charge_llc(worker, cycles, misses)
+        if batch is not None:
+            span = self.children[worker].context.worker_span
+            if span is not None:
+                span.add("tuples_out", len(batch))
         return batch
 
     def next_batch(self):

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.faults import NO_FAULTS
+from repro.observability.tracer import NO_TRACE, Tracer
 from repro.parallel.context import WorkerSet
 from repro.parallel.exchange import Exchange, MorselScan
 from repro.parallel.morsels import DEFAULT_MORSEL_SIZE, MorselScheduler
@@ -120,7 +121,8 @@ class ParallelSelectExecutor:
 
     def __init__(self, catalog, workers, smp_profile=None,
                  vector_size=DEFAULT_VECTOR_SIZE,
-                 morsel_size=DEFAULT_MORSEL_SIZE, faults=None):
+                 morsel_size=DEFAULT_MORSEL_SIZE, faults=None,
+                 tracer=None):
         if workers < 1:
             raise ValueError("need at least one worker")
         self.catalog = catalog
@@ -129,6 +131,7 @@ class ParallelSelectExecutor:
         self.vector_size = vector_size
         self.morsel_size = morsel_size
         self.faults = faults if faults is not None else NO_FAULTS
+        self.tracer = tracer if tracer is not None else NO_TRACE
         self.failures = []
 
     # -- public entry ---------------------------------------------------------
@@ -326,13 +329,45 @@ class ParallelSelectExecutor:
         Collection quarantines per-worker output so injected worker
         deaths recover exactly (see :meth:`Exchange.collect`); deaths
         the query survived accumulate in ``self.failures``.
+
+        When this executor carries an enabled tracer, the whole drive
+        runs inside an ``exchange`` span; each worker gets a *private*
+        tracer (watching its private hierarchy) whose completed span
+        stream is grafted under the exchange span once the drain ends —
+        the per-worker span streams merge with morsel attribution
+        intact.  The simulation is cooperative (single-threaded), so
+        per-worker hardware deltas attribute exactly.
         """
-        coordinator = ExecutionContext(self.vector_size)
-        exchange = Exchange(coordinator, factory, worker_set, scheduler)
-        try:
-            return exchange.collect()
-        finally:
-            self.failures.extend(exchange.failures)
+        if not self.tracer.enabled:
+            coordinator = ExecutionContext(self.vector_size)
+            exchange = Exchange(coordinator, factory, worker_set,
+                                scheduler)
+            try:
+                return exchange.collect()
+            finally:
+                self.failures.extend(exchange.failures)
+        with self.tracer.span("exchange", kind="pipeline",
+                              workers=len(worker_set)) as span:
+            for w, ctx in enumerate(worker_set.contexts):
+                worker_tracer = Tracer()
+                worker_tracer.watch(worker_set.tracer_view(w))
+                ctx.tracer = worker_tracer
+                ctx.worker_span = worker_tracer.begin(
+                    "worker-{0}".format(w), kind="worker", worker=w)
+            coordinator = ExecutionContext(self.vector_size)
+            exchange = Exchange(coordinator, factory, worker_set,
+                                scheduler)
+            try:
+                batches = exchange.collect()
+            finally:
+                self.failures.extend(exchange.failures)
+                for ctx in worker_set.contexts:
+                    ctx.tracer.end_all()
+                    self.tracer.adopt(ctx.tracer.roots)
+                    ctx.tracer = NO_TRACE
+                    ctx.worker_span = None
+            span.add("tuples_out", sum(len(b) for b in batches))
+            return batches
 
     # -- plain projection -----------------------------------------------------
 

@@ -105,6 +105,36 @@ class SetPragma:
 
 
 @dataclass
+class Explain:
+    """``EXPLAIN <statement>`` — show the optimized MAL plan."""
+
+    statement: object
+
+
+@dataclass
+class Profile:
+    """``PROFILE <statement>`` — run it traced, show the span tree."""
+
+    statement: object
+
+
+def statement_kind(node):
+    """Human-readable kind of a statement AST node ("SELECT", "INSERT
+    INTO", ...), for error messages about unsupported statements."""
+    kinds = {
+        "Select": "SELECT",
+        "Insert": "INSERT",
+        "Delete": "DELETE",
+        "Update": "UPDATE",
+        "CreateTable": "CREATE TABLE",
+        "SetPragma": "SET",
+        "Explain": "EXPLAIN",
+        "Profile": "PROFILE",
+    }
+    return kinds.get(type(node).__name__, type(node).__name__)
+
+
+@dataclass
 class TableRef:
     name: str
     alias: str = None

@@ -4,9 +4,10 @@ from repro.core.bat import BAT
 from repro.faults import NO_FAULTS
 from repro.mal.interpreter import Interpreter
 from repro.mal.optimizer import DEFAULT_PIPELINE
+from repro.observability.tracer import NO_TRACE
 from repro.sql.ast import (
-    Column, CreateTable, Delete, Insert, Select, SelectItem, SetPragma,
-    Update,
+    Column, CreateTable, Delete, Explain, Insert, Profile, Select,
+    SelectItem, SetPragma, Update, statement_kind,
 )
 from repro.sql.catalog import Catalog
 from repro.sql.compiler import compile_select, compile_where_candidates
@@ -109,11 +110,14 @@ class Database:
     """
 
     def __init__(self, pipeline=DEFAULT_PIPELINE, recycler=None,
-                 smp_profile=None, wal=None, faults=None):
+                 smp_profile=None, wal=None, faults=None, tracer=None):
         self.catalog = Catalog()
         self.pipeline = pipeline
         self.recycler = recycler
-        self.interpreter = Interpreter(self.catalog, recycler=recycler)
+        # Session-wide tracing (repro.observability): off by default.
+        self.tracer = tracer if tracer is not None else NO_TRACE
+        self.interpreter = Interpreter(self.catalog, recycler=recycler,
+                                       tracer=self.tracer)
         # Plan-for-reuse (§2): optimized MAL plans cached per SQL text.
         self._plan_cache = {}
         self.plans_reused = 0
@@ -122,12 +126,15 @@ class Database:
         self.wal = wal
         if wal is not None and wal.faults is NO_FAULTS:
             wal.faults = self.faults
+        if wal is not None and self.tracer.enabled:
+            wal.tracer = self.tracer
         # Intra-query parallelism (repro.parallel).
         self.smp_profile = smp_profile
         self.default_workers = 1
         self.parallel_runs = 0
         self.parallel_fallbacks = 0
         self.last_parallel = None  # ParallelResult of the latest SELECT
+        self.last_profile = None   # QueryProfile of the latest PROFILE
 
     @classmethod
     def with_recycling(cls, capacity_bytes=None, policy="benefit"):
@@ -150,9 +157,19 @@ class Database:
         """Execute one SQL statement (autocommit).
 
         Returns a :class:`ResultSet` for SELECT, the affected row count
-        for DML, and None for DDL.  ``workers`` overrides the session's
-        worker count (``SET workers = N``) for this statement.
+        for DML, None for DDL, and for ``EXPLAIN``/``PROFILE`` a
+        one-column ``plan`` ResultSet holding the rendered plan or
+        span-tree lines.  ``workers`` overrides the session's worker
+        count (``SET workers = N``) for this statement.
         """
+        if not self.tracer.enabled:
+            return self._execute_statement(sql, workers)
+        label = sql if isinstance(sql, str) else repr(sql)
+        with self.tracer.span("statement", kind="statement",
+                              sql=label[:200]):
+            return self._execute_statement(sql, workers)
+
+    def _execute_statement(self, sql, workers=None):
         effective = self.default_workers if workers is None else workers
         if effective < 1:
             raise ValueError("workers must be at least 1")
@@ -163,6 +180,15 @@ class Database:
                 return self._run_compiled(cached[0], cached[1],
                                           view=self.catalog)
         statement = parse_sql(sql)
+        if isinstance(statement, Explain):
+            plan = self._explain_statement(statement.statement)
+            return ResultSet(["plan"], [plan.splitlines()])
+        if isinstance(statement, Profile):
+            profile = self._profile_statement(
+                statement.statement, sql if isinstance(sql, str) else "",
+                workers=effective)
+            self.last_profile = profile
+            return ResultSet(["plan"], [profile.text().splitlines()])
         if isinstance(statement, SetPragma):
             return self._apply_pragma(statement)
         if isinstance(statement, CreateTable):
@@ -227,7 +253,8 @@ class Database:
         )
         executor = ParallelSelectExecutor(self.catalog, workers,
                                           smp_profile=self.smp_profile,
-                                          faults=self.faults)
+                                          faults=self.faults,
+                                          tracer=self.tracer)
         try:
             result = executor.execute(statement)
         except ParallelUnsupported:
@@ -246,10 +273,107 @@ class Database:
     def explain(self, sql):
         """The optimized MAL program for a SELECT, as text."""
         statement = parse_sql(sql)
+        if isinstance(statement, Explain):
+            statement = statement.statement
+        return self._explain_statement(statement)
+
+    def _explain_statement(self, statement):
         if not isinstance(statement, Select):
-            raise TypeError("EXPLAIN supports only SELECT")
+            raise TypeError(
+                "EXPLAIN supports only SELECT statements, got {0}".format(
+                    statement_kind(statement)))
         program, _ = compile_select(self.catalog, statement)
         return str(self.pipeline.optimize(program))
+
+    def profile(self, sql, workers=None, hardware_profile=None):
+        """Execute a SELECT with tracing on; returns a
+        :class:`~repro.observability.QueryProfile`.
+
+        A serial profile charges the interpreter's simulated memory
+        traffic against a fresh hierarchy (``hardware_profile``,
+        default :data:`~repro.hardware.profiles.SCALED_DEFAULT`) that
+        the query tracer watches, so the span tree's cycle total equals
+        the hierarchy's global accounting exactly.  With ``workers > 1``
+        (or ``SET workers``) the parallel engine runs instead: one span
+        stream per worker (watching that worker's private hierarchy),
+        merged under the exchange span, with per-morsel attribution.
+        Queries without a parallel plan shape fall back to a serial
+        profile, like ``execute``.
+        """
+        statement = parse_sql(sql) if isinstance(sql, str) else sql
+        if isinstance(statement, Profile):
+            statement = statement.statement
+        effective = self.default_workers if workers is None else workers
+        if effective < 1:
+            raise ValueError("workers must be at least 1")
+        profile = self._profile_statement(
+            statement, sql if isinstance(sql, str) else "",
+            workers=effective, hardware_profile=hardware_profile)
+        self.last_profile = profile
+        return profile
+
+    def _profile_statement(self, statement, sql_text, workers=1,
+                           hardware_profile=None):
+        from repro.observability.profiling import QueryProfile
+        from repro.observability.tracer import Tracer
+        if not isinstance(statement, Select):
+            raise TypeError(
+                "PROFILE supports only SELECT statements, got {0}".format(
+                    statement_kind(statement)))
+        tracer = Tracer()
+        if workers > 1:
+            profiled = self._profile_parallel(statement, workers, tracer,
+                                              sql_text)
+            if profiled is not None:
+                return profiled
+        if hardware_profile is None:
+            from repro.hardware.profiles import SCALED_DEFAULT
+            hardware_profile = SCALED_DEFAULT
+        hierarchy = hardware_profile.make_hierarchy()
+        tracer.watch(hierarchy)
+        with tracer.span("query", kind="query", sql=sql_text[:200],
+                         engine="serial"):
+            with tracer.span("compile", kind="phase"):
+                program, names = compile_select(self.catalog, statement)
+                program = self.pipeline.optimize(program)
+            interpreter = Interpreter(self.catalog,
+                                      recycler=self.recycler,
+                                      tracer=tracer, hierarchy=hierarchy)
+            with tracer.span("execute", kind="pipeline"):
+                out = interpreter.run(program)
+            result = self._materialize_result(program, names, out)
+        return QueryProfile(tracer.roots[-1], result,
+                            hierarchy=hierarchy)
+
+    def _profile_parallel(self, statement, workers, tracer, sql_text):
+        """Parallel profile, or None on fallback (no parallel plan /
+        all workers died) — the caller then profiles serially."""
+        from repro.observability.profiling import QueryProfile
+        from repro.parallel.exchange import ParallelExecutionFailed
+        from repro.parallel.executor import (
+            ParallelSelectExecutor, ParallelUnsupported,
+        )
+        smp_profile = self.smp_profile
+        if smp_profile is None:
+            from repro.hardware.profiles import SCALED_SMP
+            smp_profile = SCALED_SMP
+        executor = ParallelSelectExecutor(self.catalog, workers,
+                                          smp_profile=smp_profile,
+                                          faults=self.faults,
+                                          tracer=tracer)
+        try:
+            with tracer.span("query", kind="query", sql=sql_text[:200],
+                             engine="parallel", workers=workers):
+                result = executor.execute(statement)
+        except (ParallelUnsupported, ParallelExecutionFailed):
+            self.parallel_fallbacks += 1
+            tracer.roots.clear()  # restart the tree for the serial run
+            return None
+        self.parallel_runs += 1
+        self.last_parallel = result
+        return QueryProfile(tracer.roots[-1],
+                            ResultSet(result.names, result.columns),
+                            worker_set=result.worker_set)
 
     def begin(self):
         """Start a snapshot-isolation transaction."""
@@ -264,8 +388,13 @@ class Database:
 
     def _run_compiled(self, program, names, view):
         interpreter = self.interpreter if view is self.catalog \
-            else Interpreter(view, recycler=self.recycler)
+            else Interpreter(view, recycler=self.recycler,
+                             tracer=self.tracer)
         out = interpreter.run(program)
+        return self._materialize_result(program, names, out)
+
+    @staticmethod
+    def _materialize_result(program, names, out):
         values = [out[name] for name in program.returns]
         widths = {len(v) for v in values if isinstance(v, BAT)}
         if not widths:

@@ -18,6 +18,7 @@ KEYWORDS = frozenset("""
     create table insert into values delete update set join inner on
     and or not between in as integer int bigint smallint tinyint
     varchar text string boolean bool real float double true false null
+    explain profile
 """.split())
 
 _TOKEN_RE = re.compile(r"""

@@ -1,16 +1,17 @@
 """Recursive-descent SQL parser for the supported subset.
 
 Statements: CREATE TABLE, INSERT, DELETE, UPDATE, SELECT (joins, WHERE,
-GROUP BY, HAVING, ORDER BY, LIMIT, DISTINCT, BETWEEN, IN), and the
-session pragma SET (``SET workers = 4``).  Expressions
+GROUP BY, HAVING, ORDER BY, LIMIT, DISTINCT, BETWEEN, IN), the
+session pragma SET (``SET workers = 4``), and the EXPLAIN / PROFILE
+statement prefixes.  Expressions
 follow standard precedence: OR < AND < NOT < comparison < additive <
 multiplicative < unary minus.
 """
 
 from repro.sql.ast import (
-    BinOp, Column, CreateTable, Delete, FuncCall, Insert, Join, Literal,
-    OrderItem, Select, SelectItem, SetPragma, Star, TableRef, UnaryOp,
-    Update,
+    BinOp, Column, CreateTable, Delete, Explain, FuncCall, Insert, Join,
+    Literal, OrderItem, Profile, Select, SelectItem, SetPragma, Star,
+    TableRef, UnaryOp, Update,
 )
 from repro.sql.lexer import END, SQLSyntaxError, tokenize
 
@@ -53,6 +54,12 @@ class _Parser:
 
     def parse_statement(self):
         token = self.peek()
+        if token.matches("keyword", "explain"):
+            self.advance()
+            return Explain(self.parse_statement())
+        if token.matches("keyword", "profile"):
+            self.advance()
+            return Profile(self.parse_statement())
         if token.matches("keyword", "create"):
             return self.create_table()
         if token.matches("keyword", "insert"):

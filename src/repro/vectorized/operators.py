@@ -13,6 +13,7 @@ import numpy as np
 
 from repro.core.bat import global_address_space
 from repro.hardware import trace as trace_mod
+from repro.observability.tracer import NO_TRACE
 from repro.vectorized.expressions import compile_expr
 from repro.vectorized.vector import Batch, concat_batches
 
@@ -26,6 +27,12 @@ class ExecutionContext:
     vector traffic against reusable per-operator buffers: while the
     plan's combined vectors fit the cache the buffers stay resident;
     oversized vectors stream through and miss.
+
+    ``tracer`` (default: the disabled ``NO_TRACE``) collects spans and
+    counters for this context's pipelines; the parallel executor gives
+    each worker context a private tracer whose streams are merged after
+    the exchange drains.  ``worker_span`` is set by the executor to the
+    worker's top-level span so the exchange can attribute pulled tuples.
     """
 
     def __init__(self, vector_size=DEFAULT_VECTOR_SIZE, hierarchy=None):
@@ -33,6 +40,8 @@ class ExecutionContext:
             raise ValueError("vector size must be positive")
         self.vector_size = vector_size
         self.hierarchy = hierarchy
+        self.tracer = NO_TRACE
+        self.worker_span = None
         self.batches_produced = 0
         self.profile = {}  # operator class name -> [batches, rows]
 
@@ -77,6 +86,8 @@ class VectorOperator:
             self.context.batches_produced += 1
             self.context.record(self, batch)
             self.context.trace_vector_io(self, batch)
+            if self.context.tracer.enabled:
+                self.context.tracer.add("vectors")
             yield batch
 
 

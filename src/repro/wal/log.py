@@ -44,8 +44,10 @@ class WriteAheadLog:
     """
 
     def __init__(self, path=None, faults=None):
+        from repro.observability.tracer import NO_TRACE
         self.path = path
         self.faults = faults if faults is not None else NO_FAULTS
+        self.tracer = NO_TRACE  # session tracer (set by Database)
         self._buffer = bytearray()
         self.records_appended = 0
         self.torn_bytes_discarded = 0
@@ -92,6 +94,8 @@ class WriteAheadLog:
             raise
         self._write(frame)
         self.records_appended += 1
+        if self.tracer.enabled:
+            self.tracer.add("wal_bytes", len(frame))
         return lsn
 
     def _write(self, data):

@@ -1,0 +1,95 @@
+"""Property tests over randomly generated queries (hypothesis).
+
+Three invariants the exclusive-attribution design promises for every
+traced query, fault-free:
+
+* tuple conservation — the exchange span's output count equals the sum
+  of its workers' output counts (nothing is dropped or duplicated at
+  the exchange boundary);
+* monotone hierarchy — a span's inclusive cycle total bounds the sum
+  of its children's (own counters are never negative);
+* exact accounting — summing any hardware counter over all spans of a
+  tree reproduces the watched hierarchy's global counters exactly.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sql.database import Database
+from tests.helpers import assert_same_rows
+from tests.oracle.generator import QueryGenerator
+
+QUERIES_PER_CASE = 3
+
+
+def _profiled_queries(seed, workers):
+    generator = QueryGenerator(seed)
+    db = Database()
+    for statement in generator.setup_statements():
+        db.execute(statement)
+    for _ in range(QUERIES_PER_CASE):
+        sql = generator.gen_query()
+        yield sql, db, db.profile(sql, workers=workers)
+
+
+@settings(max_examples=12, deadline=None)
+@given(seed=st.integers(min_value=1, max_value=10_000))
+def test_tuple_conservation_across_exchange(seed):
+    for sql, db, profile in _profiled_queries(seed, workers=2):
+        if profile.root.attrs["engine"] != "parallel":
+            continue  # fell back: no exchange boundary to check
+        exchange = profile.root.find("exchange")
+        workers = exchange.find_all(kind="worker")
+        assert len(workers) == 2, sql
+        assert exchange.counter("tuples_out") \
+            == sum(w.counter("tuples_out") for w in workers), sql
+
+
+@settings(max_examples=12, deadline=None)
+@given(seed=st.integers(min_value=1, max_value=10_000),
+       workers=st.sampled_from([1, 3]))
+def test_child_cycles_bounded_by_parent(seed, workers):
+    for sql, db, profile in _profiled_queries(seed, workers):
+        for span in profile.root.walk():
+            for value in span.counters.values():
+                assert value >= 0, sql
+            assert sum(c.inclusive("cycles") for c in span.children) \
+                <= span.inclusive("cycles"), sql
+
+
+@settings(max_examples=12, deadline=None)
+@given(seed=st.integers(min_value=1, max_value=10_000))
+def test_counters_sum_exactly_to_global_accounting(seed):
+    for sql, db, profile in _profiled_queries(seed, workers=1):
+        spans = list(profile.root.walk())
+        hierarchy = profile.hierarchy
+        for cache in hierarchy.caches:
+            key = cache.name + "_misses"
+            assert sum(s.counter(key) for s in spans) \
+                == cache.stats.misses, sql
+        assert sum(s.counter("TLB_misses") for s in spans) \
+            == hierarchy.tlb.stats.misses, sql
+        assert sum(s.counter("cycles") for s in spans) \
+            == hierarchy.total_cycles, sql
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(min_value=1, max_value=10_000))
+def test_parallel_counters_sum_to_worker_set(seed):
+    for sql, db, profile in _profiled_queries(seed, workers=2):
+        if profile.root.attrs["engine"] != "parallel":
+            continue
+        spans = list(profile.root.walk())
+        ws = profile.worker_set
+        assert sum(s.counter("cycles") for s in spans) \
+            == ws.total_cycles(), sql
+        assert sum(s.counter(ws.shared_llc.name + "_misses")
+                   for s in spans) == ws.shared_llc.stats.misses, sql
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(min_value=1, max_value=10_000))
+def test_profiling_does_not_change_answers(seed):
+    for sql, db, profile in _profiled_queries(seed, workers=2):
+        assert_same_rows(profile.result.rows(), db.query(sql),
+                         context=sql)

@@ -1,0 +1,259 @@
+"""Unit tests for the tracing core: spans, counters, exclusive
+hardware attribution, the disabled tracer, rendering and the exported
+schema."""
+
+import json
+
+import pytest
+
+from repro.hardware.profiles import SCALED_DEFAULT, TINY
+from repro.hardware import trace as trace_mod
+from repro.observability.schema import SpanSchemaError, validate_span_tree
+from repro.observability.tracer import (
+    NO_TRACE,
+    NullTracer,
+    Span,
+    Tracer,
+    render_text,
+)
+
+
+# -- Span ---------------------------------------------------------------------
+
+def test_span_counters_accumulate():
+    span = Span("op")
+    span.add("tuples_out", 10)
+    span.add("tuples_out", 5)
+    span.add("vectors")
+    assert span.counter("tuples_out") == 15
+    assert span.counter("vectors") == 1
+    assert span.counter("missing") == 0
+    assert span.counter("missing", default=-1) == -1
+
+
+def test_span_inclusive_sums_subtree():
+    root = Span("root")
+    a, b, c = Span("a"), Span("b"), Span("c")
+    root.children = [a, b]
+    a.children = [c]
+    root.add("cycles", 1)
+    a.add("cycles", 10)
+    c.add("cycles", 100)
+    assert root.inclusive("cycles") == 111
+    assert a.inclusive("cycles") == 110
+    assert b.inclusive("cycles") == 0
+
+
+def test_span_walk_find():
+    root = Span("root", kind="query")
+    a = Span("op", kind="operator")
+    b = Span("op", kind="operator")
+    m = Span("morsel", kind="morsel")
+    root.children = [a, b]
+    b.children = [m]
+    assert [s.name for s in root.walk()] == ["root", "op", "op", "morsel"]
+    assert root.find("morsel") is m
+    assert root.find("absent") is None
+    assert root.find_all(name="op") == [a, b]
+    assert root.find_all(kind="morsel") == [m]
+    assert root.find_all(name="op", kind="morsel") == []
+
+
+# -- Tracer lifecycle ---------------------------------------------------------
+
+def test_nested_spans_build_a_tree():
+    tracer = Tracer()
+    with tracer.span("query", kind="query") as q:
+        with tracer.span("compile", kind="phase"):
+            pass
+        with tracer.span("execute", kind="pipeline"):
+            tracer.add("tuples_out", 7)
+    assert tracer.roots == [q]
+    assert [c.name for c in q.children] == ["compile", "execute"]
+    assert q.children[1].counter("tuples_out") == 7
+
+
+def test_begin_end_explicit_pairing():
+    tracer = Tracer()
+    root = tracer.begin("outer")
+    tracer.begin("inner")
+    assert tracer.current.name == "inner"
+    tracer.end()
+    tracer.end()
+    assert tracer.current is None
+    assert tracer.roots == [root]
+    assert [c.name for c in root.children] == ["inner"]
+
+
+def test_end_without_open_span_raises():
+    tracer = Tracer()
+    with pytest.raises(RuntimeError):
+        tracer.end()
+
+
+def test_end_all_closes_everything():
+    tracer = Tracer()
+    tracer.begin("a")
+    tracer.begin("b")
+    tracer.begin("c")
+    tracer.end_all()
+    assert tracer.current is None
+    assert len(tracer.roots) == 1
+
+
+def test_exception_marks_span_with_error_attr():
+    tracer = Tracer()
+    with pytest.raises(ValueError):
+        with tracer.span("query"):
+            raise ValueError("boom")
+    assert tracer.roots[0].attrs["error"] == "ValueError"
+
+
+def test_add_outside_any_span_is_a_noop():
+    tracer = Tracer()
+    tracer.add("tuples_out", 3)
+    assert tracer.roots == []
+
+
+def test_adopt_grafts_under_open_span():
+    worker = Tracer()
+    with worker.span("worker-0", kind="worker"):
+        pass
+    main = Tracer()
+    with main.span("exchange") as ex:
+        main.adopt(worker.roots)
+    assert [c.name for c in ex.children] == ["worker-0"]
+
+
+# -- hardware attribution -----------------------------------------------------
+
+def _touch(hierarchy, base, n):
+    hierarchy.access(trace_mod.sequential(base, n, 8))
+
+
+def test_exclusive_attribution_sums_to_global():
+    hierarchy = TINY.make_hierarchy()
+    tracer = Tracer()
+    tracer.watch(hierarchy)
+    with tracer.span("query") as q:
+        _touch(hierarchy, 0, 512)
+        with tracer.span("child"):
+            _touch(hierarchy, 1 << 20, 1024)
+        _touch(hierarchy, 1 << 22, 256)
+    # Own counters over the tree reproduce the hierarchy exactly.
+    for cache in hierarchy.caches:
+        key = cache.name + "_misses"
+        assert sum(s.counter(key) for s in q.walk()) == cache.stats.misses
+    assert sum(s.counter("accesses") for s in q.walk()) \
+        == hierarchy.accesses
+    assert q.inclusive("cycles") == hierarchy.total_cycles
+    # The child's work is not double counted on the parent.
+    child = q.find("child")
+    assert child.counter("accesses") == 1024
+    assert q.counter("accesses") == 512 + 256
+
+
+def test_own_counters_are_never_negative():
+    hierarchy = SCALED_DEFAULT.make_hierarchy()
+    tracer = Tracer()
+    tracer.watch(hierarchy)
+    with tracer.span("root") as root:
+        with tracer.span("a"):
+            _touch(hierarchy, 0, 2048)
+        with tracer.span("b"):
+            _touch(hierarchy, 1 << 21, 2048)
+    for span in root.walk():
+        for value in span.counters.values():
+            assert value >= 0
+
+
+def test_watch_same_hierarchy_twice_counts_once():
+    hierarchy = TINY.make_hierarchy()
+    tracer = Tracer()
+    tracer.watch(hierarchy)
+    tracer.watch(hierarchy)
+    with tracer.span("q") as q:
+        _touch(hierarchy, 0, 128)
+    assert q.counter("accesses") == 128
+
+
+# -- the disabled tracer ------------------------------------------------------
+
+def test_null_tracer_is_inert():
+    assert NO_TRACE.enabled is False
+    assert isinstance(NO_TRACE, NullTracer)
+    with NO_TRACE.span("query", sql="SELECT 1") as span:
+        assert span is None
+    assert NO_TRACE.begin("x") is None
+    assert NO_TRACE.end() is None
+    assert NO_TRACE.end_all() is None
+    assert NO_TRACE.add("tuples_out", 5) is None
+    assert NO_TRACE.watch(object()) is None
+    assert NO_TRACE.adopt([]) is None
+
+
+# -- rendering and export -----------------------------------------------------
+
+def _sample_tree():
+    tracer = Tracer()
+    with tracer.span("query", kind="query", engine="serial") as q:
+        with tracer.span("scan", kind="operator"):
+            tracer.add("tuples_out", 100)
+            tracer.add("cycles", 400)
+        with tracer.span("morsel", kind="morsel", worker=1, index=0):
+            tracer.add("tuples_scanned", 42)
+    return q
+
+
+def test_render_text_tree_shape():
+    text = render_text(_sample_tree())
+    lines = text.splitlines()
+    assert lines[0].startswith("query [engine=serial]")
+    # The root has no own cycles: it shows the inclusive subtree total.
+    assert "cycles~=400" in lines[0]
+    assert any(line.startswith("|- scan") for line in lines)
+    assert any(line.startswith("`- morsel [worker=1 index=0]")
+               for line in lines)
+    assert "tuples_out=100" in text
+
+
+def test_to_json_roundtrip_validates():
+    q = _sample_tree()
+    data = json.loads(q.to_json())
+    assert data == q.to_dict()
+    assert validate_span_tree(data) == 3
+
+
+# -- schema validation --------------------------------------------------------
+
+def test_schema_accepts_minimal_span():
+    node = {"name": "q", "kind": "query", "attrs": {}, "counters": {},
+            "children": []}
+    assert validate_span_tree(node) == 1
+
+
+@pytest.mark.parametrize("mutate, fragment", [
+    (lambda n: n.pop("counters"), "missing keys"),
+    (lambda n: n.update(extra=1), "unexpected keys"),
+    (lambda n: n.update(name=""), "non-empty string"),
+    (lambda n: n["attrs"].update(bad=[1, 2]), "JSON scalar"),
+    (lambda n: n["counters"].update(bad="x"), "must be a number"),
+    (lambda n: n["counters"].update(bad=float("nan")), "finite"),
+    (lambda n: n["children"].append("not-a-span"), "must be a dict"),
+])
+def test_schema_rejects_malformed(mutate, fragment):
+    node = {"name": "q", "kind": "query", "attrs": {}, "counters": {},
+            "children": []}
+    mutate(node)
+    with pytest.raises(SpanSchemaError, match=fragment):
+        validate_span_tree(node)
+
+
+def test_schema_rejects_unbounded_depth():
+    node = {"name": "q", "kind": "s", "attrs": {}, "counters": {},
+            "children": []}
+    for _ in range(70):
+        node = {"name": "q", "kind": "s", "attrs": {}, "counters": {},
+                "children": [node]}
+    with pytest.raises(SpanSchemaError, match="deeper"):
+        validate_span_tree(node)

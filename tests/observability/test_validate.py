@@ -1,0 +1,64 @@
+"""Tier-1 error-band test for the cost-model validation harness
+(bench E19 prints the same table)."""
+
+import math
+
+from repro.observability.tracer import Tracer
+from repro.observability.validate import (
+    ERROR_BAND,
+    PatternReport,
+    check_error_band,
+    validate_cost_model,
+)
+
+
+def test_every_pattern_within_error_band():
+    reports = validate_cost_model()
+    assert [r.pattern for r in reports] == list(ERROR_BAND)
+    violations = check_error_band(reports)
+    assert violations == [], "\n".join(
+        "{0}: predicted {1:.0f} vs actual {2} (rel err {3:.3f} > "
+        "band {4})".format(v.pattern, v.predicted, v.actual,
+                           v.relative_error, ERROR_BAND[v.pattern])
+        for v in violations)
+
+
+def test_basic_patterns_are_tight():
+    """The directly-modelled patterns should do far better than the
+    factor-2 bound — a drift here is a regression even inside the
+    band."""
+    reports = {r.pattern: r for r in validate_cost_model()}
+    assert reports["sequential_traversal"].relative_error < 0.01
+    assert reports["random_traversal"].relative_error < 0.10
+    assert reports["multi_cursor_resident"].relative_error < 0.10
+
+
+def test_validation_is_deterministic():
+    first = validate_cost_model(seed=11)
+    second = validate_cost_model(seed=11)
+    assert [(r.pattern, r.predicted, r.actual) for r in first] \
+        == [(r.pattern, r.predicted, r.actual) for r in second]
+
+
+def test_traced_validation_emits_pattern_spans():
+    tracer = Tracer()
+    reports = validate_cost_model(n=1 << 10, tracer=tracer)
+    assert len(tracer.roots) == len(reports)
+    for span, report in zip(tracer.roots, reports):
+        assert span.name == report.pattern
+        assert span.kind == "pattern"
+        assert span.attrs["predicted_cycles"] == report.predicted
+        assert math.isclose(span.attrs["relative_error"],
+                            report.relative_error)
+        # The span watched the replay hierarchy, so its cycle total is
+        # the actual the report compares against.
+        assert span.inclusive("cycles") == report.actual
+
+
+def test_pattern_report_edge_cases():
+    assert PatternReport("p", 0.0, 0).relative_error == 0.0
+    assert PatternReport("p", 5.0, 0).relative_error == float("inf")
+    assert PatternReport("p", 150.0, 100).relative_error == 0.5
+    assert PatternReport("p", 150.0, 100).ratio == 1.5
+    assert check_error_band([PatternReport("unknown_pattern", 9.0, 1)]) \
+        == []

@@ -7,11 +7,15 @@ queries three ways: serial engine, parallel engine (2 and 4 workers),
 and the oracle.  All four answers must agree as multisets.
 
 30 seeds x 7 queries = 210 generated queries, distributed over the
-DEFAULT, CRACKING and RECYCLING pipelines.
+DEFAULT, CRACKING and RECYCLING pipelines.  A further 10 seeds run
+every query under ``Database.profile`` (serial and parallel) and check
+that profiling neither changes answers nor exports a span tree that
+fails schema validation.
 """
 
 import pytest
 
+from repro.observability.schema import validate_span_tree
 from repro.sql.database import Database
 from repro.sql.parser import parse_sql
 from tests.helpers import assert_same_rows
@@ -20,6 +24,7 @@ from tests.oracle.reference import ReferenceExecutor
 
 SEEDS = list(range(1, 31))
 QUERIES_PER_SEED = 7
+PROFILE_SEEDS = list(range(101, 111))
 
 
 def _make_database(seed):
@@ -52,6 +57,34 @@ def test_engine_agrees_with_oracle(seed):
             assert_same_rows(
                 parallel, expected,
                 context="workers={0} {1}".format(workers, label))
+
+
+@pytest.mark.parametrize("seed", PROFILE_SEEDS)
+def test_profiled_queries_agree_and_export_valid_traces(seed):
+    """Profiling must be a pure observer: a profiled run returns the
+    same multiset as the oracle, and its exported span tree validates
+    against the schema (serial and parallel alike)."""
+    generator = QueryGenerator(seed)
+    db, pipeline = _make_database(seed)
+    for statement in generator.setup_statements():
+        db.execute(statement)
+    oracle = ReferenceExecutor(generator.reference_tables())
+
+    for i in range(QUERIES_PER_SEED):
+        sql = generator.gen_query()
+        label = "seed={0} pipeline={1} query#{2}: {3}".format(
+            seed, pipeline, i, sql)
+        expected = oracle.execute(parse_sql(sql))
+        for workers in (1, 2):
+            profile = db.profile(sql, workers=workers)
+            assert_same_rows(
+                profile.result.rows(), expected,
+                context="profiled workers={0} {1}".format(workers, label))
+            spans = validate_span_tree(profile.to_dict())
+            assert spans >= 3, label
+            assert profile.root.kind == "query", label
+            assert profile.root.attrs["engine"] in ("serial",
+                                                    "parallel"), label
 
 
 def test_generated_queries_mostly_run_parallel():
