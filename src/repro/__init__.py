@@ -19,9 +19,10 @@ Quick start::
 """
 
 from repro.core import BAT, algebra
+from repro.replication import ReplicationGroup
 from repro.sql import Database, ResultSet, Transaction
 
 __version__ = "1.0.0"
 
 __all__ = ["BAT", "algebra", "Database", "ResultSet", "Transaction",
-           "__version__"]
+           "ReplicationGroup", "__version__"]

@@ -13,6 +13,7 @@ is already flowing in.  The centralized baseline holds the data on one
 node whose memory covers only part of it, paying disk reloads instead.
 """
 
+from repro.datacyclotron.link import HopGate, LinkStats, SimulatedLink
 from repro.datacyclotron.ring import (
     CentralizedResult,
     RingQuery,
@@ -27,4 +28,7 @@ __all__ = [
     "CentralizedResult",
     "run_ring",
     "run_centralized",
+    "HopGate",
+    "LinkStats",
+    "SimulatedLink",
 ]

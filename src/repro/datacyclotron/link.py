@@ -1,0 +1,172 @@
+"""Simulated network links, shared by the distributed components.
+
+Two abstractions live here, both deterministic and fault-injectable
+through :mod:`repro.faults`:
+
+* :class:`HopGate` — the per-sender retry state machine the
+  DataCyclotron ring uses for its hops: injected latency stalls the
+  hop (capped by a timeout, after which the sender retransmits), and
+  injected transients drop it (retried with exponential backoff).  One
+  gate per rotating chunk reproduces the ring's fault semantics
+  exactly.
+
+* :class:`SimulatedLink` — a FIFO message channel driven by an
+  external tick clock, used by the replication layer to ship WAL
+  frames and acknowledgements.  Each ``send`` passes through the
+  link's injection site: a latency fault delays delivery by that many
+  ticks, a transient fault drops the message (senders retransmit on
+  their next heartbeat), and a crash fault cuts the link — the
+  simulated equivalent of a network partition, also reachable directly
+  via :meth:`SimulatedLink.cut`.
+
+Delivery is first-in-first-out even under unequal injected delays (a
+delayed message holds every later one behind it, like a TCP stream),
+and every message takes at least one tick — so a request/response
+round trip costs two ticks of the simulated clock.
+"""
+
+from dataclasses import dataclass
+
+from repro.faults import NO_FAULTS, CrashError, TransientFault
+
+
+@dataclass
+class LinkStats:
+    """Counters shared by both link abstractions."""
+
+    sent: int = 0            # messages accepted into the channel
+    delivered: int = 0       # messages handed to the receiver
+    dropped: int = 0         # messages lost (transient fault / cut link)
+    bytes_sent: int = 0      # payload bytes accepted
+    stalled: int = 0         # sends/hops delayed by injected latency
+    retries: int = 0         # dropped hops retried with backoff
+    retransmits: int = 0     # hops forced through after a timeout
+
+
+class HopGate:
+    """Retry/backoff state for one repeatedly-hopping sender.
+
+    :meth:`try_hop` fires the injection site once per eligible attempt
+    and answers whether the hop may advance *this* step.  A latency
+    fault below the timeout stalls the sender for the injected number
+    of steps; a spike at or beyond the timeout is capped there and
+    counted as a retransmission (the receiver gave up waiting); a
+    transient fault drops the hop and the sender backs off
+    exponentially (1, 2, 4, ... steps, capped by the timeout).
+    """
+
+    __slots__ = ("wait", "consecutive_drops")
+
+    def __init__(self):
+        self.wait = 0
+        self.consecutive_drops = 0
+
+    def try_hop(self, faults, site, timeout, stats, **detail):
+        """One step of the sender's clock; True when the hop advances."""
+        if self.wait > 0:
+            self.wait -= 1
+            return False
+        try:
+            delay = faults.inject(site, **detail)
+        except TransientFault:
+            self.consecutive_drops += 1
+            self.wait = min(2 ** (self.consecutive_drops - 1),
+                            timeout) - 1
+            stats.retries += 1
+            return False
+        self.consecutive_drops = 0
+        if delay > 0:
+            if delay >= timeout:
+                self.wait = timeout - 1
+                stats.retransmits += 1
+            else:
+                self.wait = delay - 1
+                stats.stalled += 1
+            return False
+        return True
+
+
+class SimulatedLink:
+    """One direction of a point-to-point link on a tick clock.
+
+    Parameters
+    ----------
+    site:
+        Default fault-injection site fired per send (``send`` may
+        override it per message, so one physical link can carry
+        differently-named traffic classes, e.g. ``repl.ship`` frames
+        and ``repl.ack`` responses).
+    faults:
+        The :class:`~repro.faults.FaultInjector` deciding each send's
+        fate.
+    name:
+        Diagnostic label, also passed to the injection site as the
+        ``link`` detail.
+    """
+
+    def __init__(self, site, faults=None, name=""):
+        self.site = site
+        self.faults = faults if faults is not None else NO_FAULTS
+        self.name = name
+        self.down = False
+        self.stats = LinkStats()
+        self._in_flight = []      # [(deliver_at_tick, message)]
+        self._last_deliver_at = 0
+
+    def send(self, message, now, size=0, site=None):
+        """Offer a message to the link at tick ``now``.
+
+        Returns True when the message entered the channel; False when
+        it was lost (cut link or injected transient).  An injected
+        crash cuts the link permanently (until :meth:`heal`), modelling
+        a partition; the triggering message is lost too.
+        """
+        if self.down:
+            self.stats.dropped += 1
+            return False
+        try:
+            delay = self.faults.inject(site or self.site, link=self.name,
+                                       size=size)
+        except TransientFault:
+            self.stats.dropped += 1
+            return False
+        except CrashError:
+            self.cut()
+            self.stats.dropped += 1
+            return False
+        if delay:
+            self.stats.stalled += 1
+        deliver_at = max(now + 1 + delay, self._last_deliver_at)
+        self._last_deliver_at = deliver_at
+        self._in_flight.append((deliver_at, message))
+        self.stats.sent += 1
+        self.stats.bytes_sent += size
+        return True
+
+    def deliver(self, now):
+        """Messages due at tick ``now``, in send order."""
+        due = [m for at, m in self._in_flight if at <= now]
+        if due:
+            self._in_flight = [(at, m) for at, m in self._in_flight
+                               if at > now]
+            self.stats.delivered += len(due)
+        return due
+
+    @property
+    def in_flight(self):
+        return len(self._in_flight)
+
+    def cut(self):
+        """Partition the link: in-flight messages are lost and every
+        send fails until :meth:`heal`."""
+        self.stats.dropped += len(self._in_flight)
+        self._in_flight = []
+        self.down = True
+
+    def heal(self):
+        self.down = False
+
+    def __repr__(self):
+        state = "down" if self.down else "up"
+        return "SimulatedLink({0!r}, {1}, {2} in flight)".format(
+            self.name or self.site, state, len(self._in_flight))

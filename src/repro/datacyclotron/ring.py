@@ -25,7 +25,8 @@ processing it — so injected stalls cost steps, never answers.
 
 from dataclasses import dataclass, field
 
-from repro.faults import NO_FAULTS, TransientFault
+from repro.datacyclotron.link import HopGate, LinkStats
+from repro.faults import NO_FAULTS
 
 
 @dataclass
@@ -106,11 +107,10 @@ def run_ring(n_nodes, n_chunks, queries, process_ms=1.0, transfer_ms=0.5,
     step_time = max(process_ms, transfer_ms)
     step = 0
     pending = list(queries)
-    stall = {}            # chunk -> steps left before it may hop again
-    consecutive = {}      # chunk -> consecutive dropped hops (backoff)
-    stalled_hops = 0
-    retries = 0
-    retransmits = 0
+    # Per-chunk retry/backoff state for the hop fault semantics, shared
+    # with the replication links (repro.datacyclotron.link).
+    gates = {chunk: HopGate() for chunk in range(n_chunks)}
+    stats = LinkStats()
     while any(q.finish_step is None for q in pending):
         if step >= max_steps:
             raise RuntimeError("ring simulation did not converge")
@@ -139,41 +139,16 @@ def run_ring(n_nodes, n_chunks, queries, process_ms=1.0, transfer_ms=0.5,
         moved = {}
         for chunk in sorted(chunk_at):
             node = chunk_at[chunk]
-            wait = stall.get(chunk, 0)
-            if wait > 0:
-                stall[chunk] = wait - 1
+            if gates[chunk].try_hop(faults, "ring.hop", hop_timeout,
+                                    stats, chunk=chunk, node=node):
+                moved[chunk] = (node + 1) % n_nodes
+            else:
                 moved[chunk] = node
-                continue
-            try:
-                delay = faults.inject("ring.hop", chunk=chunk, node=node)
-            except TransientFault:
-                # Dropped hop: the sender retries next eligibility,
-                # backing off exponentially (capped by the timeout).
-                drops = consecutive.get(chunk, 0) + 1
-                consecutive[chunk] = drops
-                stall[chunk] = min(2 ** (drops - 1), hop_timeout) - 1
-                retries += 1
-                moved[chunk] = node
-                continue
-            consecutive[chunk] = 0
-            if delay > 0:
-                if delay >= hop_timeout:
-                    # Hop timeout: the successor gives up waiting and
-                    # the sender retransmits — the chunk advances after
-                    # the full timeout rather than the (longer) spike.
-                    stall[chunk] = hop_timeout - 1
-                    retransmits += 1
-                else:
-                    stall[chunk] = delay - 1
-                    stalled_hops += 1
-                moved[chunk] = node
-                continue
-            moved[chunk] = (node + 1) % n_nodes
         chunk_at = moved
         step += 1
     return RingResult(steps=step, step_time_ms=step_time, queries=pending,
-                      stalled_hops=stalled_hops, retries=retries,
-                      retransmits=retransmits)
+                      stalled_hops=stats.stalled, retries=stats.retries,
+                      retransmits=stats.retransmits)
 
 
 @dataclass

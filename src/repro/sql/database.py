@@ -480,6 +480,28 @@ class Database:
                 deleted += table.delete_oids(op["deletes"])
         return deleted
 
+    def _replay_record(self, record):
+        """Apply one logical WAL record to the live catalog.
+
+        The single dispatch point shared by :meth:`recover` and
+        replication apply (a replica replays the primary's shipped
+        records through here), so a replayed catalog is bit-identical
+        to one built by live execution.  Unknown keys on the record
+        (e.g. the replication layer's ``term``/``lsn`` stamps) are
+        ignored.
+        """
+        kind = record.get("kind")
+        if kind == "create":
+            self.catalog.create_table(
+                record["table"],
+                [tuple(c) for c in record["columns"]])
+            self._plan_cache.clear()  # schema changed
+        elif kind == "commit":
+            self._apply_ops(record["ops"])
+        else:
+            raise ValueError(
+                "unknown WAL record kind {0!r}".format(kind))
+
     def recover(self):
         """Rebuild the catalog by replaying the write-ahead log.
 
@@ -487,28 +509,24 @@ class Database:
         discarded wholesale and every *complete* WAL record is replayed
         in order (the WAL's torn tail, if an append was cut short, is
         discarded and truncated).  Replay is idempotent — recovering
-        twice yields the same state — because it always starts from an
-        empty catalog.  Returns the number of records replayed.
+        twice, or recovering an instance that never crashed, yields
+        the same state with no duplicated rows — because it always
+        starts from an empty catalog; replication failover retries
+        lean on this.  A mid-log checksum failure raises
+        :class:`~repro.wal.WalCorruptionError` *before* the catalog is
+        touched.  Returns the number of records replayed.
         """
         if self.wal is None:
             raise RuntimeError("recover() needs a write-ahead log")
         records = self.wal.recover()
         self.catalog = Catalog()
         self.interpreter = Interpreter(self.catalog,
-                                       recycler=self.recycler)
+                                       recycler=self.recycler,
+                                       tracer=self.tracer)
         if self.recycler is not None:
             self.recycler.clear()  # cached results may predate the crash
         self._plan_cache.clear()
         self.last_parallel = None
         for record in records:
-            kind = record.get("kind")
-            if kind == "create":
-                self.catalog.create_table(
-                    record["table"],
-                    [tuple(c) for c in record["columns"]])
-            elif kind == "commit":
-                self._apply_ops(record["ops"])
-            else:
-                raise ValueError(
-                    "unknown WAL record kind {0!r}".format(kind))
+            self._replay_record(record)
         return len(records)

@@ -2,6 +2,6 @@
 recovery.  See :mod:`repro.wal.log` and ``Database.recover()``.
 """
 
-from repro.wal.log import WriteAheadLog
+from repro.wal.log import WalCorruptionError, WriteAheadLog
 
-__all__ = ["WriteAheadLog"]
+__all__ = ["WriteAheadLog", "WalCorruptionError"]

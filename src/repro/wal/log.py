@@ -28,6 +28,38 @@ from repro.faults import NO_FAULTS
 _HEADER = struct.Struct("<II")
 
 
+class WalCorruptionError(Exception):
+    """A *complete* WAL frame failed its checksum mid-log.
+
+    A torn tail (an append cut short by a crash) is always an
+    incomplete final frame, because torn writes are prefixes of valid
+    frames — recovery silently discards it.  A full-length frame whose
+    payload fails CRC is something else entirely: media corruption of
+    a record that was once durable.  Replay stops at the first such
+    frame and surfaces this error rather than silently dropping the
+    record (and everything after it, which may still be intact).
+
+    Attributes
+    ----------
+    lsn:
+        Byte offset of the corrupt frame (the LSN ``append`` returned
+        for it).
+    index:
+        0-based ordinal of the corrupt record in the log.
+    records:
+        The intact record prefix before the corruption (populated by
+        :meth:`WriteAheadLog.recover`; None from raw iteration).
+    """
+
+    def __init__(self, lsn, index, records=None):
+        self.lsn = lsn
+        self.index = index
+        self.records = records
+        super().__init__(
+            "WAL corruption: record {0} (LSN {1}) failed its "
+            "checksum".format(index, lsn))
+
+
 class WriteAheadLog:
     """Append-only log of checksummed logical records.
 
@@ -109,12 +141,17 @@ class WriteAheadLog:
     def _frames(self):
         """(record, end offset) for every complete frame, in order.
 
-        Stops at the first incomplete or checksum-failing frame — by
-        the write-ahead framing, anything from that point on is the
-        torn tail of an interrupted append.
+        Stops at the first *incomplete* frame — by the write-ahead
+        framing, anything from that point on is the torn tail of an
+        interrupted append.  A frame that is fully present but fails
+        its checksum is not a torn tail (torn writes are prefixes of
+        valid frames): that is mid-log corruption, and it raises
+        :class:`WalCorruptionError` instead of silently fencing the
+        record and everything behind it.
         """
         data = bytes(self._buffer)
         pos = 0
+        index = 0
         while pos + _HEADER.size <= len(data):
             length, crc = _HEADER.unpack_from(data, pos)
             start = pos + _HEADER.size
@@ -123,24 +160,36 @@ class WriteAheadLog:
                 break
             payload = data[start:end]
             if zlib.crc32(payload) != crc:
-                break
+                raise WalCorruptionError(pos, index)
             yield json.loads(payload.decode("utf-8")), end
             pos = end
+            index += 1
 
     def records(self):
-        """Yield every *complete* record in append order."""
+        """Yield every *complete* record in append order.  Raises
+        :class:`WalCorruptionError` at a mid-log checksum failure."""
         for record, _ in self._frames():
             yield record
 
     def recover(self):
         """Complete records as a list, repairing the log in passing:
         the torn tail (if any) is truncated so later appends start on a
-        clean frame boundary."""
+        clean frame boundary.
+
+        A mid-log checksum failure stops replay at the corrupt frame
+        and raises :class:`WalCorruptionError` with the record prefix
+        recovered so far on its ``records`` attribute — the caller
+        decides whether to fence the log there or refuse to start.
+        """
         records = []
         pos = 0
-        for record, end in self._frames():
-            records.append(record)
-            pos = end
+        try:
+            for record, end in self._frames():
+                records.append(record)
+                pos = end
+        except WalCorruptionError as corruption:
+            corruption.records = records
+            raise
         torn = len(self._buffer) - pos
         if torn:
             self.torn_bytes_discarded += torn

@@ -1,0 +1,229 @@
+"""Failure detection, election, fencing and divergence detection."""
+
+import pytest
+
+from repro.faults import CrashError, FaultInjector
+from repro.replication import (
+    NoPrimaryError, QuorumTimeout, ReplicationGroup,
+)
+from tests.helpers import assert_same_rows
+
+
+def seeded_group(n_replicas=2, mode="sync", **kwargs):
+    g = ReplicationGroup(n_replicas=n_replicas, mode=mode, **kwargs)
+    g.execute("CREATE TABLE t (k INT, v INT)")
+    return g
+
+
+class TestFailureDetection:
+    def test_dead_primary_detected_and_replaced(self):
+        g = seeded_group()
+        g.execute("INSERT INTO t VALUES (1, 10)")
+        g.kill(0)
+        new = g.await_failover()
+        assert new.node_id != 0 and new.role == "primary"
+        assert g.stats.failovers == 1
+        event = g.failovers[0]
+        assert event.reason == "primary dead"
+        assert event.term == 2
+
+    def test_detection_waits_for_election_timeout(self):
+        g = seeded_group(election_timeout=10)
+        g.kill(0)
+        g.tick(5)
+        assert g.primary is g.nodes[0]      # too early to depose
+        g.tick(10)
+        assert g.primary is not g.nodes[0]
+
+    def test_healthy_primary_never_deposed(self):
+        g = seeded_group()
+        g.execute("INSERT INTO t VALUES (1, 10)")
+        g.tick(100)
+        assert g.stats.failovers == 0
+
+    def test_partitioned_primary_deposed_by_majority(self):
+        g = seeded_group()
+        g.execute("INSERT INTO t VALUES (1, 10)")
+        g.partition(0, 1)
+        g.partition(0, 2)    # the primary is cut off from everyone
+        g.tick(g.election_timeout + 3)
+        assert g.primary is not g.nodes[0]
+        assert g.failovers[0].reason == "primary partitioned"
+        assert g.nodes[0].role == "deposed"
+
+    def test_minority_partition_does_not_depose(self):
+        g = seeded_group()
+        g.execute("INSERT INTO t VALUES (1, 10)")
+        g.partition(0, 1)    # one replica starves; the other is fine
+        g.tick(g.election_timeout + 5)
+        assert g.primary is g.nodes[0]
+        assert g.stats.failovers == 0
+
+    def test_no_election_without_majority_of_candidates(self):
+        """Raft's safety rule: a lone survivor of a 3-node cluster
+        cannot elect itself (it might miss quorum-acked entries)."""
+        g = seeded_group()
+        g.kill(0)
+        g.kill(1)
+        g.tick(g.election_timeout + 10)
+        with pytest.raises(NoPrimaryError):
+            g.require_primary()
+        g.restart(1)         # a majority of candidates exists again
+        g.await_failover()
+        assert g.primary.alive
+
+
+class TestElection:
+    def test_most_caught_up_replica_wins(self):
+        g = seeded_group(mode="async")
+        g.drain()
+        g.partition(0, 2)    # replica 2 stops receiving entries
+        for i in range(5):
+            g.execute("INSERT INTO t VALUES ({0}, {1})".format(i, i))
+        g.drain(max_ticks=30)
+        assert g.nodes[1].last_lsn > g.nodes[2].last_lsn
+        g.heal(0, 2)
+        g.kill(0)
+        winner = g.await_failover()
+        assert winner is g.nodes[1]
+        assert g.failovers[0].winner_was_most_caught_up()
+
+    def test_terms_increase_monotonically(self):
+        g = seeded_group()
+        g.kill(0)
+        g.await_failover()
+        g.restart(0)
+        g.drain()
+        g.kill(g.primary.node_id)
+        g.await_failover()
+        assert [e.term for e in g.failovers] == [2, 3]
+
+    def test_sync_acked_commits_survive_failover(self):
+        g = seeded_group()
+        for i in range(5):
+            g.execute("INSERT INTO t VALUES ({0}, {1})".format(i, i))
+        g.kill(0)
+        g.await_failover()
+        rows = g.primary.db.query("SELECT k, v FROM t")
+        assert_same_rows(rows, [(i, i) for i in range(5)])
+
+
+class TestFencing:
+    def make_diverged_cluster(self):
+        """Crash the primary mid-commit so its WAL holds an entry no
+        replica ever saw — the canonical divergent unacked tail."""
+        g = seeded_group()
+        g.execute("INSERT INTO t VALUES (1, 10)")
+        txn = g.begin()
+        txn.execute("INSERT INTO t VALUES (2, 20)")
+        g.primary.faults.crash_at(
+            "commit.publish",
+            hit=g.primary.faults.hits["commit.publish"] + 1)
+        with pytest.raises(CrashError):
+            txn.commit()   # WAL append was durable; publish crashed
+        assert not g.nodes[0].alive
+        tail = g.nodes[0].last_lsn
+        new = g.await_failover()
+        assert new.last_lsn == tail - 1   # the tail never shipped
+        return g, tail
+
+    def test_unacked_tail_truncated_on_rejoin(self):
+        g, tail = self.make_diverged_cluster()
+        # New leader commits its own history over the fenced LSN.
+        g.execute("INSERT INTO t VALUES (3, 30)")
+        g.restart(0)
+        g.drain()
+        assert g.stats.fenced_entries >= 1
+        assert g.nodes[0].last_lsn == g.primary.last_lsn
+        assert g.nodes[0].log.checksum_at(tail) == \
+            g.primary.log.checksum_at(tail)
+        assert_same_rows(g.nodes[0].db.query("SELECT k, v FROM t"),
+                         [(1, 10), (3, 30)])
+        assert g.divergence_report() == []
+
+    def test_stale_tail_fenced_even_without_new_commits(self):
+        """Heartbeats alone fence a longer stale tail (the new leader
+        appended nothing, so entry shipping never overlaps it)."""
+        g, tail = self.make_diverged_cluster()
+        g.restart(0)
+        g.drain()
+        assert g.nodes[0].last_lsn == g.primary.last_lsn < tail
+        assert g.divergence_report() == []
+        assert_same_rows(g.nodes[0].db.query("SELECT k, v FROM t"),
+                         [(1, 10)])
+
+    def test_deposed_primary_rejoins_as_replica(self):
+        g = seeded_group()
+        g.execute("INSERT INTO t VALUES (1, 10)")
+        g.partition(0, 1)
+        g.partition(0, 2)
+        g.tick(g.election_timeout + 3)
+        assert g.nodes[0].role == "deposed"
+        g.heal(0, 1)
+        g.heal(0, 2)
+        g.drain()
+        assert g.nodes[0].role == "replica"
+        assert g.nodes[0].term == g.primary.term
+
+    def test_straggler_writes_on_deposed_primary_rejected(self):
+        g = seeded_group()
+        g.execute("INSERT INTO t VALUES (1, 10)")
+        old = g.primary
+        g.partition(0, 1)
+        g.partition(0, 2)
+        g.tick(g.election_timeout + 3)
+        assert old.role == "deposed"
+        # The old primary's log is sealed: a client still talking to
+        # it cannot append (NotPrimaryError via the revoked stamp).
+        from repro.replication import NotPrimaryError
+        with pytest.raises(NotPrimaryError):
+            old.db.execute("INSERT INTO t VALUES (99, 99)")
+
+
+class TestDivergenceDetection:
+    def test_clean_cluster_reports_no_divergence(self):
+        g = seeded_group()
+        for i in range(5):
+            g.execute("INSERT INTO t VALUES ({0}, {1})".format(i, i))
+        g.drain()
+        assert g.divergence_report() == []
+
+    def test_manufactured_divergence_is_reported(self):
+        g = seeded_group()
+        g.execute("INSERT INTO t VALUES (1, 10)")
+        g.drain()
+        # Corrupt one replica's view of an entry behind the group's
+        # back — the checksum comparison must expose the exact LSN.
+        lsn = g.nodes[2].last_lsn
+        g.nodes[2].log.entries[lsn].checksum ^= 0xFF
+        report = g.divergence_report()
+        assert len(report) == 1
+        bad_lsn, sums = report[0]
+        assert bad_lsn == lsn
+        assert sums[2] != sums[0] == sums[1]
+
+    def test_dead_nodes_excluded_until_requested(self):
+        g = seeded_group()
+        g.execute("INSERT INTO t VALUES (1, 10)")
+        g.drain()
+        g.nodes[2].log.entries[0].checksum ^= 0xFF
+        g.kill(2)
+        assert g.divergence_report() == []
+        assert len(g.divergence_report(include_dead=True)) == 1
+
+
+class TestRejoinDurability:
+    def test_full_cluster_restart_recovers_all_acked(self):
+        g = seeded_group()
+        for i in range(8):
+            g.execute("INSERT INTO t VALUES ({0}, {1})".format(i, i))
+        for n in g.nodes:
+            g.kill(n.node_id)
+        for n in g.nodes:
+            g.restart(n.node_id)
+        g.await_failover()
+        g.drain()
+        want = [(i, i) for i in range(8)]
+        for n in g.nodes:
+            assert_same_rows(n.db.query("SELECT k, v FROM t"), want)
+        assert g.divergence_report() == []

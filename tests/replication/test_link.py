@@ -1,0 +1,115 @@
+"""The shared simulated-link layer (repro.datacyclotron.link).
+
+The SimulatedLink is the transport under WAL shipping; its contract —
+FIFO delivery, minimum one-tick latency, fault-injected drops/delays,
+partitions via cut() — is what makes the replication protocol's timing
+deterministic.
+"""
+
+import pytest
+
+from repro.datacyclotron.link import HopGate, LinkStats, SimulatedLink
+from repro.faults import FaultInjector
+
+
+class TestSimulatedLink:
+    def test_delivery_takes_at_least_one_tick(self):
+        link = SimulatedLink("repl.ship")
+        assert link.send("m", now=0)
+        assert link.deliver(0) == []
+        assert link.deliver(1) == ["m"]
+        assert link.deliver(2) == []
+
+    def test_fifo_even_under_unequal_delays(self):
+        inj = FaultInjector().delay_at("repl.ship", hits=(1,), delay=5)
+        link = SimulatedLink("repl.ship", faults=inj)
+        link.send("slow", now=0)   # injected +5 ticks
+        link.send("fast", now=0)   # no delay, but must queue behind
+        assert link.deliver(1) == []
+        assert link.deliver(6) == ["slow", "fast"]
+        assert link.stats.stalled == 1
+
+    def test_transient_fault_drops_the_message(self):
+        inj = FaultInjector().transient_at("repl.ship", hits=(1,))
+        link = SimulatedLink("repl.ship", faults=inj)
+        assert not link.send("lost", now=0)
+        assert link.send("kept", now=0)
+        assert link.deliver(1) == ["kept"]
+        assert link.stats.dropped == 1
+
+    def test_crash_fault_cuts_the_link(self):
+        inj = FaultInjector().crash_at("repl.ship", hit=2)
+        link = SimulatedLink("repl.ship", faults=inj)
+        assert link.send("a", now=0)
+        assert not link.send("b", now=0)   # crash: partition
+        assert link.down
+        assert link.deliver(5) == []       # in-flight lost with the cut
+        assert not link.send("c", now=5)
+        link.heal()
+        assert link.send("d", now=5)
+        assert link.deliver(6) == ["d"]
+
+    def test_cut_and_heal(self):
+        link = SimulatedLink("repl.ship")
+        link.send("inflight", now=0)
+        link.cut()
+        assert link.in_flight == 0
+        assert not link.send("while down", now=1)
+        link.heal()
+        assert link.send("after heal", now=1)
+        assert link.deliver(2) == ["after heal"]
+
+    def test_site_override_per_message(self):
+        inj = FaultInjector().transient_at("repl.ack", hits=(1,))
+        link = SimulatedLink("repl.ship", faults=inj)
+        assert link.send("ship ok", now=0)              # repl.ship site
+        assert not link.send("ack lost", now=0, site="repl.ack")
+        assert inj.hits["repl.ship"] == 1
+        assert inj.hits["repl.ack"] == 1
+
+    def test_bytes_accounting(self):
+        link = SimulatedLink("repl.ship")
+        link.send("a", now=0, size=100)
+        link.send("b", now=0, size=50)
+        assert link.stats.bytes_sent == 150
+        assert link.stats.sent == 2
+
+
+class TestHopGate:
+    """The gate reproduces the DataCyclotron ring's retry semantics;
+    only the contract needed by both users is pinned here (the ring's
+    own tests sweep the full fault matrix)."""
+
+    def test_clean_hop_advances(self):
+        stats = LinkStats()
+        gate = HopGate()
+        inj = FaultInjector()
+        assert gate.try_hop(inj, "ring.hop", timeout=4, stats=stats)
+
+    def test_transient_backs_off_exponentially(self):
+        stats = LinkStats()
+        gate = HopGate()
+        inj = FaultInjector()
+        inj.transient_at("ring.hop", hits=(1, 2))
+        assert not gate.try_hop(inj, "ring.hop", 8, stats)  # drop #1
+        assert not gate.try_hop(inj, "ring.hop", 8, stats)  # drop #2
+        assert not gate.try_hop(inj, "ring.hop", 8, stats)  # backoff wait
+        assert gate.try_hop(inj, "ring.hop", 8, stats)      # advances
+        assert stats.retries == 2
+
+    def test_latency_at_timeout_counts_retransmit(self):
+        stats = LinkStats()
+        gate = HopGate()
+        inj = FaultInjector().delay_at("ring.hop", hits=(1,), delay=9)
+        assert not gate.try_hop(inj, "ring.hop", timeout=4, stats=stats)
+        assert stats.retransmits == 1
+        for _ in range(3):   # capped at timeout-1 further waits
+            assert not gate.try_hop(inj, "ring.hop", 4, stats)
+        assert gate.try_hop(inj, "ring.hop", 4, stats)
+
+
+def test_ring_still_green_on_shared_gate():
+    """The ring imports the gate from the shared module (one link
+    abstraction for both distributed components)."""
+    from repro.datacyclotron import ring
+    assert ring.HopGate is HopGate

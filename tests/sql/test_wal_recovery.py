@@ -16,7 +16,7 @@ from hypothesis import strategies as st
 
 from repro.faults import CrashError, FaultInjector, crash_points
 from repro.sql.database import Database
-from repro.wal import WriteAheadLog
+from repro.wal import WalCorruptionError, WriteAheadLog
 from tests.helpers import assert_same_rows
 
 # Sites where the commit record is not yet durable: a crash recovers
@@ -97,12 +97,44 @@ class TestWriteAheadLog:
             wal.append({"kind": "a"})
         assert wal.recover() == [{"kind": "a"}]
 
-    def test_corrupted_byte_stops_replay(self):
+    def test_corrupted_byte_raises_structured_error(self):
+        """A *complete* frame failing its CRC is media corruption, not
+        a torn tail: replay stops there and surfaces the LSN rather
+        than silently dropping the record."""
         wal = WriteAheadLog()
         wal.append({"kind": "a"})
-        wal.append({"kind": "b"})
+        lsn_b = wal.append({"kind": "b"})
         wal._buffer[-1] ^= 0xFF  # flip a payload byte of record b
-        assert wal.recover() == [{"kind": "a"}]
+        with pytest.raises(WalCorruptionError) as exc:
+            wal.recover()
+        assert exc.value.lsn == lsn_b
+        assert exc.value.index == 1
+        assert exc.value.records == [{"kind": "a"}]
+
+    def test_mid_log_corruption_fences_later_intact_records(self):
+        """Corruption in the *middle* of the log: the error points at
+        the corrupt frame even though intact records follow it."""
+        wal = WriteAheadLog()
+        wal.append({"kind": "a"})
+        lsn_b = wal.append({"kind": "b"})
+        end_b = len(wal._buffer)
+        wal.append({"kind": "c"})
+        wal._buffer[end_b - 1] ^= 0xFF  # corrupt b, leave c intact
+        with pytest.raises(WalCorruptionError) as exc:
+            wal.recover()
+        assert exc.value.lsn == lsn_b
+        assert exc.value.index == 1
+        assert exc.value.records == [{"kind": "a"}]
+
+    def test_corruption_detected_before_catalog_is_touched(self):
+        """Database.recover() propagates WalCorruptionError without
+        clobbering the live catalog."""
+        db = fresh_db()
+        db.wal._buffer[10] ^= 0xFF  # corrupt the first record
+        before = snapshot(db)
+        with pytest.raises(WalCorruptionError):
+            db.recover()
+        assert snapshot(db) == before
 
     def test_file_backed_log_survives_reopen(self, tmp_path):
         path = str(tmp_path / "wal.log")
@@ -133,6 +165,39 @@ class TestAutocommitLogging:
     def test_recover_without_wal_rejected(self):
         with pytest.raises(RuntimeError):
             Database().recover()
+
+
+class TestRecoverIdempotence:
+    """recover() must be safe on an already-recovered (or never
+    crashed) instance — replication failover retries lean on this."""
+
+    def test_recover_twice_yields_identical_state(self):
+        db = fresh_db()
+        want = snapshot(db)
+        db.recover()
+        db.recover()
+        assert snapshot(db) == want
+
+    def test_recover_on_never_crashed_instance_is_a_noop(self):
+        db = fresh_db()
+        want = snapshot(db)
+        assert db.recover() == len(list(db.wal.records()))
+        assert snapshot(db) == want
+
+    def test_writes_after_recovery_replay_cleanly(self):
+        db = fresh_db()
+        db.recover()
+        db.execute("INSERT INTO emp VALUES ('dot', 'ops', 70)")
+        want = snapshot(db)
+        db.recover()
+        assert snapshot(db) == want
+
+    def test_recovery_keeps_the_session_tracer(self):
+        from repro.observability.tracer import Tracer
+        db = Database(wal=WriteAheadLog(), tracer=Tracer())
+        db.execute("CREATE TABLE t (k INT)")
+        db.recover()
+        assert db.interpreter.tracer is db.tracer
 
 
 class TestCrashSweep:
