@@ -1,0 +1,141 @@
+"""E21 — sharding: scatter-gather payoff, pruning, and the 2PC tax.
+
+The shards live in one process behind simulated links, so wall-clock
+speedup is not the story (every shard shares the same CPU; fan-out
+adds coordination).  What the experiment *can* measure honestly:
+
+* E21a: network payoff of aggregate decomposition — rows/bytes a
+  scatter plan ships (per-shard partials) against the gather fallback
+  (whole table fragments) for the same query, per shard count.
+* E21b: partition pruning — a key-equality lookup contacts exactly one
+  shard, no matter how many exist; a non-key predicate must fan out.
+* E21c: the two-phase commit tax — wall time and WAL appends per
+  commit for single-shard (fast path) vs. cross-shard transactions.
+"""
+
+import time
+
+from conftest import run_once
+
+from repro.faults import FaultInjector
+from repro.sharding import ShardedDatabase
+
+N_ROWS = 6000
+SHARD_COUNTS = (1, 2, 4)
+N_LOOKUPS = 50
+N_COMMITS = 60
+
+AGG_SQL = "SELECT s, count(*), sum(v), avg(v) FROM t GROUP BY s"
+GATHER_SQL = ("SELECT s, count(DISTINCT k), sum(v), avg(v) FROM t "
+              "GROUP BY s")  # DISTINCT forces the gather fallback
+
+
+def _load(n_shards, faults=None):
+    db = ShardedDatabase(n_shards=n_shards, faults=faults)
+    db.execute("CREATE TABLE t (k BIGINT, v DOUBLE, s VARCHAR) "
+               "PARTITION BY (k)")
+    values = ", ".join(
+        "({0}, {1!r}, 'g{2}')".format(k, (k % 7) * 0.25, k % 16)
+        for k in range(N_ROWS))
+    db.execute("INSERT INTO t VALUES " + values)
+    return db
+
+
+def scatter_vs_gather():
+    rows = []
+    for n_shards in SHARD_COUNTS:
+        db = _load(n_shards)
+        for label, sql in (("scatter", AGG_SQL), ("gather", GATHER_SQL)):
+            before = (db.stats.shipped_rows, db.stats.shipped_bytes)
+            t0 = time.perf_counter()
+            result = db.query(sql)
+            ms = (time.perf_counter() - t0) * 1000
+            shipped = db.stats.shipped_rows - before[0]
+            kb = (db.stats.shipped_bytes - before[1]) / 1024.0
+            rows.append((n_shards, label, len(result), shipped,
+                         round(kb, 1), round(ms, 1)))
+    return rows
+
+
+def pruning():
+    rows = []
+    for n_shards in SHARD_COUNTS:
+        db = _load(n_shards)
+        for label, template in (
+                ("key lookup", "SELECT v FROM t WHERE k = {0}"),
+                ("non-key scan", "SELECT k FROM t WHERE v = {0}.25")):
+            before = db.stats.requests
+            t0 = time.perf_counter()
+            for i in range(N_LOOKUPS):
+                db.query(template.format(i % 7))
+            ms = (time.perf_counter() - t0) * 1000
+            per_query = (db.stats.requests - before) / N_LOOKUPS
+            rows.append((n_shards, label, per_query,
+                         round(ms / N_LOOKUPS, 2)))
+    return rows
+
+
+def twopc_tax():
+    rows = []
+    for label, n_shards in (("fast path", 1), ("2PC", 4)):
+        faults = FaultInjector()
+        db = _load(n_shards, faults=faults)
+        base_appends = faults.hits["wal.append"]
+        t0 = time.perf_counter()
+        for i in range(N_COMMITS):
+            with db.begin() as txn:
+                txn.execute("UPDATE t SET v = v + 0.25 "
+                            "WHERE k < {0}".format(n_shards * 4))
+        ms = (time.perf_counter() - t0) * 1000
+        appends = faults.hits["wal.append"] - base_appends
+        rows.append((label, n_shards, N_COMMITS,
+                     round(ms / N_COMMITS, 2),
+                     round(appends / N_COMMITS, 1),
+                     db.stats.twopc_fast_path, db.stats.twopc_commits))
+    return rows
+
+
+def test_e21_sharding(benchmark, sink):
+    def harness():
+        return scatter_vs_gather(), pruning(), twopc_tax()
+
+    svg_rows, prune_rows, tax_rows = run_once(benchmark, harness)
+    sink.table(
+        "E21a: shipped volume — decomposed aggregate vs gather "
+        "fallback ({0} rows, 16 groups)".format(N_ROWS),
+        ["shards", "plan", "result rows", "shipped rows",
+         "shipped KB", "ms"], svg_rows)
+    sink.note("A decomposed aggregate ships one partial row per group "
+              "per shard; the gather fallback ships every fragment "
+              "row to the coordinator.")
+    sink.table(
+        "E21b: partition pruning ({0} point queries)".format(N_LOOKUPS),
+        ["shards", "predicate", "requests/query", "ms/query"],
+        prune_rows)
+    sink.table(
+        "E21c: commit tax ({0} transactions)".format(N_COMMITS),
+        ["path", "shards", "commits", "ms/commit", "WAL appends/commit",
+         "fast-path", "2PC rounds"], tax_rows)
+
+    # Gates: the plan properties the numbers must witness.
+    by_key = {(r[0], r[1]): r for r in svg_rows}
+    for n_shards in SHARD_COUNTS[1:]:
+        scatter = by_key[(n_shards, "scatter")]
+        gather = by_key[(n_shards, "gather")]
+        assert scatter[3] <= 16 * n_shards       # partials only
+        assert gather[3] >= N_ROWS               # whole fragments
+    for n_shards, label, per_query, _ in prune_rows:
+        if label == "key lookup":
+            assert per_query == 1                # pruned to one shard
+        else:
+            assert per_query == n_shards         # full fan-out
+    fast, full = tax_rows
+    assert fast[5] == N_COMMITS and fast[6] == 0
+    assert full[6] == N_COMMITS
+    # 2PC >= prepare/shard + decision + decide/shard WAL appends.
+    assert full[4] >= 2 * 2 + 1
+    benchmark.extra_info["scatter_shipped_rows_4"] = \
+        by_key[(4, "scatter")][3]
+    benchmark.extra_info["gather_shipped_rows_4"] = \
+        by_key[(4, "gather")][3]
+    benchmark.extra_info["twopc_wal_appends_per_commit"] = full[4]

@@ -533,6 +533,26 @@ def calc_not(operand):
     return BAT(BIT, ~np.asarray(_operand_array(operand), dtype=bool))
 
 
+def calc_isnil(operand):
+    """Element-wise nil test (``IS NULL``).
+
+    Nil is the atom's in-domain sentinel (var-sized atoms test the
+    offset, so a None string is nil).  Boolean BATs are never nil: the
+    engine does not model three-valued logic, so a comparison result
+    ``IS NULL`` is all-false rather than treating False (the bit
+    atom's nominal sentinel) as missing.
+    """
+    if not isinstance(operand, BAT):
+        return operand is None
+    if operand.atom is BIT or operand.atom.dtype.kind == "b":
+        return BAT(BIT, np.zeros(len(operand), dtype=bool))
+    if operand.atom.varsized:
+        mask = np.asarray(operand.atom.is_nil(operand.tail), dtype=bool)
+        return BAT(BIT, mask)
+    return BAT(BIT, np.asarray(operand.atom.is_nil(operand.tail),
+                               dtype=bool))
+
+
 def ifthenelse(cond, then_bat, else_bat):
     """Element-wise conditional over aligned BATs."""
     mask = np.asarray(cond.tail, dtype=bool)

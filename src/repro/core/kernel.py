@@ -108,6 +108,7 @@ for _op in ("+", "-", "*", "/", "%", "==", "!=", "<", "<=", ">", ">=",
              (lambda op: lambda left, right: algebra.calc(op, left, right))
              (_op))
 register("batcalc.not", algebra.calc_not)
+register("batcalc.isnil", algebra.calc_isnil)
 register("batcalc.ifthenelse", algebra.ifthenelse)
 
 # -- scalar calculations (fold-able by the constant-folding optimizer) --------
@@ -133,6 +134,7 @@ _SCALAR_OPS = {
 for _name, _fn in _SCALAR_OPS.items():
     register("calc." + _name, _fn)
 register("calc.not", lambda a: not a)
+register("calc.isnil", lambda a: a is None)
 
 # -- structural BAT operations ----------------------------------------------------------
 

@@ -1,0 +1,38 @@
+"""Hash-partitioned sharding with scatter-gather distributed execution.
+
+``CREATE TABLE t (...) PARTITION BY (k)`` declares a hash-partitioning
+key; a :class:`ShardedDatabase` splits such tables row-wise across N
+shard nodes (each a full single-node engine behind a simulated link)
+and plans every SELECT as scatter-gather with partition pruning and
+distributed aggregate decomposition.  Multi-shard writes commit via a
+WAL-logged two-phase protocol.  See :mod:`repro.sharding.coordinator`.
+"""
+
+from repro.sharding.coordinator import (
+    ACK_SITE, SHIP_SITE, ShardNode, ShardedDatabase, ShardingStats,
+    ShardUnavailableError,
+)
+from repro.sharding.merge import MergeError
+from repro.sharding.partition import ShardMap, partition_hash
+from repro.sharding.planner import (
+    ScatterPlan, ShardPlanError, ShardSchema, TableInfo, plan_select,
+)
+from repro.sharding.twopc import ShardedTransaction
+
+__all__ = [
+    "ACK_SITE",
+    "SHIP_SITE",
+    "MergeError",
+    "ScatterPlan",
+    "ShardMap",
+    "ShardNode",
+    "ShardPlanError",
+    "ShardSchema",
+    "ShardedDatabase",
+    "ShardedTransaction",
+    "ShardingStats",
+    "ShardUnavailableError",
+    "TableInfo",
+    "partition_hash",
+    "plan_select",
+]

@@ -1,0 +1,462 @@
+"""The sharding coordinator: hash-partitioned tables over shard nodes.
+
+A :class:`ShardedDatabase` fronts ``n_shards`` shard nodes — each a
+full single-node :class:`~repro.sql.database.Database` with its own
+write-ahead log (or, with ``replicas > 0``, a
+:class:`~repro.replication.ReplicationGroup`) — connected by simulated
+request/response links (:mod:`repro.datacyclotron.link`) with fault
+sites ``shard.ship`` and ``shard.ack``.
+
+Tables declared ``PARTITION BY (col)`` hash-split their rows across
+the shards (:mod:`repro.sharding.partition`); tables without a
+partition key are *reference tables*, broadcast whole to every shard
+so joins against them stay shard-local.  SELECTs run scatter-gather
+(:mod:`repro.sharding.planner` / :mod:`repro.sharding.merge`); DML
+routes by key, and multi-shard writes commit through the WAL-logged
+two-phase protocol in :mod:`repro.sharding.twopc`.
+
+With one shard every statement takes the ``single`` plan with the
+original AST, so ``ShardedDatabase(n_shards=1)`` degrades to exactly
+the single-node engine.
+"""
+
+import os
+from dataclasses import dataclass
+
+from repro.datacyclotron.link import SimulatedLink
+from repro.faults import NO_FAULTS
+from repro.mal.optimizer import DEFAULT_PIPELINE
+from repro.observability.tracer import NO_TRACE
+from repro.sharding.merge import merge_aggregates, merge_rows
+from repro.sharding.partition import ShardMap
+from repro.sharding.planner import (
+    ShardSchema, _prune_value, plan_select,
+)
+from repro.sql.ast import (
+    Column, CreateTable, Delete, Explain, Insert, Select, SelectItem,
+    SetPragma, TableRef, Update, statement_kind,
+)
+from repro.sql.database import Database, ResultSet
+from repro.sql.parser import parse_sql
+from repro.wal import WriteAheadLog
+
+SHIP_SITE = "shard.ship"
+ACK_SITE = "shard.ack"
+
+
+class ShardUnavailableError(RuntimeError):
+    """A shard could not be reached within the link retry budget."""
+
+
+@dataclass
+class ShardingStats:
+    """Coordinator counters (observability satellite of E21)."""
+
+    statements: int = 0
+    single_shard: int = 0      # plans routed to exactly one shard
+    scatter: int = 0           # decomposed multi-shard SELECTs
+    gather: int = 0            # full-fragment fallbacks
+    pruned: int = 0            # single-shard plans won by key pruning
+    requests: int = 0          # coordinator -> shard round trips
+    retries: int = 0           # link sends retried after a drop
+    shipped_rows: int = 0      # result/fragment rows crossing a link
+    shipped_bytes: int = 0     # estimated payload bytes on the links
+    twopc_fast_path: int = 0   # commits touching <= 1 shard
+    twopc_commits: int = 0     # full two-phase commits
+    twopc_aborts: int = 0      # two-phase rounds aborted in phase 1
+
+
+def _payload_size(payload):
+    """Byte estimate of one link message (its printed form)."""
+    return len(repr(payload))
+
+
+class ShardNode:
+    """One shard: a Database, or a ReplicationGroup when replicated."""
+
+    def __init__(self, shard_id, replicas=0, mode="sync",
+                 faults=None, wal_path=None, pipeline=DEFAULT_PIPELINE):
+        self.shard_id = shard_id
+        if replicas:
+            from repro.replication import ReplicationGroup
+            self.group = ReplicationGroup(
+                n_replicas=replicas, mode=mode,
+                db_kwargs={"pipeline": pipeline})
+            self.db = None
+        else:
+            self.group = None
+            self.db = Database(pipeline=pipeline,
+                               wal=WriteAheadLog(path=wal_path),
+                               faults=faults)
+
+    def execute(self, statement, workers=None):
+        if self.group is not None:
+            return self.group.execute(statement, workers=workers)
+        return self.db.execute(statement, workers=workers)
+
+    @property
+    def database(self):
+        """The shard's authoritative Database (the primary's, when
+        replicated)."""
+        if self.db is not None:
+            return self.db
+        return self.group.require_primary().db
+
+    def __repr__(self):
+        flavour = "replicated" if self.group is not None else "plain"
+        return "ShardNode({0}, {1})".format(self.shard_id, flavour)
+
+
+class ShardedDatabase:
+    """Hash-partitioned database over ``n_shards`` shard nodes.
+
+    Parameters
+    ----------
+    n_shards:
+        Shard count; 1 degrades to single-node behaviour exactly.
+    replicas / mode:
+        Per-shard replication (each shard becomes a ReplicationGroup
+        with that many replicas).  Replicated shards support DDL, DML
+        and SELECT; explicit transactions and :meth:`recover` are
+        single-Database features (``replicas=0``).
+    faults:
+        One :class:`~repro.faults.FaultInjector` shared by the shard
+        links (``shard.ship`` / ``shard.ack``), every shard's commit
+        path (``commit.*`` / ``wal.append``) and the coordinator's
+        decision log.
+    wal_dir:
+        Directory for on-disk WALs (``shard<i>.wal`` plus the
+        coordinator's 2PC ``decisions.wal``); in-memory when None.
+    link_retry_limit:
+        Sends attempted per message before the shard is declared
+        unreachable (transient drops retry; a cut link exhausts this).
+    """
+
+    def __init__(self, n_shards=2, replicas=0, mode="sync", faults=None,
+                 wal_dir=None, pipeline=DEFAULT_PIPELINE, tracer=None,
+                 link_retry_limit=8):
+        if n_shards < 1:
+            raise ValueError("need at least one shard")
+        self.n_shards = n_shards
+        self.replicas = replicas
+        self.shard_map = ShardMap(n_shards)
+        self.faults = faults if faults is not None else NO_FAULTS
+        self.tracer = tracer if tracer is not None else NO_TRACE
+        self.pipeline = pipeline
+        self.schema = ShardSchema()
+        self.stats = ShardingStats()
+        self.link_retry_limit = link_retry_limit
+        self.clock = 0            # the link tick clock
+        self._xid_counter = 0
+        if wal_dir is not None:
+            os.makedirs(wal_dir, exist_ok=True)
+
+        def _wal_path(name):
+            return None if wal_dir is None else os.path.join(wal_dir, name)
+        self.decision_log = WriteAheadLog(path=_wal_path("decisions.wal"),
+                                          faults=self.faults)
+        self.shards = [
+            ShardNode(i, replicas=replicas, mode=mode, faults=self.faults,
+                      wal_path=_wal_path("shard{0}.wal".format(i)),
+                      pipeline=pipeline)
+            for i in range(n_shards)]
+        self.links = [
+            (SimulatedLink(SHIP_SITE, faults=self.faults,
+                           name="coord->s{0}".format(i)),
+             SimulatedLink(ACK_SITE, faults=self.faults,
+                           name="s{0}->coord".format(i)))
+            for i in range(n_shards)]
+
+    # -- the simulated network -------------------------------------------------
+
+    def cut(self, shard_id):
+        """Partition one shard off (both link directions)."""
+        for link in self.links[shard_id]:
+            link.cut()
+
+    def heal(self, shard_id):
+        for link in self.links[shard_id]:
+            link.heal()
+
+    def _send(self, link, message, size):
+        for _ in range(self.link_retry_limit):
+            self.clock += 1
+            if link.send(message, self.clock, size=size):
+                self.clock += 1
+                link.deliver(self.clock)
+                self.stats.shipped_bytes += size
+                return
+            self.stats.retries += 1
+        raise ShardUnavailableError(
+            "link {0!r} failed {1} sends".format(link.name,
+                                                 self.link_retry_limit))
+
+    def _rpc(self, shard_id, request, fn):
+        """One coordinator<->shard round trip: ship the request, run
+        the shard-side work, ship the response back.  Transient link
+        faults retry (re-sending is idempotent — the shard-side work
+        runs exactly once, after the request delivers); a cut link
+        raises :class:`ShardUnavailableError`."""
+        req, resp = self.links[shard_id]
+        self.stats.requests += 1
+        self._send(req, request, _payload_size(request))
+        if self.tracer.enabled:
+            with self.tracer.span("shard.exec", kind="sharding",
+                                  shard=shard_id):
+                result = fn()
+        else:
+            result = fn()
+        reply_rows = len(result) if isinstance(result, ResultSet) else 0
+        reply_size = _payload_size(result.rows()) \
+            if isinstance(result, ResultSet) else _payload_size(result)
+        self._send(resp, "ack", reply_size)
+        self.stats.shipped_rows += reply_rows
+        if self.tracer.enabled:
+            self.tracer.add("shard_shipped_rows", reply_rows)
+            self.tracer.add("shard_shipped_bytes", reply_size)
+        return result
+
+    # -- statement routing ------------------------------------------------------
+
+    def execute(self, sql, workers=None):
+        """Execute one statement across the shards (autocommit)."""
+        statement = parse_sql(sql) if isinstance(sql, str) else sql
+        self.stats.statements += 1
+        if not self.tracer.enabled:
+            return self._execute_statement(statement, workers)
+        label = sql if isinstance(sql, str) else repr(sql)
+        with self.tracer.span("sharded.statement", kind="sharding",
+                              sql=label[:200]):
+            return self._execute_statement(statement, workers)
+
+    def _execute_statement(self, statement, workers):
+        if isinstance(statement, Explain):
+            return ResultSet(["plan"],
+                             [self.explain(statement.statement)
+                              .splitlines()])
+        if isinstance(statement, SetPragma):
+            for shard_id in range(self.n_shards):
+                self._rpc(shard_id, ("pragma",),
+                          lambda s=shard_id: self.shards[s]
+                          .execute(statement))
+            return None
+        if isinstance(statement, CreateTable):
+            return self._create_table(statement)
+        if isinstance(statement, (Insert, Delete, Update)):
+            return self._execute_dml(statement)
+        if isinstance(statement, Select):
+            return self._select(statement, workers=workers)
+        raise TypeError("unsupported statement {0}".format(
+            statement_kind(statement)))
+
+    def query(self, sql, workers=None):
+        return self.execute(sql, workers=workers).rows()
+
+    def begin(self):
+        """A cross-shard transaction (two-phase commit when it writes
+        more than one shard)."""
+        if self.replicas:
+            raise NotImplementedError(
+                "transactions need plain shards (replicas=0)")
+        from repro.sharding.twopc import ShardedTransaction
+        return ShardedTransaction(self)
+
+    def explain(self, statement):
+        """The distributed plan of a SELECT, as text."""
+        if isinstance(statement, str):
+            statement = parse_sql(statement)
+        if isinstance(statement, Explain):
+            statement = statement.statement
+        if not isinstance(statement, Select):
+            raise TypeError("EXPLAIN supports only SELECT statements")
+        plan = plan_select(self.schema, statement, self.shard_map)
+        lines = ["{0} over shards {1}".format(plan.kind.upper(),
+                                              plan.shards)]
+        if plan.pruned:
+            lines.append("  pruned by partition-key equality")
+        if plan.kind == "scatter":
+            lines.append("  mode: {0}".format(plan.mode))
+            if plan.mode == "agg":
+                lines.append("  partials: {0}".format(plan.partial_kinds))
+            lines.append("  shard select: {0!r}".format(plan.shard_select))
+        if plan.kind == "gather":
+            lines.append("  ships: {0}".format(
+                sorted({t.name for t in plan.tables})))
+        return "\n".join(lines)
+
+    # -- DDL ---------------------------------------------------------------------
+
+    def _create_table(self, statement):
+        self.schema.register(statement.name, statement.columns,
+                             partition_by=statement.partition_by)
+        for shard_id in range(self.n_shards):
+            self._rpc(shard_id, ("create", statement.name),
+                      lambda s=shard_id: self.shards[s].execute(statement))
+        return None
+
+    # -- SELECT ------------------------------------------------------------------
+
+    def _default_runner(self, workers):
+        return lambda shard_id, ast: self._rpc(
+            shard_id, ("select", repr(ast)),
+            lambda: self.shards[shard_id].execute(ast, workers=workers))
+
+    def _select(self, select, workers=None, runner=None):
+        if runner is None:
+            runner = self._default_runner(workers)
+        plan = plan_select(self.schema, select, self.shard_map)
+        if plan.kind == "single":
+            self.stats.single_shard += 1
+            if plan.pruned:
+                self.stats.pruned += 1
+            return runner(plan.shards[0], select)
+        if plan.kind == "scatter":
+            self.stats.scatter += 1
+            results = [runner(shard_id, plan.shard_select)
+                       for shard_id in plan.shards]
+            if plan.mode == "rows":
+                rows = merge_rows(plan, [r.rows() for r in results])
+                names = results[0].names[:plan.n_items]
+            else:
+                rows = merge_aggregates(plan, [r.rows() for r in results])
+                names = plan.item_names
+            return _rows_result(names, rows)
+        self.stats.gather += 1
+        scratch = self._gather_database(plan, runner)
+        return scratch.execute(select)
+
+    def _gather_database(self, plan, runner):
+        """The gather fallback's scratch single-node database: every
+        referenced fragment shipped to the coordinator."""
+        scratch = Database(pipeline=self.pipeline)
+        seen = set()
+        for info in plan.tables:
+            if info.name in seen:
+                continue
+            seen.add(info.name)
+            scratch.catalog.create_table(info.name, info.columns)
+            fetch = Select(items=[SelectItem(Column(c))
+                                  for c in info.column_names],
+                           table=TableRef(info.name))
+            sources = plan.shards if info.partition_by else [0]
+            target = scratch.catalog.get(info.name)
+            for shard_id in sources:
+                rows = runner(shard_id, fetch).rows()
+                if rows:
+                    target.append_rows([list(r) for r in rows])
+        return scratch
+
+    # -- DML ---------------------------------------------------------------------
+
+    def _execute_dml(self, statement):
+        info = self.schema.get(statement.table)
+        if isinstance(statement, Insert):
+            return self._insert(statement, info)
+        if info.partition_by is None:
+            # Reference table: identical broadcast write everywhere.
+            counts = [self._rpc(shard_id, ("dml", statement.table),
+                                lambda s=shard_id: self.shards[s]
+                                .execute(statement))
+                      for shard_id in range(self.n_shards)]
+            return counts[0]
+        bindings = [(statement.table, info)]
+        pruned, value = _prune_value(statement.where, bindings)
+        if pruned:
+            shard_id = self.shard_map.shard_of(value)
+            self.stats.single_shard += 1
+            self.stats.pruned += 1
+            return self._rpc(shard_id, ("dml", statement.table),
+                             lambda: self.shards[shard_id]
+                             .execute(statement))
+        moves_key = isinstance(statement, Update) and \
+            info.partition_by in {c for c, _ in statement.assignments}
+        if self.replicas:
+            if moves_key:
+                raise NotImplementedError(
+                    "partition-key UPDATE needs plain shards "
+                    "(replicas=0)")
+            return sum(self._rpc(shard_id, ("dml", statement.table),
+                                 lambda s=shard_id: self.shards[s]
+                                 .execute(statement))
+                       for shard_id in range(self.n_shards))
+        # Un-pruned multi-shard write: atomic via two-phase commit.
+        txn = self.begin()
+        try:
+            count = txn.execute(statement)
+            txn.commit()
+        except BaseException:
+            if not txn.closed:
+                txn.abort()
+            raise
+        return count
+
+    def _insert(self, statement, info):
+        if info.partition_by is None:
+            counts = [self._rpc(shard_id, ("insert", statement.table),
+                                lambda s=shard_id: self.shards[s]
+                                .execute(statement))
+                      for shard_id in range(self.n_shards)]
+            return counts[0]
+        order = statement.columns or info.column_names
+        if info.partition_by not in order:
+            raise ValueError(
+                "INSERT into {0!r} must provide the partition key "
+                "{1!r}".format(statement.table, info.partition_by))
+        key_pos = order.index(info.partition_by)
+        split = self.shard_map.split_rows(statement.rows, key_pos)
+        total = 0
+        for shard_id in sorted(split):
+            rows = split[shard_id]
+            sub = Insert(statement.table, rows, columns=statement.columns)
+            total += self._rpc(shard_id, ("insert", statement.table),
+                               lambda s=shard_id, a=sub: self.shards[s]
+                               .execute(a))
+        return total
+
+    # -- two-phase-commit bookkeeping -------------------------------------------
+
+    def next_xid(self):
+        self._xid_counter += 1
+        return "x{0:06d}".format(self._xid_counter)
+
+    def committed_xids(self):
+        """Xids the durable decision log marked committed — the ground
+        truth for resolving in-doubt participants after a crash."""
+        return {record["xid"] for record in self.decision_log.recover()
+                if record.get("kind") == "decision"
+                and record.get("outcome") == "commit"}
+
+    def recover(self):
+        """Crash-restart every shard: replay each WAL, then settle
+        in-doubt 2PC participants from the coordinator's decision log
+        (presumed abort for undecided xids).  Heals the links and
+        rebuilds the routing schema from shard 0's catalog.  Returns
+        the total records replayed."""
+        if self.replicas:
+            raise NotImplementedError(
+                "replicated shards recover through their groups")
+        committed = self.committed_xids()
+        replayed = 0
+        for shard_id, node in enumerate(self.shards):
+            replayed += node.db.recover()
+            node.db.resolve_in_doubt(committed)
+            self.heal(shard_id)
+        self.schema = ShardSchema()
+        for name, table in sorted(
+                self.shards[0].db.catalog.tables.items()):
+            self.schema.register(
+                name,
+                [(c, table.atoms[c].name) for c in table.column_names],
+                partition_by=table.partition_by)
+        return replayed
+
+    def __repr__(self):
+        return "ShardedDatabase({0} shards, {1} tables)".format(
+            self.n_shards, len(self.schema.tables))
+
+
+def _rows_result(names, rows):
+    """Row tuples -> a columnar ResultSet."""
+    columns = [list(col) for col in zip(*rows)] if rows \
+        else [[] for _ in names]
+    return ResultSet(names, columns)

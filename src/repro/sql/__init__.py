@@ -22,6 +22,7 @@ from repro.sql.ast import (
     Delete,
     FuncCall,
     Insert,
+    IsNull,
     Literal,
     Select,
     SelectItem,
@@ -58,5 +59,6 @@ __all__ = [
     "BinOp",
     "UnaryOp",
     "FuncCall",
+    "IsNull",
     "Star",
 ]

@@ -41,6 +41,20 @@ class UnaryOp:
 
 
 @dataclass(frozen=True)
+class IsNull:
+    """``expr IS NULL`` — true where the value is missing.
+
+    The engine stores missing values as in-domain nil sentinels
+    (:mod:`repro.core.atoms`); boolean expressions never produce nil
+    (three-valued logic is not modelled: comparisons always decide),
+    so ``(a < 5) IS NULL`` is all-false by construction.  ``IS NOT
+    NULL`` parses as ``UnaryOp('not', IsNull(...))``.
+    """
+
+    operand: object
+
+
+@dataclass(frozen=True)
 class FuncCall:
     """Function call; aggregates are count/sum/min/max/avg."""
 
@@ -65,6 +79,8 @@ def contains_aggregate(expr):
         return contains_aggregate(expr.left) or contains_aggregate(expr.right)
     if isinstance(expr, UnaryOp):
         return contains_aggregate(expr.operand)
+    if isinstance(expr, IsNull):
+        return contains_aggregate(expr.operand)
     return False
 
 
@@ -73,7 +89,8 @@ def contains_aggregate(expr):
 @dataclass
 class CreateTable:
     name: str
-    columns: list  # [(column name, type name)]
+    columns: list            # [(column name, type name)]
+    partition_by: str = None  # hash-partition key column (sharding DDL)
 
 
 @dataclass

@@ -23,11 +23,22 @@ from repro.core.bat import BAT
 class Table:
     """One relational table, vertically decomposed into BATs."""
 
-    def __init__(self, name, columns):
-        """``columns``: ordered list of (column name, type name) pairs."""
+    def __init__(self, name, columns, partition_by=None):
+        """``columns``: ordered list of (column name, type name) pairs.
+
+        ``partition_by`` records the declared hash-partition key (the
+        ``PARTITION BY`` DDL clause); a single-node database stores it
+        as inert metadata, the sharding layer routes by it.
+        """
         if not columns:
             raise ValueError("a table needs at least one column")
+        if partition_by is not None and \
+                partition_by not in [c for c, _ in columns]:
+            raise ValueError(
+                "PARTITION BY names unknown column {0!r}".format(
+                    partition_by))
         self.name = name
+        self.partition_by = partition_by
         self.column_names = []
         self.atoms = {}
         self.columns = {}
@@ -215,10 +226,10 @@ class Catalog:
         self._join_indices = {}   # key -> declared
         self._join_cache = {}     # key -> (fk_ver, pk_ver, BAT)
 
-    def create_table(self, name, columns):
+    def create_table(self, name, columns, partition_by=None):
         if name in self.tables:
             raise ValueError("table {0!r} already exists".format(name))
-        table = Table(name, columns)
+        table = Table(name, columns, partition_by=partition_by)
         self.tables[name] = table
         return table
 

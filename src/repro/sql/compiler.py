@@ -15,7 +15,7 @@ batcalc mask over the surviving candidates.
 from dataclasses import dataclass, field
 
 from repro.sql.ast import (
-    BinOp, Column, FuncCall, Literal, Select, Star, UnaryOp,
+    BinOp, Column, FuncCall, IsNull, Literal, Select, Star, UnaryOp,
 )
 from repro.mal.ast import Const, MALProgram, Var
 
@@ -368,6 +368,11 @@ class _SelectCompiler:
             family = "calc." if (isinstance(left, Const)
                                  and isinstance(right, Const)) else "batcalc."
             return Var(ctx.emit("m", family + op, (left, right)))
+        if isinstance(expr, IsNull):
+            operand = self._compile_expr(expr.operand)
+            if isinstance(operand, Const):
+                return Var(ctx.emit("m", "calc.isnil", (operand,)))
+            return Var(ctx.emit("m", "batcalc.isnil", (operand,)))
         if isinstance(expr, FuncCall):
             raise SQLCompileError(
                 "aggregate {0!r} is only allowed in the select list or "

@@ -135,6 +135,10 @@ class Database:
         self.parallel_fallbacks = 0
         self.last_parallel = None  # ParallelResult of the latest SELECT
         self.last_profile = None   # QueryProfile of the latest PROFILE
+        # Two-phase commit bookkeeping: prepared-but-undecided records
+        # seen during WAL replay (xid -> ops), resolved by the sharding
+        # coordinator's decision log after recovery.
+        self._pending_prepares = {}
 
     @classmethod
     def with_recycling(cls, capacity_bytes=None, policy="benefit"):
@@ -179,7 +183,9 @@ class Database:
                 self.plans_reused += 1
                 return self._run_compiled(cached[0], cached[1],
                                           view=self.catalog)
-        statement = parse_sql(sql)
+        # Pre-parsed statement ASTs run directly (the sharding and
+        # replication layers route statements as ASTs, not text).
+        statement = parse_sql(sql) if isinstance(sql, str) else sql
         if isinstance(statement, Explain):
             plan = self._explain_statement(statement.statement)
             return ResultSet(["plan"], [plan.splitlines()])
@@ -193,10 +199,13 @@ class Database:
             return self._apply_pragma(statement)
         if isinstance(statement, CreateTable):
             if self.wal is not None:
-                self.wal.append({"kind": "create", "table": statement.name,
-                                 "columns": [list(c)
-                                             for c in statement.columns]})
-            self.catalog.create_table(statement.name, statement.columns)
+                record = {"kind": "create", "table": statement.name,
+                          "columns": [list(c) for c in statement.columns]}
+                if statement.partition_by is not None:
+                    record["partition_by"] = statement.partition_by
+                self.wal.append(record)
+            self.catalog.create_table(statement.name, statement.columns,
+                                      partition_by=statement.partition_by)
             self._plan_cache.clear()  # schema changed
             return None
         if isinstance(statement, Insert):
@@ -225,7 +234,8 @@ class Database:
                     return result
             program, names = compile_select(self.catalog, statement)
             program = self.pipeline.optimize(program)
-            self._plan_cache[sql] = (program, names)
+            if isinstance(sql, str):
+                self._plan_cache[sql] = (program, names)
             return self._run_compiled(program, names, view=self.catalog)
         raise TypeError("unsupported statement {0!r}".format(statement))
 
@@ -494,10 +504,21 @@ class Database:
         if kind == "create":
             self.catalog.create_table(
                 record["table"],
-                [tuple(c) for c in record["columns"]])
+                [tuple(c) for c in record["columns"]],
+                partition_by=record.get("partition_by"))
             self._plan_cache.clear()  # schema changed
         elif kind == "commit":
             self._apply_ops(record["ops"])
+        elif kind == "prepare":
+            # Two-phase commit (repro.sharding): the record is durable
+            # but undecided; it applies only when a decide-commit
+            # follows, or when the coordinator's decision log resolves
+            # it after recovery (presumed abort otherwise).
+            self._pending_prepares[record["xid"]] = record["ops"]
+        elif kind == "decide":
+            ops = self._pending_prepares.pop(record["xid"], None)
+            if record["outcome"] == "commit" and ops is not None:
+                self._apply_ops(ops)
         else:
             raise ValueError(
                 "unknown WAL record kind {0!r}".format(kind))
@@ -527,6 +548,34 @@ class Database:
             self.recycler.clear()  # cached results may predate the crash
         self._plan_cache.clear()
         self.last_parallel = None
+        self._pending_prepares = {}
         for record in records:
             self._replay_record(record)
         return len(records)
+
+    @property
+    def in_doubt(self):
+        """Xids of prepared-but-undecided 2PC transactions after
+        :meth:`recover` (empty outside distributed operation)."""
+        return sorted(self._pending_prepares)
+
+    def resolve_in_doubt(self, committed_xids):
+        """Settle in-doubt 2PC participants after recovery.
+
+        ``committed_xids``: xids the coordinator's decision log marked
+        committed — their prepared ops are applied (and the decision is
+        re-logged locally so a later replay is self-contained); every
+        other in-doubt xid is presumed aborted.  Returns the number of
+        transactions committed here.
+        """
+        committed = 0
+        for xid in sorted(self._pending_prepares):
+            ops = self._pending_prepares.pop(xid)
+            outcome = "commit" if xid in committed_xids else "abort"
+            if self.wal is not None:
+                self.wal.append({"kind": "decide", "xid": xid,
+                                 "outcome": outcome})
+            if outcome == "commit":
+                self._apply_ops(ops)
+                committed += 1
+        return committed

@@ -16,9 +16,9 @@ class SQLSyntaxError(ValueError):
 KEYWORDS = frozenset("""
     select from where group by having order asc desc limit distinct
     create table insert into values delete update set join inner on
-    and or not between in as integer int bigint smallint tinyint
+    and or not between in is as integer int bigint smallint tinyint
     varchar text string boolean bool real float double true false null
-    explain profile
+    explain profile partition
 """.split())
 
 _TOKEN_RE = re.compile(r"""

@@ -9,8 +9,8 @@ multiplicative < unary minus.
 """
 
 from repro.sql.ast import (
-    BinOp, Column, CreateTable, Delete, Explain, FuncCall, Insert, Join,
-    Literal, OrderItem, Profile, Select, SelectItem, SetPragma, Star,
+    BinOp, Column, CreateTable, Delete, Explain, FuncCall, Insert, IsNull,
+    Join, Literal, OrderItem, Profile, Select, SelectItem, SetPragma, Star,
     TableRef, UnaryOp, Update,
 )
 from repro.sql.lexer import END, SQLSyntaxError, tokenize
@@ -106,9 +106,20 @@ class _Parser:
             if not self.accept("op", ","):
                 break
         self.expect("op", ")")
+        partition_by = None
+        if self.accept("keyword", "partition"):
+            self.expect("keyword", "by")
+            parenthesized = bool(self.accept("op", "("))
+            partition_by = self.expect("ident").value
+            if parenthesized:
+                self.expect("op", ")")
+            if partition_by not in [c for c, _ in columns]:
+                raise SQLSyntaxError(
+                    "PARTITION BY names unknown column {0!r}".format(
+                        partition_by))
         self.accept("op", ";")
         self.expect(END)
-        return CreateTable(name, columns)
+        return CreateTable(name, columns, partition_by)
 
     def insert(self):
         self.expect("keyword", "insert")
@@ -303,6 +314,12 @@ class _Parser:
             if op == "!=":
                 op = "<>"
             return BinOp(op, left, self._additive())
+        if token.matches("keyword", "is"):
+            self.advance()
+            negated = bool(self.accept("keyword", "not"))
+            self.expect("keyword", "null")
+            node = IsNull(left)
+            return UnaryOp("not", node) if negated else node
         if token.matches("keyword", "between"):
             self.advance()
             lo = self._additive()

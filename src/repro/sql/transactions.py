@@ -210,6 +210,49 @@ class Transaction:
 
     # -- commit / abort ----------------------------------------------------------------------
 
+    def _validate(self):
+        """Validation phase: table-level first-committer-wins for
+        non-append writes.  A conflict closes the transaction (catalog
+        untouched) and raises :class:`ConflictError`."""
+        touched = sorted(set(self._appends) | set(self._deleted))
+        for name in touched:
+            snap_count, _, snap_version = self._snapshots[name]
+            table = self._catalog.get(name)
+            shared_deletes = {o for o in self._deleted.get(name, set())
+                              if o < snap_count}
+            if shared_deletes and table.version != snap_version:
+                self.closed = True
+                self.outcome = "aborted (conflict)"
+                raise ConflictError(
+                    "table {0!r} changed since snapshot".format(name))
+        return touched
+
+    def _distill_ops(self):
+        """The buffered writes as one logical commit record's ops —
+        the only state recovery (or a 2PC participant) needs."""
+        ops = []
+        for name in sorted(set(self._appends) | set(self._deleted)):
+            snap_count, _, _ = self._snapshots[name]
+            dead = self._deleted.get(name, set())
+            rows = [list(row) for i, row
+                    in enumerate(self._appends.get(name, []))
+                    if (snap_count + i) not in dead]
+            shared_deletes = sorted(int(o) for o in dead
+                                    if o < snap_count)
+            if rows or shared_deletes:
+                ops.append({"table": name, "appends": rows,
+                            "deletes": shared_deletes})
+        return ops
+
+    def _publish(self, ops):
+        """Publication phase: apply already-durable ops to the shared
+        catalog, table by table, through the commit fault sites."""
+        faults = self._db.faults
+        faults.inject("commit.publish")
+        for op in ops:
+            faults.inject("commit.apply", table=op["table"])
+            self._db._apply_ops([op])
+
     def commit(self):
         """Validate, log and apply the buffered writes; close the
         transaction.
@@ -224,42 +267,13 @@ class Transaction:
         faults = self._db.faults
         try:
             faults.inject("commit.validate")
-            touched = sorted(set(self._appends) | set(self._deleted))
-            # Validation phase: table-level first-committer-wins for
-            # non-append writes.
-            for name in touched:
-                snap_count, _, snap_version = self._snapshots[name]
-                table = self._catalog.get(name)
-                shared_deletes = {o for o in self._deleted.get(name, set())
-                                  if o < snap_count}
-                if shared_deletes and table.version != snap_version:
-                    self.closed = True
-                    self.outcome = "aborted (conflict)"
-                    raise ConflictError(
-                        "table {0!r} changed since snapshot".format(name))
-            # Logging phase: distill the buffer into one logical record
-            # (the only state recovery needs) and make it durable
-            # before any table is touched.
-            ops = []
-            for name in touched:
-                snap_count, _, _ = self._snapshots[name]
-                dead = self._deleted.get(name, set())
-                rows = [list(row) for i, row
-                        in enumerate(self._appends.get(name, []))
-                        if (snap_count + i) not in dead]
-                shared_deletes = sorted(int(o) for o in dead
-                                        if o < snap_count)
-                if rows or shared_deletes:
-                    ops.append({"table": name, "appends": rows,
-                                "deletes": shared_deletes})
+            self._validate()
+            # Logging phase: make the record durable before any table
+            # is touched (the write-ahead rule).
+            ops = self._distill_ops()
             if ops and self._db.wal is not None:
                 self._db.wal.append({"kind": "commit", "ops": ops})
-            # Publication phase: the record (already durable) is applied
-            # to the shared catalog, table by table.
-            faults.inject("commit.publish")
-            for op in ops:
-                faults.inject("commit.apply", table=op["table"])
-                self._db._apply_ops([op])
+            self._publish(ops)
         except CrashError:
             self.closed = True
             self.outcome = "crashed"

@@ -31,8 +31,28 @@ def normalize_row(row):
     return tuple(normalize_value(v) for v in row)
 
 
-def assert_same_rows(actual, expected, context=""):
-    """Assert two row iterables are equal as multisets."""
+def assert_same_rows(actual, expected, context="", ordered=False):
+    """Assert two row iterables hold the same rows.
+
+    By default the comparison is a multiset (order-insensitive); pass
+    ``ordered=True`` for queries whose row order is actually specified
+    — a total ORDER BY — where a merged-shard or exchange-union
+    interleave leaking through would be a real bug.
+    """
+    if ordered:
+        got_rows = [normalize_row(r) for r in actual]
+        want_rows = [normalize_row(r) for r in expected]
+        if got_rows == want_rows:
+            return
+        prefix = (context + "; ") if context else ""
+        for i, (g, w) in enumerate(zip(got_rows, want_rows)):
+            if g != w:
+                raise AssertionError(
+                    "{0}ordered rows differ at position {1}: "
+                    "{2} != {3}".format(prefix, i, g, w))
+        raise AssertionError(
+            "{0}ordered row counts differ: {1} != {2}".format(
+                prefix, len(got_rows), len(want_rows)))
     got = Counter(normalize_row(r) for r in actual)
     want = Counter(normalize_row(r) for r in expected)
     if got == want:

@@ -39,9 +39,11 @@ class TableSpec:
         return [name for name, sql_type in self.columns
                 if sql_type.startswith(prefixes)]
 
-    def create_sql(self):
+    def create_sql(self, partition_key=None):
         cols = ", ".join("{0} {1}".format(n, t) for n, t in self.columns)
-        return "CREATE TABLE {0} ({1})".format(self.name, cols)
+        suffix = "" if partition_key is None \
+            else " PARTITION BY ({0})".format(partition_key)
+        return "CREATE TABLE {0} ({1}){2}".format(self.name, cols, suffix)
 
     def insert_sql(self):
         rows = ", ".join(

@@ -15,8 +15,8 @@ Semantics mirror the engine's documented behaviour:
 """
 
 from repro.sql.ast import (
-    BinOp, Column, Delete, FuncCall, Insert, Literal, Star, UnaryOp,
-    Update, contains_aggregate,
+    BinOp, Column, Delete, FuncCall, Insert, IsNull, Literal, Star,
+    UnaryOp, Update, contains_aggregate,
 )
 
 
@@ -270,6 +270,8 @@ class ReferenceExecutor:
                           self._eval(expr.right, env))
         if isinstance(expr, UnaryOp):
             return _unary(expr.op, self._eval(expr.operand, env))
+        if isinstance(expr, IsNull):
+            return self._eval(expr.operand, env) is None
         raise ReferenceError("unsupported expression {0!r}".format(expr))
 
     def _ordered(self, select, rows):

@@ -1,0 +1,77 @@
+"""Property: query answers are invariant under repartitioning.
+
+Hash-partitioning is pure physical layout — for any data set and any
+two shard counts n != m, every query must return the same multiset of
+rows.  Hypothesis drives the data; a seeded link-fault variant checks
+the invariance also holds while the links drop and delay messages.
+"""
+
+from collections import Counter
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st
+
+from repro.faults import FaultInjector
+from repro.sharding import ShardedDatabase
+from tests.helpers import normalize_row
+
+KEYS = st.integers(min_value=-40, max_value=40)
+# Dyadic rationals: float sums are exact, so partial aggregation over
+# any partitioning cannot drift.
+VALS = st.integers(min_value=-200, max_value=200).map(lambda i: i * 0.25)
+TAGS = st.sampled_from(["a", "b", "c", "d"])
+ROWS = st.lists(st.tuples(KEYS, VALS, TAGS), min_size=1, max_size=60)
+SPLITS = st.tuples(st.integers(1, 5), st.integers(1, 5)).filter(
+    lambda nm: nm[0] != nm[1])
+
+QUERIES = [
+    "SELECT k, v, s FROM t",
+    "SELECT k, v FROM t WHERE v >= 0 OR s = 'a'",
+    "SELECT count(*), sum(v), min(v), max(v), avg(v) FROM t",
+    "SELECT s, count(*), sum(k) FROM t GROUP BY s",
+    "SELECT s, avg(v) FROM t GROUP BY s HAVING count(*) >= 2",
+    "SELECT DISTINCT s FROM t",
+    "SELECT k FROM t ORDER BY k",
+]
+
+
+def _load(db, rows):
+    db.execute("CREATE TABLE t (k BIGINT, v DOUBLE, s VARCHAR) "
+               "PARTITION BY (k)")
+    db.execute("INSERT INTO t VALUES " + ", ".join(
+        "({0}, {1!r}, '{2}')".format(k, v, s) for k, v, s in rows))
+    return db
+
+
+def _answers(db):
+    return [Counter(normalize_row(r) for r in db.query(sql))
+            for sql in QUERIES]
+
+
+@given(rows=ROWS, splits=SPLITS)
+@settings(max_examples=25, deadline=None)
+def test_same_rows_any_shard_count(rows, splits):
+    n, m = splits
+    left = _load(ShardedDatabase(n_shards=n), rows)
+    right = _load(ShardedDatabase(n_shards=m), rows)
+    for sql, got, want in zip(QUERIES, _answers(left), _answers(right)):
+        assert got == want, \
+            "{0} differs between {1} and {2} shards".format(sql, n, m)
+
+
+@given(rows=ROWS, seed=st.integers(0, 2**16))
+@settings(max_examples=15, deadline=None)
+def test_repartition_invariant_under_link_faults(rows, seed):
+    """The invariance must survive flaky links: transparent retries on
+    dropped ships and delayed acks cannot change any answer."""
+    faults = FaultInjector.seeded(seed, {
+        "shard.ship": ("transient", 0.1),
+        "shard.ack": ("latency", 0.2, 2),
+    })
+    flaky = _load(ShardedDatabase(n_shards=4, faults=faults), rows)
+    stable = _load(ShardedDatabase(n_shards=2), rows)
+    for sql, got, want in zip(QUERIES, _answers(flaky),
+                              _answers(stable)):
+        assert got == want, "{0} differs under link faults".format(sql)

@@ -1,0 +1,232 @@
+"""Two-phase commit over sharded WALs: atomicity under every crash.
+
+The centrepiece is an exhaustive crash sweep: a fault-free dry run of
+one multi-shard transaction records every commit-path fault-site hit,
+then the scenario is re-run once per (site, hit) with a crash armed
+there.  After ``ShardedDatabase.recover()`` the table must hold either
+the complete pre-transaction state or the complete post-transaction
+state — never a mixture.
+"""
+
+import pytest
+
+from repro.faults import CrashError, FaultInjector
+from repro.faults.injector import crash_points
+from repro.sharding import ShardedDatabase
+from repro.sql.transactions import ConflictError, TransactionClosedError
+
+N_ROWS = 20
+COMMIT_SITES = frozenset(
+    ["commit.validate", "wal.append", "commit.publish", "commit.apply"])
+
+
+def _make(wal_dir=None, faults=None, n_shards=2):
+    db = ShardedDatabase(n_shards=n_shards, faults=faults,
+                         wal_dir=str(wal_dir) if wal_dir else None)
+    db.execute("CREATE TABLE t (k BIGINT, v BIGINT) PARTITION BY (k)")
+    db.execute("INSERT INTO t VALUES " + ", ".join(
+        "({0}, {1})".format(k, k * 10) for k in range(N_ROWS)))
+    return db
+
+
+def _keys_on(db, shard_id):
+    return [k for k in range(N_ROWS)
+            if db.shard_map.shard_of(k) == shard_id]
+
+
+def _snapshot(db):
+    return sorted(db.query("SELECT k, v FROM t"))
+
+ORIGINAL = sorted((k, k * 10) for k in range(N_ROWS))
+UPDATED = sorted((k, k * 10 + 1) for k in range(N_ROWS))
+
+
+def _run_txn(db):
+    """One multi-shard transaction: bump every row on every shard."""
+    txn = db.begin()
+    txn.execute("UPDATE t SET v = v + 1")
+    txn.commit()
+
+
+class TestCommitPaths:
+    def test_multi_shard_commit_is_visible_after_commit(self):
+        db = _make()
+        before = db.stats.twopc_commits
+        txn = db.begin()
+        assert txn.execute("UPDATE t SET v = v + 1") == N_ROWS
+        # Buffered writes are invisible outside the transaction...
+        assert _snapshot(db) == ORIGINAL
+        # ...but visible to the transaction's own snapshot reads.
+        assert sorted(txn.query("SELECT k, v FROM t")) == UPDATED
+        txn.commit()
+        assert _snapshot(db) == UPDATED
+        assert db.stats.twopc_commits == before + 1
+        assert txn.outcome == "committed"
+
+    def test_single_shard_txn_takes_fast_path(self):
+        db = _make()
+        key = _keys_on(db, 1)[0]
+        before = (db.stats.twopc_fast_path, db.stats.twopc_commits)
+        with db.begin() as txn:
+            txn.execute("UPDATE t SET v = 0 WHERE k = {0}".format(key))
+        assert db.stats.twopc_fast_path == before[0] + 1
+        assert db.stats.twopc_commits == before[1]  # no 2PC round
+        assert db.query(
+            "SELECT v FROM t WHERE k = {0}".format(key)) == [(0,)]
+
+    def test_cross_shard_insert_routes_and_commits(self):
+        db = _make()
+        txn = db.begin()
+        txn.execute("INSERT INTO t VALUES (100, 1), (101, 2), "
+                    "(102, 3), (103, 4)")
+        txn.commit()
+        assert db.query("SELECT count(*) FROM t") == [(N_ROWS + 4,)]
+        for k in (100, 101, 102, 103):
+            shard = db.shard_map.shard_of(k)
+            assert db.shards[shard].db.query(
+                "SELECT count(*) FROM t WHERE k = {0}".format(k)) \
+                == [(1,)]
+
+    def test_abort_discards_every_shard_buffer(self):
+        db = _make()
+        txn = db.begin()
+        txn.execute("UPDATE t SET v = v + 1")
+        txn.abort()
+        assert _snapshot(db) == ORIGINAL
+        assert txn.outcome == "aborted"
+        with pytest.raises(TransactionClosedError):
+            txn.execute("SELECT k FROM t")
+
+    def test_context_manager_aborts_on_exception(self):
+        db = _make()
+        with pytest.raises(RuntimeError, match="boom"):
+            with db.begin() as txn:
+                txn.execute("UPDATE t SET v = v + 1")
+                raise RuntimeError("boom")
+        assert txn.outcome == "aborted"
+        assert _snapshot(db) == ORIGINAL
+
+    def test_read_only_txn_closes_clean(self):
+        db = _make()
+        before = db.stats.twopc_commits
+        with db.begin() as txn:
+            assert len(txn.query("SELECT k FROM t")) == N_ROWS
+        assert txn.outcome == "committed"
+        assert db.stats.twopc_commits == before  # nothing to commit
+
+    def test_moving_update_inside_transaction(self):
+        """A partition-key rewrite buffered in a transaction lands the
+        row on the destination shard only at commit."""
+        db = _make()
+        src_key = _keys_on(db, 0)[0]
+        dest_key = next(k for k in range(200, 300)
+                        if db.shard_map.shard_of(k) == 1)
+        txn = db.begin()
+        assert txn.execute("UPDATE t SET k = {0} WHERE k = {1}".format(
+            dest_key, src_key)) == 1
+        txn.commit()
+        assert db.query("SELECT count(*) FROM t") == [(N_ROWS,)]
+        assert db.shards[1].db.query(
+            "SELECT v FROM t WHERE k = {0}".format(dest_key)) \
+            == [(src_key * 10,)]
+        assert db.shards[0].db.query(
+            "SELECT count(*) FROM t WHERE k = {0}".format(src_key)) \
+            == [(0,)]
+
+
+class TestConflicts:
+    def test_conflicting_writer_aborts_whole_transaction(self):
+        """A concurrent autocommit write to one participant must abort
+        the transaction on *every* shard — no partial commit."""
+        db = _make()
+        key0 = _keys_on(db, 0)[0]
+        key1 = _keys_on(db, 1)[0]
+        before = db.stats.twopc_aborts
+        txn = db.begin()
+        txn.execute("UPDATE t SET v = 777 WHERE k = {0}".format(key0))
+        txn.execute("UPDATE t SET v = 777 WHERE k = {0}".format(key1))
+        # Conflict on shard 1: shard 0 prepares first, then must roll
+        # its prepare back when shard 1's validation fails.
+        db.execute("UPDATE t SET v = v + 5 WHERE k = {0}".format(key1))
+        with pytest.raises(ConflictError):
+            txn.commit()
+        assert txn.outcome == "aborted (conflict)"
+        assert db.stats.twopc_aborts == before + 1
+        assert db.query(
+            "SELECT v FROM t WHERE k = {0}".format(key0)) \
+            == [(key0 * 10,)]
+        assert db.query(
+            "SELECT v FROM t WHERE k = {0}".format(key1)) \
+            == [(key1 * 10 + 5,)]
+
+    def test_closed_transaction_rejects_commit(self):
+        db = _make()
+        txn = db.begin()
+        txn.abort()
+        with pytest.raises(TransactionClosedError):
+            txn.commit()
+
+
+class TestCrashSweep:
+    def test_atomic_under_crash_at_every_commit_site(self, tmp_path):
+        """Crash at every commit-path fault site, one run per point;
+        recovery must always land on all-old or all-new rows."""
+        faults = FaultInjector()
+        dry = _make(tmp_path / "dry", faults)
+        base = faults.observed()
+        _run_txn(dry)
+        assert _snapshot(dry) == UPDATED
+        points = [(site, hit) for site, hit
+                  in crash_points(faults.observed(), sites=COMMIT_SITES)
+                  if hit > base.get(site, 0)]
+        # 2 participants: validate x2, publish x2, apply x2, and five
+        # wal.appends (prepare x2, decision, decide x2).
+        assert len(points) >= 11, points
+        outcomes = set()
+        for i, (site, hit) in enumerate(points):
+            faults = FaultInjector()
+            db = _make(tmp_path / str(i), faults)
+            faults.crash_at(site, hit)
+            with pytest.raises(CrashError):
+                _run_txn(db)
+            db.recover()
+            state = _snapshot(db)
+            assert state in (ORIGINAL, UPDATED), \
+                "torn state after crash at {0} hit {1}".format(site, hit)
+            outcomes.add("new" if state == UPDATED else "old")
+        # The sweep must cross the commit point: some crashes land
+        # before it (aborted) and some after (committed).
+        assert outcomes == {"old", "new"}
+
+    def test_crash_before_decision_presumed_abort(self, tmp_path):
+        """Crashing the coordinator's decision append leaves prepares
+        with no decision: recovery resolves them to abort."""
+        faults = FaultInjector()
+        db = _make(tmp_path, faults)
+        base = faults.hits["wal.append"]
+        faults.crash_at("wal.append", base + 3)  # the decision record
+        with pytest.raises(CrashError):
+            _run_txn(db)
+        db.recover()
+        assert _snapshot(db) == ORIGINAL
+
+    def test_in_doubt_participant_resolved_from_decision_log(
+            self, tmp_path):
+        """Crash after the decision but before shard 0's decide record:
+        that shard restarts in doubt and settles to commit from the
+        coordinator's decision log."""
+        faults = FaultInjector()
+        db = _make(tmp_path, faults)
+        base = faults.hits["wal.append"]
+        faults.crash_at("wal.append", base + 4)  # shard 0's decide
+        with pytest.raises(CrashError):
+            _run_txn(db)
+        shard0 = db.shards[0].db
+        shard0.recover()
+        assert shard0.in_doubt == ["x000001"]
+        committed = db.committed_xids()
+        assert "x000001" in committed
+        shard0.resolve_in_doubt(committed)
+        assert shard0.in_doubt == []
+        db.recover()
+        assert _snapshot(db) == UPDATED

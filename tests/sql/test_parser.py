@@ -3,8 +3,8 @@
 import pytest
 
 from repro.sql import (
-    BinOp, Column, CreateTable, Delete, FuncCall, Insert, Literal,
-    Select, SQLSyntaxError, Star, UnaryOp, Update, parse_sql,
+    BinOp, Column, CreateTable, Delete, FuncCall, Insert, IsNull,
+    Literal, Select, SQLSyntaxError, Star, UnaryOp, Update, parse_sql,
 )
 
 
@@ -22,6 +22,24 @@ class TestCreateTable:
     def test_unknown_type(self):
         with pytest.raises(SQLSyntaxError):
             parse_sql("CREATE TABLE t (x quaternion)")
+
+    def test_partition_by_parenthesized(self):
+        stmt = parse_sql(
+            "CREATE TABLE t (k BIGINT, v DOUBLE) PARTITION BY (k)")
+        assert stmt.partition_by == "k"
+
+    def test_partition_by_bare(self):
+        stmt = parse_sql(
+            "CREATE TABLE t (k BIGINT, v DOUBLE) PARTITION BY k")
+        assert stmt.partition_by == "k"
+
+    def test_no_partition_by_defaults_to_none(self):
+        stmt = parse_sql("CREATE TABLE t (k BIGINT)")
+        assert stmt.partition_by is None
+
+    def test_partition_by_unknown_column_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_sql("CREATE TABLE t (k BIGINT) PARTITION BY missing")
 
 
 class TestInsert:
@@ -139,6 +157,19 @@ class TestSelect:
     def test_count_distinct(self):
         stmt = parse_sql("SELECT count(DISTINCT a) FROM t")
         assert stmt.items[0].expr.distinct
+
+    def test_is_null(self):
+        stmt = parse_sql("SELECT a FROM t WHERE a IS NULL")
+        assert stmt.where == IsNull(Column("a"))
+
+    def test_is_not_null(self):
+        stmt = parse_sql("SELECT a FROM t WHERE a IS NOT NULL")
+        assert stmt.where == UnaryOp("not", IsNull(Column("a")))
+
+    def test_is_null_of_parenthesized_expression(self):
+        stmt = parse_sql("SELECT a FROM t WHERE (a > 1) IS NULL")
+        assert isinstance(stmt.where, IsNull)
+        assert stmt.where.operand == BinOp(">", Column("a"), Literal(1))
 
     def test_neq_normalized(self):
         stmt = parse_sql("SELECT a FROM t WHERE a != 1")
