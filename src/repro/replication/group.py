@@ -187,10 +187,15 @@ class ReplicatedTransaction:
     """A transaction on the primary whose commit honours the group's
     durability mode (sync commits wait for quorum ack)."""
 
-    def __init__(self, group):
+    def __init__(self, group, pin=False):
         self._group = group
         self._node = group.require_primary()
-        self._txn = self._node.db.begin()
+        self._txn = self._node.db.begin(pin=pin)
+        # Replication-level stamps for the session layer: the snapshot
+        # is as-of the quorum-durable LSN at begin; ``commit_lsn`` is
+        # assigned once the commit is durable per the group's mode.
+        self.snapshot_lsn = group.commit_lsn
+        self.commit_lsn = None
 
     def execute(self, sql):
         return self._txn.execute(sql)
@@ -204,11 +209,17 @@ class ReplicatedTransaction:
             group.mark_dead(node)
             raise
         group._finish_write(node, before)
+        self.commit_lsn = group.commit_lsn if node.last_lsn > before \
+            else self.snapshot_lsn
 
     def abort(self):
         self._txn.abort()
 
     rollback = abort
+
+    @property
+    def closed(self):
+        return self._txn.closed
 
     @property
     def outcome(self):
@@ -564,25 +575,31 @@ class ReplicationGroup:
 
     # -- statement routing -----------------------------------------------------
 
-    def execute(self, sql, session=None, workers=None):
+    def execute(self, sql, session=None, workers=None, min_lsn=None):
         """Execute one statement against the cluster.
 
         DML/DDL routes to the primary (commit semantics per ``mode``);
         SELECT load-balances round-robin across caught-up live
         replicas, falling back to the primary when none qualifies.  A
-        ``session`` adds read-your-writes routing."""
+        ``session`` adds read-your-writes routing; ``min_lsn`` raises
+        the routing floor further (the session layer passes its
+        snapshot LSN so a replica read is never older than the
+        snapshot point)."""
         statement = parse_sql(sql) if isinstance(sql, str) else sql
         if isinstance(statement, Select):
-            return self._execute_read(sql, session, workers)
+            return self._execute_read(sql, session, workers,
+                                      min_lsn=min_lsn)
         return self._execute_write(sql, session, workers)
 
-    def query(self, sql, session=None, workers=None):
-        return self.execute(sql, session=session, workers=workers).rows()
+    def query(self, sql, session=None, workers=None, min_lsn=None):
+        return self.execute(sql, session=session, workers=workers,
+                            min_lsn=min_lsn).rows()
 
-    def begin(self):
+    def begin(self, pin=False):
         """A replicated transaction on the primary (commit waits for
-        quorum in sync mode, like autocommit writes)."""
-        return ReplicatedTransaction(self)
+        quorum in sync mode, like autocommit writes).  ``pin=True``
+        snapshots every table at begin (see ``Database.begin``)."""
+        return ReplicatedTransaction(self, pin=pin)
 
     def session(self, read_your_writes=True):
         return Session(self, read_your_writes=read_your_writes)
@@ -632,10 +649,12 @@ class ReplicationGroup:
                         target, self.sync_timeout))
             self.tick()
 
-    def _execute_read(self, sql, session, workers):
+    def _execute_read(self, sql, session, workers, min_lsn=None):
         floor = self.commit_lsn
         if session is not None and session.read_your_writes:
             floor = max(floor, session.last_write_lsn)
+        if min_lsn is not None:
+            floor = max(floor, min_lsn)
         candidates = [r for r in self.replicas()
                       if r.alive and r.last_lsn >= floor]
         if candidates:

@@ -1,0 +1,16 @@
+"""Multi-tenant sessions: MVCC snapshot isolation, admission control,
+and the concurrency oracle (history recorder + checker)."""
+
+from repro.sessions.admission import (
+    AdmissionController, AdmissionRejected,
+)
+from repro.sessions.oracle import (
+    HistoryRecorder, check_snapshot_isolation,
+)
+from repro.sessions.session import Session, SessionError, SessionManager
+
+__all__ = [
+    "AdmissionController", "AdmissionRejected", "HistoryRecorder",
+    "Session", "SessionError", "SessionManager",
+    "check_snapshot_isolation",
+]

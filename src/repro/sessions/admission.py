@@ -1,0 +1,180 @@
+"""Per-tenant admission control: bounded in-flight transactions with
+weighted-fair queueing.
+
+The controller is a pure scheduling structure, usable both from the
+synchronous session API (``acquire``/``release`` — immediate admit or
+reject, callers cannot wait) and from the open-loop workload simulator
+(``enqueue``/``admit_next``/``release`` — arrivals queue per tenant and
+drain as in-flight slots free up).
+
+Fairness is *stride scheduling* over the non-empty tenant queues: each
+tenant holds a pass value advanced by ``STRIDE1 / weight`` per admitted
+transaction, and ``admit_next`` always picks the backlogged tenant with
+the smallest pass (ties broken by tenant id, so the schedule is
+deterministic).  A tenant that goes idle re-enters at the global pass —
+it cannot hoard credit while idle and then monopolise the server.  Every
+backlogged tenant's pass is finite and min-picked, so no tenant starves
+regardless of how skewed the arrival mix is; admission shares converge
+to the weight ratios.
+
+Overload policy is load shedding, not unbounded buffering: a tenant's
+queue is capped at ``max_queue_depth`` and arrivals beyond that are
+rejected with :class:`AdmissionRejected` (counted per tenant), which is
+what keeps latency of *admitted* work bounded in bench E22.
+"""
+
+from collections import deque
+
+STRIDE1 = 1 << 20
+
+
+class AdmissionRejected(RuntimeError):
+    """The transaction was shed: no in-flight slot and no queue room."""
+
+
+class _TenantQueue:
+    __slots__ = ("tenant", "weight", "items", "pass_value", "admitted",
+                 "shed", "enqueued")
+
+    def __init__(self, tenant, weight, pass_value):
+        self.tenant = tenant
+        self.weight = weight
+        self.items = deque()
+        self.pass_value = pass_value
+        self.admitted = 0
+        self.shed = 0
+        self.enqueued = 0
+
+
+class AdmissionController:
+    """Bounded in-flight transactions, weighted-fair across tenants.
+
+    Parameters
+    ----------
+    max_inflight:
+        Transactions allowed in service at once (the concurrency the
+        engine is provisioned for, e.g. the morsel scheduler's worker
+        count).
+    max_queue_depth:
+        Per-tenant queue cap; arrivals beyond it are shed.
+    weights:
+        Optional ``{tenant: weight}``; heavier tenants get
+        proportionally more admissions when contended.
+    """
+
+    def __init__(self, max_inflight=8, max_queue_depth=64, weights=None,
+                 default_weight=1):
+        if max_inflight < 1:
+            raise ValueError("max_inflight must be at least 1")
+        if max_queue_depth < 0:
+            raise ValueError("max_queue_depth must be non-negative")
+        self.max_inflight = max_inflight
+        self.max_queue_depth = max_queue_depth
+        self.default_weight = default_weight
+        self._weights = dict(weights or {})
+        self._queues = {}
+        self._global_pass = 0
+        self.inflight = 0
+        self.admitted = 0
+        self.shed = 0
+        self.released = 0
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _queue(self, tenant):
+        q = self._queues.get(tenant)
+        if q is None:
+            weight = self._weights.get(tenant, self.default_weight)
+            if weight < 1:
+                raise ValueError("tenant weight must be at least 1")
+            q = _TenantQueue(tenant, weight, self._global_pass)
+            self._queues[tenant] = q
+        return q
+
+    def _charge(self, q):
+        """Advance the tenant's pass for one admission."""
+        if q.pass_value < self._global_pass:
+            q.pass_value = self._global_pass  # re-activation, no credit
+        self._global_pass = q.pass_value
+        q.pass_value += STRIDE1 // q.weight
+        q.admitted += 1
+        self.admitted += 1
+        self.inflight += 1
+
+    def backlog(self):
+        """Total queued (admitted-but-waiting) transactions."""
+        return sum(len(q.items) for q in self._queues.values())
+
+    def queue_depth(self, tenant):
+        q = self._queues.get(tenant)
+        return len(q.items) if q is not None else 0
+
+    # -- synchronous API (session layer) -------------------------------------
+
+    def acquire(self, tenant):
+        """Admit one transaction now or shed it.
+
+        The synchronous caller cannot wait, so admission succeeds only
+        when an in-flight slot is free *and* no queued work is being
+        jumped; otherwise the transaction is shed with
+        :class:`AdmissionRejected`.
+        """
+        q = self._queue(tenant)
+        if self.inflight >= self.max_inflight or self.backlog():
+            q.shed += 1
+            self.shed += 1
+            raise AdmissionRejected(
+                "tenant {0!r} shed: {1}/{2} in flight, {3} queued".format(
+                    tenant, self.inflight, self.max_inflight,
+                    self.backlog()))
+        self._charge(q)
+
+    # -- queued API (workload simulator) --------------------------------------
+
+    def enqueue(self, tenant, item):
+        """Queue an arrival for later admission; sheds on a full queue."""
+        q = self._queue(tenant)
+        if len(q.items) >= self.max_queue_depth:
+            q.shed += 1
+            self.shed += 1
+            raise AdmissionRejected(
+                "tenant {0!r} queue full ({1})".format(
+                    tenant, self.max_queue_depth))
+        q.items.append(item)
+        q.enqueued += 1
+
+    def admit_next(self):
+        """Admit the fairest queued transaction, if a slot is free.
+
+        Returns ``(tenant, item)`` or ``None`` (no slot / no backlog).
+        """
+        if self.inflight >= self.max_inflight:
+            return None
+        backlogged = [q for q in self._queues.values() if q.items]
+        if not backlogged:
+            return None
+        q = min(backlogged, key=lambda t: (t.pass_value, str(t.tenant)))
+        item = q.items.popleft()
+        self._charge(q)
+        return (q.tenant, item)
+
+    def release(self, tenant):
+        """One in-flight transaction of ``tenant`` finished."""
+        if self.inflight <= 0:
+            raise RuntimeError("release without matching admit")
+        self.inflight -= 1
+        self.released += 1
+
+    # -- stats ----------------------------------------------------------------
+
+    def tenant_stats(self):
+        """``{tenant: {admitted, shed, queued, weight}}``."""
+        return {q.tenant: {"admitted": q.admitted, "shed": q.shed,
+                           "queued": len(q.items), "weight": q.weight}
+                for q in self._queues.values()}
+
+    def snapshot(self):
+        return {"inflight": self.inflight, "admitted": self.admitted,
+                "shed": self.shed, "released": self.released,
+                "backlog": self.backlog(),
+                "tenants": self.tenant_stats()}

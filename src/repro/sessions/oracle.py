@@ -1,0 +1,195 @@
+"""The concurrency oracle: record transaction histories, check them
+against snapshot-isolation axioms.
+
+The session layer (when given a :class:`HistoryRecorder`) emits one
+event stream per database: ``begin`` (with the snapshot LSN), ``read``
+(statement text plus the observed row multiset), ``write`` (buffered
+statement counts) and ``finish`` (outcome, the transaction's shared-row
+write set per table, and the commit LSN).  The stream is plain dicts so
+a failing history can be dumped, diffed and replayed.
+
+:func:`check_snapshot_isolation` validates a finished history against
+the axioms the engine claims:
+
+* **commit-order consistency** — committed writers carry strictly
+  increasing commit LSNs, in the order their commits returned, and
+  every transaction's commit LSN is at least its snapshot LSN;
+* **no lost updates** — two committed transactions that were concurrent
+  (each took its snapshot before the other's commit) never both wrote
+  the same row of the same table (first-writer-wins means the engine
+  must have aborted one);
+* **repeatable snapshot reads** — re-executing the same read inside one
+  transaction returns the same multiset, no matter what committed in
+  between (the transaction's *own* writes are allowed to change what it
+  reads, so reads are only compared within stretches uninterrupted by
+  the transaction's writes);
+* **snapshot stability** — a transaction's snapshot LSN is at most its
+  commit LSN, and snapshot LSNs never decrease in begin order.
+
+The checker returns a list of human-readable violation strings (empty
+means the history satisfies snapshot isolation); it is deliberately
+independent of the engine so a bug cannot hide in shared code.
+"""
+
+
+class HistoryRecorder:
+    """Append-only event log of every transaction's lifecycle."""
+
+    def __init__(self):
+        self.events = []
+
+    # -- emitters (called by the session layer) -------------------------------
+
+    def begin(self, txn_id, tenant, snapshot_lsn):
+        self.events.append({"event": "begin", "txn": txn_id,
+                            "tenant": tenant,
+                            "snapshot_lsn": snapshot_lsn})
+
+    def read(self, txn_id, sql, rows):
+        self.events.append({"event": "read", "txn": txn_id, "sql": sql,
+                            "rows": sorted(map(tuple, rows))})
+
+    def write(self, txn_id, sql, rowcount):
+        self.events.append({"event": "write", "txn": txn_id, "sql": sql,
+                            "rowcount": rowcount})
+
+    def finish(self, txn_id, outcome, write_sets=None, appends=None,
+               commit_lsn=None):
+        self.events.append({
+            "event": "finish", "txn": txn_id, "outcome": outcome,
+            "write_sets": {t: sorted(s)
+                           for t, s in (write_sets or {}).items()},
+            "appends": dict(appends or {}),
+            "commit_lsn": commit_lsn})
+
+    # -- convenience ----------------------------------------------------------
+
+    def committed(self):
+        return [e for e in self.events
+                if e["event"] == "finish" and e["outcome"] == "committed"]
+
+    def outcomes(self):
+        out = {}
+        for e in self.events:
+            if e["event"] == "finish":
+                out[e["txn"]] = e["outcome"]
+        return out
+
+    def check(self):
+        return check_snapshot_isolation(self.events)
+
+
+def _transactions(events):
+    """Fold the event stream into per-transaction records, preserving
+    begin order and finish order."""
+    txns = {}
+    begin_order = []
+    finish_order = []
+    for e in events:
+        txn_id = e["txn"]
+        t = txns.setdefault(txn_id, {"txn": txn_id, "reads": {},
+                                     "epoch": 0,
+                                     "snapshot_lsn": None,
+                                     "commit_lsn": None, "outcome": None,
+                                     "write_sets": {}, "appends": {}})
+        kind = e["event"]
+        if kind == "begin":
+            t["snapshot_lsn"] = e["snapshot_lsn"]
+            begin_order.append(txn_id)
+        elif kind == "read":
+            # Reads are bucketed by (sql, epoch): the epoch advances at
+            # each of the transaction's own writes, so read-your-writes
+            # never masquerades as a non-repeatable read.
+            key = (e["sql"], t["epoch"])
+            t["reads"].setdefault(key, []).append(e["rows"])
+        elif kind == "write":
+            t["epoch"] += 1
+        elif kind == "finish":
+            t["outcome"] = e["outcome"]
+            t["commit_lsn"] = e["commit_lsn"]
+            t["write_sets"] = {name: set(oids) for name, oids
+                               in e["write_sets"].items()}
+            t["appends"] = e["appends"]
+            finish_order.append(txn_id)
+    return txns, begin_order, finish_order
+
+
+def _is_writer(t):
+    return bool(t["write_sets"]) or bool(t["appends"])
+
+
+def check_snapshot_isolation(events):
+    """Validate a recorded history; returns a list of violations."""
+    txns, begin_order, finish_order = _transactions(events)
+    violations = []
+
+    # Axiom: repeatable snapshot reads.
+    for t in txns.values():
+        for (sql, _epoch), results in t["reads"].items():
+            for later in results[1:]:
+                if later != results[0]:
+                    violations.append(
+                        "txn {0}: non-repeatable read of {1!r}: "
+                        "{2!r} then {3!r}".format(
+                            t["txn"], sql, results[0], later))
+                    break
+
+    # Axiom: snapshot stability (LSN sanity).
+    last_snapshot = None
+    for txn_id in begin_order:
+        t = txns[txn_id]
+        snap = t["snapshot_lsn"]
+        if snap is None:
+            violations.append("txn {0}: begin without snapshot LSN"
+                              .format(txn_id))
+            continue
+        if last_snapshot is not None and snap < last_snapshot:
+            violations.append(
+                "txn {0}: snapshot LSN {1} went backwards (previous "
+                "begin saw {2})".format(txn_id, snap, last_snapshot))
+        last_snapshot = snap
+
+    # Axiom: commit-order consistency.
+    last_commit = None
+    for txn_id in finish_order:
+        t = txns[txn_id]
+        if t["outcome"] != "committed":
+            continue
+        commit = t["commit_lsn"]
+        if commit is None:
+            violations.append("txn {0}: committed without a commit LSN"
+                              .format(txn_id))
+            continue
+        snap = t["snapshot_lsn"]
+        if snap is not None and commit < snap:
+            violations.append(
+                "txn {0}: commit LSN {1} precedes its snapshot LSN "
+                "{2}".format(txn_id, commit, snap))
+        if _is_writer(t):
+            if last_commit is not None and commit <= last_commit:
+                violations.append(
+                    "txn {0}: writer commit LSN {1} not after the "
+                    "previous writer's {2}".format(
+                        txn_id, commit, last_commit))
+            last_commit = commit
+
+    # Axiom: no lost updates (first-writer-wins).
+    committed_writers = [txns[x] for x in finish_order
+                         if txns[x]["outcome"] == "committed"
+                         and txns[x]["write_sets"]]
+    for i, a in enumerate(committed_writers):
+        for b in committed_writers[i + 1:]:
+            if a["snapshot_lsn"] is None or b["snapshot_lsn"] is None:
+                continue
+            concurrent = (a["snapshot_lsn"] < b["commit_lsn"]
+                          and b["snapshot_lsn"] < a["commit_lsn"])
+            if not concurrent:
+                continue
+            for table, rows in a["write_sets"].items():
+                overlap = rows & b["write_sets"].get(table, set())
+                if overlap:
+                    violations.append(
+                        "lost update: concurrent txns {0} and {1} both "
+                        "committed writes to rows {2} of {3!r}".format(
+                            a["txn"], b["txn"], sorted(overlap), table))
+    return violations

@@ -122,6 +122,22 @@ class SetPragma:
 
 
 @dataclass
+class BeginTransaction:
+    """``BEGIN [TRANSACTION|WORK]`` — leave autocommit, start a
+    snapshot-isolation transaction (handled by the session layer)."""
+
+
+@dataclass
+class CommitTransaction:
+    """``COMMIT [TRANSACTION|WORK]`` — commit the open transaction."""
+
+
+@dataclass
+class RollbackTransaction:
+    """``ROLLBACK [TRANSACTION|WORK]`` / ``ABORT`` — abort it."""
+
+
+@dataclass
 class Explain:
     """``EXPLAIN <statement>`` — show the optimized MAL plan."""
 
@@ -147,6 +163,9 @@ def statement_kind(node):
         "SetPragma": "SET",
         "Explain": "EXPLAIN",
         "Profile": "PROFILE",
+        "BeginTransaction": "BEGIN",
+        "CommitTransaction": "COMMIT",
+        "RollbackTransaction": "ROLLBACK",
     }
     return kinds.get(type(node).__name__, type(node).__name__)
 

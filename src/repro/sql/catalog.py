@@ -52,6 +52,8 @@ class Table:
         self.base_count = 0
         self.deleted = set()
         self.version = 0
+        self.delete_log = []        # [(version after delete, frozenset oids)]
+        self._delete_log_floor = 0  # snapshots older than this can't be answered
         self._crackers = {}
 
     # -- geometry -----------------------------------------------------------
@@ -150,7 +152,24 @@ class Table:
             for cracker in self._crackers.values():
                 cracker.delete(fresh)
             self.version += 1
+            self.delete_log.append((self.version, frozenset(fresh)))
+            if len(self.delete_log) > 1024:
+                dropped_version, _ = self.delete_log.pop(0)
+                self._delete_log_floor = dropped_version
         return len(fresh)
+
+    def deleted_since(self, version):
+        """Oids deleted by writers after snapshot ``version``, or
+        ``None`` when the log cannot answer (the snapshot predates a
+        vacuum or a trimmed log entry) — callers must then assume the
+        worst and treat every shared row as touched."""
+        if version < self._delete_log_floor:
+            return None
+        out = set()
+        for logged_version, oids in self.delete_log:
+            if logged_version > version:
+                out |= oids
+        return out
 
     def cracked_select(self, column, lo=None, hi=None, lo_incl=True,
                        hi_incl=False):
@@ -202,6 +221,10 @@ class Table:
         self.base_count = len(keep)
         self._crackers = {}  # oids were renumbered: rebuild lazily
         self.version += 1
+        # Oids were renumbered: older snapshots can no longer be
+        # validated row-by-row against the delete log.
+        self.delete_log = []
+        self._delete_log_floor = self.version
 
     def __repr__(self):
         return "Table({0!r}, {1} rows visible, {2} delta, {3} deleted)".format(

@@ -6,8 +6,9 @@ from repro.mal.interpreter import Interpreter
 from repro.mal.optimizer import DEFAULT_PIPELINE
 from repro.observability.tracer import NO_TRACE
 from repro.sql.ast import (
-    Column, CreateTable, Delete, Explain, Insert, Profile, Select,
-    SelectItem, SetPragma, Update, statement_kind,
+    BeginTransaction, Column, CommitTransaction, CreateTable, Delete,
+    Explain, Insert, Profile, RollbackTransaction, Select, SelectItem,
+    SetPragma, Update, statement_kind,
 )
 from repro.sql.catalog import Catalog
 from repro.sql.compiler import compile_select, compile_where_candidates
@@ -139,6 +140,10 @@ class Database:
         # seen during WAL replay (xid -> ops), resolved by the sharding
         # coordinator's decision log after recovery.
         self._pending_prepares = {}
+        # Monotone commit sequence number, bumped once per published
+        # commit (autocommit DML, Transaction.commit, replay).  The
+        # session layer stamps snapshots and commits with it.
+        self.commit_seq = 0
 
     @classmethod
     def with_recycling(cls, capacity_bytes=None, policy="benefit"):
@@ -197,6 +202,12 @@ class Database:
             return ResultSet(["plan"], [profile.text().splitlines()])
         if isinstance(statement, SetPragma):
             return self._apply_pragma(statement)
+        if isinstance(statement, (BeginTransaction, CommitTransaction,
+                                  RollbackTransaction)):
+            raise TypeError(
+                "{0} needs a session (repro.sessions.Session); "
+                "Database.execute is autocommit-only".format(
+                    statement_kind(statement)))
         if isinstance(statement, CreateTable):
             if self.wal is not None:
                 record = {"kind": "create", "table": statement.name,
@@ -216,6 +227,7 @@ class Database:
                     "deletes": []}]
             self._log_commit(ops)
             self._apply_ops(ops)
+            self._bump_commit()
             return len(statement.rows)
         if isinstance(statement, Delete):
             self.catalog.get(statement.table)
@@ -224,7 +236,9 @@ class Database:
             ops = [{"table": statement.table, "appends": [],
                     "deletes": sorted(int(o) for o in oids)}]
             self._log_commit(ops)
-            return self._apply_ops(ops)
+            deleted = self._apply_ops(ops)
+            self._bump_commit()
+            return deleted
         if isinstance(statement, Update):
             return self._apply_update(statement)
         if isinstance(statement, Select):
@@ -385,9 +399,14 @@ class Database:
                             ResultSet(result.names, result.columns),
                             worker_set=result.worker_set)
 
-    def begin(self):
-        """Start a snapshot-isolation transaction."""
-        return Transaction(self)
+    def begin(self, pin=False):
+        """Start a snapshot-isolation transaction.
+
+        ``pin=True`` snapshots every existing table immediately, so the
+        snapshot is one consistent cross-table point in time (sessions
+        use this); the default pins each table lazily at first touch.
+        """
+        return Transaction(self, pin=pin)
 
     # -- internals shared with Transaction ----------------------------------------
 
@@ -449,6 +468,7 @@ class Database:
                 "deletes": sorted(int(o) for o in oids)}]
         self._log_commit(ops)
         self._apply_ops(ops)
+        self._bump_commit()
         return len(oids)
 
     # -- durability: logical ops, write-ahead logging, recovery --------------
@@ -469,6 +489,12 @@ class Database:
                 raise ValueError("row arity mismatch: {0!r}".format(row))
             out.append([row[i] for i in reorder])
         return out
+
+    def _bump_commit(self):
+        """Advance and return the commit sequence number (one commit
+        just published)."""
+        self.commit_seq += 1
+        return self.commit_seq
 
     def _log_commit(self, ops):
         """Write-ahead: make the logical ops durable before applying."""
@@ -509,6 +535,7 @@ class Database:
             self._plan_cache.clear()  # schema changed
         elif kind == "commit":
             self._apply_ops(record["ops"])
+            self._bump_commit()
         elif kind == "prepare":
             # Two-phase commit (repro.sharding): the record is durable
             # but undecided; it applies only when a decide-commit
@@ -519,6 +546,7 @@ class Database:
             ops = self._pending_prepares.pop(record["xid"], None)
             if record["outcome"] == "commit" and ops is not None:
                 self._apply_ops(ops)
+                self._bump_commit()
         else:
             raise ValueError(
                 "unknown WAL record kind {0!r}".format(kind))
@@ -549,6 +577,7 @@ class Database:
         self._plan_cache.clear()
         self.last_parallel = None
         self._pending_prepares = {}
+        self.commit_seq = 0  # rebuilt by replay
         for record in records:
             self._replay_record(record)
         return len(records)
@@ -577,5 +606,6 @@ class Database:
                                  "outcome": outcome})
             if outcome == "commit":
                 self._apply_ops(ops)
+                self._bump_commit()
                 committed += 1
         return committed

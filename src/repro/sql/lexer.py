@@ -19,6 +19,7 @@ KEYWORDS = frozenset("""
     and or not between in is as integer int bigint smallint tinyint
     varchar text string boolean bool real float double true false null
     explain profile partition
+    begin commit rollback abort transaction work
 """.split())
 
 _TOKEN_RE = re.compile(r"""

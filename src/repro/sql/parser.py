@@ -2,15 +2,18 @@
 
 Statements: CREATE TABLE, INSERT, DELETE, UPDATE, SELECT (joins, WHERE,
 GROUP BY, HAVING, ORDER BY, LIMIT, DISTINCT, BETWEEN, IN), the
-session pragma SET (``SET workers = 4``), and the EXPLAIN / PROFILE
-statement prefixes.  Expressions
+session pragma SET (``SET workers = 4``), transaction control
+(``BEGIN`` / ``COMMIT`` / ``ROLLBACK``, each with an optional
+``TRANSACTION``/``WORK`` noise word, plus ``ABORT``), and the
+EXPLAIN / PROFILE statement prefixes.  Expressions
 follow standard precedence: OR < AND < NOT < comparison < additive <
 multiplicative < unary minus.
 """
 
 from repro.sql.ast import (
-    BinOp, Column, CreateTable, Delete, Explain, FuncCall, Insert, IsNull,
-    Join, Literal, OrderItem, Profile, Select, SelectItem, SetPragma, Star,
+    BeginTransaction, BinOp, Column, CommitTransaction, CreateTable,
+    Delete, Explain, FuncCall, Insert, IsNull, Join, Literal, OrderItem,
+    Profile, RollbackTransaction, Select, SelectItem, SetPragma, Star,
     TableRef, UnaryOp, Update,
 )
 from repro.sql.lexer import END, SQLSyntaxError, tokenize
@@ -72,8 +75,23 @@ class _Parser:
             return self.select()
         if token.matches("keyword", "set"):
             return self.set_pragma()
+        if token.matches("keyword", "begin"):
+            return self.txn_control("begin", BeginTransaction)
+        if token.matches("keyword", "commit"):
+            return self.txn_control("commit", CommitTransaction)
+        if token.matches("keyword", "rollback"):
+            return self.txn_control("rollback", RollbackTransaction)
+        if token.matches("keyword", "abort"):
+            return self.txn_control("abort", RollbackTransaction)
         raise SQLSyntaxError("unsupported statement start: {0!r}".format(
             token.value))
+
+    def txn_control(self, word, node):
+        """``BEGIN|COMMIT|ROLLBACK [TRANSACTION|WORK]`` and ``ABORT``."""
+        self.expect("keyword", word)
+        if not self.accept("keyword", "transaction"):
+            self.accept("keyword", "work")
+        return node()
 
     def set_pragma(self):
         """``SET name = value`` session pragma (e.g. ``SET workers = 4``)."""

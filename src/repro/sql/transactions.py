@@ -7,9 +7,11 @@ transaction's own writes are buffered privately (insert rows, deleted
 oids) and merged at commit:
 
 * appends always merge (they cannot conflict);
-* deletes/updates of shared rows conflict if any other writer committed
-  to the table since the snapshot was taken (coarse, table-level
-  first-committer-wins).
+* deletes/updates of shared rows conflict iff another writer committed
+  a delete/update of *the same row* since the snapshot was taken
+  (row-level first-writer-wins, answered by the table's delete log;
+  when the log cannot answer — the snapshot predates a vacuum — the
+  check degrades to the coarse table-level conservative abort).
 
 Commit is write-ahead logged and fault-injectable: the buffered writes
 are first distilled into one logical record (appends + shared deletes
@@ -43,7 +45,7 @@ class Transaction:
     transaction see the snapshot plus the transaction's own writes.
     """
 
-    def __init__(self, database):
+    def __init__(self, database, pin=False):
         self._db = database
         self._catalog = database.catalog
         self._snapshots = {}   # table name -> (count, deleted copy, version)
@@ -52,6 +54,16 @@ class Transaction:
         self._bind_cache = {}  # (table, column) -> (n appends, BAT)
         self.closed = False
         self.outcome = None
+        # LSN stamps for the session layer: the snapshot is as-of
+        # ``snapshot_lsn`` (the database's commit sequence number at
+        # begin); ``commit_lsn`` is assigned when the commit publishes.
+        self.snapshot_lsn = getattr(database, "commit_seq", 0)
+        self.commit_lsn = None
+        if pin:
+            # Pin every existing table now so the snapshot is one
+            # consistent cross-table point in time, not first-touch.
+            for name in list(self._catalog.tables):
+                self._snapshot(name)
 
     # -- snapshot plumbing --------------------------------------------------
 
@@ -211,8 +223,12 @@ class Transaction:
     # -- commit / abort ----------------------------------------------------------------------
 
     def _validate(self):
-        """Validation phase: table-level first-committer-wins for
-        non-append writes.  A conflict closes the transaction (catalog
+        """Validation phase: row-level first-writer-wins for non-append
+        writes.  A transaction deleting/updating shared rows conflicts
+        iff a committed writer deleted/updated *one of the same rows*
+        after its snapshot; when the delete log cannot answer (the
+        snapshot predates a vacuum) any concurrent table change aborts
+        conservatively.  A conflict closes the transaction (catalog
         untouched) and raises :class:`ConflictError`."""
         touched = sorted(set(self._appends) | set(self._deleted))
         for name in touched:
@@ -220,11 +236,14 @@ class Transaction:
             table = self._catalog.get(name)
             shared_deletes = {o for o in self._deleted.get(name, set())
                               if o < snap_count}
-            if shared_deletes and table.version != snap_version:
+            if not shared_deletes or table.version == snap_version:
+                continue
+            committed = table.deleted_since(snap_version)
+            if committed is None or committed & shared_deletes:
                 self.closed = True
                 self.outcome = "aborted (conflict)"
                 raise ConflictError(
-                    "table {0!r} changed since snapshot".format(name))
+                    "rows of {0!r} changed since snapshot".format(name))
         return touched
 
     def _distill_ops(self):
@@ -278,6 +297,10 @@ class Transaction:
             self.closed = True
             self.outcome = "crashed"
             raise
+        # Writers take the next commit sequence number; a read-only
+        # commit is stamped as-of the current one.
+        self.commit_lsn = self._db._bump_commit() if ops \
+            else self._db.commit_seq
         self.closed = True
         self.outcome = "committed"
 

@@ -6,8 +6,13 @@
   and query log with heavy template reuse and zipf-popular sky regions
   (the recycling workload of [19], experiment E10);
 * :mod:`repro.workloads.starschema` — a small star schema for the BI
-  examples and the bulk-vs-tuple experiment E13.
+  examples and the bulk-vs-tuple experiment E13;
+* :mod:`repro.workloads.multitenant` — the seeded open-loop
+  multi-tenant transaction driver (zipf tenants, bursty arrivals,
+  mixed OLTP/OLAP) behind experiment E22.
 """
+
+from repro.workloads.multitenant import MultiTenantWorkload, run_workload
 
 from repro.workloads.generators import (
     clustered_ints,
@@ -25,6 +30,8 @@ __all__ = [
     "sorted_ints",
     "clustered_ints",
     "dense_keys",
+    "MultiTenantWorkload",
     "SkyserverWorkload",
     "StarSchema",
+    "run_workload",
 ]

@@ -1,0 +1,321 @@
+"""Seeded open-loop multi-tenant workload driver (experiment E22).
+
+Simulates a large user population hammering one database: tenants are
+drawn from a zipf popularity distribution (a few hot tenants, a long
+tail — "millions of users" collapse onto the tenant axis), arrivals are
+open-loop Poisson with seeded *bursts* (the arrival rate multiplies
+during burst windows, so the offered load exceeds capacity in waves),
+and each arrival is a mixed transaction: mostly short OLTP
+(point UPDATE/SELECT + COMMIT), occasionally a long OLAP scan.
+
+Because the load is open-loop, arrivals do not slow down when the
+server saturates — exactly the regime where admission control matters.
+Service is processor sharing: the simulated server has ``capacity``
+units of work per tick shared equally among in-service transactions,
+so an uncontrolled overload stretches *everyone's* latency, while an
+admission-controlled run keeps in-service counts bounded and sheds the
+excess at arrival.
+
+The driver executes *real* transactions through the session layer as
+the simulation progresses — ``BEGIN`` and the transaction's statements
+at admission, ``COMMIT`` at service completion — so genuinely
+concurrent MVCC transactions (and their conflicts) arise, and the
+recorded history feeds the snapshot-isolation oracle.  Works against a
+single node, a replication group, or a sharded database.
+
+Latency is measured arrival-to-completion in simulated ticks (queueing
+included); *goodput* counts transactions that completed within
+``deadline`` ticks.  Every random choice derives from one seed, so any
+run reproduces exactly.
+"""
+
+import math
+import random
+
+from repro.sessions import (
+    AdmissionController, AdmissionRejected, HistoryRecorder,
+    SessionManager,
+)
+from repro.sql.transactions import ConflictError
+
+
+class WorkloadReport:
+    """Outcome of one driver run."""
+
+    def __init__(self, seed, controlled):
+        self.seed = seed
+        self.controlled = controlled
+        self.arrived = 0
+        self.admitted = 0
+        self.shed = 0
+        self.completed = 0
+        self.conflicts = 0
+        self.good = 0            # completed within the deadline
+        self.latencies = []      # arrival -> completion, ticks
+        self.per_tenant = {}     # tenant -> completed count
+        self.duration = 0
+        self.violations = []
+        self.history_events = 0
+        self.max_in_service = 0
+
+    def _quantile(self, q):
+        if not self.latencies:
+            return float("nan")
+        ordered = sorted(self.latencies)
+        index = min(len(ordered) - 1,
+                    max(0, math.ceil(q * len(ordered)) - 1))
+        return ordered[index]
+
+    @property
+    def p50(self):
+        return self._quantile(0.50)
+
+    @property
+    def p99(self):
+        return self._quantile(0.99)
+
+    @property
+    def goodput(self):
+        """Deadline-met completions per tick."""
+        return self.good / self.duration if self.duration else 0.0
+
+    def summary(self):
+        return ("seed={0} {1}: arrived={2} completed={3} shed={4} "
+                "conflicts={5} p50={6:.1f} p99={7:.1f} goodput={8:.3f} "
+                "violations={9}".format(
+                    self.seed,
+                    "controlled" if self.controlled else "uncontrolled",
+                    self.arrived, self.completed, self.shed,
+                    self.conflicts, self.p50, self.p99, self.goodput,
+                    len(self.violations)))
+
+
+class _Job:
+    __slots__ = ("tenant", "arrival", "demand", "kind", "session",
+                 "done", "statements")
+
+    def __init__(self, tenant, arrival, demand, kind, statements):
+        self.tenant = tenant
+        self.arrival = arrival
+        self.demand = demand
+        self.kind = kind
+        self.statements = statements
+        self.session = None
+        self.done = 0.0
+
+
+def zipf_weights(n_tenants, skew):
+    return [1.0 / (rank ** skew) for rank in range(1, n_tenants + 1)]
+
+
+class MultiTenantWorkload:
+    """One seeded open-loop run; see the module docstring.
+
+    Parameters (all defaulted for a quick run; the bench scales them):
+
+    ``backend``
+        A ``Database``, ``ReplicationGroup`` or ``ShardedDatabase``;
+        ``None`` creates a fresh single node.
+    ``overload``
+        Mean offered load as a multiple of service capacity (2.0 = the
+        server is offered twice what it can finish).
+    ``admission``
+        ``True`` builds an :class:`AdmissionController` sized to the
+        capacity; ``False`` runs uncontrolled; or pass a controller.
+    """
+
+    def __init__(self, seed, backend=None, n_tenants=8, zipf_skew=1.2,
+                 duration=400, capacity=4.0, overload=1.0,
+                 oltp_fraction=0.9, oltp_demand=4.0, olap_demand=24.0,
+                 burst_every=97, burst_length=23, burst_factor=4.0,
+                 deadline=40.0, admission=False, max_queue_depth=16,
+                 rows_per_tenant=8, record_history=True,
+                 tenant_weights=None):
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self.n_tenants = n_tenants
+        self.tenants = ["t{0}".format(i) for i in range(n_tenants)]
+        self.weights = zipf_weights(n_tenants, zipf_skew)
+        self.duration = duration
+        self.capacity = capacity
+        self.oltp_fraction = oltp_fraction
+        self.oltp_demand = oltp_demand
+        self.olap_demand = olap_demand
+        self.burst_every = burst_every
+        self.burst_length = burst_length
+        self.burst_factor = burst_factor
+        self.deadline = deadline
+        self.rows_per_tenant = rows_per_tenant
+        # Offered load: arrivals/tick such that mean demand * rate =
+        # overload * capacity.
+        mean_demand = (oltp_fraction * oltp_demand
+                       + (1.0 - oltp_fraction) * olap_demand)
+        burst_share = burst_length / float(burst_every)
+        mean_factor = 1.0 + burst_share * (burst_factor - 1.0)
+        self.base_rate = overload * capacity / (mean_demand * mean_factor)
+        self.backend = backend if backend is not None else \
+            self._default_backend()
+        self.recorder = HistoryRecorder() if record_history else None
+        if admission is True:
+            admission = AdmissionController(
+                max_inflight=max(1, int(capacity)),
+                max_queue_depth=max_queue_depth,
+                weights=tenant_weights)
+        elif admission is False:
+            admission = None
+        self.admission = admission
+        self.manager = SessionManager(self.backend,
+                                      recorder=self.recorder)
+        self._sessions = {t: self.manager.session(t)
+                          for t in self.tenants}
+        self._setup_schema()
+
+    @staticmethod
+    def _default_backend():
+        from repro.sql.database import Database
+        return Database()
+
+    def _setup_schema(self):
+        create = ("CREATE TABLE accounts "
+                  "(tenant BIGINT, slot BIGINT, v BIGINT)")
+        if self.manager.backend_kind == "sharded":
+            create += " PARTITION BY (tenant)"
+        self.backend.execute(create)
+        values = []
+        for i in range(self.n_tenants):
+            for slot in range(self.rows_per_tenant):
+                values.append("({0}, {1}, 0)".format(i, slot))
+        self.backend.execute(
+            "INSERT INTO accounts VALUES " + ", ".join(values))
+
+    # -- seeded generators -----------------------------------------------------
+
+    def _pick_tenant(self):
+        return self.rng.choices(range(self.n_tenants),
+                                weights=self.weights)[0]
+
+    def _next_interarrival(self, now):
+        in_burst = (int(now) % self.burst_every) < self.burst_length
+        rate = self.base_rate * (self.burst_factor if in_burst else 1.0)
+        return self.rng.expovariate(rate)
+
+    def _gen_job(self, tenant_index, now):
+        tenant = self.tenants[tenant_index]
+        if self.rng.random() < self.oltp_fraction:
+            slot = self.rng.randrange(self.rows_per_tenant)
+            statements = [
+                "UPDATE accounts SET v = v + 1 "
+                "WHERE tenant = {0} AND slot = {1}".format(
+                    tenant_index, slot),
+                "SELECT v FROM accounts WHERE tenant = {0} "
+                "AND slot = {1}".format(tenant_index, slot),
+            ]
+            demand = self.oltp_demand
+            kind = "oltp"
+        else:
+            statements = [
+                "SELECT count(*), sum(v) FROM accounts "
+                "WHERE tenant = {0}".format(tenant_index),
+                "SELECT count(*), sum(v), min(v), max(v) FROM accounts",
+            ]
+            demand = self.olap_demand
+            kind = "olap"
+        return _Job(tenant, now, demand, kind, statements)
+
+    # -- execution against the engine ------------------------------------------
+
+    def _start(self, job):
+        """Admit: BEGIN and run the job's statements (reads/buffered
+        writes) on its snapshot; COMMIT happens at completion."""
+        session = self._sessions[job.tenant]
+        if session.in_transaction:
+            # One connection per tenant: a tenant with a transaction
+            # already in service opens an extra session (connection
+            # pool growing under load).
+            session = self.manager.session(job.tenant)
+            self._sessions[job.tenant] = session
+        session.execute("BEGIN")
+        for sql in job.statements:
+            session.execute(sql)
+        job.session = session
+
+    def _complete(self, job, report):
+        try:
+            job.session.execute("COMMIT")
+        except ConflictError:
+            report.conflicts += 1
+
+    # -- the open-loop simulation ----------------------------------------------
+
+    def run(self):
+        report = WorkloadReport(self.seed,
+                                controlled=self.admission is not None)
+        in_service = []
+        now = 0.0
+        next_arrival = self._next_interarrival(0.0)
+        while now < self.duration:
+            # Arrivals in [now, now+1).
+            while next_arrival < now + 1.0:
+                arrival_time = next_arrival
+                next_arrival += self._next_interarrival(next_arrival)
+                if arrival_time >= self.duration:
+                    break
+                report.arrived += 1
+                job = self._gen_job(self._pick_tenant(), arrival_time)
+                if self.admission is None:
+                    self._start(job)
+                    in_service.append(job)
+                    report.admitted += 1
+                else:
+                    try:
+                        self.admission.enqueue(job.tenant, job)
+                    except AdmissionRejected:
+                        report.shed += 1
+            # Drain the admission queue into free slots.
+            if self.admission is not None:
+                while True:
+                    admitted = self.admission.admit_next()
+                    if admitted is None:
+                        break
+                    _, job = admitted
+                    self._start(job)
+                    in_service.append(job)
+                    report.admitted += 1
+            report.max_in_service = max(report.max_in_service,
+                                        len(in_service))
+            # Processor sharing: one tick of capacity split equally.
+            if in_service:
+                share = self.capacity / len(in_service)
+                finished = []
+                for job in in_service:
+                    job.done += share
+                    if job.done >= job.demand:
+                        finished.append(job)
+                for job in finished:
+                    in_service.remove(job)
+                    self._complete(job, report)
+                    if self.admission is not None:
+                        self.admission.release(job.tenant)
+                    latency = (now + 1.0) - job.arrival
+                    report.completed += 1
+                    report.latencies.append(latency)
+                    report.per_tenant[job.tenant] = \
+                        report.per_tenant.get(job.tenant, 0) + 1
+                    if latency <= self.deadline:
+                        report.good += 1
+            now += 1.0
+        # Abort whatever is still in service at the horizon.
+        for job in in_service:
+            job.session.execute("ROLLBACK")
+            if self.admission is not None:
+                self.admission.release(job.tenant)
+        report.duration = self.duration
+        if self.recorder is not None:
+            report.violations = self.recorder.check()
+            report.history_events = len(self.recorder.events)
+        return report
+
+
+def run_workload(seed, **kwargs):
+    """Convenience: build and run one seeded workload."""
+    return MultiTenantWorkload(seed, **kwargs).run()

@@ -72,6 +72,7 @@ def _check_partition(db, table, predicate, label):
             label, predicate, split, total)
 
 
+@pytest.mark.slow
 @pytest.mark.parametrize("seed", SEEDS)
 def test_tlp_partitions_rebuild_the_table(seed):
     generator = QueryGenerator(seed)
@@ -84,9 +85,10 @@ def test_tlp_partitions_rebuild_the_table(seed):
         if table.rows:
             single.execute(table.insert_sql())
             sharded.execute(table.insert_sql())
-    for table in generator.tables:
+    for t_index, table in enumerate(generator.tables):
         for i in range(PREDICATES_PER_TABLE):
-            predicate = generator._predicate(table)
+            predicate = generator.gen_predicate(
+                table, case_id=t_index * PREDICATES_PER_TABLE + i)
             _check_partition(
                 single, table, predicate,
                 "seed={0} single #{1}".format(seed, i))
@@ -105,8 +107,8 @@ def test_tlp_null_partition_is_empty_without_nulls(seed):
     db = Database()
     for statement in generator.setup_statements():
         db.execute(statement)
-    for table in generator.tables:
-        predicate = generator._predicate(table)
+    for t_index, table in enumerate(generator.tables):
+        predicate = generator.gen_predicate(table, case_id=t_index)
         rows = db.query("SELECT count(*) FROM {0} WHERE ({1}) IS NULL"
                         .format(table.name, predicate))
         assert rows == [(0,)]

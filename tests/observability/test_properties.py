@@ -27,8 +27,8 @@ def _profiled_queries(seed, workers):
     db = Database()
     for statement in generator.setup_statements():
         db.execute(statement)
-    for _ in range(QUERIES_PER_CASE):
-        sql = generator.gen_query()
+    for i in range(QUERIES_PER_CASE):
+        sql = generator.gen_query(case_id=i)
         yield sql, db, db.profile(sql, workers=workers)
 
 

@@ -1,8 +1,14 @@
 """Seeded random schema/data/query generator for differential testing.
 
-Every choice is drawn from one ``random.Random(seed)`` so a failing
-seed reproduces exactly.  The generated space is deliberately
-constrained to stay *discriminating without being flaky*:
+The schema and data are drawn from ``random.Random(seed)``; each
+generated case (query, DML script, predicate) draws from its own
+``random.Random(seed + case_id)`` when the caller passes ``case_id``,
+so a failing case reproduces *standalone* — you can regenerate query
+#5 of seed 12 without replaying queries #0-#4 first.  Omitting
+``case_id`` keeps the legacy single-stream behaviour.
+
+The generated space is deliberately constrained to stay
+*discriminating without being flaky*:
 
 * BIGINT columns with small values — no int32 overflow divergence
   between numpy and Python arithmetic.
@@ -19,6 +25,7 @@ constrained to stay *discriminating without being flaky*:
   ambiguous; join queries qualify everything anyway.
 """
 
+import contextlib
 import random
 
 TYPES = ("BIGINT", "DOUBLE", "VARCHAR(8)")
@@ -64,9 +71,25 @@ class QueryGenerator:
     """Generates one schema and a stream of queries against it."""
 
     def __init__(self, seed):
+        self.seed = seed
         self.rng = random.Random(seed)
         self._name_counter = 0
         self.tables = self._gen_schema()
+
+    @contextlib.contextmanager
+    def _case(self, case_id):
+        """Draw the enclosed generation from ``Random(seed + case_id)``
+        so the case reproduces standalone; ``None`` keeps the shared
+        stream."""
+        if case_id is None:
+            yield
+            return
+        saved = self.rng
+        self.rng = random.Random(self.seed + case_id)
+        try:
+            yield
+        finally:
+            self.rng = saved
 
     # -- schema and data -----------------------------------------------------
 
@@ -111,7 +134,7 @@ class QueryGenerator:
 
     # -- transactional DML scripts -------------------------------------------
 
-    def gen_dml_script(self):
+    def gen_dml_script(self, case_id=None):
         """A short transactional script of INSERT/UPDATE/DELETE
         statements.
 
@@ -120,6 +143,10 @@ class QueryGenerator:
         ``wal.append`` site being hit).  Deletes always carry a WHERE
         clause so a script cannot wipe a table and starve later ones.
         """
+        with self._case(case_id):
+            return self._gen_dml_script()
+
+    def _gen_dml_script(self):
         script = [self._gen_insert(self._pick_table())]
         for _ in range(self.rng.randint(1, 3)):
             kind = self.rng.choice(["insert", "update", "update",
@@ -169,11 +196,17 @@ class QueryGenerator:
 
     # -- queries -------------------------------------------------------------
 
-    def gen_query(self):
-        shape = self.rng.choice(
-            ["project", "project", "scalar_agg", "grouped", "grouped",
-             "join_project", "join_agg", "distinct"])
-        return getattr(self, "_gen_" + shape)()
+    def gen_query(self, case_id=None):
+        with self._case(case_id):
+            shape = self.rng.choice(
+                ["project", "project", "scalar_agg", "grouped",
+                 "grouped", "join_project", "join_agg", "distinct"])
+            return getattr(self, "_gen_" + shape)()
+
+    def gen_predicate(self, table, case_id=None, qualify=None):
+        """A standalone predicate (the TLP harness's per-case entry)."""
+        with self._case(case_id):
+            return self._predicate(table, qualify)
 
     def _pick_table(self):
         return self.rng.choice(self.tables)

@@ -46,7 +46,7 @@ def test_engine_agrees_with_oracle(seed):
     oracle = ReferenceExecutor(generator.reference_tables())
 
     for i in range(QUERIES_PER_SEED):
-        sql = generator.gen_query()
+        sql = generator.gen_query(case_id=i)
         label = "seed={0} pipeline={1} query#{2}: {3}".format(
             seed, pipeline, i, sql)
         expected = oracle.execute(parse_sql(sql))
@@ -71,7 +71,7 @@ def test_profiled_queries_agree_and_export_valid_traces(seed):
     oracle = ReferenceExecutor(generator.reference_tables())
 
     for i in range(QUERIES_PER_SEED):
-        sql = generator.gen_query()
+        sql = generator.gen_query(case_id=i)
         label = "seed={0} pipeline={1} query#{2}: {3}".format(
             seed, pipeline, i, sql)
         expected = oracle.execute(parse_sql(sql))
@@ -94,8 +94,8 @@ def test_generated_queries_mostly_run_parallel():
     db = Database()
     for statement in generator.setup_statements():
         db.execute(statement)
-    for _ in range(40):
-        db.query(generator.gen_query(), workers=2)
+    for i in range(40):
+        db.query(generator.gen_query(case_id=i), workers=2)
     total = db.parallel_runs + db.parallel_fallbacks
     assert total == 40
     assert db.parallel_runs >= 0.9 * total, (

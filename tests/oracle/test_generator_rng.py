@@ -1,0 +1,59 @@
+"""Regression: per-case RNG derivation in the seeded generators.
+
+The generators used to share one ``random.Random(seed)`` stream across
+every generated case, so reproducing query #5 of a failing seed meant
+replaying queries #0-#4 first.  Cases now derive their own
+``random.Random(seed + case_id)``, which must make any case
+reproducible *standalone*, in any order, without touching the shared
+stream that fixes the schema.
+"""
+
+from tests.oracle.generator import QueryGenerator
+
+
+def test_case_reproduces_standalone():
+    """Case k generated directly equals case k generated after cases
+    0..k-1 — no hidden stream coupling."""
+    sequential = QueryGenerator(12)
+    in_order = [sequential.gen_query(case_id=i) for i in range(8)]
+    for k in (0, 3, 7):
+        fresh = QueryGenerator(12)
+        assert fresh.gen_query(case_id=k) == in_order[k]
+
+
+def test_case_order_is_irrelevant():
+    forward = QueryGenerator(5)
+    backward = QueryGenerator(5)
+    a = [forward.gen_dml_script(case_id=i) for i in range(6)]
+    b = [backward.gen_dml_script(case_id=i) for i in reversed(range(6))]
+    assert a == list(reversed(b))
+
+
+def test_cases_do_not_disturb_the_shared_stream():
+    """Drawing cases must not advance the schema-owning stream: two
+    same-seed generators agree on shared-stream output regardless of
+    how many per-case draws happened in between."""
+    plain = QueryGenerator(33)
+    busy = QueryGenerator(33)
+    for i in range(5):
+        busy.gen_query(case_id=i)
+        busy.gen_dml_script(case_id=100 + i)
+        busy.gen_predicate(busy.tables[0], case_id=200 + i)
+    assert plain.gen_query() == busy.gen_query()
+
+
+def test_distinct_cases_differ():
+    """Sanity: the derived streams are actually distinct (no silently
+    degenerate derivation)."""
+    generator = QueryGenerator(3)
+    queries = {generator.gen_query(case_id=i) for i in range(12)}
+    assert len(queries) > 6
+
+
+def test_predicates_reproduce_standalone():
+    generator = QueryGenerator(9)
+    table = generator.tables[0]
+    wanted = [generator.gen_predicate(table, case_id=i)
+              for i in range(5)]
+    fresh = QueryGenerator(9)
+    assert fresh.gen_predicate(fresh.tables[0], case_id=3) == wanted[3]

@@ -56,7 +56,7 @@ def test_transactional_dml_matches_reference(seed):
     reference = ReferenceExecutor(copy_tables(
         generator.reference_tables()))
     for i in range(SCRIPTS_PER_SEED):
-        script = generator.gen_dml_script()
+        script = generator.gen_dml_script(case_id=i)
         with db.begin() as txn:
             for sql in script:
                 txn.execute(sql)
@@ -78,7 +78,7 @@ def test_crashed_commit_recovers_to_reference_state(seed, site, expect):
     pre = copy_tables(generator.reference_tables())
     post_ref = ReferenceExecutor(copy_tables(
         generator.reference_tables()))
-    script = generator.gen_dml_script()
+    script = generator.gen_dml_script(case_id=0)
     for sql in script:
         post_ref.apply_dml(parse_sql(sql))
 
@@ -106,8 +106,8 @@ def test_scripts_cover_all_dml_kinds():
     verbs = set()
     for seed in SEEDS:
         generator = QueryGenerator(seed)
-        for _ in range(SCRIPTS_PER_SEED):
-            for sql in generator.gen_dml_script():
+        for i in range(SCRIPTS_PER_SEED):
+            for sql in generator.gen_dml_script(case_id=i):
                 verbs.add(sql.split(None, 1)[0])
     assert verbs == {"INSERT", "UPDATE", "DELETE"}
 

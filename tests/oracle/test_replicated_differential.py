@@ -53,7 +53,7 @@ def test_replicated_dml_matches_reference(seed):
     reference = ReferenceExecutor(copy_tables(
         generator.reference_tables()))
     for i in range(SCRIPTS_PER_SEED):
-        script = generator.gen_dml_script()
+        script = generator.gen_dml_script(case_id=i)
         for sql in script:
             group.execute(sql)
             reference.apply_dml(parse_sql(sql))
@@ -74,7 +74,7 @@ def test_mid_script_failover_preserves_reference_state(seed, mode):
     reference = ReferenceExecutor(copy_tables(
         generator.reference_tables()))
     for i in range(SCRIPTS_PER_SEED):
-        script = generator.gen_dml_script()
+        script = generator.gen_dml_script(case_id=i)
         for j, sql in enumerate(script):
             group.execute(sql)
             reference.apply_dml(parse_sql(sql))
@@ -107,7 +107,7 @@ def test_reads_match_reference_on_any_routed_node(seed):
     group = build_cluster(generator)
     reference = ReferenceExecutor(copy_tables(
         generator.reference_tables()))
-    script = generator.gen_dml_script()
+    script = generator.gen_dml_script(case_id=0)
     for sql in script:
         group.execute(sql)
         reference.apply_dml(parse_sql(sql))

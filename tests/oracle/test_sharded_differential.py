@@ -42,7 +42,7 @@ def test_sharded_agrees_with_single_node(seed):
     generator = QueryGenerator(seed)
     single, sharded = _load_engines(generator)
     for i in range(QUERIES_PER_SEED):
-        sql = generator.gen_query()
+        sql = generator.gen_query(case_id=i)
         expected = single.query(sql)
         for db in sharded:
             assert_same_rows(
@@ -59,7 +59,7 @@ def test_scatter_plans_actually_fire(seed):
     generator = QueryGenerator(seed)
     _, sharded = _load_engines(generator)
     db = sharded[1]  # 2 shards
-    for _ in range(20):
-        db.query(generator.gen_query())
+    for i in range(20):
+        db.query(generator.gen_query(case_id=i))
     fanned = db.stats.scatter + db.stats.gather
     assert fanned >= 10, db.stats

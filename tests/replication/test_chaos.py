@@ -16,6 +16,7 @@ from repro.replication import chaos_sweep, run_chaos_schedule
 SEED_BASE = int(os.environ.get("FAULT_SWEEP_SEED", "0")) * 1000
 
 
+@pytest.mark.slow
 class TestChaosSweep:
     def test_sync_sweep_20_schedules(self):
         reports = chaos_sweep(SEED_BASE, n_schedules=20, mode="sync")

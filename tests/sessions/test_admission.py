@@ -1,0 +1,155 @@
+"""AdmissionController unit tests: bounded in-flight, shedding,
+weighted-fair stride scheduling, determinism."""
+
+import pytest
+
+from repro.sessions import AdmissionController, AdmissionRejected
+
+
+class TestSynchronousGate:
+    def test_admits_until_capacity(self):
+        ac = AdmissionController(max_inflight=3)
+        for _ in range(3):
+            ac.acquire("a")
+        with pytest.raises(AdmissionRejected):
+            ac.acquire("a")
+        assert ac.shed == 1 and ac.admitted == 3
+
+    def test_release_frees_slot(self):
+        ac = AdmissionController(max_inflight=1)
+        ac.acquire("a")
+        ac.release("a")
+        ac.acquire("b")
+        assert ac.inflight == 1
+
+    def test_acquire_never_jumps_the_queue(self):
+        ac = AdmissionController(max_inflight=2)
+        ac.acquire("a")
+        ac.acquire("a")
+        ac.enqueue("b", "queued-job")
+        ac.release("a")
+        # A slot is free but 'b' queued first: a fresh acquire sheds.
+        with pytest.raises(AdmissionRejected):
+            ac.acquire("c")
+        assert ac.admit_next() == ("b", "queued-job")
+
+    def test_release_without_admit_is_an_error(self):
+        ac = AdmissionController()
+        with pytest.raises(RuntimeError):
+            ac.release("a")
+
+
+class TestQueueing:
+    def test_fifo_within_tenant(self):
+        ac = AdmissionController(max_inflight=10)
+        for i in range(4):
+            ac.enqueue("a", i)
+        assert [ac.admit_next()[1] for _ in range(4)] == [0, 1, 2, 3]
+
+    def test_queue_depth_sheds(self):
+        ac = AdmissionController(max_inflight=1, max_queue_depth=2)
+        ac.acquire("a")
+        ac.enqueue("b", 1)
+        ac.enqueue("b", 2)
+        with pytest.raises(AdmissionRejected):
+            ac.enqueue("b", 3)
+        assert ac.tenant_stats()["b"]["shed"] == 1
+
+    def test_admit_next_respects_inflight(self):
+        ac = AdmissionController(max_inflight=1)
+        ac.enqueue("a", 1)
+        ac.enqueue("a", 2)
+        assert ac.admit_next() == ("a", 1)
+        assert ac.admit_next() is None
+        ac.release("a")
+        assert ac.admit_next() == ("a", 2)
+
+
+class TestFairness:
+    def _drain(self, ac, n):
+        order = []
+        for _ in range(n):
+            admitted = ac.admit_next()
+            if admitted is None:
+                break
+            order.append(admitted[0])
+            ac.release(admitted[0])
+        return order
+
+    def test_equal_weights_share_equally(self):
+        ac = AdmissionController(max_inflight=1)
+        for tenant in ("a", "b", "c"):
+            for i in range(40):
+                ac.enqueue(tenant, i)
+        order = self._drain(ac, 30)
+        counts = {t: order.count(t) for t in ("a", "b", "c")}
+        assert counts == {"a": 10, "b": 10, "c": 10}
+
+    def test_weights_bias_admissions(self):
+        ac = AdmissionController(max_inflight=1, max_queue_depth=128,
+                                 weights={"heavy": 3, "light": 1})
+        for tenant in ("heavy", "light"):
+            for i in range(100):
+                ac.enqueue(tenant, i)
+        order = self._drain(ac, 40)
+        heavy = order.count("heavy")
+        assert 28 <= heavy <= 32  # 3:1 split of 40, +-2
+
+    def test_no_starvation_under_skew(self):
+        """A tenant with a single queued job gets served even while a
+        hot tenant keeps a deep backlog."""
+        ac = AdmissionController(max_inflight=1, max_queue_depth=256)
+        for i in range(200):
+            ac.enqueue("hot", i)
+        ac.enqueue("cold", "only-job")
+        order = self._drain(ac, 10)
+        assert "cold" in order
+
+    def test_idle_tenant_does_not_hoard_credit(self):
+        """A tenant idle for a long stretch re-enters at the current
+        pass: it cannot then monopolise admissions to 'catch up'."""
+        ac = AdmissionController(max_inflight=1)
+        for i in range(50):
+            ac.enqueue("a", i)
+        self._drain(ac, 20)
+        for i in range(20):
+            ac.enqueue("late", i)
+        order = self._drain(ac, 10)
+        assert 4 <= order.count("late") <= 6
+
+    def test_deterministic_schedule(self):
+        def run():
+            ac = AdmissionController(max_inflight=2,
+                                     weights={"a": 2, "b": 1})
+            order = []
+            for i in range(30):
+                ac.enqueue("a" if i % 3 else "b", i)
+            while True:
+                admitted = ac.admit_next()
+                if admitted is None:
+                    break
+                order.append(admitted)
+                ac.release(admitted[0])
+            return order
+        assert run() == run()
+
+
+class TestStats:
+    def test_snapshot_shape(self):
+        ac = AdmissionController(max_inflight=2)
+        ac.acquire("a")
+        ac.enqueue("b", 1)
+        snap = ac.snapshot()
+        assert snap["inflight"] == 1
+        assert snap["backlog"] == 1
+        assert snap["tenants"]["a"]["admitted"] == 1
+        assert snap["tenants"]["b"]["queued"] == 1
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            AdmissionController(max_inflight=0)
+        with pytest.raises(ValueError):
+            AdmissionController(max_queue_depth=-1)
+        ac = AdmissionController(weights={"a": 0})
+        with pytest.raises(ValueError):
+            ac.acquire("a")

@@ -1,0 +1,116 @@
+"""The isolation checker must *fail* on corrupted histories — an
+oracle that never fires is worthless.  Each test hand-builds a history
+violating exactly one axiom and asserts the checker names it."""
+
+from repro.sessions import HistoryRecorder, check_snapshot_isolation
+
+
+def _clean_history():
+    rec = HistoryRecorder()
+    rec.begin(1, "a", 10)
+    rec.read(1, "SELECT v FROM t", [(1,)])
+    rec.write(1, "UPDATE t ...", 1)
+    rec.finish(1, "committed", write_sets={"t": {0}},
+               appends={"t": 1}, commit_lsn=11)
+    rec.begin(2, "b", 11)
+    rec.read(2, "SELECT v FROM t", [(2,)])
+    rec.finish(2, "committed", commit_lsn=11)  # read-only: same LSN ok
+    return rec
+
+
+def test_clean_history_passes():
+    assert _clean_history().check() == []
+
+
+def test_lost_update_detected():
+    rec = HistoryRecorder()
+    rec.begin(1, "a", 5)
+    rec.begin(2, "b", 5)
+    rec.finish(1, "committed", write_sets={"t": {3}}, commit_lsn=6)
+    rec.finish(2, "committed", write_sets={"t": {3}}, commit_lsn=7)
+    violations = rec.check()
+    assert any("lost update" in v for v in violations)
+
+
+def test_serialized_writers_on_same_row_pass():
+    """The same row written by two *non-concurrent* transactions is
+    fine: the second began after the first committed."""
+    rec = HistoryRecorder()
+    rec.begin(1, "a", 5)
+    rec.finish(1, "committed", write_sets={"t": {3}}, commit_lsn=6)
+    rec.begin(2, "b", 6)
+    rec.finish(2, "committed", write_sets={"t": {3}}, commit_lsn=7)
+    assert rec.check() == []
+
+
+def test_read_your_own_writes_is_allowed():
+    """A read changed by the transaction's *own* intervening write is
+    not a repeatable-read violation under SI."""
+    rec = HistoryRecorder()
+    rec.begin(1, "a", 5)
+    rec.read(1, "SELECT v FROM t", [(1,)])
+    rec.write(1, "UPDATE t SET v = 2", 1)
+    rec.read(1, "SELECT v FROM t", [(2,)])
+    rec.finish(1, "committed", write_sets={"t": {0}}, commit_lsn=6)
+    assert rec.check() == []
+
+
+def test_non_repeatable_read_detected():
+    rec = HistoryRecorder()
+    rec.begin(1, "a", 5)
+    rec.read(1, "SELECT v FROM t", [(1,)])
+    rec.read(1, "SELECT v FROM t", [(2,)])
+    rec.finish(1, "committed", commit_lsn=5)
+    violations = rec.check()
+    assert any("non-repeatable read" in v for v in violations)
+
+
+def test_commit_order_regression_detected():
+    rec = HistoryRecorder()
+    rec.begin(1, "a", 5)
+    rec.finish(1, "committed", write_sets={"t": {1}}, commit_lsn=9)
+    rec.begin(2, "b", 9)
+    rec.finish(2, "committed", write_sets={"t": {2}}, commit_lsn=8)
+    violations = rec.check()
+    assert any("not after" in v for v in violations)
+
+
+def test_commit_before_snapshot_detected():
+    rec = HistoryRecorder()
+    rec.begin(1, "a", 10)
+    rec.finish(1, "committed", write_sets={"t": {1}}, commit_lsn=7)
+    violations = rec.check()
+    assert any("precedes its snapshot" in v for v in violations)
+
+
+def test_snapshot_going_backwards_detected():
+    rec = HistoryRecorder()
+    rec.begin(1, "a", 10)
+    rec.begin(2, "b", 8)
+    rec.finish(1, "aborted")
+    rec.finish(2, "aborted")
+    violations = rec.check()
+    assert any("went backwards" in v for v in violations)
+
+
+def test_committed_without_lsn_detected():
+    rec = HistoryRecorder()
+    rec.begin(1, "a", 3)
+    rec.finish(1, "committed", write_sets={"t": {0}})
+    violations = rec.check()
+    assert any("without a commit LSN" in v for v in violations)
+
+
+def test_aborted_transactions_never_flag():
+    rec = HistoryRecorder()
+    rec.begin(1, "a", 5)
+    rec.begin(2, "b", 5)
+    rec.finish(1, "conflict", write_sets={"t": {3}})
+    rec.finish(2, "committed", write_sets={"t": {3}}, commit_lsn=6)
+    assert rec.check() == []
+
+
+def test_checker_is_pure_function():
+    events = _clean_history().events
+    assert check_snapshot_isolation(events) == []
+    assert events == _clean_history().events  # not mutated

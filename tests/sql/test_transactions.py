@@ -127,6 +127,39 @@ class TestConflicts:
         t1.commit()
         assert db.execute("SELECT count(*) FROM accounts").scalar() == 1
 
+    def test_disjoint_row_writers_both_commit(self, db):
+        """Row-level first-writer-wins: concurrent writers touching
+        *different* rows of the same table do not conflict."""
+        t1 = db.begin()
+        t1.execute("SELECT count(*) FROM accounts")  # snapshot now
+        db.execute("UPDATE accounts SET balance = 0 WHERE owner = 'bob'")
+        t1.execute("DELETE FROM accounts WHERE owner = 'ann'")
+        t1.commit()
+        assert db.query("SELECT owner, balance FROM accounts") == \
+            [("bob", 0)]
+
+    def test_same_row_second_writer_loses(self, db):
+        """...but two writers updating the same row conflict, and the
+        first committer wins."""
+        t1 = db.begin()
+        t1.execute("UPDATE accounts SET balance = 1 WHERE owner = 'ann'")
+        db.execute("UPDATE accounts SET balance = 2 WHERE owner = 'ann'")
+        with pytest.raises(ConflictError):
+            t1.commit()
+        assert db.query("SELECT balance FROM accounts "
+                        "WHERE owner = 'ann'") == [(2,)]
+
+    def test_vacuum_during_transaction_conflicts_conservatively(self, db):
+        """merge_deltas renumbers oids, so a snapshot that predates the
+        vacuum can no longer be validated row-by-row: any concurrent
+        change then aborts the writer conservatively."""
+        t1 = db.begin()
+        t1.execute("DELETE FROM accounts WHERE owner = 'ann'")
+        db.execute("DELETE FROM accounts WHERE owner = 'bob'")
+        db.catalog.get("accounts").merge_deltas()
+        with pytest.raises(ConflictError):
+            t1.commit()
+
 
 class TestAbortSemantics:
     """Regression: however a transaction ends — abort, conflict, crash,
@@ -151,7 +184,7 @@ class TestAbortSemantics:
         t1 = db.begin()
         t1.execute("DELETE FROM accounts WHERE owner = 'ann'")
         t1.execute("INSERT INTO accounts VALUES ('gus', 9)")
-        db.execute("UPDATE accounts SET balance = 0 WHERE owner = 'bob'")
+        db.execute("UPDATE accounts SET balance = 0 WHERE owner = 'ann'")
         version_after_update = db.catalog.get("accounts").version
         with pytest.raises(ConflictError):
             t1.commit()
@@ -167,7 +200,7 @@ class TestAbortSemantics:
     def test_conflicted_transaction_is_unusable(self, db):
         t1 = db.begin()
         t1.execute("DELETE FROM accounts WHERE owner = 'ann'")
-        db.execute("DELETE FROM accounts WHERE owner = 'bob'")
+        db.execute("DELETE FROM accounts WHERE owner = 'ann'")
         with pytest.raises(ConflictError):
             t1.commit()
         with pytest.raises(TransactionClosedError):

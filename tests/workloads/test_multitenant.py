@@ -1,0 +1,68 @@
+"""Tests for the seeded open-loop multi-tenant workload driver."""
+
+import pytest
+
+from repro.replication import ReplicationGroup
+from repro.sharding import ShardedDatabase
+from repro.workloads import MultiTenantWorkload, run_workload
+
+
+def _quick(seed, **kwargs):
+    defaults = dict(duration=60, capacity=4.0, n_tenants=4,
+                    rows_per_tenant=4)
+    defaults.update(kwargs)
+    return run_workload(seed, **defaults)
+
+
+class TestDriver:
+    def test_run_is_reproducible(self):
+        a = _quick(3)
+        b = _quick(3)
+        assert a.summary() == b.summary()
+        assert a.latencies == b.latencies
+
+    def test_seeds_differ(self):
+        assert _quick(1).summary() != _quick(2).summary()
+
+    def test_report_accounting_is_consistent(self):
+        report = _quick(5, overload=1.5, admission=True)
+        assert report.admitted + report.shed <= report.arrived
+        assert report.completed <= report.admitted
+        assert report.good <= report.completed
+        assert len(report.latencies) == report.completed
+        assert sum(report.per_tenant.values()) == report.completed
+
+    def test_zipf_tenants_are_skewed(self):
+        workload = MultiTenantWorkload(9, n_tenants=6, zipf_skew=1.4,
+                                       duration=120, overload=1.0)
+        report = workload.run()
+        hot = report.per_tenant.get("t0", 0)
+        cold = report.per_tenant.get("t5", 0)
+        assert hot > cold
+
+    def test_history_checks_clean_and_transactions_ran(self):
+        report = _quick(7, overload=1.2)
+        assert report.violations == []
+        assert report.history_events > 0
+        assert report.completed > 0
+
+    def test_admission_bounds_in_service(self):
+        uncontrolled = _quick(11, overload=2.0)
+        controlled = _quick(11, overload=2.0, admission=True)
+        assert controlled.max_in_service <= 4
+        assert uncontrolled.max_in_service > controlled.max_in_service
+        assert controlled.shed > 0
+
+
+class TestBackends:
+    def test_replicated_backend(self):
+        group = ReplicationGroup(n_replicas=2, mode="sync")
+        report = _quick(13, backend=group, duration=40)
+        assert report.completed > 0
+        assert report.violations == []
+
+    def test_sharded_backend(self):
+        sdb = ShardedDatabase(n_shards=2)
+        report = _quick(17, backend=sdb, duration=40)
+        assert report.completed > 0
+        assert report.violations == []
