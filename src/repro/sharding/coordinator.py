@@ -21,6 +21,7 @@ the single-node engine.
 """
 
 import os
+import random
 from dataclasses import dataclass
 
 from repro.datacyclotron.link import SimulatedLink
@@ -64,6 +65,9 @@ class ShardingStats:
     twopc_fast_path: int = 0   # commits touching <= 1 shard
     twopc_commits: int = 0     # full two-phase commits
     twopc_aborts: int = 0      # two-phase rounds aborted in phase 1
+    backoff_ticks: int = 0     # clock ticks slept between link retries
+    stale_epoch_rejections: int = 0  # transactions fenced at a cutover
+    reshard_pump_failures: int = 0   # dual-route pumps demoted
 
 
 def _payload_size(payload):
@@ -77,6 +81,13 @@ class ShardNode:
     def __init__(self, shard_id, replicas=0, mode="sync",
                  faults=None, wal_path=None, pipeline=DEFAULT_PIPELINE):
         self.shard_id = shard_id
+        # Online-resharding lifecycle: a joining node is receiving its
+        # snapshot (no bucket routes to it yet), a retired node was
+        # merged away, and epoch tracks the shard-map version the node
+        # last acknowledged (bumped at every cutover that kept it).
+        self.joining = False
+        self.retired = False
+        self.epoch = 0
         if replicas:
             from repro.replication import ReplicationGroup
             self.group = ReplicationGroup(
@@ -134,11 +145,12 @@ class ShardedDatabase:
 
     def __init__(self, n_shards=2, replicas=0, mode="sync", faults=None,
                  wal_dir=None, pipeline=DEFAULT_PIPELINE, tracer=None,
-                 link_retry_limit=8):
+                 link_retry_limit=8, retry_seed=0, retry_backoff_cap=16):
         if n_shards < 1:
             raise ValueError("need at least one shard")
         self.n_shards = n_shards
         self.replicas = replicas
+        self._mode = mode
         self.shard_map = ShardMap(n_shards)
         self.faults = faults if faults is not None else NO_FAULTS
         self.tracer = tracer if tracer is not None else NO_TRACE
@@ -146,26 +158,57 @@ class ShardedDatabase:
         self.schema = ShardSchema()
         self.stats = ShardingStats()
         self.link_retry_limit = link_retry_limit
+        self.retry_backoff_cap = retry_backoff_cap
+        self._retry_rng = random.Random(retry_seed)
         self.clock = 0            # the link tick clock
         self._xid_counter = 0
+        self._wal_dir = wal_dir
         if wal_dir is not None:
             os.makedirs(wal_dir, exist_ok=True)
+        self.decision_log = WriteAheadLog(
+            path=self._wal_path("decisions.wal"), faults=self.faults)
+        # Online resharding (repro.sharding.resharding): the durable
+        # migration log and the at-most-one live migration.
+        self.reshard_log = WriteAheadLog(
+            path=self._wal_path("reshard.wal"), faults=self.faults)
+        self.migration = None
+        self._mid_counter = 0
+        self.shards = []
+        self.links = []
+        for _ in range(n_shards):
+            self._add_node(joining=False)
+        self.n_shards = n_shards
 
-        def _wal_path(name):
-            return None if wal_dir is None else os.path.join(wal_dir, name)
-        self.decision_log = WriteAheadLog(path=_wal_path("decisions.wal"),
-                                          faults=self.faults)
-        self.shards = [
-            ShardNode(i, replicas=replicas, mode=mode, faults=self.faults,
-                      wal_path=_wal_path("shard{0}.wal".format(i)),
-                      pipeline=pipeline)
-            for i in range(n_shards)]
-        self.links = [
+    def _wal_path(self, name):
+        return None if self._wal_dir is None \
+            else os.path.join(self._wal_dir, name)
+
+    def _add_node(self, joining=True):
+        """Grow the cluster by one shard node (plus its link pair).
+        A joining node serves no traffic until a migration's cutover
+        assigns it buckets and clears the flag."""
+        shard_id = len(self.shards)
+        node = ShardNode(
+            shard_id, replicas=self.replicas, mode=self._mode,
+            faults=self.faults,
+            wal_path=self._wal_path("shard{0}.wal".format(shard_id)),
+            pipeline=self.pipeline)
+        node.joining = joining
+        self.shards.append(node)
+        self.links.append(
             (SimulatedLink(SHIP_SITE, faults=self.faults,
-                           name="coord->s{0}".format(i)),
+                           name="coord->s{0}".format(shard_id)),
              SimulatedLink(ACK_SITE, faults=self.faults,
-                           name="s{0}->coord".format(i)))
-            for i in range(n_shards)]
+                           name="s{0}->coord".format(shard_id))))
+        self.n_shards = len(self.shards)
+        return node
+
+    def broadcast_shards(self):
+        """Shard ids that hold broadcast state: every node except the
+        retired (merged away) and the still-joining (their reference
+        rows arrive via the migration's copy/delta channel)."""
+        return [i for i, node in enumerate(self.shards)
+                if not node.retired and not node.joining]
 
     # -- the simulated network -------------------------------------------------
 
@@ -179,7 +222,20 @@ class ShardedDatabase:
             link.heal()
 
     def _send(self, link, message, size):
-        for _ in range(self.link_retry_limit):
+        """Ship one message with bounded exponential backoff: retry
+        ``link_retry_limit`` sends, sleeping ``backoff + jitter`` clock
+        ticks before each retry, with the backoff doubling up to
+        ``retry_backoff_cap``.  The jitter is drawn from the
+        coordinator's seeded rng, so a retry storm is deterministic per
+        seed (and desynchronized across messages, instead of every
+        retry hammering the link on the same tick)."""
+        backoff = 1
+        for attempt in range(self.link_retry_limit):
+            if attempt:
+                pause = backoff + self._retry_rng.randrange(backoff)
+                self.clock += pause
+                self.stats.backoff_ticks += pause
+                backoff = min(backoff * 2, self.retry_backoff_cap)
             self.clock += 1
             if link.send(message, self.clock, size=size):
                 self.clock += 1
@@ -187,6 +243,8 @@ class ShardedDatabase:
                 self.stats.shipped_bytes += size
                 return
             self.stats.retries += 1
+            if self.tracer.enabled:
+                self.tracer.add("link_retries", 1)
         raise ShardUnavailableError(
             "link {0!r} failed {1} sends".format(link.name,
                                                  self.link_retry_limit))
@@ -235,7 +293,7 @@ class ShardedDatabase:
                              [self.explain(statement.statement)
                               .splitlines()])
         if isinstance(statement, SetPragma):
-            for shard_id in range(self.n_shards):
+            for shard_id in self.broadcast_shards():
                 self._rpc(shard_id, ("pragma",),
                           lambda s=shard_id: self.shards[s]
                           .execute(statement))
@@ -243,7 +301,9 @@ class ShardedDatabase:
         if isinstance(statement, CreateTable):
             return self._create_table(statement)
         if isinstance(statement, (Insert, Delete, Update)):
-            return self._execute_dml(statement)
+            result = self._execute_dml(statement)
+            self._after_write()
+            return result
         if isinstance(statement, Select):
             return self._select(statement, workers=workers)
         raise TypeError("unsupported statement {0}".format(
@@ -287,9 +347,14 @@ class ShardedDatabase:
     # -- DDL ---------------------------------------------------------------------
 
     def _create_table(self, statement):
+        if self.migration is not None and not self.migration.finished:
+            from repro.sharding.resharding import MigrationInProgressError
+            raise MigrationInProgressError(
+                "DDL is rejected while migration {0} is {1}".format(
+                    self.migration.mid, self.migration.phase))
         self.schema.register(statement.name, statement.columns,
                              partition_by=statement.partition_by)
-        for shard_id in range(self.n_shards):
+        for shard_id in self.broadcast_shards():
             self._rpc(shard_id, ("create", statement.name),
                       lambda s=shard_id: self.shards[s].execute(statement))
         return None
@@ -338,7 +403,8 @@ class ShardedDatabase:
             fetch = Select(items=[SelectItem(Column(c))
                                   for c in info.column_names],
                            table=TableRef(info.name))
-            sources = plan.shards if info.partition_by else [0]
+            sources = plan.shards if info.partition_by \
+                else [plan.shards[0]]
             target = scratch.catalog.get(info.name)
             for shard_id in sources:
                 rows = runner(shard_id, fetch).rows()
@@ -357,7 +423,7 @@ class ShardedDatabase:
             counts = [self._rpc(shard_id, ("dml", statement.table),
                                 lambda s=shard_id: self.shards[s]
                                 .execute(statement))
-                      for shard_id in range(self.n_shards)]
+                      for shard_id in self.broadcast_shards()]
             return counts[0]
         bindings = [(statement.table, info)]
         pruned, value = _prune_value(statement.where, bindings)
@@ -378,7 +444,7 @@ class ShardedDatabase:
             return sum(self._rpc(shard_id, ("dml", statement.table),
                                  lambda s=shard_id: self.shards[s]
                                  .execute(statement))
-                       for shard_id in range(self.n_shards))
+                       for shard_id in self.broadcast_shards())
         # Un-pruned multi-shard write: atomic via two-phase commit.
         txn = self.begin()
         try:
@@ -395,7 +461,7 @@ class ShardedDatabase:
             counts = [self._rpc(shard_id, ("insert", statement.table),
                                 lambda s=shard_id: self.shards[s]
                                 .execute(statement))
-                      for shard_id in range(self.n_shards)]
+                      for shard_id in self.broadcast_shards()]
             return counts[0]
         order = statement.columns or info.column_names
         if info.partition_by not in order:
@@ -413,6 +479,38 @@ class ShardedDatabase:
                                .execute(a))
         return total
 
+    # -- online resharding -------------------------------------------------------
+
+    def split_shard(self, source, chunk_rows=64):
+        """Begin an online split of ``source``: a fresh node joins and
+        half the source's buckets migrate to it.  Returns the live
+        :class:`~repro.sharding.resharding.Resharding`; drive it with
+        ``step()``/``run()`` interleaved with normal traffic."""
+        from repro.sharding import resharding
+        return resharding.start_split(self, source, chunk_rows=chunk_rows)
+
+    def merge_shards(self, source, target, chunk_rows=64):
+        """Begin an online merge: every bucket of ``source`` migrates
+        to ``target`` and the source retires at cutover."""
+        from repro.sharding import resharding
+        return resharding.start_merge(self, source, target,
+                                      chunk_rows=chunk_rows)
+
+    def move_buckets(self, source, target, buckets, chunk_rows=64):
+        """Begin an online move of an explicit bucket set between two
+        established shards (rebalancing without membership change)."""
+        from repro.sharding import resharding
+        return resharding.start_move(self, source, target, buckets,
+                                     chunk_rows=chunk_rows)
+
+    def _after_write(self):
+        """Dual-routing hook, called after every committed write: while
+        a migration is in its ``dual`` phase the write synchronously
+        pumps the source-WAL tail to the target."""
+        migration = self.migration
+        if migration is not None and not migration.finished:
+            migration.on_write()
+
     # -- two-phase-commit bookkeeping -------------------------------------------
 
     def next_xid(self):
@@ -427,14 +525,18 @@ class ShardedDatabase:
                 and record.get("outcome") == "commit"}
 
     def recover(self):
-        """Crash-restart every shard: replay each WAL, then settle
-        in-doubt 2PC participants from the coordinator's decision log
-        (presumed abort for undecided xids).  Heals the links and
-        rebuilds the routing schema from shard 0's catalog.  Returns
-        the total records replayed."""
+        """Crash-restart the whole cluster: replay the resharding log
+        (rebuilding the shard-map evolution, node roles and any
+        in-flight migration), replay each shard's WAL, settle in-doubt
+        2PC participants from the coordinator's decision log (presumed
+        abort for undecided xids), heal the links, rebuild the routing
+        schema, and resume — or, past its decision record, finish — an
+        interrupted migration.  Returns the total records replayed."""
         if self.replicas:
             raise NotImplementedError(
                 "replicated shards recover through their groups")
+        from repro.sharding import resharding
+        pending = resharding.replay_log(self)
         committed = self.committed_xids()
         replayed = 0
         for shard_id, node in enumerate(self.shards):
@@ -442,12 +544,16 @@ class ShardedDatabase:
             node.db.resolve_in_doubt(committed)
             self.heal(shard_id)
         self.schema = ShardSchema()
-        for name, table in sorted(
-                self.shards[0].db.catalog.tables.items()):
+        anchor = self.shards[self.broadcast_shards()[0]].db
+        for name, table in sorted(anchor.catalog.tables.items()):
             self.schema.register(
                 name,
                 [(c, table.atoms[c].name) for c in table.column_names],
                 partition_by=table.partition_by)
+        resharding.resume(self, pending)
+        for node in self.shards:
+            if not node.retired:
+                node.epoch = self.shard_map.epoch
         return replayed
 
     def __repr__(self):

@@ -54,15 +54,87 @@ def partition_hash(value):
 
 
 class ShardMap:
-    """Value -> shard assignment over ``n_shards`` hash buckets."""
+    """Versioned value -> shard assignment over hash buckets.
 
-    def __init__(self, n_shards):
+    A value hashes into one of ``n_buckets`` buckets (``n_buckets``
+    defaults to ``n_shards``), and ``assignment[bucket]`` names the
+    owning shard.  The default assignment (``bucket % n_shards``)
+    reproduces the classic ``partition_hash(v) % n_shards`` placement
+    exactly — including after :meth:`refined` doubles the bucket count,
+    because ``(h % 2n) % n == h % n``.
+
+    ``epoch`` versions the map for online resharding: a migration
+    installs a new assignment with ``epoch + 1`` at cutover, and
+    requests stamped with an older epoch are fenced
+    (:class:`~repro.sharding.resharding.StaleEpochError`) — the same
+    deposed-owner discipline the replication layer applies to old
+    primaries.  Maps are immutable; evolution goes through
+    :meth:`refined` (finer buckets, placement-preserving) and
+    :meth:`reassigned` (move buckets to a new owner, bump the epoch).
+    """
+
+    def __init__(self, n_shards, n_buckets=None, assignment=None,
+                 epoch=0):
         if n_shards < 1:
             raise ValueError("need at least one shard")
         self.n_shards = n_shards
+        self.n_buckets = n_shards if n_buckets is None else n_buckets
+        if self.n_buckets < 1:
+            raise ValueError("need at least one bucket")
+        if assignment is None:
+            assignment = [b % n_shards for b in range(self.n_buckets)]
+        self.assignment = list(assignment)
+        if len(self.assignment) != self.n_buckets:
+            raise ValueError(
+                "assignment covers {0} buckets, map has {1}".format(
+                    len(self.assignment), self.n_buckets))
+        self.epoch = epoch
+
+    @property
+    def active(self):
+        """Sorted shard ids that own at least one bucket."""
+        return sorted(set(self.assignment))
+
+    def bucket_of(self, value):
+        return partition_hash(value) % self.n_buckets
 
     def shard_of(self, value):
-        return partition_hash(value) % self.n_shards
+        return self.assignment[self.bucket_of(value)]
+
+    def buckets_of(self, shard_id):
+        """Buckets owned by one shard, ascending."""
+        return [b for b, s in enumerate(self.assignment) if s == shard_id]
+
+    def refined(self, factor=2):
+        """The same placement over ``factor``x more buckets.
+
+        New bucket ``b`` inherits old bucket ``b % n_buckets``'s owner
+        (extendible-hashing doubling), so no value moves — refinement
+        only makes the moving set of a later :meth:`reassigned`
+        expressible at a finer grain.
+        """
+        if factor < 2:
+            raise ValueError("refinement factor must be >= 2")
+        return ShardMap(self.n_shards, self.n_buckets * factor,
+                        self.assignment * factor, epoch=self.epoch)
+
+    def reassigned(self, buckets, target):
+        """A new map (epoch + 1) with ``buckets`` moved to ``target``."""
+        assignment = list(self.assignment)
+        for bucket in buckets:
+            assignment[bucket] = target
+        return ShardMap(max(self.n_shards, target + 1), self.n_buckets,
+                        assignment, epoch=self.epoch + 1)
+
+    def to_record(self):
+        """JSON-able form (for the durable resharding log)."""
+        return {"n_shards": self.n_shards, "n_buckets": self.n_buckets,
+                "assignment": list(self.assignment), "epoch": self.epoch}
+
+    @classmethod
+    def from_record(cls, record):
+        return cls(record["n_shards"], record["n_buckets"],
+                   record["assignment"], record["epoch"])
 
     def split_rows(self, rows, key_index):
         """Partition rows by their key column: shard id -> row list."""
@@ -72,4 +144,5 @@ class ShardMap:
         return split
 
     def __repr__(self):
-        return "ShardMap({0})".format(self.n_shards)
+        return "ShardMap({0} shards, {1} buckets, epoch {2})".format(
+            self.n_shards, self.n_buckets, self.epoch)

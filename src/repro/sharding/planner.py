@@ -263,24 +263,28 @@ class _Decomposer:
 # -- the planner ----------------------------------------------------------------
 
 def plan_select(schema, select, shard_map):
-    """Plan one SELECT against ``schema`` over ``shard_map.n_shards``."""
+    """Plan one SELECT against ``schema`` over ``shard_map``'s active
+    shards (the owners of at least one hash bucket — during an online
+    migration the joining target and any retired node stay out of every
+    plan until the cutover installs the next map epoch)."""
+    active = shard_map.active
     if select.table is None:
         # Table-less SELECT (constant expressions): any one shard.
-        return ScatterPlan("single", [0], select)
+        return ScatterPlan("single", [active[0]], select)
     bindings = [(select.table.binding, schema.get(select.table.name))]
     for join in select.joins:
         bindings.append((join.table.binding, schema.get(join.table.name)))
     infos = [info for _, info in bindings]
     partitioned = [info for info in infos if info.partition_by]
-    if not partitioned or shard_map.n_shards == 1:
+    if not partitioned or len(active) == 1:
         # Reference tables are broadcast: any shard holds them whole.
-        return ScatterPlan("single", [0], select, tables=infos)
+        return ScatterPlan("single", [active[0]], select, tables=infos)
     pruned, value = _prune_value(select.where, bindings)
     if pruned:
         shard = shard_map.shard_of(value)
         return ScatterPlan("single", [shard], select, tables=infos,
                            pruned=True)
-    shards = list(range(shard_map.n_shards))
+    shards = list(active)
     if not _co_partitioned(select, bindings):
         return ScatterPlan("gather", shards, select, tables=infos)
     if select.group_by or any(contains_aggregate(i.expr)

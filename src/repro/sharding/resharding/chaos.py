@@ -1,0 +1,417 @@
+"""Chaos sweeps for online resharding: seeded crash/partition/drop
+schedules against a live migration, with zero-loss invariants checked
+mid-flight and at the end.
+
+One :func:`run_reshard_schedule` call drives a ShardedDatabase through
+a seeded stream of writes while a shard split (and then a merge of the
+new shard back) runs concurrently, injecting — at random but
+reproducible points — coordinator crashes at every migration phase
+boundary (the ``reshard.*`` sites), mid-commit crashes on the shard
+commit path (``commit.*`` / ``wal.append`` / ``twopc.decided``), link
+partitions of both the shard RPC links and the migration's own
+snapshot/delta channel, and probabilistic drops/latency on the
+``shard.ship`` / ``reshard.ship`` / ``reshard.ack`` sites.
+
+Write fates are tracked like the replication chaos harness tracks
+them: a statement that returns normally is **acked** and must survive;
+a statement interrupted by a crash or an unreachable shard is
+**unknown** — after recovery the harness *probes* the database (each
+op is built around a unique key or marker, so one SELECT decides its
+fate) and mirrors the op into the single-node reference only if it
+actually landed.  A fenced transaction
+(:class:`~repro.sharding.resharding.StaleEpochError`, or any other
+ConflictError) is a clean reject: definitely not applied.
+
+Invariants, checked at seeded mid-migration checkpoints (so the
+equivalence holds *during* the copy/catchup/dual phases, not just
+after cutover) and once more after the migration drains:
+
+1. **No lost acked write, no double-apply** — the full multiset of
+   ``kv`` rows (and the broadcast ``tags`` table) equals the
+   single-node reference's.  A lost delta shows up as a missing row, a
+   replayed delta or unpurged source row as a duplicate.
+2. **Scatter-merge equivalence mid-migration** — a grouped aggregate
+   over the moving table matches the reference while the shard set is
+   mid-change.
+3. **Convergence** — the migration finishes (crash-restarted as many
+   times as the schedule demands) and installs the new epoch.
+
+:func:`chaos_sweep` batches consecutive seeds; CI fans the base out
+via the ``RESHARD_SEED`` environment variable.
+"""
+
+import random
+from dataclasses import dataclass, field
+
+from repro.faults import CrashError, FaultInjector
+from repro.sharding.coordinator import ShardUnavailableError
+from repro.sharding.resharding import PHASE_SITES
+from repro.sql.database import Database
+from repro.sql.transactions import ConflictError
+
+# Everything a schedule may crash: migration phase boundaries plus the
+# shard commit path (through which copy chunks, deltas, purges and the
+# migration's own decision log also flow, via wal.append).
+CRASH_SITES = PHASE_SITES + (
+    "commit.validate", "wal.append", "commit.publish", "commit.apply",
+    "twopc.decided",
+)
+
+
+@dataclass
+class ReshardChaosReport:
+    """What one seeded schedule did and whether the invariants held."""
+
+    seed: int
+    ops_attempted: int = 0
+    ops_acked: int = 0
+    ops_unknown: int = 0       # crash/unreachable: fate probed
+    ops_rejected: int = 0      # conflicts and epoch fences: not applied
+    probed_applied: int = 0    # unknown ops the probe found landed
+    crashes: int = 0
+    recoveries: int = 0
+    link_cuts: int = 0
+    migrations_done: int = 0
+    checkpoints: int = 0
+    phases_seen: set = field(default_factory=set)
+    final_epoch: int = 0
+    mismatches: list = field(default_factory=list)  # [(when, query, diff)]
+    stuck: list = field(default_factory=list)       # unconverged migration
+
+    @property
+    def ok(self):
+        return not (self.mismatches or self.stuck)
+
+    def summary(self):
+        return ("seed={0}: {1} acked / {2} unknown ({3} landed) / {4} "
+                "rejected of {5} ops, {6} crashes, {7} recoveries, "
+                "{8} cuts, {9} migrations, {10} checkpoints, phases "
+                "{11}, epoch {12} -> {13}".format(
+                    self.seed, self.ops_acked, self.ops_unknown,
+                    self.probed_applied, self.ops_rejected,
+                    self.ops_attempted, self.crashes, self.recoveries,
+                    self.link_cuts, self.migrations_done,
+                    self.checkpoints, sorted(self.phases_seen),
+                    self.final_epoch, "OK" if self.ok else "FAILED"))
+
+
+CHECK_QUERIES = (
+    "SELECT k, v, lbl FROM kv",
+    "SELECT t, n FROM tags",
+    "SELECT lbl, count(*) AS c, sum(v) AS s FROM kv GROUP BY lbl",
+)
+
+
+def _heal_all(db):
+    for shard_id in range(len(db.shards)):
+        db.heal(shard_id)
+    migration = db.migration
+    if migration is not None:
+        migration.heal_link()
+
+
+def _recover(db, report):
+    """Crash-restart the cluster, retrying when an armed plan strikes
+    again inside recovery itself (recover is idempotent)."""
+    for _ in range(30):
+        try:
+            db.recover()
+            report.recoveries += 1
+            return
+        except CrashError:
+            report.crashes += 1
+    raise RuntimeError("recovery did not converge under armed faults")
+
+
+def _checkpoint(db, ref, report, when):
+    """Differential equivalence vs the single-node reference, as a full
+    multiset — one lost sync-acked write or one double-applied delta is
+    a diff here."""
+    _heal_all(db)
+    report.checkpoints += 1
+    for query in CHECK_QUERIES:
+        got = sorted(db.query(query))
+        want = sorted(ref.query(query))
+        if got != want:
+            extra = [r for r in got if r not in want]
+            missing = [r for r in want if r not in got]
+            report.mismatches.append(
+                (when, query, {"extra": extra[:10],
+                               "missing": missing[:10]}))
+
+
+class _Schedule:
+    """One seeded chaos schedule (see module docstring)."""
+
+    def __init__(self, seed, n_ops, crash_rate, cut_rate, drop_rate):
+        self.rng = random.Random(seed)
+        self.report = ReshardChaosReport(seed=seed)
+        self.n_ops = n_ops
+        self.crash_rate = crash_rate
+        self.cut_rate = cut_rate
+        # Alternate which traffic class drops vs. stalls per seed, like
+        # the replication sweep, so both classes get coverage.
+        if seed % 2:
+            rates = {"shard.ship": ("transient", drop_rate),
+                     "reshard.ship": ("transient", drop_rate),
+                     "reshard.ack": ("latency", 0.2,
+                                     1 + self.rng.randrange(3))}
+        else:
+            rates = {"shard.ship": ("latency", 0.2,
+                                    1 + self.rng.randrange(3)),
+                     "reshard.ship": ("latency", 0.2,
+                                      1 + self.rng.randrange(3)),
+                     "reshard.ack": ("transient", drop_rate)}
+        self.faults = FaultInjector.seeded(seed * 7919 + 13, rates)
+        self.db = None
+        self.ref = Database()      # the single-node truth
+        self.live_keys = []        # kv keys present in the reference
+        self.next_key = 1000
+        self.next_marker = 10 ** 6
+        self.next_tag = 1
+        self.open_cuts = []        # [(heal_at_op, shard_id | None)]
+
+    # -- setup ----------------------------------------------------------------
+
+    def build(self):
+        from repro.sharding.coordinator import ShardedDatabase
+        self.db = ShardedDatabase(n_shards=2, faults=self.faults,
+                                  retry_seed=self.report.seed)
+        ddl = ["CREATE TABLE kv (k BIGINT, v BIGINT, lbl VARCHAR) "
+               "PARTITION BY (k)",
+               "CREATE TABLE tags (t BIGINT, n BIGINT)"]
+        seed_kv = "INSERT INTO kv VALUES " + ", ".join(
+            "({0}, {1}, '{2}')".format(k, k * 7, "abc"[k % 3])
+            for k in range(40))
+        seed_tags = "INSERT INTO tags VALUES (901, 1), (902, 2)"
+        for sql in ddl + [seed_kv, seed_tags]:
+            self.db.execute(sql)
+            self.ref.execute(sql)
+        self.live_keys = list(range(40))
+
+    # -- one write op ---------------------------------------------------------
+
+    def _make_op(self):
+        """(sql, needs_txn, probe sql, landed predicate, on_applied)."""
+        rng = self.rng
+        kind = rng.choice(("insert", "insert", "batch", "update",
+                           "delete", "tags"))
+        if kind == "insert" or (kind in ("update", "delete")
+                                and not self.live_keys):
+            k = self.next_key = self.next_key + 1
+            sql = "INSERT INTO kv VALUES ({0}, {1}, '{2}')".format(
+                k, k * 7, "abc"[k % 3])
+            probe = "SELECT count(*) AS c FROM kv WHERE k = {0}".format(k)
+            return (sql, False, probe, lambda rows: rows[0][0] == 1,
+                    lambda: self.live_keys.append(k))
+        if kind == "batch":
+            ks = [self.next_key + i + 1 for i in range(3)]
+            self.next_key += 3
+            sql = "INSERT INTO kv VALUES " + ", ".join(
+                "({0}, {1}, '{2}')".format(k, k * 7, "abc"[k % 3])
+                for k in ks)
+            probe = "SELECT count(*) AS c FROM kv WHERE k = {0}".format(
+                ks[0])
+            return (sql, True, probe, lambda rows: rows[0][0] == 1,
+                    lambda: self.live_keys.extend(ks))
+        if kind == "update":
+            k = rng.choice(self.live_keys)
+            marker = self.next_marker = self.next_marker + 1
+            sql = "UPDATE kv SET v = {0} WHERE k = {1}".format(marker, k)
+            probe = ("SELECT count(*) AS c FROM kv "
+                     "WHERE k = {0} AND v = {1}".format(k, marker))
+            return (sql, False, probe, lambda rows: rows[0][0] == 1,
+                    lambda: None)
+        if kind == "delete":
+            k = rng.choice(self.live_keys)
+            sql = "DELETE FROM kv WHERE k = {0}".format(k)
+            probe = "SELECT count(*) AS c FROM kv WHERE k = {0}".format(k)
+            return (sql, False, probe, lambda rows: rows[0][0] == 0,
+                    lambda: self.live_keys.remove(k))
+        t = self.next_tag = self.next_tag + 1
+        sql = "INSERT INTO tags VALUES ({0}, {1})".format(t, t * 3)
+        probe = "SELECT count(*) AS c FROM tags WHERE t = {0}".format(t)
+        return (sql, True, probe, lambda rows: rows[0][0] == 1,
+                lambda: None)
+
+    def _execute(self, sql, needs_txn):
+        """Run one op; explicit-transaction ops commit through 2PC so
+        multi-shard writes stay atomic under crashes (the autocommit
+        INSERT split is per-shard RPCs, deliberately not atomic)."""
+        if not needs_txn:
+            self.db.execute(sql)
+            return
+        txn = self.db.begin()
+        try:
+            txn.execute(sql)
+            txn.commit()
+        except BaseException:
+            if not txn.closed:
+                txn.abort()
+            raise
+
+    def _probe(self, probe_sql, landed):
+        """Decide an unknown op's fate from the healed, recovered
+        database (retrying once over a freshly healed cluster)."""
+        for attempt in (0, 1):
+            _heal_all(self.db)
+            try:
+                return landed(self.db.query(probe_sql))
+            except ShardUnavailableError:
+                if attempt:
+                    raise
+            except CrashError:
+                self.report.crashes += 1
+                _recover(self.db, self.report)
+        return False
+
+    def _run_op(self):
+        report = self.report
+        sql, needs_txn, probe_sql, landed, on_applied = self._make_op()
+        report.ops_attempted += 1
+        try:
+            self._execute(sql, needs_txn)
+        except ConflictError:
+            # Includes StaleEpochError: fenced, definitely not applied.
+            report.ops_rejected += 1
+            return
+        except CrashError:
+            report.crashes += 1
+            report.ops_unknown += 1
+            _recover(self.db, report)
+        except ShardUnavailableError:
+            report.ops_unknown += 1
+        else:
+            report.ops_acked += 1
+            self.ref.execute(sql)
+            on_applied()
+            return
+        # Unknown fate: recovery has settled any in-doubt 2PC state, so
+        # one probe decides whether to mirror the op to the reference.
+        if self._probe(probe_sql, landed):
+            report.probed_applied += 1
+            self.ref.execute(sql)
+            on_applied()
+
+    # -- chaos scheduling ------------------------------------------------------
+
+    def _arm_chaos(self, op_index):
+        rng = self.rng
+        report = self.report
+        for due, shard_id in list(self.open_cuts):
+            if due <= op_index:
+                self.open_cuts.remove((due, shard_id))
+                if shard_id is None:
+                    migration = self.db.migration
+                    if migration is not None:
+                        migration.heal_link()
+                else:
+                    self.db.heal(shard_id)
+        roll = rng.random()
+        if roll < self.crash_rate:
+            site = rng.choice(CRASH_SITES)
+            torn = rng.randrange(10) if site == "wal.append" \
+                and rng.random() < 0.5 else None
+            self.faults.crash_at(
+                site, hit=self.faults.hits[site] + 1 + rng.randrange(4),
+                torn=torn)
+        elif roll < self.crash_rate + self.cut_rate:
+            migration = self.db.migration
+            if migration is not None and not migration.finished \
+                    and rng.random() < 0.5:
+                migration.cut_link()
+                self.open_cuts.append((op_index + 1 + rng.randrange(2),
+                                       None))
+            else:
+                shard_id = rng.randrange(len(self.db.shards))
+                self.db.cut(shard_id)
+                self.open_cuts.append((op_index + 1 + rng.randrange(2),
+                                       shard_id))
+            report.link_cuts += 1
+
+    def _step_migration(self):
+        migration = self.db.migration
+        if migration is None or migration.finished:
+            return
+        self.report.phases_seen.add(migration.phase)
+        try:
+            migration.step()
+        except CrashError:
+            self.report.crashes += 1
+            _recover(self.db, self.report)
+        except ShardUnavailableError:
+            pass   # the migration channel is cut; stalls until healed
+
+    def _start_migration(self, op):
+        """The split (and later the merge back) this schedule runs.
+        Completed cutovers are counted by the map epoch (each one bumps
+        it exactly once)."""
+        db, rng, report = self.db, self.rng, self.report
+        if db.migration is not None and not db.migration.finished:
+            return
+        want_split = db.shard_map.epoch == 0 and len(db.shards) == 2
+        want_merge = db.shard_map.epoch == 1 and len(db.shards) == 3 \
+            and not db.shards[2].retired
+        try:
+            if want_split:
+                db.split_shard(rng.randrange(2),
+                               chunk_rows=4 + rng.randrange(12))
+            elif want_merge and rng.random() < 0.5:
+                db.merge_shards(2, rng.randrange(2),
+                                chunk_rows=4 + rng.randrange(12))
+        except CrashError:
+            report.crashes += 1
+            _recover(db, report)
+
+    def _drain_migration(self):
+        """Heal everything and push the live migration to ``done``."""
+        for _ in range(600):
+            migration = self.db.migration
+            if migration is None or migration.finished:
+                return
+            _heal_all(self.db)
+            self._step_migration()
+        self.report.stuck.append(repr(self.db.migration))
+
+    # -- the schedule ----------------------------------------------------------
+
+    def run(self):
+        report = self.report
+        self.build()
+        start_at = 2 + self.rng.randrange(4)
+        merge_at = self.n_ops // 2 + self.rng.randrange(4)
+        checkpoint_every = 5 + self.rng.randrange(4)
+        for op in range(self.n_ops):
+            self._arm_chaos(op)
+            if op >= start_at and self.db.shard_map.epoch == 0:
+                self._start_migration(op)
+            if op >= merge_at:
+                if self.db.shard_map.epoch == 0:
+                    self._drain_migration()
+                self._start_migration(op)
+            self._run_op()
+            for _ in range(self.rng.randrange(3)):
+                self._step_migration()
+            if (op + 1) % checkpoint_every == 0:
+                when = "mid-migration" if self.db.migration is not None \
+                    else "op {0}".format(op)
+                _checkpoint(self.db, self.ref, report, when)
+        self._drain_migration()
+        _checkpoint(self.db, self.ref, report, "final")
+        report.final_epoch = self.db.shard_map.epoch
+        report.migrations_done = report.final_epoch
+        return report
+
+
+def run_reshard_schedule(seed, n_ops=24, crash_rate=0.3, cut_rate=0.15,
+                         drop_rate=0.04):
+    """Run one seeded resharding chaos schedule; returns a
+    :class:`ReshardChaosReport` (callers assert ``report.ok``)."""
+    return _Schedule(seed, n_ops, crash_rate, cut_rate, drop_rate).run()
+
+
+def chaos_sweep(seed_base, n_schedules=20, **kwargs):
+    """Run ``n_schedules`` consecutive seeded schedules; returns the
+    list of reports (callers assert ``all(r.ok for r in reports)``)."""
+    return [run_reshard_schedule(seed_base + i, **kwargs)
+            for i in range(n_schedules)]

@@ -30,6 +30,7 @@ Commit reuses the single-node commit phases
 
 from repro.faults import CrashError
 from repro.sharding.planner import _prune_value
+from repro.sharding.resharding import StaleEpochError
 from repro.sql.ast import (
     CreateTable, Delete, Insert, Select, Update,
 )
@@ -46,6 +47,10 @@ class ShardedTransaction:
         self.closed = False
         self.outcome = None
         self.xid = None          # assigned when 2PC actually runs
+        # The shard-map epoch this transaction's routing decisions are
+        # valid against; a resharding cutover mid-transaction fences it
+        # (see _check_fenced).
+        self.epoch = coordinator.shard_map.epoch
 
     # -- plumbing -------------------------------------------------------------
 
@@ -53,6 +58,20 @@ class ShardedTransaction:
         if self.closed:
             raise TransactionClosedError(
                 "transaction already {0}".format(self.outcome))
+
+    def _check_fenced(self):
+        """Depose this transaction if a cutover installed a newer map:
+        its reads and buffered routing predate the epoch, so letting it
+        commit could write buckets the source no longer owns.  Raises
+        :class:`~repro.sharding.resharding.StaleEpochError` (a
+        ConflictError — sessions retry it like any conflict)."""
+        current = self._co.shard_map.epoch
+        if current != self.epoch:
+            self._co.stats.stale_epoch_rejections += 1
+            raise StaleEpochError(
+                "transaction began at shard-map epoch {0}; epoch {1} "
+                "is installed — retry against the new map".format(
+                    self.epoch, current))
 
     def _txn(self, shard_id):
         txn = self._txns.get(shard_id)
@@ -76,6 +95,7 @@ class ShardedTransaction:
         """Execute a statement inside the transaction: SELECT returns a
         ResultSet, DML returns the (buffered) affected row count."""
         self._check_open()
+        self._check_fenced()
         statement = parse_sql(sql) if isinstance(sql, str) else sql
         if isinstance(statement, CreateTable):
             raise NotImplementedError("DDL inside a transaction")
@@ -94,7 +114,7 @@ class ShardedTransaction:
         info = self._co.schema.get(statement.table)
         if info.partition_by is None:
             counts = [self._txn(s)._buffer_insert(statement)
-                      for s in range(self._co.n_shards)]
+                      for s in self._co.broadcast_shards()]
             return counts[0]
         order = statement.columns or info.column_names
         if info.partition_by not in order:
@@ -115,12 +135,12 @@ class ShardedTransaction:
         if info.partition_by is None:
             # Reference table: the same write buffers on every shard.
             counts = [self._apply_local(s, statement)
-                      for s in range(self._co.n_shards)]
+                      for s in self._co.broadcast_shards()]
             return counts[0]
         pruned, value = _prune_value(statement.where,
                                      [(statement.table, info)])
         targets = [self._co.shard_map.shard_of(value)] if pruned \
-            else list(range(self._co.n_shards))
+            else list(self._co.shard_map.active)
         if isinstance(statement, Update) and \
                 info.partition_by in {c for c, _ in statement.assignments}:
             return self._moving_update(statement, info, targets)
@@ -185,6 +205,12 @@ class ShardedTransaction:
         """Commit across every written shard (see module docstring)."""
         self._check_open()
         co = self._co
+        try:
+            self._check_fenced()
+        except StaleEpochError:
+            self._abort_open()
+            self._close("aborted (stale epoch)")
+            raise
         participants = [(shard_id, txn) for shard_id, txn
                         in sorted(self._txns.items())
                         if txn._appends or txn._deleted]
@@ -203,6 +229,8 @@ class ShardedTransaction:
                 raise
             self._abort_open()   # read-only snapshots just close
             self._close("committed")
+            if participants:
+                co._after_write()
             return
         self.xid = co.next_xid()
         prepared = []            # [(shard id, txn, ops)]
@@ -248,6 +276,20 @@ class ShardedTransaction:
             self._close("crashed")
             co.stats.twopc_aborts += 1
             raise
+        # The decision is durable but not yet shipped to any shard: a
+        # crash here leaves every participant in doubt with the
+        # *committed* outcome only in the coordinator's log — the case
+        # recover()/resolve_in_doubt must converge to commit on every
+        # shard (swept in the 2PC crash tests).
+        try:
+            co.faults.inject("twopc.decided")
+        except CrashError:
+            for _, txn, _ in prepared:
+                txn.closed = True
+                txn.outcome = "crashed"
+            self._abort_open()
+            self._close("crashed")
+            raise
         failure = None
         for shard_id, txn, ops in prepared:
             try:
@@ -269,6 +311,7 @@ class ShardedTransaction:
         co.stats.twopc_commits += 1
         if failure is not None:
             raise failure
+        co._after_write()
 
     def _rollback_prepared(self, prepared):
         """Best-effort decide-abort records for already-prepared shards

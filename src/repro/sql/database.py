@@ -547,6 +547,13 @@ class Database:
             if record["outcome"] == "commit" and ops is not None:
                 self._apply_ops(ops)
                 self._bump_commit()
+        elif kind == "stage":
+            # Online-resharding staging (repro.sharding.resharding):
+            # migrated rows parked durably on the target but *not*
+            # visible — the cutover's install commit materializes them.
+            # The migration rebuilds its staged state by scanning the
+            # WAL, so replay has nothing to apply here.
+            pass
         else:
             raise ValueError(
                 "unknown WAL record kind {0!r}".format(kind))

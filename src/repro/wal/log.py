@@ -149,8 +149,20 @@ class WriteAheadLog:
         :class:`WalCorruptionError` instead of silently fencing the
         record and everything behind it.
         """
+        return self.records_from(0)
+
+    def records_from(self, pos=0):
+        """Yield ``(record, end offset)`` for every complete frame at
+        or after byte offset ``pos``.
+
+        ``pos`` must lie on a frame boundary — an LSN returned by
+        :meth:`append`, an ``end`` from a prior scan, or 0.  This is
+        the WAL-tailing primitive: a reader remembers the last ``end``
+        it consumed and resumes there, paying only for the suffix.
+        The ``index`` on a raised :class:`WalCorruptionError` counts
+        records from ``pos``, not from the start of the log.
+        """
         data = bytes(self._buffer)
-        pos = 0
         index = 0
         while pos + _HEADER.size <= len(data):
             length, crc = _HEADER.unpack_from(data, pos)

@@ -50,6 +50,7 @@ class WorkloadReport:
         self.shed = 0
         self.completed = 0
         self.conflicts = 0
+        self.oltp_commits = 0    # OLTP jobs whose COMMIT stuck
         self.good = 0            # completed within the deadline
         self.latencies = []      # arrival -> completion, ticks
         self.per_tenant = {}     # tenant -> completed count
@@ -122,6 +123,12 @@ class MultiTenantWorkload:
     ``admission``
         ``True`` builds an :class:`AdmissionController` sized to the
         capacity; ``False`` runs uncontrolled; or pass a controller.
+    ``on_tick``
+        Optional hook called as ``on_tick(workload, tick)`` once per
+        simulated tick, before that tick's arrivals — the seam
+        experiments use to drive concurrent backend activity (E23
+        steps an online shard split here) without perturbing the
+        seeded arrival stream.
     """
 
     def __init__(self, seed, backend=None, n_tenants=8, zipf_skew=1.2,
@@ -130,7 +137,7 @@ class MultiTenantWorkload:
                  burst_every=97, burst_length=23, burst_factor=4.0,
                  deadline=40.0, admission=False, max_queue_depth=16,
                  rows_per_tenant=8, record_history=True,
-                 tenant_weights=None):
+                 tenant_weights=None, on_tick=None):
         self.seed = seed
         self.rng = random.Random(seed)
         self.n_tenants = n_tenants
@@ -146,6 +153,7 @@ class MultiTenantWorkload:
         self.burst_factor = burst_factor
         self.deadline = deadline
         self.rows_per_tenant = rows_per_tenant
+        self.on_tick = on_tick
         # Offered load: arrivals/tick such that mean demand * rate =
         # overload * capacity.
         mean_demand = (oltp_fraction * oltp_demand
@@ -244,6 +252,9 @@ class MultiTenantWorkload:
             job.session.execute("COMMIT")
         except ConflictError:
             report.conflicts += 1
+        else:
+            if job.kind == "oltp":
+                report.oltp_commits += 1
 
     # -- the open-loop simulation ----------------------------------------------
 
@@ -254,6 +265,8 @@ class MultiTenantWorkload:
         now = 0.0
         next_arrival = self._next_interarrival(0.0)
         while now < self.duration:
+            if self.on_tick is not None:
+                self.on_tick(self, int(now))
             # Arrivals in [now, now+1).
             while next_arrival < now + 1.0:
                 arrival_time = next_arrival

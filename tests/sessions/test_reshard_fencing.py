@@ -1,0 +1,78 @@
+"""Session layer x online resharding: epoch fencing is just another
+retryable conflict.
+
+A transaction that began before a shard-map cutover is *deposed* — its
+routing decisions predate the installed epoch.  The fence raises
+:class:`StaleEpochError`, a ``ConflictError`` subclass, so a session
+records it as a conflict (not an error), releases its admission slot,
+and a plain conflict-retry loop succeeds against the new map.  The
+isolation history stays clean: a fenced transaction contributes a
+``conflict`` outcome, never a partial write.
+"""
+
+import pytest
+
+from repro.sessions import HistoryRecorder, SessionManager
+from repro.sharding import ShardedDatabase, StaleEpochError
+
+N_ROWS = 24
+
+
+def _make():
+    db = ShardedDatabase(n_shards=2)
+    db.execute("CREATE TABLE kv (k BIGINT, v BIGINT) PARTITION BY (k)")
+    db.execute("INSERT INTO kv VALUES " + ", ".join(
+        "({0}, 0)".format(k) for k in range(N_ROWS)))
+    return db
+
+
+def _finish_migration(db):
+    while db.migration is not None and not db.migration.finished:
+        db.migration.step()
+
+
+class TestFencedSessions:
+    def test_fenced_commit_counts_as_conflict_and_retries(self):
+        db = _make()
+        recorder = HistoryRecorder()
+        manager = SessionManager(db, recorder=recorder)
+        session = manager.session("t0")
+        session.execute("BEGIN")
+        session.execute("UPDATE kv SET v = v + 1 WHERE k = 5")
+        db.split_shard(0, chunk_rows=6)
+        _finish_migration(db)
+        with pytest.raises(StaleEpochError):
+            session.execute("COMMIT")
+        assert session.conflicts == 1
+        assert not session.in_transaction   # slot released, txn gone
+        # The plain conflict-retry loop every session client runs:
+        session.execute("BEGIN")
+        session.execute("UPDATE kv SET v = v + 1 WHERE k = 5")
+        session.execute("COMMIT")
+        assert session.commits == 1
+        assert db.query("SELECT v FROM kv WHERE k = 5") == [(1,)]
+        assert recorder.check() == []   # no isolation violation
+
+    def test_fenced_transaction_left_no_partial_write(self):
+        db = _make()
+        manager = SessionManager(db)
+        session = manager.session("t0")
+        session.execute("BEGIN")
+        session.execute("UPDATE kv SET v = 999")   # touches every shard
+        db.split_shard(1, chunk_rows=6)
+        _finish_migration(db)
+        with pytest.raises(StaleEpochError):
+            session.execute("COMMIT")
+        assert db.query("SELECT sum(v) FROM kv") == [(0,)]
+
+    def test_sessions_beginning_after_cutover_are_unfenced(self):
+        db = _make()
+        manager = SessionManager(db)
+        db.split_shard(0, chunk_rows=6)
+        _finish_migration(db)
+        session = manager.session("t1")
+        session.execute("BEGIN")
+        session.execute("UPDATE kv SET v = v + 3 WHERE k = 2")
+        session.execute("COMMIT")
+        assert session.conflicts == 0
+        assert db.query("SELECT v FROM kv WHERE k = 2") == [(3,)]

@@ -6,6 +6,7 @@ rows.  Hypothesis drives the data; a seeded link-fault variant checks
 the invariance also holds while the links drop and delay messages.
 """
 
+import random
 from collections import Counter
 
 import pytest
@@ -59,6 +60,31 @@ def test_same_rows_any_shard_count(rows, splits):
     for sql, got, want in zip(QUERIES, _answers(left), _answers(right)):
         assert got == want, \
             "{0} differs between {1} and {2} shards".format(sql, n, m)
+
+
+@given(rows=ROWS, seed=st.integers(0, 2**16))
+@settings(max_examples=12, deadline=None)
+def test_invariant_holds_mid_migration(rows, seed):
+    """The invariance extended to *elastic* layouts: answers must not
+    change at any point of an online split — before it starts, frozen
+    at every intermediate step (copy chunks staged, deltas tailing,
+    dual routing, cutover), or after the new epoch installs."""
+    rng = random.Random(seed)
+    db = _load(ShardedDatabase(n_shards=2), rows)
+    reference = _answers(db)
+    db.split_shard(rng.randrange(2), chunk_rows=rng.randint(2, 9))
+    steps = 0
+    while db.migration is not None and not db.migration.finished:
+        phase = db.migration.phase
+        for sql, got, want in zip(QUERIES, _answers(db), reference):
+            assert got == want, \
+                "{0} drifted in phase {1}".format(sql, phase)
+        db.migration.step()
+        steps += 1
+        assert steps < 2000
+    assert db.shard_map.epoch == 1
+    for sql, got, want in zip(QUERIES, _answers(db), reference):
+        assert got == want, "{0} drifted after cutover".format(sql)
 
 
 @given(rows=ROWS, seed=st.integers(0, 2**16))

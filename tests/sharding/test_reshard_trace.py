@@ -1,0 +1,115 @@
+"""Observability of online resharding: ``reshard.*`` spans and
+counters in PROFILE output.
+
+A migration must be *watchable*: every ``step()`` opens a
+``reshard.step`` span carrying the migration id / op / phase, the
+cutover opens ``reshard.cutover`` nested inside it, and the
+deterministic progress counters (rows copied, deltas applied / their
+row counts) attach to the step that did the work.  The golden test
+pins the normalized span tree of one fixed split — an instrumentation
+regression (lost span, renamed counter, phase mislabelled) fails here
+while an engine retune does not.
+
+Regenerate after an intentional change with::
+
+    PYTHONPATH=src python -m pytest tests/sharding/test_reshard_trace.py \
+        --update-golden
+"""
+
+import json
+from pathlib import Path
+
+from repro.observability.tracer import Tracer
+from repro.sharding import ShardedDatabase
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+#: Deterministic migration counters — pure functions of the data and
+#: the chunking, safe to pin (no clocks, no link byte totals).
+KEEP_COUNTERS = ("reshard_rows_copied", "reshard_deltas_applied",
+                 "reshard_delta_rows")
+KEEP_ATTRS = ("mid", "op", "phase")
+
+
+def _run_traced_split():
+    tracer = Tracer()
+    db = ShardedDatabase(n_shards=2, tracer=tracer)
+    db.execute("CREATE TABLE kv (k BIGINT, v BIGINT) PARTITION BY (k)")
+    db.execute("INSERT INTO kv VALUES " + ", ".join(
+        "({0}, {1})".format(k, k * 3) for k in range(24)))
+    db.split_shard(0, chunk_rows=4)
+    step = 0
+    while db.migration is not None and not db.migration.finished:
+        db.migration.step()
+        if step == 1:
+            db.execute("INSERT INTO kv VALUES (100, 7), (101, 8)")
+        step += 1
+        assert step < 200
+    return tracer, db
+
+
+def _normalize(span):
+    return {
+        "name": span["name"],
+        "kind": span["kind"],
+        "attrs": {k: span["attrs"][k] for k in KEEP_ATTRS
+                  if k in span["attrs"]},
+        "counters": {k: span["counters"][k] for k in KEEP_COUNTERS
+                     if k in span["counters"]},
+        "children": [_normalize(child) for child in span["children"]
+                     if child["name"].startswith("reshard.")],
+    }
+
+
+def _reshard_tree(tracer):
+    return [_normalize(span.to_dict()) for span in tracer.roots
+            if span.to_dict()["name"].startswith("reshard.")]
+
+
+def test_step_spans_carry_identity_and_progress():
+    tracer, db = _run_traced_split()
+    steps = [s for s in _reshard_tree(tracer) if s["name"] == "reshard.step"]
+    assert steps, "no reshard.step spans traced"
+    assert {s["kind"] for s in steps} == {"resharding"}
+    assert {s["attrs"]["mid"] for s in steps} == {"m0001"}
+    assert {s["attrs"]["op"] for s in steps} == {"split"}
+    phases = [s["attrs"]["phase"] for s in steps]
+    assert phases[0] == "copy" and "catchup" in phases \
+        and "dual" in phases
+    copied = sum(s["counters"].get("reshard_rows_copied", 0)
+                 for s in steps)
+    # The snapshot ships every row of the moving buckets exactly once.
+    moving = db.shards[2].db.query("SELECT count(*) FROM kv")[0][0]
+    deltas = sum(s["counters"].get("reshard_delta_rows", 0)
+                 for s in steps)
+    assert copied + deltas >= moving > 0
+    # The cutover span nests inside the dual-phase step.
+    last = [s for s in steps if s["attrs"]["phase"] == "dual"][-1]
+    assert [c["name"] for c in last["children"]] == ["reshard.cutover"]
+
+
+def test_counters_attach_to_the_step_that_did_the_work():
+    tracer, _ = _run_traced_split()
+    steps = [s for s in _reshard_tree(tracer) if s["name"] == "reshard.step"]
+    copy_steps = [s for s in steps if s["attrs"]["phase"] == "copy"]
+    assert all(s["counters"].get("reshard_rows_copied") for s in copy_steps)
+    delta_rows = sum(s["counters"].get("reshard_delta_rows", 0)
+                     for s in steps)
+    assert delta_rows >= 0  # deltas only when mid-flight writes moved
+
+
+def test_reshard_trace_matches_golden(request):
+    tracer, _ = _run_traced_split()
+    actual = _reshard_tree(tracer)
+    path = GOLDEN_DIR / "reshard_split.json"
+    if request.config.getoption("--update-golden"):
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(json.dumps(actual, indent=2, sort_keys=True)
+                        + "\n")
+        return
+    assert path.exists(), (
+        "missing golden file {0}; run with --update-golden".format(path))
+    expected = json.loads(path.read_text())
+    assert actual == expected, (
+        "reshard span tree drifted from {0}; if the change is "
+        "intentional, rerun with --update-golden".format(path.name))

@@ -1,0 +1,90 @@
+"""Bounded exponential backoff with seeded jitter on shard links.
+
+Every coordinator send retries through ``ShardedDatabase._send``:
+transient drops pause ``backoff + jitter`` simulated clock ticks, the
+backoff doubling per retry up to ``retry_backoff_cap``; the jitter is
+drawn from a seeded rng so a retry storm replays exactly per seed.
+``link_retry_limit`` exhausted escalates to
+:class:`ShardUnavailableError` — the caller's cue to shed or reroute,
+never an infinite hot loop against a dead link.
+"""
+
+import pytest
+
+from repro.faults import FaultInjector
+from repro.sharding import ShardUnavailableError, ShardedDatabase
+
+
+def _make(faults=None, **kwargs):
+    db = ShardedDatabase(n_shards=2, faults=faults, **kwargs)
+    db.execute("CREATE TABLE t (k BIGINT, v BIGINT) PARTITION BY (k)")
+    db.execute("INSERT INTO t VALUES " + ", ".join(
+        "({0}, {1})".format(k, k) for k in range(20)))
+    return db
+
+
+def _arm_drops(faults, n):
+    hit = faults.hits["shard.ship"]
+    faults.transient_at("shard.ship",
+                        hits=tuple(range(hit + 1, hit + 1 + n)))
+
+
+class TestBackoff:
+    def test_retries_pause_with_growing_backoff(self):
+        faults = FaultInjector()
+        db = _make(faults)
+        assert db.stats.backoff_ticks == 0
+        _arm_drops(faults, 3)
+        db.query("SELECT count(*) FROM t")
+        assert db.stats.retries == 3
+        # Three pauses with backoffs 1, 2, 4: jitter adds [0, backoff),
+        # so total sleep lies in [7, 14) ticks — strictly more than
+        # one tick per retry (it actually backs off).
+        assert 7 <= db.stats.backoff_ticks < 14
+
+    def test_backoff_is_bounded_by_cap(self):
+        faults = FaultInjector()
+        db = _make(faults, link_retry_limit=12, retry_backoff_cap=4)
+        _arm_drops(faults, 10)
+        db.query("SELECT count(*) FROM t")
+        assert db.stats.retries == 10
+        # Backoffs 1,2,4,4,... capped at 4; with jitter < backoff the
+        # total is < 2 * (1+2+4*8) = 70 — not the 2^10 runaway an
+        # uncapped doubling would reach.
+        assert db.stats.backoff_ticks < 70
+
+    def test_jitter_is_deterministic_per_seed(self):
+        ticks = []
+        for _ in range(2):
+            faults = FaultInjector()
+            db = _make(faults, retry_seed=7)
+            _arm_drops(faults, 4)
+            db.query("SELECT count(*) FROM t")
+            ticks.append(db.stats.backoff_ticks)
+        assert ticks[0] == ticks[1]  # same seed, same storm
+
+    def test_different_seeds_desynchronize_jitter(self):
+        outcomes = set()
+        for seed in range(8):
+            faults = FaultInjector()
+            db = _make(faults, retry_seed=seed)
+            _arm_drops(faults, 4)
+            db.query("SELECT count(*) FROM t")
+            outcomes.add(db.stats.backoff_ticks)
+        assert len(outcomes) > 1  # jitter actually varies by seed
+
+
+class TestExhaustion:
+    def test_exhausted_retries_escalate(self):
+        faults = FaultInjector()
+        db = _make(faults, link_retry_limit=4)
+        _arm_drops(faults, 4)  # every allowed send drops
+        with pytest.raises(ShardUnavailableError):
+            db.query("SELECT count(*) FROM t")
+        assert db.stats.retries == 4
+
+    def test_recovers_on_the_attempt_after_the_storm(self):
+        faults = FaultInjector()
+        db = _make(faults, link_retry_limit=4)
+        _arm_drops(faults, 3)  # one attempt left
+        assert db.query("SELECT count(*) FROM t") == [(20,)]

@@ -17,7 +17,8 @@ from repro.sql.transactions import ConflictError, TransactionClosedError
 
 N_ROWS = 20
 COMMIT_SITES = frozenset(
-    ["commit.validate", "wal.append", "commit.publish", "commit.apply"])
+    ["commit.validate", "wal.append", "commit.publish", "commit.apply",
+     "twopc.decided"])
 
 
 def _make(wal_dir=None, faults=None, n_shards=2):
@@ -179,9 +180,10 @@ class TestCrashSweep:
         points = [(site, hit) for site, hit
                   in crash_points(faults.observed(), sites=COMMIT_SITES)
                   if hit > base.get(site, 0)]
-        # 2 participants: validate x2, publish x2, apply x2, and five
-        # wal.appends (prepare x2, decision, decide x2).
-        assert len(points) >= 11, points
+        # 2 participants: validate x2, publish x2, apply x2, five
+        # wal.appends (prepare x2, decision, decide x2), and the
+        # decided-but-unshipped gap after the decision append.
+        assert len(points) >= 12, points
         outcomes = set()
         for i, (site, hit) in enumerate(points):
             faults = FaultInjector()
@@ -209,6 +211,32 @@ class TestCrashSweep:
             _run_txn(db)
         db.recover()
         assert _snapshot(db) == ORIGINAL
+
+    def test_crash_between_decision_and_phase_two(self, tmp_path):
+        """The narrowest in-doubt window: the coordinator crashes
+        *after* force-logging ``decision: commit`` but *before*
+        shipping it to any shard (site ``twopc.decided``).  Both
+        participants restart holding an in-doubt prepare whose outcome
+        exists only in the coordinator's log — the resolve_in_doubt
+        sweep must converge BOTH shards to the committed state."""
+        faults = FaultInjector()
+        db = _make(tmp_path, faults)
+        faults.crash_at("twopc.decided", 1)
+        with pytest.raises(CrashError):
+            _run_txn(db)
+        # Every participant is in doubt; the decision says commit.
+        for shard_id in (0, 1):
+            shard = db.shards[shard_id].db
+            shard.recover()
+            assert shard.in_doubt == ["x000001"], shard_id
+        committed = db.committed_xids()
+        assert "x000001" in committed
+        for shard_id in (0, 1):
+            shard = db.shards[shard_id].db
+            shard.resolve_in_doubt(committed)
+            assert shard.in_doubt == []
+        db.recover()
+        assert _snapshot(db) == UPDATED
 
     def test_in_doubt_participant_resolved_from_decision_log(
             self, tmp_path):
