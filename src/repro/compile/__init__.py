@@ -1,0 +1,43 @@
+"""repro.compile: plan-fragment compilation into fused kernels.
+
+The operator-at-a-time interpreter pays dispatch, BAT headers, property
+maintenance and full intermediate materialization per instruction —
+the paper's "interpretation tax" that architecture evolution keeps
+paying down.  This package recognizes hot scan→filter→project→aggregate
+pipelines in optimized MAL plans (and morsel predicate chains) and
+compiles each into a generated Python function over raw numpy arrays:
+one pass, zero intermediate BATs, constants parameterized so one kernel
+serves every same-shape query.
+
+Entry points:
+
+* ``Database.execute(sql, compile=True)`` / ``SET compile = true`` —
+  per-statement or per-session opt-in with transparent per-fragment
+  fallback to the interpreter;
+* :class:`PlanCompiler` — the embeddable driver (shape normalization,
+  kernel cache, codegen fault site, mixed fragment/interpreter
+  execution);
+* :func:`compile_predicates` — WHERE-conjunct fusion for the morsel
+  scheduler.
+"""
+
+from repro.compile.cache import KernelCache
+from repro.compile.codegen import (CompiledPlan, CompileUnsupported,
+                                   MIN_FRAGMENT_OPS, compile_program)
+from repro.compile.executor import PlanCompiler
+from repro.compile.shapes import COMPILER_VERSION, PlanShape, normalize
+from repro.compile.vectorized import FusedExpr, compile_predicates
+
+__all__ = [
+    "COMPILER_VERSION",
+    "CompileUnsupported",
+    "CompiledPlan",
+    "FusedExpr",
+    "KernelCache",
+    "MIN_FRAGMENT_OPS",
+    "PlanCompiler",
+    "PlanShape",
+    "compile_predicates",
+    "compile_program",
+    "normalize",
+]

@@ -122,7 +122,7 @@ class ParallelSelectExecutor:
     def __init__(self, catalog, workers, smp_profile=None,
                  vector_size=DEFAULT_VECTOR_SIZE,
                  morsel_size=DEFAULT_MORSEL_SIZE, faults=None,
-                 tracer=None):
+                 tracer=None, compiler=None):
         if workers < 1:
             raise ValueError("need at least one worker")
         self.catalog = catalog
@@ -132,6 +132,10 @@ class ParallelSelectExecutor:
         self.morsel_size = morsel_size
         self.faults = faults if faults is not None else NO_FAULTS
         self.tracer = tracer if tracer is not None else NO_TRACE
+        # Optional repro.compile.PlanCompiler: WHERE conjunct chains
+        # fuse into one generated predicate kernel per morsel pass.
+        self.compiler = compiler
+        self.fused_predicates = 0
         self.failures = []
 
     # -- public entry ---------------------------------------------------------
@@ -266,6 +270,13 @@ class ParallelSelectExecutor:
         if select.where is not None:
             filters.extend(_split_conjuncts(select.where))
         predicates = [self._vector_expr(f, scope) for f in filters]
+        if self.compiler is not None and len(predicates) > 1:
+            from repro.compile.vectorized import compile_predicates
+            fused = compile_predicates(predicates,
+                                       cache=self.compiler.cache)
+            if fused is not None:
+                predicates = [fused]
+                self.fused_predicates += fused.n_fused
 
         def factory(ctx, scheduler, worker):
             plan = MorselScan(ctx, tables[first.alias], scheduler,

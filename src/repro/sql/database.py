@@ -134,6 +134,11 @@ class Database:
         self.default_workers = 1
         self.parallel_runs = 0
         self.parallel_fallbacks = 0
+        # Plan-fragment compilation (repro.compile): off by default,
+        # enabled per statement (execute(..., compile=True)) or per
+        # session (SET compile = true).  Built lazily on first use.
+        self.default_compile = False
+        self._plan_compiler = None
         self.last_parallel = None  # ParallelResult of the latest SELECT
         self.last_profile = None   # QueryProfile of the latest PROFILE
         # Two-phase commit bookkeeping: prepared-but-undecided records
@@ -162,32 +167,52 @@ class Database:
 
     # -- statement routing ---------------------------------------------------
 
-    def execute(self, sql, workers=None):
+    @property
+    def plan_compiler(self):
+        """The plan-fragment compiler (repro.compile), built lazily so
+        databases that never set ``compile`` pay nothing for it."""
+        if self._plan_compiler is None:
+            from repro.compile import PlanCompiler
+            self._plan_compiler = PlanCompiler(self)
+        return self._plan_compiler
+
+    def _bump_schema_epoch(self):
+        """Schema changed: orphan every compiled kernel alongside the
+        SQL plan cache."""
+        if self._plan_compiler is not None:
+            self._plan_compiler.bump_schema()
+
+    def execute(self, sql, workers=None, compile=None):
         """Execute one SQL statement (autocommit).
 
         Returns a :class:`ResultSet` for SELECT, the affected row count
         for DML, None for DDL, and for ``EXPLAIN``/``PROFILE`` a
         one-column ``plan`` ResultSet holding the rendered plan or
         span-tree lines.  ``workers`` overrides the session's worker
-        count (``SET workers = N``) for this statement.
+        count (``SET workers = N``) for this statement; ``compile``
+        likewise overrides ``SET compile`` to run SELECTs through the
+        plan-fragment compiler (repro.compile) with transparent
+        per-fragment fallback to the interpreter.
         """
         if not self.tracer.enabled:
-            return self._execute_statement(sql, workers)
+            return self._execute_statement(sql, workers, compile)
         label = sql if isinstance(sql, str) else repr(sql)
         with self.tracer.span("statement", kind="statement",
                               sql=label[:200]):
-            return self._execute_statement(sql, workers)
+            return self._execute_statement(sql, workers, compile)
 
-    def _execute_statement(self, sql, workers=None):
+    def _execute_statement(self, sql, workers=None, compile=None):
         effective = self.default_workers if workers is None else workers
         if effective < 1:
             raise ValueError("workers must be at least 1")
+        compiled = self.default_compile if compile is None else compile
         if isinstance(sql, str) and effective == 1:
             cached = self._plan_cache.get(sql)
             if cached is not None:
                 self.plans_reused += 1
                 return self._run_compiled(cached[0], cached[1],
-                                          view=self.catalog)
+                                          view=self.catalog,
+                                          compiled=compiled)
         # Pre-parsed statement ASTs run directly (the sharding and
         # replication layers route statements as ASTs, not text).
         statement = parse_sql(sql) if isinstance(sql, str) else sql
@@ -218,6 +243,7 @@ class Database:
             self.catalog.create_table(statement.name, statement.columns,
                                       partition_by=statement.partition_by)
             self._plan_cache.clear()  # schema changed
+            self._bump_schema_epoch()
             return None
         if isinstance(statement, Insert):
             table = self.catalog.get(statement.table)
@@ -243,19 +269,21 @@ class Database:
             return self._apply_update(statement)
         if isinstance(statement, Select):
             if effective > 1:
-                result = self._try_parallel(statement, effective)
+                result = self._try_parallel(statement, effective,
+                                            compiled=compiled)
                 if result is not None:
                     return result
             program, names = compile_select(self.catalog, statement)
             program = self.pipeline.optimize(program)
             if isinstance(sql, str):
                 self._plan_cache[sql] = (program, names)
-            return self._run_compiled(program, names, view=self.catalog)
+            return self._run_compiled(program, names, view=self.catalog,
+                                      compiled=compiled)
         raise TypeError("unsupported statement {0!r}".format(statement))
 
-    def query(self, sql, workers=None):
+    def query(self, sql, workers=None, compile=None):
         """Shorthand: execute a SELECT and return its rows."""
-        return self.execute(sql, workers=workers).rows()
+        return self.execute(sql, workers=workers, compile=compile).rows()
 
     def _apply_pragma(self, pragma):
         if pragma.name == "workers":
@@ -265,9 +293,15 @@ class Database:
                 raise ValueError("SET workers needs a positive integer")
             self.default_workers = value
             return None
+        if pragma.name == "compile":
+            value = pragma.value
+            if not isinstance(value, bool):
+                raise ValueError("SET compile needs true or false")
+            self.default_compile = value
+            return None
         raise ValueError("unknown pragma {0!r}".format(pragma.name))
 
-    def _try_parallel(self, statement, workers):
+    def _try_parallel(self, statement, workers, compiled=False):
         """Morsel-parallel SELECT; None when the shape has no parallel
         plan or every worker died (the caller then runs the serial
         engine — graceful degradation, recorded in ``last_parallel``)."""
@@ -275,10 +309,10 @@ class Database:
         from repro.parallel.executor import (
             ParallelResult, ParallelSelectExecutor, ParallelUnsupported,
         )
-        executor = ParallelSelectExecutor(self.catalog, workers,
-                                          smp_profile=self.smp_profile,
-                                          faults=self.faults,
-                                          tracer=self.tracer)
+        executor = ParallelSelectExecutor(
+            self.catalog, workers, smp_profile=self.smp_profile,
+            faults=self.faults, tracer=self.tracer,
+            compiler=self.plan_compiler if compiled else None)
         try:
             result = executor.execute(statement)
         except ParallelUnsupported:
@@ -309,7 +343,8 @@ class Database:
         program, _ = compile_select(self.catalog, statement)
         return str(self.pipeline.optimize(program))
 
-    def profile(self, sql, workers=None, hardware_profile=None):
+    def profile(self, sql, workers=None, hardware_profile=None,
+                compile=None):
         """Execute a SELECT with tracing on; returns a
         :class:`~repro.observability.QueryProfile`.
 
@@ -332,12 +367,13 @@ class Database:
             raise ValueError("workers must be at least 1")
         profile = self._profile_statement(
             statement, sql if isinstance(sql, str) else "",
-            workers=effective, hardware_profile=hardware_profile)
+            workers=effective, hardware_profile=hardware_profile,
+            compile=compile)
         self.last_profile = profile
         return profile
 
     def _profile_statement(self, statement, sql_text, workers=1,
-                           hardware_profile=None):
+                           hardware_profile=None, compile=None):
         from repro.observability.profiling import QueryProfile
         from repro.observability.tracer import Tracer
         if not isinstance(statement, Select):
@@ -345,9 +381,10 @@ class Database:
                 "PROFILE supports only SELECT statements, got {0}".format(
                     statement_kind(statement)))
         tracer = Tracer()
+        compiled = self.default_compile if compile is None else compile
         if workers > 1:
             profiled = self._profile_parallel(statement, workers, tracer,
-                                              sql_text)
+                                              sql_text, compiled=compiled)
             if profiled is not None:
                 return profiled
         if hardware_profile is None:
@@ -363,13 +400,21 @@ class Database:
             interpreter = Interpreter(self.catalog,
                                       recycler=self.recycler,
                                       tracer=tracer, hierarchy=hierarchy)
-            with tracer.span("execute", kind="pipeline"):
-                out = interpreter.run(program)
+            with tracer.span("execute", kind="pipeline",
+                             compiled=compiled):
+                out = None
+                if compiled:
+                    out = self.plan_compiler.try_run(
+                        program, self.catalog, interpreter,
+                        tracer=tracer, hierarchy=hierarchy)
+                if out is None:
+                    out = interpreter.run(program)
             result = self._materialize_result(program, names, out)
         return QueryProfile(tracer.roots[-1], result,
                             hierarchy=hierarchy)
 
-    def _profile_parallel(self, statement, workers, tracer, sql_text):
+    def _profile_parallel(self, statement, workers, tracer, sql_text,
+                          compiled=False):
         """Parallel profile, or None on fallback (no parallel plan /
         all workers died) — the caller then profiles serially."""
         from repro.observability.profiling import QueryProfile
@@ -381,10 +426,10 @@ class Database:
         if smp_profile is None:
             from repro.hardware.profiles import SCALED_SMP
             smp_profile = SCALED_SMP
-        executor = ParallelSelectExecutor(self.catalog, workers,
-                                          smp_profile=smp_profile,
-                                          faults=self.faults,
-                                          tracer=tracer)
+        executor = ParallelSelectExecutor(
+            self.catalog, workers, smp_profile=smp_profile,
+            faults=self.faults, tracer=tracer,
+            compiler=self.plan_compiler if compiled else None)
         try:
             with tracer.span("query", kind="query", sql=sql_text[:200],
                              engine="parallel", workers=workers):
@@ -410,15 +455,22 @@ class Database:
 
     # -- internals shared with Transaction ----------------------------------------
 
-    def _run_select(self, statement, view):
+    def _run_select(self, statement, view, compiled=None):
         program, names = compile_select(self.catalog, statement)
         program = self.pipeline.optimize(program)
-        return self._run_compiled(program, names, view)
+        return self._run_compiled(program, names, view, compiled=compiled)
 
-    def _run_compiled(self, program, names, view):
+    def _run_compiled(self, program, names, view, compiled=None):
         interpreter = self.interpreter if view is self.catalog \
             else Interpreter(view, recycler=self.recycler,
                              tracer=self.tracer)
+        use_compiler = self.default_compile if compiled is None \
+            else compiled
+        if use_compiler:
+            out = self.plan_compiler.try_run(program, view, interpreter,
+                                             tracer=self.tracer)
+            if out is not None:
+                return self._materialize_result(program, names, out)
         out = interpreter.run(program)
         return self._materialize_result(program, names, out)
 
@@ -533,6 +585,7 @@ class Database:
                 [tuple(c) for c in record["columns"]],
                 partition_by=record.get("partition_by"))
             self._plan_cache.clear()  # schema changed
+            self._bump_schema_epoch()
         elif kind == "commit":
             self._apply_ops(record["ops"])
             self._bump_commit()
@@ -582,6 +635,7 @@ class Database:
         if self.recycler is not None:
             self.recycler.clear()  # cached results may predate the crash
         self._plan_cache.clear()
+        self._bump_schema_epoch()
         self.last_parallel = None
         self._pending_prepares = {}
         self.commit_seq = 0  # rebuilt by replay

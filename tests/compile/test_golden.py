@@ -1,0 +1,103 @@
+"""Golden tests for generated kernel source.
+
+Each case compiles one canonical query's optimized MAL plan and pins
+the *entire generated module* — fragment signatures, variable ids,
+parameter slots, inlined numpy calls — under
+``tests/compile/golden/``.  Generated source is deterministic by
+construction (dense shape ids name the variables, parameter slots are
+walk-ordered), so any drift means codegen semantics changed.
+
+Regenerate after an intentional change with::
+
+    PYTHONPATH=src python -m pytest tests/compile/test_golden.py \
+        --update-golden
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.sql.database import Database
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+CASES = {
+    "scan_filter_project":
+        "SELECT k, v FROM t WHERE k > 10 AND v < 50",
+    "scalar_aggregates":
+        "SELECT sum(v), count(*), min(v), max(v), avg(v) "
+        "FROM t WHERE k > 10",
+    "group_by_having":
+        "SELECT g, sum(v) FROM t WHERE k > 2 GROUP BY g "
+        "HAVING count(*) > 1",
+    "string_filter":
+        "SELECT k FROM t WHERE s = 'aa' AND k < 90",
+    "arithmetic_projection":
+        "SELECT k + v, k * 2 FROM t WHERE k % 3 = 0",
+    "cracked_range":
+        "SELECT sum(v) FROM t WHERE k > 20 AND k < 80",
+}
+
+
+def _database(case):
+    db = Database.with_cracking() if case == "cracked_range" \
+        else Database()
+    db.execute("CREATE TABLE t (k INTEGER, v INTEGER, g INTEGER, "
+               "s TEXT)")
+    db.execute("INSERT INTO t VALUES " + ", ".join(
+        "({0}, {1}, {2}, '{3}')".format(i, (i * 37) % 100, i % 4,
+                                        "ab"[i % 2] * 2)
+        for i in range(100)))
+    if case == "cracked_range":
+        # Crack the column first so the optimizer emits crackedselect
+        # and the golden pins the cracked kernel shape.
+        db.query("SELECT v FROM t WHERE k > 20 AND k < 80")
+    return db
+
+
+def _generated_source(db, sql):
+    from repro.sql.compiler import compile_select
+    from repro.sql.parser import parse_sql
+    program = db.pipeline.optimize(
+        compile_select(db.catalog, parse_sql(sql))[0])
+    plan, _ = db.plan_compiler.compile(program)
+    assert plan is not None, "query failed to compile: {0}".format(sql)
+    return plan.source
+
+
+@pytest.mark.parametrize("case", sorted(CASES))
+def test_kernel_source_matches_golden(case, request):
+    sql = CASES[case]
+    db = _database(case)
+    actual = _generated_source(db, sql)
+    path = GOLDEN_DIR / (case + ".py.txt")
+    if request.config.getoption("--update-golden"):
+        GOLDEN_DIR.mkdir(exist_ok=True)
+        path.write_text(actual)
+        return
+    assert path.exists(), (
+        "missing golden file {0}; run with --update-golden".format(path))
+    expected = path.read_text()
+    assert actual == expected, (
+        "generated kernel for {0!r} drifted from {1}; if the change is "
+        "intentional, rerun with --update-golden".format(sql, path.name))
+
+
+def test_generated_source_is_deterministic():
+    """Two independent databases compile byte-identical kernels for the
+    same query — the property the cache key and goldens rely on."""
+    for case, sql in sorted(CASES.items()):
+        first = _generated_source(_database(case), sql)
+        second = _generated_source(_database(case), sql)
+        assert first == second, case
+
+
+def test_constants_never_appear_in_source():
+    """Literals reach kernels through P, never the source text: the
+    no-poisoning guarantee, checked at the source level."""
+    db = _database("scan_filter_project")
+    source = _generated_source(
+        db, "SELECT k FROM t WHERE k > 1234567 AND v < 7654321")
+    assert "1234567" not in source
+    assert "7654321" not in source
+    assert "P[0]" in source and "P[1]" in source
