@@ -21,6 +21,8 @@ from repro.compile.shapes import normalize
 from repro.core.atoms import OID, STR
 from repro.core.bat import BAT
 from repro.faults.injector import CrashError, TransientFault
+from repro.governance.context import CHECK_FRAGMENT
+from repro.governance.errors import GovernanceError
 from repro.observability import NO_TRACE
 
 
@@ -147,6 +149,11 @@ class PlanCompiler:
         except _Fallback:
             self.stats["interpreted_fallbacks"] += 1
             return None
+        except GovernanceError:
+            # A deadline/cancel/budget kill is the statement's verdict,
+            # not a kernel defect: falling back here would resurrect a
+            # query its context already killed.
+            raise
         except Exception:
             # A kernel raised where the interpreter would not have (or
             # would have raised identically — rerunning reproduces it).
@@ -183,6 +190,7 @@ class PlanCompiler:
         P = shape.params
         names = self._var_names(program)
         env = {}
+        gov = interpreter.governance
         for segment in plan.segments:
             if isinstance(segment, InterpSegment):
                 # Always this program's instructions: a cached plan must
@@ -190,6 +198,10 @@ class PlanCompiler:
                 for instr in program.instructions[segment.lo:segment.hi]:
                     interpreter._execute(instr, env)
                 continue
+            if gov.active:
+                # A fused fragment is one cancellation region: the
+                # checkpoint fires before it runs, never mid-kernel.
+                gov.checkpoint(CHECK_FRAGMENT)
             with tracer.span("compile.exec", kind="fragment",
                              fragment=segment.name) as span:
                 args = [ctx, P]
@@ -198,8 +210,14 @@ class PlanCompiler:
                 results = plan.functions[segment.name](*args)
                 tuples = _unpack_live_out(segment.live_out, results,
                                           names, env)
-                ctx.charge_outputs(
-                    [env[names[dense]] for dense, _ in segment.live_out])
+                live_out = [env[names[dense]]
+                            for dense, _ in segment.live_out]
+                ctx.charge_outputs(live_out)
+                if gov.active:
+                    nbytes = sum(v.tail_nbytes for v in live_out
+                                 if isinstance(v, BAT))
+                    if nbytes:
+                        gov.charge(nbytes, CHECK_FRAGMENT)
                 if span is not None:
                     span.add("fused_instructions", segment.n_ops)
                     span.add("tuples_out", tuples)

@@ -156,6 +156,13 @@ class SimulatedLink:
     def in_flight(self):
         return len(self._in_flight)
 
+    @property
+    def last_deliver_at(self):
+        """Tick the most recently accepted message delivers at — the
+        sender's wait if it blocks for the response (senders with a
+        per-leg timeout compare this against their budget)."""
+        return self._last_deliver_at
+
     def cut(self):
         """Partition the link: in-flight messages are lost and every
         send fails until :meth:`heal`."""

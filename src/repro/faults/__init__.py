@@ -13,6 +13,7 @@ from repro.faults.injector import (
     FaultError,
     FaultInjector,
     FaultPlan,
+    LatencyRamp,
     NullInjector,
     TransientFault,
     crash_points,
@@ -24,6 +25,7 @@ __all__ = [
     "FaultError",
     "FaultInjector",
     "FaultPlan",
+    "LatencyRamp",
     "NullInjector",
     "TransientFault",
     "crash_points",

@@ -61,12 +61,17 @@ class FaultPlan:
 
     ``hits`` is a collection of 1-based hit numbers (or None for every
     hit).  ``delay`` is returned for latency faults; ``torn`` rides on
-    crash faults to model partial writes.
+    crash faults to model partial writes.  ``match`` narrows the plan
+    to hits whose call-site detail contains the given key/value pairs
+    (e.g. ``match={"link": "coord->shard1"}`` grays one shard link
+    while its site-mates stay healthy); a matched plan counts its own
+    hits, so hit numbers are relative to the matching traffic.
     """
 
     KINDS = ("crash", "transient", "latency")
 
-    def __init__(self, site, kind, hits=(1,), delay=1, torn=None):
+    def __init__(self, site, kind, hits=(1,), delay=1, torn=None,
+                 match=None):
         if kind not in self.KINDS:
             raise ValueError("unknown fault kind {0!r}".format(kind))
         if kind == "latency" and delay < 1:
@@ -76,15 +81,82 @@ class FaultPlan:
         self.hits = None if hits is None else frozenset(hits)
         self.delay = delay
         self.torn = torn
+        self.match = dict(match) if match else None
+        self.observed = 0  # matched-traffic hits (match plans only)
+
+    def accepts(self, detail):
+        """Does the call-site detail pass this plan's match filter?"""
+        return self.match is None or all(
+            detail.get(k) == v for k, v in self.match.items())
 
     def matches(self, hit):
         return self.hits is None or hit in self.hits
+
+    def delay_for(self, hit):
+        """The latency this plan injects at ``hit`` (fixed here; the
+        ramp plan overrides it)."""
+        return self.delay
 
     def __repr__(self):
         where = "always" if self.hits is None \
             else "hits {0}".format(sorted(self.hits))
         return "FaultPlan({0!r}, {1}, {2})".format(self.site, self.kind,
                                                    where)
+
+
+class LatencyRamp(FaultPlan):
+    """A gray-node fault: latency that *ramps* instead of dropping.
+
+    From ``start_hit`` on, every hit of the site is delayed by
+    ``base_delay + step * (hit - start_hit)``, capped at ``cap`` — the
+    signature of a slow-but-alive node (swelling queues, a failing
+    disk): responses still arrive, just later and later.  Armed at the
+    existing link sites (``shard.ship`` / ``repl.ship``) it is what
+    the hedged-read and circuit-breaker defenses are exercised
+    against.
+
+    ``seed`` adds deterministic per-hit jitter of up to ``jitter``
+    ticks, drawn from a generator seeded by (seed, hit) so the delay
+    of hit N is a pure function of the seed and N — reorderings of
+    other sites cannot shift it.
+    """
+
+    def __init__(self, site, start_hit=1, base_delay=1, step=1,
+                 cap=None, seed=None, jitter=0, match=None):
+        if start_hit < 1:
+            raise ValueError("start_hit is 1-based")
+        if base_delay < 1:
+            raise ValueError("latency ramps need a positive base delay")
+        if step < 0:
+            raise ValueError("ramp step must be non-negative")
+        if cap is not None and cap < base_delay:
+            raise ValueError("cap must be at least the base delay")
+        if jitter and seed is None:
+            raise ValueError("jittered ramps need a seed")
+        super().__init__(site, "latency", hits=None, delay=base_delay,
+                         match=match)
+        self.start_hit = start_hit
+        self.step = step
+        self.cap = cap
+        self.seed = seed
+        self.jitter = jitter
+
+    def matches(self, hit):
+        return hit >= self.start_hit
+
+    def delay_for(self, hit):
+        delay = self.delay + self.step * (hit - self.start_hit)
+        if self.cap is not None:
+            delay = min(delay, self.cap)
+        if self.jitter:
+            delay += random.Random(self.seed * 1000003 + hit).randrange(
+                self.jitter + 1)
+        return delay
+
+    def __repr__(self):
+        return ("LatencyRamp({0!r}, from hit {1}, {2}+{3}/hit, cap {4})"
+                .format(self.site, self.start_hit, self.delay,
+                        self.step, self.cap))
 
 
 class FaultInjector:
@@ -111,18 +183,28 @@ class FaultInjector:
         self._plans.setdefault(plan.site, []).append(plan)
         return self
 
-    def crash_at(self, site, hit=1, torn=None):
+    def crash_at(self, site, hit=1, torn=None, match=None):
         """Arm a crash at the Nth hit of ``site``."""
-        return self.plan(FaultPlan(site, "crash", hits=(hit,), torn=torn))
+        return self.plan(FaultPlan(site, "crash", hits=(hit,), torn=torn,
+                                   match=match))
 
-    def transient_at(self, site, hits=(1,)):
+    def transient_at(self, site, hits=(1,), match=None):
         """Arm retryable failures at the given hits of ``site``."""
-        return self.plan(FaultPlan(site, "transient", hits=hits))
+        return self.plan(FaultPlan(site, "transient", hits=hits,
+                                   match=match))
 
-    def delay_at(self, site, hits=(1,), delay=1):
+    def delay_at(self, site, hits=(1,), delay=1, match=None):
         """Arm latency spikes of ``delay`` units at the given hits."""
         return self.plan(FaultPlan(site, "latency", hits=hits,
-                                   delay=delay))
+                                   delay=delay, match=match))
+
+    def ramp_at(self, site, start_hit=1, base_delay=1, step=1, cap=None,
+                seed=None, jitter=0, match=None):
+        """Arm a gray-node latency ramp (see :class:`LatencyRamp`)."""
+        return self.plan(LatencyRamp(site, start_hit=start_hit,
+                                     base_delay=base_delay, step=step,
+                                     cap=cap, seed=seed, jitter=jitter,
+                                     match=match))
 
     @classmethod
     def seeded(cls, seed, rates):
@@ -155,9 +237,20 @@ class FaultInjector:
         self.hits[site] += 1
         hit = self.hits[site]
         for plan in self._plans.get(site, ()):
-            if plan.matches(hit):
-                return self._fire(site, hit, plan.kind, plan.delay,
-                                  plan.torn, detail)
+            if plan.match is not None:
+                # Match-filtered plans fire on their own traffic's hit
+                # numbering (global site hits would shift with
+                # unrelated senders sharing the site).
+                if not plan.accepts(detail):
+                    continue
+                plan.observed += 1
+                if plan.matches(plan.observed):
+                    return self._fire(site, plan.observed, plan.kind,
+                                      plan.delay_for(plan.observed),
+                                      plan.torn, detail)
+            elif plan.matches(hit):
+                return self._fire(site, hit, plan.kind,
+                                  plan.delay_for(hit), plan.torn, detail)
         rate = self._rates.get(site)
         if rate is not None:
             kind, probability, delay = rate

@@ -1,0 +1,74 @@
+"""Per-tenant memory accounting shared across concurrent statements.
+
+One :class:`TenantAccountant` is attached to a session manager (or any
+multi-tenant front end); every governed statement's
+:class:`~repro.governance.context.QueryContext` debits its tenant's
+budget as BATs materialize and credits it back when the statement
+finishes.  A charge that would push the tenant over budget raises
+:class:`~repro.governance.errors.MemoryExceeded` with
+``scope="tenant"`` — the session layer reports that to the admission
+controller, which sheds the tenant's next arrivals instead of letting
+it sink the node.
+"""
+
+from repro.governance.errors import MemoryExceeded
+
+
+class TenantAccountant:
+    """Tracks live materialized bytes per tenant against budgets.
+
+    Parameters
+    ----------
+    default_budget:
+        Bytes each tenant may hold live at once (None: unlimited for
+        tenants without an explicit budget).
+    budgets:
+        Optional ``{tenant: bytes}`` overrides.
+    """
+
+    def __init__(self, default_budget=None, budgets=None):
+        if default_budget is not None and default_budget < 1:
+            raise ValueError("default_budget must be positive bytes")
+        self.default_budget = default_budget
+        self._budgets = dict(budgets or {})
+        self.in_use = {}        # tenant -> live bytes
+        self.peak = {}          # tenant -> high-water mark
+        self.kills = {}         # tenant -> over-budget kills
+        self.charged_total = 0
+
+    def budget_of(self, tenant):
+        return self._budgets.get(tenant, self.default_budget)
+
+    def charge(self, tenant, nbytes, site=None):
+        """Debit ``nbytes`` against ``tenant``; raises
+        :class:`~repro.governance.errors.MemoryExceeded`
+        (``scope="tenant"``) when the tenant's live total would exceed
+        its budget.  The rejected charge is *not* recorded — the
+        killing statement releases what it already held."""
+        budget = self.budget_of(tenant)
+        used = self.in_use.get(tenant, 0)
+        if budget is not None and used + nbytes > budget:
+            self.kills[tenant] = self.kills.get(tenant, 0) + 1
+            raise MemoryExceeded(
+                "tenant {0!r} over budget: {1} live + {2} requested > "
+                "{3}".format(tenant, used, nbytes, budget),
+                site=site, scope="tenant", tenant=tenant)
+        self.in_use[tenant] = used + nbytes
+        self.peak[tenant] = max(self.peak.get(tenant, 0), used + nbytes)
+        self.charged_total += nbytes
+
+    def release(self, tenant, nbytes):
+        """Credit ``nbytes`` back (a statement finished)."""
+        used = self.in_use.get(tenant, 0)
+        if nbytes > used:
+            raise RuntimeError(
+                "release of {0} bytes exceeds tenant {1!r} live total "
+                "{2}".format(nbytes, tenant, used))
+        self.in_use[tenant] = used - nbytes
+
+    def snapshot(self):
+        return {tenant: {"in_use": self.in_use.get(tenant, 0),
+                         "peak": self.peak.get(tenant, 0),
+                         "kills": self.kills.get(tenant, 0),
+                         "budget": self.budget_of(tenant)}
+                for tenant in set(self.in_use) | set(self.kills)}

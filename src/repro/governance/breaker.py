@@ -1,0 +1,108 @@
+"""Per-link circuit breaker: closed / open / half-open with a seeded
+probe schedule.
+
+The sharding coordinator arms one breaker per shard link.  Leg
+timeouts (a gray shard: alive but slow) count as failures; after
+``threshold`` consecutive failures the breaker *opens* and the
+coordinator stops paying the slow link at all — scatter legs go
+straight to the hedge path.  After a cool-down (``cooldown`` ticks
+plus a seeded jitter draw, so a fleet of breakers does not probe in
+lockstep) the breaker goes *half-open* and admits exactly one probe:
+a probe success closes the breaker, a probe failure re-opens it with
+a fresh jitter draw.
+
+Everything is driven by the coordinator's simulated tick clock and a
+``random.Random(seed)``, so a breaker schedule replays exactly per
+seed.
+"""
+
+import random
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """One link's failure-trip state machine."""
+
+    def __init__(self, threshold=3, cooldown=32, probe_jitter=8, seed=0,
+                 name=""):
+        if threshold < 1:
+            raise ValueError("threshold must be at least 1")
+        if cooldown < 1:
+            raise ValueError("cooldown must be at least 1 tick")
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self.probe_jitter = probe_jitter
+        self.name = name
+        self._rng = random.Random(seed)
+        self.state = CLOSED
+        self.consecutive_failures = 0
+        self.retry_at = None        # tick the next probe is allowed
+        self._probing = False       # a half-open probe is in flight
+        # Observability counters.
+        self.opens = 0
+        self.probes = 0
+        self.failures = 0
+        self.successes = 0
+        self.transitions = []       # [(tick, state)] audit trail
+
+    def _enter(self, state, now):
+        self.state = state
+        self.transitions.append((now, state))
+
+    def allow(self, now):
+        """May a request use this link at tick ``now``?
+
+        Closed: yes.  Open: no, until the cool-down elapses — then the
+        breaker turns half-open and this call admits the single probe.
+        Half-open: only the probe already admitted.
+        """
+        if self.state == CLOSED:
+            return True
+        if self.state == OPEN and now >= self.retry_at:
+            self._enter(HALF_OPEN, now)
+            self._probing = True
+            self.probes += 1
+            return True
+        if self.state == HALF_OPEN and not self._probing:
+            self._probing = True
+            self.probes += 1
+            return True
+        return False
+
+    def record_success(self, now=0):
+        self.successes += 1
+        self.consecutive_failures = 0
+        if self.state != CLOSED:
+            self._probing = False
+            self._enter(CLOSED, now)
+
+    def record_failure(self, now):
+        self.failures += 1
+        self.consecutive_failures += 1
+        if self.state == HALF_OPEN:
+            # The probe failed: back to open with a fresh jitter draw.
+            self._probing = False
+            self._open(now)
+        elif self.state == CLOSED and \
+                self.consecutive_failures >= self.threshold:
+            self._open(now)
+
+    def _open(self, now):
+        self.opens += 1
+        jitter = self._rng.randrange(self.probe_jitter) \
+            if self.probe_jitter else 0
+        self.retry_at = now + self.cooldown + jitter
+        self._enter(OPEN, now)
+
+    def snapshot(self):
+        return {"state": self.state, "opens": self.opens,
+                "probes": self.probes, "failures": self.failures,
+                "successes": self.successes,
+                "retry_at": self.retry_at}
+
+    def __repr__(self):
+        return "CircuitBreaker({0!r}, {1}, {2} opens)".format(
+            self.name, self.state, self.opens)

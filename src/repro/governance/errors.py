@@ -1,0 +1,73 @@
+"""The governance error surface: one base class, stable reasons.
+
+Every query-lifecycle kill — deadline, client cancel, memory budget —
+raises a subclass of :class:`GovernanceError`.  The contract callers
+(and the session layer) rely on:
+
+* ``reason`` is a stable machine-readable token (``"deadline"``,
+  ``"cancelled"``, ``"memory"``) — never parse the message.
+* ``retryable`` is True: a governed kill aborts cleanly (state is
+  untouched, enforced by the cancellation oracle), so the statement
+  may simply be re-run, possibly with a larger budget.
+* ``site``/``hit`` name the cooperative checkpoint that observed the
+  kill (``interp.instr``, ``compile.fragment``, ``morsel``,
+  ``scatter.leg``, ``twopc.prepare``, ``repl.route``), for diagnosis
+  of where in the stack a runaway query was stopped.
+
+The message is a single clean line; no engine internals leak through
+(pinned by the session-layer regression tests).
+"""
+
+
+class GovernanceError(RuntimeError):
+    """Base class of query-lifecycle kills (deadline/cancel/budget)."""
+
+    reason = "governed"
+    retryable = True
+
+    def __init__(self, message, site=None, hit=None, **detail):
+        self.site = site
+        self.hit = hit
+        self.detail = detail
+        super().__init__(message)
+
+    def status(self):
+        """Machine-readable status dict (the session layer's error
+        surface): stable keys, no traceback material."""
+        return {"reason": self.reason, "retryable": self.retryable,
+                "site": self.site, "message": str(self)}
+
+
+class DeadlineExceeded(GovernanceError):
+    """The statement ran past its deadline on the simulated clock."""
+
+    reason = "deadline"
+
+
+class QueryCancelled(GovernanceError):
+    """The statement's cancellation token was set (client cancel)."""
+
+    reason = "cancelled"
+
+
+class MemoryExceeded(GovernanceError):
+    """A materialization pushed the query (or its tenant) over budget.
+
+    ``scope`` is ``"query"`` or ``"tenant"``; tenant-scope kills feed
+    the admission controller's over-budget shedding.
+    """
+
+    reason = "memory"
+
+    def __init__(self, message, site=None, hit=None, scope="query",
+                 tenant=None, **detail):
+        self.scope = scope
+        self.tenant = tenant
+        super().__init__(message, site=site, hit=hit, **detail)
+
+    def status(self):
+        out = super().status()
+        out["scope"] = self.scope
+        if self.tenant is not None:
+            out["tenant"] = self.tenant
+        return out

@@ -1,0 +1,190 @@
+"""The cancellation oracle: "a kill never corrupts state", enforced.
+
+The engine promises that a governed kill — deadline, cancel, memory —
+is *clean*: whenever a :class:`~repro.governance.errors.GovernanceError`
+fires, committed data is exactly what it was before the statement
+started, and re-running the statement afterwards yields exactly the
+result an unkilled run would have.  This module turns that promise
+into an exhaustive, deterministic sweep, the governance analogue of
+the crash-recovery oracle (:func:`repro.faults.crash_points`):
+
+1. **Dry run** — execute the scenario under a
+   :class:`~repro.governance.context.CountingContext`, which never
+   kills but records every checkpoint the run passes through.  Its
+   :meth:`~repro.governance.context.CountingContext.kill_points`
+   enumerates the complete kill schedule: every (site, hit) pair at
+   which a kill *could* fire.
+2. **Sweep** — for each kill point and each kill kind, rebuild the
+   scenario fresh, arm ``kill_at(hit, kind, site)``, and run.  The
+   kill must fire (the schedule is deterministic), the state snapshot
+   must be unchanged, and an ungoverned re-run on the same engine must
+   reproduce the dry run's result and final state.
+
+Scenario protocol: the caller supplies a ``scenario()`` factory
+returning a fresh ``(run, snapshot)`` pair per schedule —
+``run(context)`` executes the governed work (``context=None`` means
+ungoverned) and returns a comparable result; ``snapshot()`` returns a
+comparable picture of committed state.  A fresh pair per schedule is
+what lets DML scenarios sweep safely: every armed run starts from the
+same initial state.
+
+Violations are collected, not raised one-by-one, so a failing sweep
+reports every divergent schedule at once; :meth:`SweepReport.check`
+raises :class:`OracleViolation` with the full list.
+"""
+
+from repro.governance.context import CountingContext, QueryContext
+from repro.governance.errors import GovernanceError
+
+#: Kill kinds the sweep arms by default.  "memory" is excluded: a
+#: memory kill fires at a charge site, not a checkpoint, so its hit
+#: numbering is not the checkpoint schedule's.
+SWEEP_KINDS = ("cancel", "deadline")
+
+
+class OracleViolation(AssertionError):
+    """At least one kill schedule corrupted state or diverged."""
+
+    def __init__(self, violations):
+        self.violations = list(violations)
+        lines = ["cancellation oracle: {0} violating schedule(s)".format(
+            len(self.violations))]
+        lines += ["  - " + v for v in self.violations[:20]]
+        if len(self.violations) > 20:
+            lines.append("  ... {0} more".format(
+                len(self.violations) - 20))
+        super().__init__("\n".join(lines))
+
+
+class SweepReport:
+    """Outcome of one :meth:`CancellationOracle.sweep`."""
+
+    def __init__(self):
+        self.schedules = 0      # armed runs executed
+        self.kills = 0          # runs where the kill fired (== schedules
+                                # when the engine is honest)
+        self.kill_points = []   # [(site, hit)] enumerated by the dry run
+        self.violations = []    # human-readable divergence descriptions
+
+    @property
+    def clean(self):
+        return not self.violations
+
+    def check(self):
+        """Raise :class:`OracleViolation` unless the sweep was clean."""
+        if self.violations:
+            raise OracleViolation(self.violations)
+        return self
+
+    def __repr__(self):
+        return ("SweepReport({0} schedules, {1} kills, {2} kill points, "
+                "{3} violations)".format(
+                    self.schedules, self.kills, len(self.kill_points),
+                    len(self.violations)))
+
+
+class CancellationOracle:
+    """Exhaustive kill-at-every-checkpoint sweep for one scenario.
+
+    Parameters
+    ----------
+    scenario:
+        Zero-argument factory returning ``(run, snapshot)``; see the
+        module docstring for the protocol.
+    sites:
+        Restrict the sweep to these checkpoint sites (None: every site
+        the dry run touched).
+    kinds:
+        Kill kinds to arm per kill point (default
+        :data:`SWEEP_KINDS`).
+    max_points:
+        Cap on swept kill points (evenly strided over the schedule so
+        early and late checkpoints are both covered); None sweeps all.
+    """
+
+    def __init__(self, scenario, sites=None, kinds=SWEEP_KINDS,
+                 max_points=None):
+        self.scenario = scenario
+        self.sites = sites
+        self.kinds = tuple(kinds)
+        self.max_points = max_points
+
+    # -- schedule enumeration --------------------------------------------------
+
+    def dry_run(self):
+        """(expected result, expected final snapshot, kill points)."""
+        run, snapshot = self.scenario()
+        counting = CountingContext()
+        expected = run(counting)
+        return expected, snapshot(), counting.kill_points(self.sites)
+
+    def _stride(self, points):
+        if self.max_points is None or len(points) <= self.max_points:
+            return points
+        step = len(points) / float(self.max_points)
+        return [points[int(i * step)] for i in range(self.max_points)]
+
+    # -- the sweep -------------------------------------------------------------
+
+    def sweep(self):
+        """Run every armed schedule; returns a :class:`SweepReport`."""
+        report = SweepReport()
+        expected, expected_state, points = self.dry_run()
+        report.kill_points = points
+        for site, hit in self._stride(points):
+            for kind in self.kinds:
+                self._one_schedule(report, site, hit, kind, expected,
+                                   expected_state)
+        return report
+
+    def _one_schedule(self, report, site, hit, kind, expected,
+                      expected_state):
+        label = "kill_at({0!r}, hit={1}, kind={2})".format(site, hit,
+                                                           kind)
+        report.schedules += 1
+        run, snapshot = self.scenario()
+        before = snapshot()
+        context = QueryContext().kill_at(hit, kind=kind, site=site)
+        try:
+            run(context)
+        except GovernanceError:
+            report.kills += 1
+        except Exception as exc:  # an engine error is a violation too
+            report.violations.append(
+                "{0}: non-governance error {1!r}".format(label, exc))
+            return
+        else:
+            report.violations.append(
+                "{0}: kill never fired (schedule drifted?)".format(label))
+            return
+        after = snapshot()
+        if after != before:
+            report.violations.append(
+                "{0}: committed state changed under the kill".format(
+                    label))
+            return
+        try:
+            rerun = run(None)
+        except Exception as exc:
+            report.violations.append(
+                "{0}: ungoverned re-run failed: {1!r}".format(label, exc))
+            return
+        if not _comparable_equal(rerun, expected):
+            report.violations.append(
+                "{0}: re-run result diverged from clean run".format(
+                    label))
+            return
+        if snapshot() != expected_state:
+            report.violations.append(
+                "{0}: re-run final state diverged from clean run".format(
+                    label))
+
+
+def _comparable_equal(left, right):
+    """Order-insensitive equality for row lists, plain ``==`` else."""
+    if isinstance(left, list) and isinstance(right, list):
+        try:
+            return sorted(left) == sorted(right)
+        except TypeError:
+            return left == right
+    return left == right

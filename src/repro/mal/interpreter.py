@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 
 from repro.core.bat import BAT
 from repro.core.kernel import lookup_op
+from repro.governance.context import CHECK_INTERP, NO_GOVERNANCE
 from repro.mal.ast import Const, MALProgram, Var
 from repro.observability.tracer import NO_TRACE
 
@@ -88,6 +89,12 @@ class Interpreter:
         self.tracer = tracer if tracer is not None else NO_TRACE
         self.hierarchy = hierarchy
         self.stats = ExecutionStats()
+        #: Governance context of the statement currently running (the
+        #: SQL layer sets and restores it around each run).  Checked at
+        #: the per-instruction checkpoint — the interpreter's
+        #: cancellation point, reached *before* each instruction
+        #: dispatches, so a kill here leaves no partial result bound.
+        self.governance = NO_GOVERNANCE
 
     # -- argument resolution -------------------------------------------------
 
@@ -144,6 +151,9 @@ class Interpreter:
             self._execute_instrumented(instr, env, span)
 
     def _execute_plain(self, instr, env):
+        gov = self.governance
+        if gov.active:
+            gov.checkpoint(CHECK_INTERP)
         values = [self._resolve(a, env) for a in instr.args]
         recycler = self.recycler
         use_recycler = recycler is not None and (
@@ -160,6 +170,8 @@ class Interpreter:
         results = self._dispatch(instr, values)
         elapsed = time.perf_counter() - start
         self.stats.record(instr.op, results, elapsed)
+        if gov.active:
+            self._charge_governance(gov, results)
         if use_recycler:
             nbytes = sum(v.tail_nbytes for v in results if isinstance(v, BAT))
             recycler.store(key, results, cost=elapsed, nbytes=nbytes)
@@ -169,6 +181,9 @@ class Interpreter:
         """One instruction under an operator span and/or simulated
         memory charging.  ``span`` is None when only a hierarchy is
         attached (tracing disabled)."""
+        gov = self.governance
+        if gov.active:
+            gov.checkpoint(CHECK_INTERP)
         values = [self._resolve(a, env) for a in instr.args]
         recycler = self.recycler
         use_recycler = recycler is not None and (
@@ -191,6 +206,8 @@ class Interpreter:
         results = self._dispatch(instr, values)
         elapsed = time.perf_counter() - start
         self.stats.record(instr.op, results, elapsed)
+        if gov.active:
+            self._charge_governance(gov, results)
         self._charge_memory(values, results)
         if span is not None:
             span.add("tuples_out", sum(len(v) for v in results
@@ -204,6 +221,13 @@ class Interpreter:
             nbytes = sum(v.tail_nbytes for v in results if isinstance(v, BAT))
             recycler.store(key, results, cost=elapsed, nbytes=nbytes)
         self._bind_results(instr, results, env)
+
+    def _charge_governance(self, gov, results):
+        """Charge every result BAT's tail bytes against the statement's
+        memory budget — the operator-at-a-time materialization site."""
+        nbytes = sum(v.tail_nbytes for v in results if isinstance(v, BAT))
+        if nbytes:
+            gov.charge(nbytes, CHECK_INTERP)
 
     def _charge_memory(self, values, results):
         """Charge the instruction's simulated memory traffic: read every

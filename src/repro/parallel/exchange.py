@@ -31,6 +31,7 @@ at which point the caller falls back to the serial engine.
 from dataclasses import dataclass
 
 from repro.faults import NO_FAULTS, CrashError, TransientFault
+from repro.governance.context import CHECK_MORSEL, NO_GOVERNANCE
 from repro.vectorized.operators import VectorOperator
 from repro.vectorized.vector import Batch
 
@@ -73,7 +74,7 @@ class MorselScan(VectorOperator):
     """
 
     def __init__(self, context, columns, scheduler, worker=0,
-                 faults=None, max_retries=3):
+                 faults=None, max_retries=3, governance=None):
         super().__init__(context)
         self.columns = dict(columns)
         lengths = {len(v) for v in self.columns.values()}
@@ -82,6 +83,8 @@ class MorselScan(VectorOperator):
         self.scheduler = scheduler
         self.worker = worker
         self.faults = faults if faults is not None else NO_FAULTS
+        self.governance = governance if governance is not None \
+            else NO_GOVERNANCE
         self.max_retries = max_retries
         self.retries = 0
         self.backoff_units = 0
@@ -134,6 +137,13 @@ class MorselScan(VectorOperator):
                 if morsel is None:
                     self._end_morsel_span()
                     return None
+                if self.governance.active:
+                    # Per-morsel cancellation point, before the morsel
+                    # is processed: a kill here propagates through the
+                    # exchange (which quarantines only worker deaths)
+                    # and leaves the per-query scheduler abandoned, not
+                    # corrupted.
+                    self.governance.checkpoint(CHECK_MORSEL)
                 self._acquire(morsel)
                 self._begin_morsel_span(morsel)
                 self._morsel = morsel

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.faults import NO_FAULTS
+from repro.governance.context import CHECK_MORSEL, NO_GOVERNANCE
 from repro.observability.tracer import NO_TRACE, Tracer
 from repro.parallel.context import WorkerSet
 from repro.parallel.exchange import Exchange, MorselScan
@@ -122,7 +123,7 @@ class ParallelSelectExecutor:
     def __init__(self, catalog, workers, smp_profile=None,
                  vector_size=DEFAULT_VECTOR_SIZE,
                  morsel_size=DEFAULT_MORSEL_SIZE, faults=None,
-                 tracer=None, compiler=None):
+                 tracer=None, compiler=None, governance=None):
         if workers < 1:
             raise ValueError("need at least one worker")
         self.catalog = catalog
@@ -132,6 +133,12 @@ class ParallelSelectExecutor:
         self.morsel_size = morsel_size
         self.faults = faults if faults is not None else NO_FAULTS
         self.tracer = tracer if tracer is not None else NO_TRACE
+        # Governance context (repro.governance): checked once per
+        # morsel acquisition; a kill propagates out of Exchange.collect
+        # (which quarantines only CrashError) without poisoning the
+        # per-query scheduler.
+        self.governance = governance if governance is not None \
+            else NO_GOVERNANCE
         # Optional repro.compile.PlanCompiler: WHERE conjunct chains
         # fuse into one generated predicate kernel per morsel pass.
         self.compiler = compiler
@@ -221,6 +228,10 @@ class ParallelSelectExecutor:
                         bat.atom.is_nil(values).any():
                     raise ParallelUnsupported("nil values")
                 arrays[binding.qualify(column)] = values
+        if self.governance.active:
+            nbytes = sum(int(a.nbytes) for a in arrays.values())
+            if nbytes:
+                self.governance.charge(nbytes, CHECK_MORSEL)
         return arrays
 
     def _prepare_join(self, join, scope, tables):
@@ -280,7 +291,8 @@ class ParallelSelectExecutor:
 
         def factory(ctx, scheduler, worker):
             plan = MorselScan(ctx, tables[first.alias], scheduler,
-                              worker=worker, faults=self.faults)
+                              worker=worker, faults=self.faults,
+                              governance=self.governance)
             for binding, probe_key, build_key, _ in joins:
                 build = VectorScan(ctx, tables[binding.alias])
                 plan = VectorHashJoin(ctx, build, plan,

@@ -52,6 +52,7 @@ from dataclasses import dataclass, field
 
 from repro.datacyclotron.link import SimulatedLink
 from repro.faults import NO_FAULTS, CrashError, FaultInjector
+from repro.governance.context import CHECK_ROUTE
 from repro.observability.tracer import NO_TRACE
 from repro.replication.log import (
     LogEntry, NotPrimaryError, ReplicatedLog, entry_checksum, record_size,
@@ -197,8 +198,8 @@ class ReplicatedTransaction:
         self.snapshot_lsn = group.commit_lsn
         self.commit_lsn = None
 
-    def execute(self, sql):
-        return self._txn.execute(sql)
+    def execute(self, sql, context=None):
+        return self._txn.execute(sql, context=context)
 
     def commit(self):
         group, node = self._group, self._node
@@ -575,7 +576,8 @@ class ReplicationGroup:
 
     # -- statement routing -----------------------------------------------------
 
-    def execute(self, sql, session=None, workers=None, min_lsn=None):
+    def execute(self, sql, session=None, workers=None, min_lsn=None,
+                context=None):
         """Execute one statement against the cluster.
 
         DML/DDL routes to the primary (commit semantics per ``mode``);
@@ -584,12 +586,16 @@ class ReplicationGroup:
         ``session`` adds read-your-writes routing; ``min_lsn`` raises
         the routing floor further (the session layer passes its
         snapshot LSN so a replica read is never older than the
-        snapshot point)."""
+        snapshot point).  ``context`` is an optional
+        :class:`~repro.governance.QueryContext`: reads checkpoint at
+        the routing decision and the chosen node runs the statement
+        under the context."""
         statement = parse_sql(sql) if isinstance(sql, str) else sql
         if isinstance(statement, Select):
             return self._execute_read(sql, session, workers,
-                                      min_lsn=min_lsn)
-        return self._execute_write(sql, session, workers)
+                                      min_lsn=min_lsn, context=context)
+        return self._execute_write(sql, session, workers,
+                                   context=context)
 
     def query(self, sql, session=None, workers=None, min_lsn=None):
         return self.execute(sql, session=session, workers=workers,
@@ -604,19 +610,22 @@ class ReplicationGroup:
     def session(self, read_your_writes=True):
         return Session(self, read_your_writes=read_your_writes)
 
-    def _execute_write(self, sql, session, workers):
+    def _execute_write(self, sql, session, workers, context=None):
         node = self.require_primary()
         before = node.last_lsn
         if self.tracer.enabled:
             with self.tracer.span("repl.write", kind="replication",
                                   node=node.node_id, mode=self.mode):
                 return self._write_and_wait(node, sql, before, session,
-                                            workers)
-        return self._write_and_wait(node, sql, before, session, workers)
+                                            workers, context=context)
+        return self._write_and_wait(node, sql, before, session, workers,
+                                    context=context)
 
-    def _write_and_wait(self, node, sql, before, session, workers):
+    def _write_and_wait(self, node, sql, before, session, workers,
+                        context=None):
         try:
-            result = node.db.execute(sql, workers=workers)
+            result = node.db.execute(sql, workers=workers,
+                                     context=context)
         except CrashError:
             self.mark_dead(node)  # the primary process died mid-commit
             raise
@@ -649,7 +658,12 @@ class ReplicationGroup:
                         target, self.sync_timeout))
             self.tick()
 
-    def _execute_read(self, sql, session, workers, min_lsn=None):
+    def _execute_read(self, sql, session, workers, min_lsn=None,
+                      context=None):
+        if context is not None and context.active:
+            # The routing cancellation point: fires before a node is
+            # chosen, so a killed read never touches any replica.
+            context.checkpoint(CHECK_ROUTE)
         floor = self.commit_lsn
         if session is not None and session.read_your_writes:
             floor = max(floor, session.last_write_lsn)
@@ -667,8 +681,9 @@ class ReplicationGroup:
         if self.tracer.enabled:
             with self.tracer.span("repl.read", kind="replication",
                                   node=node.node_id):
-                return node.db.execute(sql, workers=workers)
-        return node.db.execute(sql, workers=workers)
+                return node.db.execute(sql, workers=workers,
+                                       context=context)
+        return node.db.execute(sql, workers=workers, context=context)
 
     # -- observability ---------------------------------------------------------
 

@@ -21,6 +21,14 @@ Overload policy is load shedding, not unbounded buffering: a tenant's
 queue is capped at ``max_queue_depth`` and arrivals beyond that are
 rejected with :class:`AdmissionRejected` (counted per tenant), which is
 what keeps latency of *admitted* work bounded in bench E22.
+
+Resource governance plugs in through :meth:`report_overbudget`: the
+session layer reports each tenant-scope
+:class:`~repro.governance.MemoryExceeded`, and after
+``overbudget_strikes`` consecutive reports the tenant's next
+``penalty_window`` arrivals are shed outright — a deterministic
+shed window that stops a tenant whose queries keep blowing their
+memory budget from re-admitting the same doomed work immediately.
 """
 
 from collections import deque
@@ -34,7 +42,7 @@ class AdmissionRejected(RuntimeError):
 
 class _TenantQueue:
     __slots__ = ("tenant", "weight", "items", "pass_value", "admitted",
-                 "shed", "enqueued")
+                 "shed", "enqueued", "strikes", "penalty")
 
     def __init__(self, tenant, weight, pass_value):
         self.tenant = tenant
@@ -44,6 +52,8 @@ class _TenantQueue:
         self.admitted = 0
         self.shed = 0
         self.enqueued = 0
+        self.strikes = 0
+        self.penalty = 0
 
 
 class AdmissionController:
@@ -63,14 +73,21 @@ class AdmissionController:
     """
 
     def __init__(self, max_inflight=8, max_queue_depth=64, weights=None,
-                 default_weight=1):
+                 default_weight=1, overbudget_strikes=3,
+                 penalty_window=8):
         if max_inflight < 1:
             raise ValueError("max_inflight must be at least 1")
         if max_queue_depth < 0:
             raise ValueError("max_queue_depth must be non-negative")
+        if overbudget_strikes < 1:
+            raise ValueError("overbudget_strikes must be at least 1")
+        if penalty_window < 0:
+            raise ValueError("penalty_window must be non-negative")
         self.max_inflight = max_inflight
         self.max_queue_depth = max_queue_depth
         self.default_weight = default_weight
+        self.overbudget_strikes = overbudget_strikes
+        self.penalty_window = penalty_window
         self._weights = dict(weights or {})
         self._queues = {}
         self._global_pass = 0
@@ -78,6 +95,8 @@ class AdmissionController:
         self.admitted = 0
         self.shed = 0
         self.released = 0
+        self.overbudget_reports = 0
+        self.penalized = 0
 
     # -- plumbing ------------------------------------------------------------
 
@@ -109,6 +128,33 @@ class AdmissionController:
         q = self._queues.get(tenant)
         return len(q.items) if q is not None else 0
 
+    def _shed_penalized(self, q):
+        """Shed one arrival of a tenant serving a penalty window."""
+        if q.penalty <= 0:
+            return False
+        q.penalty -= 1
+        q.shed += 1
+        self.shed += 1
+        return True
+
+    # -- resource governance ---------------------------------------------------
+
+    def report_overbudget(self, tenant):
+        """The session layer saw ``tenant`` blow its memory budget.
+
+        Strikes accumulate per tenant; at ``overbudget_strikes`` they
+        reset and arm a shed window of ``penalty_window`` arrivals.
+        Returns True when this report armed a window."""
+        q = self._queue(tenant)
+        q.strikes += 1
+        self.overbudget_reports += 1
+        if q.strikes >= self.overbudget_strikes:
+            q.strikes = 0
+            q.penalty += self.penalty_window
+            self.penalized += 1
+            return True
+        return False
+
     # -- synchronous API (session layer) -------------------------------------
 
     def acquire(self, tenant):
@@ -120,6 +166,10 @@ class AdmissionController:
         :class:`AdmissionRejected`.
         """
         q = self._queue(tenant)
+        if self._shed_penalized(q):
+            raise AdmissionRejected(
+                "tenant {0!r} shed: over memory budget "
+                "({1} penalty arrivals left)".format(tenant, q.penalty))
         if self.inflight >= self.max_inflight or self.backlog():
             q.shed += 1
             self.shed += 1
@@ -134,6 +184,10 @@ class AdmissionController:
     def enqueue(self, tenant, item):
         """Queue an arrival for later admission; sheds on a full queue."""
         q = self._queue(tenant)
+        if self._shed_penalized(q):
+            raise AdmissionRejected(
+                "tenant {0!r} shed: over memory budget "
+                "({1} penalty arrivals left)".format(tenant, q.penalty))
         if len(q.items) >= self.max_queue_depth:
             q.shed += 1
             self.shed += 1
@@ -168,13 +222,17 @@ class AdmissionController:
     # -- stats ----------------------------------------------------------------
 
     def tenant_stats(self):
-        """``{tenant: {admitted, shed, queued, weight}}``."""
+        """``{tenant: {admitted, shed, queued, weight, strikes,
+        penalty}}``."""
         return {q.tenant: {"admitted": q.admitted, "shed": q.shed,
-                           "queued": len(q.items), "weight": q.weight}
+                           "queued": len(q.items), "weight": q.weight,
+                           "strikes": q.strikes, "penalty": q.penalty}
                 for q in self._queues.values()}
 
     def snapshot(self):
         return {"inflight": self.inflight, "admitted": self.admitted,
                 "shed": self.shed, "released": self.released,
                 "backlog": self.backlog(),
+                "overbudget_reports": self.overbudget_reports,
+                "penalized": self.penalized,
                 "tenants": self.tenant_stats()}

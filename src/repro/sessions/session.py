@@ -22,6 +22,18 @@ every transaction's begin/read/write/finish is recorded with its
 snapshot and commit LSNs and its shared-row write sets, feeding the
 snapshot-isolation checker.
 
+Resource governance (optional): a manager built with a
+:class:`~repro.governance.TenantAccountant` and/or governance defaults
+wraps every non-control statement in a per-statement
+:class:`~repro.governance.QueryContext` stamped with the session's
+tenant.  ``SET deadline = N`` / ``SET memory_budget = N`` through a
+session set session-local limits (0 clears).  A governed kill surfaces
+as a :class:`~repro.governance.GovernanceError` — a clean, retryable
+error with a machine-readable ``status()``; the session aborts any
+open transaction (buffered writes vanish, nothing was published) and a
+tenant-scope :class:`~repro.governance.MemoryExceeded` is reported to
+the admission controller, whose strike counter sheds repeat offenders.
+
 Observability: with a tracer enabled, each statement executes inside a
 ``session.statement`` span carrying ``tenant`` and ``session`` attrs,
 and :meth:`Session.profile` stamps the profile's root span with the
@@ -29,8 +41,12 @@ tenant — so PROFILE output attributes time per tenant.
 """
 
 from repro.faults import CrashError
+from repro.governance import (
+    GovernanceError, MemoryExceeded, QueryContext,
+)
 from repro.sql.ast import (
     BeginTransaction, CommitTransaction, RollbackTransaction, Select,
+    SetPragma,
 )
 from repro.sql.parser import parse_sql
 from repro.sql.transactions import ConflictError
@@ -61,9 +77,9 @@ class _SingleNodeBackend:
     def begin(self, session):
         return self.db.begin(pin=True)
 
-    def autocommit(self, session, statement, sql, workers):
+    def autocommit(self, session, statement, sql, workers, context=None):
         return self.db.execute(sql if isinstance(sql, str) else statement,
-                               workers=workers)
+                               workers=workers, context=context)
 
     def lsn(self):
         return self.db.commit_seq
@@ -102,11 +118,11 @@ class _ReplicatedBackend:
     def begin(self, session):
         return self.group.begin(pin=True)
 
-    def autocommit(self, session, statement, sql, workers):
+    def autocommit(self, session, statement, sql, workers, context=None):
         return self.group.execute(
             sql if isinstance(sql, str) else statement,
             session=session._repl, workers=workers,
-            min_lsn=session.last_snapshot_lsn)
+            min_lsn=session.last_snapshot_lsn, context=context)
 
     def lsn(self):
         return self.group.commit_lsn
@@ -149,9 +165,10 @@ class _ShardedBackend:
         txn.commit_lsn = None
         return txn
 
-    def autocommit(self, session, statement, sql, workers):
+    def autocommit(self, session, statement, sql, workers, context=None):
         result = self.sdb.execute(
-            sql if isinstance(sql, str) else statement, workers=workers)
+            sql if isinstance(sql, str) else statement, workers=workers,
+            context=context)
         if not isinstance(statement, Select):
             self.commit_seq += 1
         return result
@@ -215,6 +232,12 @@ class Session:
         self.aborts = 0
         self.conflicts = 0
         self.shed = 0
+        # Session-local governance limits (SET deadline / SET
+        # memory_budget through this session), seeded from the manager.
+        self.deadline = manager.default_deadline
+        self.memory_budget = manager.default_memory_budget
+        self.governed = 0
+        self.last_status = None
         self._backend.attach(self)
 
     @property
@@ -236,8 +259,12 @@ class Session:
         label = sql if isinstance(sql, str) else repr(sql)
         with tracer.span("session.statement", kind="session",
                          tenant=self.tenant, session=self.session_id,
-                         sql=label[:200]):
-            return self._dispatch(statement, sql, workers)
+                         sql=label[:200]) as span:
+            try:
+                return self._dispatch(statement, sql, workers)
+            except GovernanceError as exc:
+                span.attrs["governed"] = exc.reason
+                raise
 
     def query(self, sql, workers=None):
         return self.execute(sql, workers=workers).rows()
@@ -253,10 +280,29 @@ class Session:
         if isinstance(statement, RollbackTransaction):
             self.abort()
             return None
+        if isinstance(statement, SetPragma) and \
+                statement.name in ("deadline", "memory_budget"):
+            from repro.sql.database import Database
+            limit = Database._pragma_limit(statement.name,
+                                           statement.value)
+            setattr(self, statement.name, limit)
+            return None
+        context = self._make_context()
+        try:
+            return self._run_statement(statement, sql, workers, context)
+        except GovernanceError as exc:
+            self._governed(exc)
+            raise
+        finally:
+            if context is not None:
+                context.release()
+
+    def _run_statement(self, statement, sql, workers, context):
         if self.txn is None:
-            return self._backend.autocommit(self, statement, sql, workers)
+            return self._backend.autocommit(self, statement, sql,
+                                            workers, context=context)
         result = self.txn.execute(
-            sql if isinstance(sql, str) else statement)
+            sql if isinstance(sql, str) else statement, context=context)
         recorder = self._manager.recorder
         if recorder is not None:
             text = sql if isinstance(sql, str) else repr(statement)
@@ -265,6 +311,36 @@ class Session:
             else:
                 recorder.write(self._txn_id, text, result)
         return result
+
+    # -- governance --------------------------------------------------------------
+
+    def _make_context(self):
+        """A per-statement governance context, or None when the
+        session has no limits and the manager no accountant."""
+        manager = self._manager
+        if self.deadline is None and self.memory_budget is None \
+                and manager.accountant is None:
+            return None
+        return QueryContext(deadline=self.deadline,
+                            memory_budget=self.memory_budget,
+                            tenant=self.tenant,
+                            accountant=manager.accountant)
+
+    def _governed(self, exc):
+        """Map a governed kill to a retryable session outcome: record
+        the machine-readable status, abort any open transaction
+        (buffered writes vanish — nothing was published), and report
+        tenant-scope memory kills to admission control."""
+        self.governed += 1
+        self._manager.governed += 1
+        self.last_status = exc.status()
+        if self.txn is not None:
+            self.abort()
+        manager = self._manager
+        if manager.admission is not None \
+                and isinstance(exc, MemoryExceeded) \
+                and exc.scope == "tenant":
+            manager.admission.report_overbudget(self.tenant)
 
     # -- transaction control ----------------------------------------------------
 
@@ -392,10 +468,18 @@ class SessionManager:
     tracer:
         Optional tracer for per-session statement spans; defaults to
         the backend's tracer when it has one.
+    accountant:
+        Optional :class:`~repro.governance.TenantAccountant`; when
+        given, every governed statement charges its materializations
+        against the session tenant's budget.
+    default_deadline / default_memory_budget:
+        Governance limits new sessions start with (overridable per
+        session via ``SET deadline`` / ``SET memory_budget``).
     """
 
     def __init__(self, backend, admission=None, recorder=None,
-                 tracer=None):
+                 tracer=None, accountant=None, default_deadline=None,
+                 default_memory_budget=None):
         from repro.observability.tracer import NO_TRACE
         self._backend = _adapt(backend)
         self.backend_kind = self._backend.kind
@@ -403,7 +487,11 @@ class SessionManager:
         self.recorder = recorder
         self.tracer = tracer if tracer is not None else getattr(
             backend, "tracer", NO_TRACE)
+        self.accountant = accountant
+        self.default_deadline = default_deadline
+        self.default_memory_budget = default_memory_budget
         self.committed = 0
+        self.governed = 0
         self._session_seq = 0
         self._txn_seq = 0
         self.sessions = []

@@ -26,6 +26,9 @@ from dataclasses import dataclass
 
 from repro.datacyclotron.link import SimulatedLink
 from repro.faults import NO_FAULTS
+from repro.governance.breaker import CircuitBreaker
+from repro.governance.context import CHECK_SCATTER
+from repro.governance.errors import GovernanceError
 from repro.mal.optimizer import DEFAULT_PIPELINE
 from repro.observability.tracer import NO_TRACE
 from repro.sharding.merge import merge_aggregates, merge_rows
@@ -49,6 +52,20 @@ class ShardUnavailableError(RuntimeError):
     """A shard could not be reached within the link retry budget."""
 
 
+class LegTimeout(Exception):
+    """Internal: a scatter leg's link wait exceeded the leg timeout.
+
+    Never escapes the coordinator — the leg is re-dispatched on the
+    hedge path (replica or direct channel) and the breaker records the
+    failure."""
+
+    def __init__(self, shard_id, wait):
+        self.shard_id = shard_id
+        self.wait = wait
+        super().__init__("shard {0} leg waited {1} ticks".format(
+            shard_id, wait))
+
+
 @dataclass
 class ShardingStats:
     """Coordinator counters (observability satellite of E21)."""
@@ -68,6 +85,12 @@ class ShardingStats:
     backoff_ticks: int = 0     # clock ticks slept between link retries
     stale_epoch_rejections: int = 0  # transactions fenced at a cutover
     reshard_pump_failures: int = 0   # dual-route pumps demoted
+    # Governance (repro.governance): slow-node defense + cancellation.
+    leg_timeouts: int = 0      # scatter legs abandoned past the timeout
+    hedged_legs: int = 0       # legs re-dispatched on the hedge path
+    breaker_skips: int = 0     # legs routed straight to the hedge
+    cancels_sent: int = 0      # cancel messages broadcast mid-scatter
+    governance_kills: int = 0  # statements killed by their context
 
 
 def _payload_size(payload):
@@ -100,10 +123,12 @@ class ShardNode:
                                wal=WriteAheadLog(path=wal_path),
                                faults=faults)
 
-    def execute(self, statement, workers=None):
+    def execute(self, statement, workers=None, context=None):
         if self.group is not None:
-            return self.group.execute(statement, workers=workers)
-        return self.db.execute(statement, workers=workers)
+            return self.group.execute(statement, workers=workers,
+                                      context=context)
+        return self.db.execute(statement, workers=workers,
+                               context=context)
 
     @property
     def database(self):
@@ -145,9 +170,14 @@ class ShardedDatabase:
 
     def __init__(self, n_shards=2, replicas=0, mode="sync", faults=None,
                  wal_dir=None, pipeline=DEFAULT_PIPELINE, tracer=None,
-                 link_retry_limit=8, retry_seed=0, retry_backoff_cap=16):
+                 link_retry_limit=8, retry_seed=0, retry_backoff_cap=16,
+                 leg_timeout=None, breaker_threshold=3,
+                 breaker_cooldown=32, breaker_probe_jitter=8,
+                 breaker_seed=0):
         if n_shards < 1:
             raise ValueError("need at least one shard")
+        if leg_timeout is not None and leg_timeout < 1:
+            raise ValueError("leg_timeout must be at least 1 tick")
         self.n_shards = n_shards
         self.replicas = replicas
         self._mode = mode
@@ -160,6 +190,23 @@ class ShardedDatabase:
         self.link_retry_limit = link_retry_limit
         self.retry_backoff_cap = retry_backoff_cap
         self._retry_rng = random.Random(retry_seed)
+        # Slow-node defense (repro.governance): with a leg timeout set,
+        # scatter legs that wait longer than ``leg_timeout`` ticks on a
+        # gray link are abandoned and re-dispatched on the hedge path
+        # (the shard's replica, or a direct channel bypassing the
+        # link); one circuit breaker per shard stops paying a link that
+        # keeps timing out.  None keeps the naive behaviour: every leg
+        # waits out whatever latency the link injects.
+        self.leg_timeout = leg_timeout
+        self._breaker_opts = {"threshold": breaker_threshold,
+                              "cooldown": breaker_cooldown,
+                              "probe_jitter": breaker_probe_jitter}
+        self._breaker_seed = breaker_seed
+        self.breakers = {}        # shard id -> CircuitBreaker, lazy
+        # Coordinator-level governance defaults (SET deadline /
+        # SET memory_budget land here, not on the shards).
+        self.default_deadline = None
+        self.default_memory_budget = None
         self.clock = 0            # the link tick clock
         self._xid_counter = 0
         self._wal_dir = wal_dir
@@ -221,14 +268,21 @@ class ShardedDatabase:
         for link in self.links[shard_id]:
             link.heal()
 
-    def _send(self, link, message, size):
+    def _send(self, link, message, size, timeout=None, shard_id=None):
         """Ship one message with bounded exponential backoff: retry
         ``link_retry_limit`` sends, sleeping ``backoff + jitter`` clock
         ticks before each retry, with the backoff doubling up to
         ``retry_backoff_cap``.  The jitter is drawn from the
         coordinator's seeded rng, so a retry storm is deterministic per
         seed (and desynchronized across messages, instead of every
-        retry hammering the link on the same tick)."""
+        retry hammering the link on the same tick).
+
+        The sender *waits out* the link's delivery tick — injected
+        latency (a gray node) costs real clock ticks.  With ``timeout``
+        set, a wait past that many ticks abandons the leg instead:
+        the clock pays only the timeout and :class:`LegTimeout` is
+        raised (the message stays in flight, queueing FIFO behind
+        whatever else the slow link holds)."""
         backoff = 1
         for attempt in range(self.link_retry_limit):
             if attempt:
@@ -238,7 +292,11 @@ class ShardedDatabase:
                 backoff = min(backoff * 2, self.retry_backoff_cap)
             self.clock += 1
             if link.send(message, self.clock, size=size):
-                self.clock += 1
+                wait = max(link.last_deliver_at - self.clock, 1)
+                if timeout is not None and wait > timeout:
+                    self.clock += timeout
+                    raise LegTimeout(shard_id, wait)
+                self.clock += wait
                 link.deliver(self.clock)
                 self.stats.shipped_bytes += size
                 return
@@ -249,15 +307,18 @@ class ShardedDatabase:
             "link {0!r} failed {1} sends".format(link.name,
                                                  self.link_retry_limit))
 
-    def _rpc(self, shard_id, request, fn):
+    def _rpc(self, shard_id, request, fn, timeout=None):
         """One coordinator<->shard round trip: ship the request, run
         the shard-side work, ship the response back.  Transient link
         faults retry (re-sending is idempotent — the shard-side work
         runs exactly once, after the request delivers); a cut link
-        raises :class:`ShardUnavailableError`."""
+        raises :class:`ShardUnavailableError`; with ``timeout`` set, a
+        slow link raises :class:`LegTimeout` *before* the shard-side
+        work runs (the hedge path re-runs the whole leg)."""
         req, resp = self.links[shard_id]
         self.stats.requests += 1
-        self._send(req, request, _payload_size(request))
+        self._send(req, request, _payload_size(request),
+                   timeout=timeout, shard_id=shard_id)
         if self.tracer.enabled:
             with self.tracer.span("shard.exec", kind="sharding",
                                   shard=shard_id):
@@ -274,25 +335,138 @@ class ShardedDatabase:
             self.tracer.add("shard_shipped_bytes", reply_size)
         return result
 
+    # -- slow-node defense (repro.governance) -----------------------------------
+
+    def _breaker(self, shard_id):
+        """The shard link's circuit breaker (created on first use, with
+        a per-shard seed so a fleet of breakers never probes in
+        lockstep)."""
+        breaker = self.breakers.get(shard_id)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                seed=self._breaker_seed * 1000 + shard_id,
+                name="coord->s{0}".format(shard_id),
+                **self._breaker_opts)
+            self.breakers[shard_id] = breaker
+        return breaker
+
+    def _hedge_leg(self, shard_id, ast, workers=None, context=None):
+        """Re-dispatch one scatter leg around its gray link: to the
+        shard's replica group when replicated, else over a direct
+        channel to the shard's database.  Costs a flat healthy-path
+        round trip (2 ticks) instead of the gray link's swelling
+        wait."""
+        self.stats.hedged_legs += 1
+        self.clock += 2
+        node = self.shards[shard_id]
+        if node.group is not None:
+            return node.group.execute(ast, workers=workers,
+                                      context=context)
+        return node.db.execute(ast, workers=workers, context=context)
+
+    def _run_leg(self, runner, shard_id, ast, context=None,
+                 hedged=False, workers=None):
+        """One scatter/single leg: checkpoint, breaker gate, run —
+        hedging past a timed-out or broken link when enabled."""
+        if context is not None and context.active:
+            context.checkpoint(CHECK_SCATTER)
+        if not hedged:
+            return runner(shard_id, ast)
+        breaker = self._breaker(shard_id)
+        if not breaker.allow(self.clock):
+            # Open breaker: stop paying the gray link at all.
+            self.stats.breaker_skips += 1
+            return self._hedge_leg(shard_id, ast, workers=workers,
+                                   context=context)
+        try:
+            result = runner(shard_id, ast)
+        except LegTimeout:
+            self.stats.leg_timeouts += 1
+            breaker.record_failure(self.clock)
+            return self._hedge_leg(shard_id, ast, workers=workers,
+                                   context=context)
+        except ShardUnavailableError:
+            breaker.record_failure(self.clock)
+            raise
+        breaker.record_success(self.clock)
+        return result
+
+    def _broadcast_cancel(self, shard_ids, context):
+        """Best-effort cancel message to every leg not yet run when a
+        governance kill fires mid-scatter: one unacknowledged send per
+        remaining request link (no retries — the statement is already
+        dead; a lost cancel just means that shard never starts the
+        leg)."""
+        reason = context.killed_by \
+            if context is not None and context.killed_by is not None \
+            else "cancelled"
+        note = {"reason": reason}
+        for shard_id in shard_ids:
+            req = self.links[shard_id][0]
+            self.clock += 1
+            if req.send(("cancel", note), self.clock,
+                        size=_payload_size(note)):
+                self.stats.cancels_sent += 1
+                req.deliver(self.clock + 1)
+
     # -- statement routing ------------------------------------------------------
 
-    def execute(self, sql, workers=None):
-        """Execute one statement across the shards (autocommit)."""
+    def _make_context(self):
+        """An owned QueryContext from the coordinator's governance
+        defaults, or None when none are set."""
+        if self.default_deadline is None and \
+                self.default_memory_budget is None:
+            return None
+        from repro.governance.context import QueryContext
+        return QueryContext(deadline=self.default_deadline,
+                            memory_budget=self.default_memory_budget)
+
+    def execute(self, sql, workers=None, context=None):
+        """Execute one statement across the shards (autocommit).
+
+        ``context`` is an optional
+        :class:`~repro.governance.QueryContext`: checked before every
+        scatter leg (and, threaded into the shard databases, at every
+        engine checkpoint inside each leg); a kill mid-scatter
+        broadcasts a best-effort cancel to the legs not yet run."""
         statement = parse_sql(sql) if isinstance(sql, str) else sql
         self.stats.statements += 1
-        if not self.tracer.enabled:
-            return self._execute_statement(statement, workers)
-        label = sql if isinstance(sql, str) else repr(sql)
-        with self.tracer.span("sharded.statement", kind="sharding",
-                              sql=label[:200]):
-            return self._execute_statement(statement, workers)
+        owned = None
+        if context is None:
+            context = owned = self._make_context()
+        try:
+            if not self.tracer.enabled:
+                return self._execute_statement(statement, workers,
+                                               context)
+            label = sql if isinstance(sql, str) else repr(sql)
+            with self.tracer.span("sharded.statement", kind="sharding",
+                                  sql=label[:200]):
+                return self._execute_statement(statement, workers,
+                                               context)
+        except GovernanceError:
+            self.stats.governance_kills += 1
+            raise
+        finally:
+            if owned is not None:
+                owned.release()
 
-    def _execute_statement(self, statement, workers):
+    def _execute_statement(self, statement, workers, context=None):
         if isinstance(statement, Explain):
             return ResultSet(["plan"],
                              [self.explain(statement.statement)
                               .splitlines()])
         if isinstance(statement, SetPragma):
+            if statement.name in ("deadline", "memory_budget"):
+                # Governance limits govern whole statements, scatter
+                # legs included — they live on the coordinator, not
+                # the shards.
+                limit = Database._pragma_limit(statement.name,
+                                               statement.value)
+                if statement.name == "deadline":
+                    self.default_deadline = limit
+                else:
+                    self.default_memory_budget = limit
+                return None
             for shard_id in self.broadcast_shards():
                 self._rpc(shard_id, ("pragma",),
                           lambda s=shard_id: self.shards[s]
@@ -301,25 +475,28 @@ class ShardedDatabase:
         if isinstance(statement, CreateTable):
             return self._create_table(statement)
         if isinstance(statement, (Insert, Delete, Update)):
-            result = self._execute_dml(statement)
+            result = self._execute_dml(statement, context=context)
             self._after_write()
             return result
         if isinstance(statement, Select):
-            return self._select(statement, workers=workers)
+            return self._select(statement, workers=workers,
+                                context=context)
         raise TypeError("unsupported statement {0}".format(
             statement_kind(statement)))
 
     def query(self, sql, workers=None):
         return self.execute(sql, workers=workers).rows()
 
-    def begin(self):
+    def begin(self, context=None):
         """A cross-shard transaction (two-phase commit when it writes
-        more than one shard)."""
+        more than one shard).  ``context`` governs the transaction's
+        statements and its prepare phase (a kill before any prepare's
+        point of no return aborts cleanly via presumed abort)."""
         if self.replicas:
             raise NotImplementedError(
                 "transactions need plain shards (replicas=0)")
         from repro.sharding.twopc import ShardedTransaction
-        return ShardedTransaction(self)
+        return ShardedTransaction(self, context=context)
 
     def explain(self, statement):
         """The distributed plan of a SELECT, as text."""
@@ -361,24 +538,42 @@ class ShardedDatabase:
 
     # -- SELECT ------------------------------------------------------------------
 
-    def _default_runner(self, workers):
+    def _default_runner(self, workers, context=None, timeout=None):
         return lambda shard_id, ast: self._rpc(
             shard_id, ("select", repr(ast)),
-            lambda: self.shards[shard_id].execute(ast, workers=workers))
+            lambda: self.shards[shard_id].execute(ast, workers=workers,
+                                                  context=context),
+            timeout=timeout)
 
-    def _select(self, select, workers=None, runner=None):
+    def _select(self, select, workers=None, runner=None, context=None):
+        # Hedging defends the coordinator's own scatter; a transaction
+        # runner reads per-shard snapshots, which a replica or direct
+        # re-run would not see, so it always waits its legs out.
+        hedged = runner is None and self.leg_timeout is not None
         if runner is None:
-            runner = self._default_runner(workers)
+            runner = self._default_runner(
+                workers, context=context,
+                timeout=self.leg_timeout if hedged else None)
         plan = plan_select(self.schema, select, self.shard_map)
         if plan.kind == "single":
             self.stats.single_shard += 1
             if plan.pruned:
                 self.stats.pruned += 1
-            return runner(plan.shards[0], select)
+            return self._run_leg(runner, plan.shards[0], select,
+                                 context=context, hedged=hedged,
+                                 workers=workers)
         if plan.kind == "scatter":
             self.stats.scatter += 1
-            results = [runner(shard_id, plan.shard_select)
-                       for shard_id in plan.shards]
+            results = []
+            try:
+                for shard_id in plan.shards:
+                    results.append(self._run_leg(
+                        runner, shard_id, plan.shard_select,
+                        context=context, hedged=hedged, workers=workers))
+            except GovernanceError:
+                self._broadcast_cancel(plan.shards[len(results):],
+                                       context)
+                raise
             if plan.mode == "rows":
                 rows = merge_rows(plan, [r.rows() for r in results])
                 names = results[0].names[:plan.n_items]
@@ -387,10 +582,12 @@ class ShardedDatabase:
                 names = plan.item_names
             return _rows_result(names, rows)
         self.stats.gather += 1
-        scratch = self._gather_database(plan, runner)
-        return scratch.execute(select)
+        scratch = self._gather_database(plan, runner, context=context,
+                                        hedged=hedged, workers=workers)
+        return scratch.execute(select, context=context)
 
-    def _gather_database(self, plan, runner):
+    def _gather_database(self, plan, runner, context=None, hedged=False,
+                         workers=None):
         """The gather fallback's scratch single-node database: every
         referenced fragment shipped to the coordinator."""
         scratch = Database(pipeline=self.pipeline)
@@ -407,19 +604,24 @@ class ShardedDatabase:
                 else [plan.shards[0]]
             target = scratch.catalog.get(info.name)
             for shard_id in sources:
-                rows = runner(shard_id, fetch).rows()
+                rows = self._run_leg(runner, shard_id, fetch,
+                                     context=context, hedged=hedged,
+                                     workers=workers).rows()
                 if rows:
                     target.append_rows([list(r) for r in rows])
         return scratch
 
     # -- DML ---------------------------------------------------------------------
 
-    def _execute_dml(self, statement):
+    def _execute_dml(self, statement, context=None):
         info = self.schema.get(statement.table)
         if isinstance(statement, Insert):
-            return self._insert(statement, info)
+            return self._insert(statement, info, context=context)
         if info.partition_by is None:
             # Reference table: identical broadcast write everywhere.
+            # No context inside the legs — a kill between two shards'
+            # independent commits would leave the broadcast divergent;
+            # only the 2PC path can cancel a multi-shard write safely.
             counts = [self._rpc(shard_id, ("dml", statement.table),
                                 lambda s=shard_id: self.shards[s]
                                 .execute(statement))
@@ -433,7 +635,7 @@ class ShardedDatabase:
             self.stats.pruned += 1
             return self._rpc(shard_id, ("dml", statement.table),
                              lambda: self.shards[shard_id]
-                             .execute(statement))
+                             .execute(statement, context=context))
         moves_key = isinstance(statement, Update) and \
             info.partition_by in {c for c, _ in statement.assignments}
         if self.replicas:
@@ -441,12 +643,14 @@ class ShardedDatabase:
                 raise NotImplementedError(
                     "partition-key UPDATE needs plain shards "
                     "(replicas=0)")
+            # Same divergence risk as the broadcast above: replicated
+            # multi-shard writes run without a context.
             return sum(self._rpc(shard_id, ("dml", statement.table),
                                  lambda s=shard_id: self.shards[s]
                                  .execute(statement))
                        for shard_id in self.broadcast_shards())
         # Un-pruned multi-shard write: atomic via two-phase commit.
-        txn = self.begin()
+        txn = self.begin(context=context)
         try:
             count = txn.execute(statement)
             txn.commit()
@@ -456,11 +660,11 @@ class ShardedDatabase:
             raise
         return count
 
-    def _insert(self, statement, info):
+    def _insert(self, statement, info, context=None):
         if info.partition_by is None:
             counts = [self._rpc(shard_id, ("insert", statement.table),
                                 lambda s=shard_id: self.shards[s]
-                                .execute(statement))
+                                .execute(statement, context=context))
                       for shard_id in self.broadcast_shards()]
             return counts[0]
         order = statement.columns or info.column_names
@@ -476,7 +680,7 @@ class ShardedDatabase:
             sub = Insert(statement.table, rows, columns=statement.columns)
             total += self._rpc(shard_id, ("insert", statement.table),
                                lambda s=shard_id, a=sub: self.shards[s]
-                               .execute(a))
+                               .execute(a, context=context))
         return total
 
     # -- online resharding -------------------------------------------------------

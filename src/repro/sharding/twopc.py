@@ -29,6 +29,8 @@ Commit reuses the single-node commit phases
 """
 
 from repro.faults import CrashError
+from repro.governance.context import CHECK_PREPARE
+from repro.governance.errors import GovernanceError
 from repro.sharding.planner import _prune_value
 from repro.sharding.resharding import StaleEpochError
 from repro.sql.ast import (
@@ -41,12 +43,17 @@ from repro.sql.transactions import ConflictError, TransactionClosedError
 class ShardedTransaction:
     """One distributed transaction over a :class:`ShardedDatabase`."""
 
-    def __init__(self, coordinator):
+    def __init__(self, coordinator, context=None):
         self._co = coordinator
         self._txns = {}          # shard id -> local Transaction
         self.closed = False
         self.outcome = None
         self.xid = None          # assigned when 2PC actually runs
+        # Optional repro.governance.QueryContext: governs this
+        # transaction's statements and its prepare phase.  Checkpoints
+        # fire before each participant prepares — never after the
+        # decision record, the commit's point of no return.
+        self.context = context
         # The shard-map epoch this transaction's routing decisions are
         # valid against; a resharding cutover mid-transaction fences it
         # (see _check_fenced).
@@ -91,16 +98,21 @@ class ShardedTransaction:
 
     # -- statement execution ---------------------------------------------------
 
-    def execute(self, sql):
+    def execute(self, sql, context=None):
         """Execute a statement inside the transaction: SELECT returns a
-        ResultSet, DML returns the (buffered) affected row count."""
+        ResultSet, DML returns the (buffered) affected row count.
+        ``context`` overrides the transaction's governance context for
+        this one statement (the session layer passes per-statement
+        contexts)."""
         self._check_open()
         self._check_fenced()
         statement = parse_sql(sql) if isinstance(sql, str) else sql
         if isinstance(statement, CreateTable):
             raise NotImplementedError("DDL inside a transaction")
         if isinstance(statement, Select):
-            return self._co._select(statement, runner=self._runner())
+            return self._co._select(
+                statement, runner=self._runner(),
+                context=context if context is not None else self.context)
         if isinstance(statement, Insert):
             return self._buffer_insert(statement)
         if isinstance(statement, (Delete, Update)):
@@ -236,6 +248,15 @@ class ShardedTransaction:
         prepared = []            # [(shard id, txn, ops)]
         try:
             for shard_id, txn in participants:
+                if self.context is not None and self.context.active:
+                    # The per-participant cancellation point: fires
+                    # before this shard validates or force-logs its
+                    # prepare.  Already-prepared shards roll back with
+                    # best-effort decide-abort records; a shard whose
+                    # prepare record is durable but undecided resolves
+                    # to abort at recovery (presumed abort) because
+                    # the decision was never logged.
+                    self.context.checkpoint(CHECK_PREPARE)
                 db = txn._db
                 db.faults.inject("commit.validate")
                 txn._validate()
@@ -243,6 +264,12 @@ class ShardedTransaction:
                 db.wal.append({"kind": "prepare", "xid": self.xid,
                                "ops": ops})
                 prepared.append((shard_id, txn, ops))
+        except GovernanceError:
+            self._rollback_prepared(prepared)
+            self._abort_open()
+            self._close("cancelled")
+            co.stats.twopc_aborts += 1
+            raise
         except ConflictError:
             self._rollback_prepared(prepared)
             self._abort_open()

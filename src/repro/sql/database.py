@@ -2,6 +2,7 @@
 
 from repro.core.bat import BAT
 from repro.faults import NO_FAULTS
+from repro.governance.context import NO_GOVERNANCE, QueryContext
 from repro.mal.interpreter import Interpreter
 from repro.mal.optimizer import DEFAULT_PIPELINE
 from repro.observability.tracer import NO_TRACE
@@ -140,6 +141,13 @@ class Database:
         self.default_compile = False
         self._plan_compiler = None
         self.last_parallel = None  # ParallelResult of the latest SELECT
+        # Query governance (repro.governance): session-level defaults,
+        # set by the SET deadline / SET memory_budget pragmas.  When
+        # either is set, execute() runs each statement under an owned
+        # QueryContext; an explicit context argument always wins.
+        self.default_deadline = None
+        self.default_memory_budget = None
+        self.governance_kills = 0
         self.last_profile = None   # QueryProfile of the latest PROFILE
         # Two-phase commit bookkeeping: prepared-but-undecided records
         # seen during WAL replay (xid -> ops), resolved by the sharding
@@ -182,7 +190,16 @@ class Database:
         if self._plan_compiler is not None:
             self._plan_compiler.bump_schema()
 
-    def execute(self, sql, workers=None, compile=None):
+    def _make_context(self):
+        """An owned QueryContext from the session defaults, or None
+        when no governance is configured."""
+        if self.default_deadline is None and \
+                self.default_memory_budget is None:
+            return None
+        return QueryContext(deadline=self.default_deadline,
+                            memory_budget=self.default_memory_budget)
+
+    def execute(self, sql, workers=None, compile=None, context=None):
         """Execute one SQL statement (autocommit).
 
         Returns a :class:`ResultSet` for SELECT, the affected row count
@@ -193,15 +210,39 @@ class Database:
         likewise overrides ``SET compile`` to run SELECTs through the
         plan-fragment compiler (repro.compile) with transparent
         per-fragment fallback to the interpreter.
-        """
-        if not self.tracer.enabled:
-            return self._execute_statement(sql, workers, compile)
-        label = sql if isinstance(sql, str) else repr(sql)
-        with self.tracer.span("statement", kind="statement",
-                              sql=label[:200]):
-            return self._execute_statement(sql, workers, compile)
 
-    def _execute_statement(self, sql, workers=None, compile=None):
+        ``context`` is an optional
+        :class:`~repro.governance.QueryContext` checked cooperatively
+        at every engine checkpoint (per MAL instruction, per compiled
+        fragment, per morsel); without one, ``SET deadline`` /
+        ``SET memory_budget`` make the statement run under an owned
+        context built from those defaults.  A governance kill raises
+        the matching :class:`~repro.governance.GovernanceError` —
+        always *before* the statement's commit point, so committed
+        state is untouched.
+        """
+        from repro.governance.errors import GovernanceError
+        owned = None
+        if context is None:
+            context = owned = self._make_context()
+        try:
+            if not self.tracer.enabled:
+                return self._execute_statement(sql, workers, compile,
+                                               context=context)
+            label = sql if isinstance(sql, str) else repr(sql)
+            with self.tracer.span("statement", kind="statement",
+                                  sql=label[:200]):
+                return self._execute_statement(sql, workers, compile,
+                                               context=context)
+        except GovernanceError:
+            self.governance_kills += 1
+            raise
+        finally:
+            if owned is not None:
+                owned.release()
+
+    def _execute_statement(self, sql, workers=None, compile=None,
+                           context=None):
         effective = self.default_workers if workers is None else workers
         if effective < 1:
             raise ValueError("workers must be at least 1")
@@ -212,7 +253,8 @@ class Database:
                 self.plans_reused += 1
                 return self._run_compiled(cached[0], cached[1],
                                           view=self.catalog,
-                                          compiled=compiled)
+                                          compiled=compiled,
+                                          context=context)
         # Pre-parsed statement ASTs run directly (the sharding and
         # replication layers route statements as ASTs, not text).
         statement = parse_sql(sql) if isinstance(sql, str) else sql
@@ -258,7 +300,7 @@ class Database:
         if isinstance(statement, Delete):
             self.catalog.get(statement.table)
             oids = self._eval_where(statement.table, statement.where,
-                                    view=self.catalog)
+                                    view=self.catalog, context=context)
             ops = [{"table": statement.table, "appends": [],
                     "deletes": sorted(int(o) for o in oids)}]
             self._log_commit(ops)
@@ -266,11 +308,12 @@ class Database:
             self._bump_commit()
             return deleted
         if isinstance(statement, Update):
-            return self._apply_update(statement)
+            return self._apply_update(statement, context=context)
         if isinstance(statement, Select):
             if effective > 1:
                 result = self._try_parallel(statement, effective,
-                                            compiled=compiled)
+                                            compiled=compiled,
+                                            context=context)
                 if result is not None:
                     return result
             program, names = compile_select(self.catalog, statement)
@@ -278,7 +321,7 @@ class Database:
             if isinstance(sql, str):
                 self._plan_cache[sql] = (program, names)
             return self._run_compiled(program, names, view=self.catalog,
-                                      compiled=compiled)
+                                      compiled=compiled, context=context)
         raise TypeError("unsupported statement {0!r}".format(statement))
 
     def query(self, sql, workers=None, compile=None):
@@ -299,9 +342,29 @@ class Database:
                 raise ValueError("SET compile needs true or false")
             self.default_compile = value
             return None
+        if pragma.name == "deadline":
+            self.default_deadline = self._pragma_limit("deadline",
+                                                       pragma.value)
+            return None
+        if pragma.name == "memory_budget":
+            self.default_memory_budget = self._pragma_limit(
+                "memory_budget", pragma.value)
+            return None
         raise ValueError("unknown pragma {0!r}".format(pragma.name))
 
-    def _try_parallel(self, statement, workers, compiled=False):
+    @staticmethod
+    def _pragma_limit(name, value):
+        """Validate a governance limit pragma: a positive integer sets
+        the limit, 0 clears it."""
+        if not isinstance(value, int) or isinstance(value, bool) \
+                or value < 0:
+            raise ValueError(
+                "SET {0} needs a non-negative integer (0 clears)".format(
+                    name))
+        return value or None
+
+    def _try_parallel(self, statement, workers, compiled=False,
+                      context=None):
         """Morsel-parallel SELECT; None when the shape has no parallel
         plan or every worker died (the caller then runs the serial
         engine — graceful degradation, recorded in ``last_parallel``)."""
@@ -312,7 +375,8 @@ class Database:
         executor = ParallelSelectExecutor(
             self.catalog, workers, smp_profile=self.smp_profile,
             faults=self.faults, tracer=self.tracer,
-            compiler=self.plan_compiler if compiled else None)
+            compiler=self.plan_compiler if compiled else None,
+            governance=context)
         try:
             result = executor.execute(statement)
         except ParallelUnsupported:
@@ -455,24 +519,32 @@ class Database:
 
     # -- internals shared with Transaction ----------------------------------------
 
-    def _run_select(self, statement, view, compiled=None):
+    def _run_select(self, statement, view, compiled=None, context=None):
         program, names = compile_select(self.catalog, statement)
         program = self.pipeline.optimize(program)
-        return self._run_compiled(program, names, view, compiled=compiled)
+        return self._run_compiled(program, names, view, compiled=compiled,
+                                  context=context)
 
-    def _run_compiled(self, program, names, view, compiled=None):
+    def _run_compiled(self, program, names, view, compiled=None,
+                      context=None):
         interpreter = self.interpreter if view is self.catalog \
             else Interpreter(view, recycler=self.recycler,
                              tracer=self.tracer)
         use_compiler = self.default_compile if compiled is None \
             else compiled
-        if use_compiler:
-            out = self.plan_compiler.try_run(program, view, interpreter,
-                                             tracer=self.tracer)
-            if out is not None:
-                return self._materialize_result(program, names, out)
-        out = interpreter.run(program)
-        return self._materialize_result(program, names, out)
+        interpreter.governance = context if context is not None \
+            else NO_GOVERNANCE
+        try:
+            if use_compiler:
+                out = self.plan_compiler.try_run(program, view,
+                                                 interpreter,
+                                                 tracer=self.tracer)
+                if out is not None:
+                    return self._materialize_result(program, names, out)
+            out = interpreter.run(program)
+            return self._materialize_result(program, names, out)
+        finally:
+            interpreter.governance = NO_GOVERNANCE
 
     @staticmethod
     def _materialize_result(program, names, out):
@@ -487,14 +559,17 @@ class Database:
         return ResultSet(names, [v.decoded() if isinstance(v, BAT)
                                  else [v] * n for v in values])
 
-    def _eval_where(self, table_name, where, view):
+    def _eval_where(self, table_name, where, view, context=None):
         """Visible oids of ``table_name`` matching ``where``."""
         program = compile_where_candidates(self.catalog, table_name, where)
         program = self.pipeline.optimize(program)
-        cand = Interpreter(view).run_single(program)
+        interpreter = Interpreter(view)
+        if context is not None:
+            interpreter.governance = context
+        cand = interpreter.run_single(program)
         return cand.decoded()
 
-    def _eval_update_rows(self, table, statement, view):
+    def _eval_update_rows(self, table, statement, view, context=None):
         """New full rows (column order) for an UPDATE's matched tuples."""
         assigned = dict(statement.assignments)
         unknown = set(assigned) - set(table.column_names)
@@ -506,15 +581,16 @@ class Database:
         from repro.sql.ast import Select as SelectNode, TableRef
         select = SelectNode(items=items, table=TableRef(table.name),
                             where=statement.where)
-        result = self._run_select(select, view=view)
+        result = self._run_select(select, view=view, context=context)
         return result.rows()
 
-    def _apply_update(self, statement):
+    def _apply_update(self, statement, context=None):
         table = self.catalog.get(statement.table)
         new_rows = self._eval_update_rows(table, statement,
-                                          view=self.catalog)
+                                          view=self.catalog,
+                                          context=context)
         oids = self._eval_where(statement.table, statement.where,
-                                view=self.catalog)
+                                view=self.catalog, context=context)
         ops = [{"table": statement.table,
                 "appends": [list(r) for r in new_rows],
                 "deletes": sorted(int(o) for o in oids)}]

@@ -161,11 +161,15 @@ class Transaction:
 
     # -- statement execution -----------------------------------------------------------
 
-    def execute(self, sql):
+    def execute(self, sql, context=None):
         """Execute a statement inside this transaction.
 
         SELECT returns a ResultSet; INSERT/DELETE/UPDATE return the
         affected row count (buffered until commit); DDL is rejected.
+        ``context`` is an optional governance
+        :class:`~repro.governance.QueryContext` for this statement: a
+        kill fires at a read checkpoint, before anything is buffered —
+        the transaction stays open and consistent.
         """
         self._check_open()
         statement = parse_sql(sql)
@@ -174,11 +178,12 @@ class Transaction:
         if isinstance(statement, Insert):
             return self._buffer_insert(statement)
         if isinstance(statement, Delete):
-            return self._buffer_delete(statement)
+            return self._buffer_delete(statement, context=context)
         if isinstance(statement, Update):
-            return self._buffer_update(statement)
+            return self._buffer_update(statement, context=context)
         if isinstance(statement, Select):
-            return self._db._run_select(statement, view=self)
+            return self._db._run_select(statement, view=self,
+                                        context=context)
         raise TypeError("unsupported statement {0!r}".format(statement))
 
     def _buffer_insert(self, statement):
@@ -198,21 +203,25 @@ class Transaction:
                             if k[0] != statement.table}
         return len(statement.rows)
 
-    def _matched_oids(self, table_name, where):
-        return self._db._eval_where(table_name, where, view=self)
+    def _matched_oids(self, table_name, where, context=None):
+        return self._db._eval_where(table_name, where, view=self,
+                                    context=context)
 
-    def _buffer_delete(self, statement):
+    def _buffer_delete(self, statement, context=None):
         self.get(statement.table)
-        oids = self._matched_oids(statement.table, statement.where)
+        oids = self._matched_oids(statement.table, statement.where,
+                                  context=context)
         dead = self._deleted.setdefault(statement.table, set())
         fresh = [o for o in oids if o not in dead]
         dead.update(fresh)
         return len(fresh)
 
-    def _buffer_update(self, statement):
+    def _buffer_update(self, statement, context=None):
         table = self.get(statement.table)
-        new_rows = self._db._eval_update_rows(table, statement, view=self)
-        oids = self._matched_oids(statement.table, statement.where)
+        new_rows = self._db._eval_update_rows(table, statement, view=self,
+                                              context=context)
+        oids = self._matched_oids(statement.table, statement.where,
+                                  context=context)
         dead = self._deleted.setdefault(statement.table, set())
         dead.update(oids)
         self._appends.setdefault(statement.table, []).extend(new_rows)

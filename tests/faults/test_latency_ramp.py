@@ -1,0 +1,110 @@
+"""Unit tests for the gray-node latency-ramp fault plan: delay that
+*grows* instead of dropping, seeded per-hit jitter, and the match
+filter that grays a single link while its site-mates stay healthy."""
+
+import pytest
+
+from repro.datacyclotron.link import SimulatedLink
+from repro.faults import FaultInjector, LatencyRamp
+
+
+class TestRampShape:
+    def test_linear_ramp_from_start_hit(self):
+        ramp = LatencyRamp("shard.ship", start_hit=3, base_delay=10,
+                           step=5)
+        assert not ramp.matches(2)
+        assert ramp.matches(3)
+        assert [ramp.delay_for(h) for h in (3, 4, 5)] == [10, 15, 20]
+
+    def test_cap_bounds_the_ramp(self):
+        ramp = LatencyRamp("shard.ship", base_delay=10, step=10, cap=25)
+        assert [ramp.delay_for(h) for h in (1, 2, 3, 9)] == \
+            [10, 20, 25, 25]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LatencyRamp("s", start_hit=0)
+        with pytest.raises(ValueError):
+            LatencyRamp("s", base_delay=0)
+        with pytest.raises(ValueError):
+            LatencyRamp("s", step=-1)
+        with pytest.raises(ValueError):
+            LatencyRamp("s", base_delay=10, cap=5)
+        with pytest.raises(ValueError):
+            LatencyRamp("s", jitter=3)  # jitter needs a seed
+
+
+class TestSeededJitter:
+    def test_delay_is_a_pure_function_of_seed_and_hit(self):
+        a = LatencyRamp("s", base_delay=10, step=2, seed=42, jitter=5)
+        b = LatencyRamp("s", base_delay=10, step=2, seed=42, jitter=5)
+        assert [a.delay_for(h) for h in range(1, 20)] == \
+            [b.delay_for(h) for h in range(1, 20)]
+
+    def test_different_seeds_differ(self):
+        a = LatencyRamp("s", base_delay=10, step=2, seed=1, jitter=5)
+        b = LatencyRamp("s", base_delay=10, step=2, seed=2, jitter=5)
+        assert [a.delay_for(h) for h in range(1, 20)] != \
+            [b.delay_for(h) for h in range(1, 20)]
+
+    def test_jitter_bounded(self):
+        ramp = LatencyRamp("s", base_delay=10, step=0, seed=9, jitter=4)
+        for hit in range(1, 50):
+            assert 10 <= ramp.delay_for(hit) <= 14
+
+
+class TestInjectorIntegration:
+    def test_ramp_at_delays_but_never_drops(self):
+        faults = FaultInjector()
+        faults.ramp_at("shard.ship", base_delay=3, step=2)
+        delays = [faults.inject("shard.ship") for _ in range(4)]
+        assert delays == [3, 5, 7, 9]  # every hit returns, later each time
+
+    def test_match_filter_grays_one_link_only(self):
+        faults = FaultInjector()
+        faults.ramp_at("shard.ship", base_delay=5, step=5,
+                       match={"link": "coord->s1"})
+        healthy = [faults.inject("shard.ship", link="coord->s0")
+                   for _ in range(3)]
+        gray = [faults.inject("shard.ship", link="coord->s1")
+                for _ in range(3)]
+        assert healthy == [0, 0, 0]
+        assert gray == [5, 10, 15]  # hit numbering is per matched link
+
+    def test_matched_plan_hits_are_relative_to_its_traffic(self):
+        faults = FaultInjector()
+        faults.crash_at("shard.ship", hit=2, match={"link": "bad"})
+        assert faults.inject("shard.ship", link="good") == 0
+        assert faults.inject("shard.ship", link="bad") == 0  # bad hit 1
+        assert faults.inject("shard.ship", link="good") == 0
+        with pytest.raises(Exception):
+            faults.inject("shard.ship", link="bad")  # bad hit 2 crashes
+
+
+class TestGrayLink:
+    def test_ramped_link_delivers_late_in_fifo_order(self):
+        """A gray link is slow, not dead: every message still arrives,
+        each later than the last, and FIFO holdback makes the queue
+        swell — the signature hedged reads and breakers key on."""
+        faults = FaultInjector()
+        faults.ramp_at("shard.ship", base_delay=10, step=10)
+        link = SimulatedLink("shard.ship", faults=faults, name="gray")
+        deliver_ats = []
+        now = 0
+        for i in range(4):
+            assert link.send(("msg", i), now)
+            deliver_ats.append(link.last_deliver_at)
+        assert deliver_ats == sorted(deliver_ats)
+        assert link.stats.dropped == 0
+        assert link.stats.stalled == 4
+        # Everything eventually arrives, in order.
+        got = link.deliver(deliver_ats[-1])
+        assert got == [("msg", i) for i in range(4)]
+
+    def test_repl_ship_site_works_identically(self):
+        faults = FaultInjector()
+        faults.ramp_at("repl.ship", base_delay=4, step=1)
+        link = SimulatedLink("repl.ship", faults=faults)
+        link.send("frame", 0)
+        assert link.last_deliver_at == 5  # now + 1 + base_delay
+        assert link.deliver(5) == ["frame"]

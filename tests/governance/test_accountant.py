@@ -1,0 +1,64 @@
+"""Unit tests for the cross-statement per-tenant memory accountant."""
+
+import pytest
+
+from repro.governance import MemoryExceeded, TenantAccountant
+
+
+def test_unlimited_by_default():
+    acct = TenantAccountant()
+    acct.charge("t", 1 << 30)
+    assert acct.in_use["t"] == 1 << 30
+    assert acct.budget_of("t") is None
+
+
+def test_default_budget_and_overrides():
+    acct = TenantAccountant(default_budget=100, budgets={"vip": 1000})
+    assert acct.budget_of("anyone") == 100
+    assert acct.budget_of("vip") == 1000
+
+
+def test_over_budget_charge_is_rejected_not_recorded():
+    acct = TenantAccountant(default_budget=100)
+    acct.charge("t", 80)
+    with pytest.raises(MemoryExceeded) as info:
+        acct.charge("t", 21)
+    assert info.value.scope == "tenant"
+    assert info.value.tenant == "t"
+    assert acct.in_use["t"] == 80  # the rejected charge left no trace
+    assert acct.kills["t"] == 1
+
+
+def test_release_frees_budget_for_reuse():
+    acct = TenantAccountant(default_budget=100)
+    acct.charge("t", 100)
+    acct.release("t", 100)
+    acct.charge("t", 100)  # full budget available again
+    assert acct.peak["t"] == 100
+
+
+def test_release_more_than_held_is_a_bug():
+    acct = TenantAccountant()
+    acct.charge("t", 10)
+    with pytest.raises(RuntimeError):
+        acct.release("t", 11)
+
+
+def test_tenants_are_isolated():
+    acct = TenantAccountant(default_budget=100)
+    acct.charge("a", 100)
+    acct.charge("b", 100)  # a's usage does not count against b
+    snap = acct.snapshot()
+    assert snap["a"]["in_use"] == snap["b"]["in_use"] == 100
+
+
+def test_snapshot_includes_killed_tenants():
+    acct = TenantAccountant(default_budget=10)
+    with pytest.raises(MemoryExceeded):
+        acct.charge("t", 11)
+    assert acct.snapshot()["t"]["kills"] == 1
+
+
+def test_budget_validation():
+    with pytest.raises(ValueError):
+        TenantAccountant(default_budget=0)

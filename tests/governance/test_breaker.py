@@ -1,0 +1,104 @@
+"""Unit tests for the per-link circuit breaker state machine."""
+
+import pytest
+
+from repro.governance import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+
+
+def trip(breaker, now=0):
+    for _ in range(breaker.threshold):
+        breaker.record_failure(now)
+
+
+class TestTrip:
+    def test_opens_after_threshold_consecutive_failures(self):
+        b = CircuitBreaker(threshold=3, cooldown=10, probe_jitter=0)
+        b.record_failure(1)
+        b.record_failure(2)
+        assert b.state == CLOSED
+        b.record_failure(3)
+        assert b.state == OPEN
+        assert b.opens == 1
+        assert b.retry_at == 3 + 10
+
+    def test_success_resets_the_failure_streak(self):
+        b = CircuitBreaker(threshold=2, cooldown=10, probe_jitter=0)
+        b.record_failure(1)
+        b.record_success(2)
+        b.record_failure(3)
+        assert b.state == CLOSED
+
+    def test_open_blocks_until_cooldown(self):
+        b = CircuitBreaker(threshold=1, cooldown=10, probe_jitter=0)
+        b.record_failure(5)
+        assert not b.allow(6)
+        assert not b.allow(14)
+        assert b.allow(15)  # cooldown elapsed: the probe is admitted
+        assert b.state == HALF_OPEN
+
+
+class TestProbe:
+    def test_probe_success_closes(self):
+        b = CircuitBreaker(threshold=1, cooldown=5, probe_jitter=0)
+        b.record_failure(0)
+        assert b.allow(5)
+        b.record_success(6)
+        assert b.state == CLOSED
+        assert b.allow(7)
+
+    def test_probe_failure_reopens_with_fresh_cooldown(self):
+        b = CircuitBreaker(threshold=1, cooldown=5, probe_jitter=0)
+        b.record_failure(0)
+        assert b.allow(5)
+        b.record_failure(6)
+        assert b.state == OPEN
+        assert b.retry_at == 6 + 5
+        assert not b.allow(7)
+
+    def test_half_open_admits_exactly_one_probe(self):
+        b = CircuitBreaker(threshold=1, cooldown=5, probe_jitter=0)
+        b.record_failure(0)
+        assert b.allow(5)       # the probe
+        assert not b.allow(5)   # a second request in the same window
+        assert not b.allow(6)
+        assert b.probes == 1
+
+
+class TestSeededJitter:
+    def test_same_seed_same_schedule(self):
+        def schedule(seed):
+            b = CircuitBreaker(threshold=1, cooldown=16, probe_jitter=8,
+                               seed=seed)
+            out = []
+            for now in range(0, 200, 10):
+                b.record_failure(now)
+                out.append(b.retry_at)
+            return out
+
+        assert schedule(7) == schedule(7)
+        assert schedule(7) != schedule(8)
+
+    def test_jitter_bounded(self):
+        b = CircuitBreaker(threshold=1, cooldown=16, probe_jitter=8,
+                           seed=3)
+        b.record_failure(100)
+        assert 116 <= b.retry_at < 124
+
+
+def test_transition_audit_trail():
+    b = CircuitBreaker(threshold=1, cooldown=5, probe_jitter=0)
+    b.record_failure(1)
+    b.allow(6)
+    b.record_success(7)
+    assert [state for _, state in b.transitions] == \
+        [OPEN, HALF_OPEN, CLOSED]
+    snap = b.snapshot()
+    assert snap["state"] == CLOSED
+    assert snap["opens"] == 1 and snap["probes"] == 1
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        CircuitBreaker(threshold=0)
+    with pytest.raises(ValueError):
+        CircuitBreaker(cooldown=0)

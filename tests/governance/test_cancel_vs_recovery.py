@@ -1,0 +1,180 @@
+"""Cancellation composed with crash recovery on a WAL-backed engine.
+
+A governed kill fires strictly before the commit path, so a cancelled
+statement must leave nothing for recovery to find: after any kill at
+any checkpoint — autocommit or inside an open transaction — a WAL
+replay converges to the pre-statement state.  And when a kill and a
+crash fault are both armed, whichever fires first wins cleanly: a kill
+inside the statement preempts the commit-path crash site entirely,
+while a kill armed beyond the statement's checkpoint range lets the
+crash fire with its established pre/post recovery semantics.
+"""
+
+import os
+
+import pytest
+
+from repro.faults import CrashError, FaultInjector
+from repro.governance import CountingContext, GovernanceError, QueryContext
+from repro.sql.database import Database
+from repro.sql.parser import parse_sql
+from repro.wal import WriteAheadLog
+from tests.oracle.generator import QueryGenerator
+from tests.oracle.reference import ReferenceExecutor
+
+SEED_BASE = int(os.environ.get("GOVERN_SEED", "0")) * 1000
+SEEDS = [SEED_BASE + offset for offset in (1, 2, 3)]
+
+KINDS = ("cancel", "deadline")
+
+
+def build_engine(generator):
+    db = Database(wal=WriteAheadLog())
+    for statement in generator.setup_statements():
+        db.execute(statement)
+    return db
+
+
+def script_with_checkpoints(generator, start_case):
+    """First generated script from ``start_case`` on that contains an
+    UPDATE or DELETE — an all-INSERT script passes through no
+    checkpoints, so there would be nothing to kill."""
+    for case_id in range(start_case, start_case + 10):
+        script = generator.gen_dml_script(case_id=case_id)
+        if any(not sql.startswith("INSERT") for sql in script):
+            return script
+    raise AssertionError("no governable script in 10 cases")
+
+
+def state_of(db, generator):
+    return {name: sorted(db.query(
+        "SELECT {0} FROM {1}".format(", ".join(names), name)))
+        for name, (names, _) in generator.reference_tables().items()}
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_autocommit_kill_then_recover_converges_to_pre_state(seed):
+    """Sweep every checkpoint of every statement in a DML script: the
+    killed statement leaves no trace, before *and* after WAL replay."""
+    generator = QueryGenerator(seed)
+    script = generator.gen_dml_script(case_id=0)
+    for index in range(len(script)):
+        # Dry-run this statement once to enumerate its checkpoints.
+        counting_db = build_engine(generator)
+        for sql in script[:index]:
+            counting_db.execute(sql)
+        counting = CountingContext()
+        counting_db.execute(script[index], context=counting)
+        for n, (site, hit) in enumerate(counting.kill_points()):
+            db = build_engine(generator)
+            for sql in script[:index]:
+                db.execute(sql)
+            pre = state_of(db, generator)
+            context = QueryContext().kill_at(
+                hit, kind=KINDS[n % len(KINDS)], site=site)
+            with pytest.raises(GovernanceError):
+                db.execute(script[index], context=context)
+            label = "seed={0} stmt#{1} kill@{2}:{3}".format(
+                seed, index, site, hit)
+            assert state_of(db, generator) == pre, label
+            db.recover()
+            assert state_of(db, generator) == pre, label + " post-replay"
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_in_transaction_kill_aborts_and_recovery_finds_nothing(seed):
+    """One governed context spans the whole transactional script; a
+    kill at any cumulative checkpoint aborts with zero committed
+    residue, and replaying the WAL agrees."""
+    generator = QueryGenerator(seed)
+    script = script_with_checkpoints(generator, start_case=1)
+
+    counting_db = build_engine(generator)
+    counting = CountingContext()
+    txn = counting_db.begin()
+    for sql in script:
+        txn.execute(sql, context=counting)
+    txn.commit()
+
+    points = counting.kill_points()
+    assert points, "script produced no checkpoints"
+    for n, (site, hit) in enumerate(points):
+        db = build_engine(generator)
+        pre = state_of(db, generator)
+        context = QueryContext().kill_at(
+            hit, kind=KINDS[n % len(KINDS)], site=site)
+        txn = db.begin()
+        with pytest.raises(GovernanceError):
+            for sql in script:
+                txn.execute(sql, context=context)
+        txn.abort()
+        assert txn.closed
+        label = "seed={0} kill@{1}:{2}".format(seed, site, hit)
+        assert state_of(db, generator) == pre, label
+        db.recover()
+        assert state_of(db, generator) == pre, label + " post-replay"
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_kill_in_flight_preempts_an_armed_commit_crash(seed):
+    """Both a cancel and a commit-path crash are armed; the cancel
+    fires first, the commit is never attempted, and recovery converges
+    to the pre-script state — the crash site stays cold."""
+    generator = QueryGenerator(seed)
+    script = script_with_checkpoints(generator, start_case=2)
+    db = build_engine(generator)
+    pre = state_of(db, generator)
+
+    inj = FaultInjector()
+    db.faults = inj
+    db.wal.faults = inj
+    inj.crash_at("commit.publish")
+
+    context = QueryContext().kill_at(1, kind="cancel")
+    txn = db.begin()
+    with pytest.raises(GovernanceError):
+        for sql in script:
+            txn.execute(sql, context=context)
+    txn.abort()
+    assert not inj.fired  # the crash plan never got its chance
+
+    db.faults = FaultInjector()
+    db.wal.faults = db.faults
+    db.recover()
+    assert state_of(db, generator) == pre
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("site,expect", [("wal.append", "pre"),
+                                         ("commit.publish", "post")])
+def test_unfired_kill_leaves_crash_semantics_intact(seed, site, expect):
+    """A kill armed beyond the script's checkpoint range never fires,
+    so the armed crash keeps its documented pre/post recovery
+    behaviour — governance composes with, not replaces, fault
+    injection."""
+    generator = QueryGenerator(seed)
+    script = generator.gen_dml_script(case_id=3)
+    db = build_engine(generator)
+    pre = state_of(db, generator)
+    reference = ReferenceExecutor(generator.reference_tables())
+    for sql in script:
+        reference.apply_dml(parse_sql(sql))
+    post = {name: sorted(rows)
+            for name, (_, rows) in reference.tables.items()}
+
+    inj = FaultInjector()
+    db.faults = inj
+    db.wal.faults = inj
+    inj.crash_at(site)
+
+    context = QueryContext().kill_at(10 ** 9, kind="cancel")
+    txn = db.begin()
+    for sql in script:
+        txn.execute(sql, context=context)
+    with pytest.raises(CrashError):
+        txn.commit()
+    assert txn.outcome == "crashed"
+    db.recover()
+    expected = pre if expect == "pre" else post
+    assert state_of(db, generator) == expected, \
+        "seed={0} crash at {1} -> {2}".format(seed, site, expect)

@@ -1,0 +1,153 @@
+"""Unit tests for the QueryContext primitives: deadlines, cancel
+tokens, deterministic kill plans, memory charging and the inert
+NO_GOVERNANCE singleton."""
+
+import pytest
+
+from repro.governance import (
+    CHECK_FRAGMENT, CHECK_INTERP, CHECKPOINT_SITES, NO_GOVERNANCE,
+    CountingContext, DeadlineExceeded, MemoryExceeded, QueryCancelled,
+    QueryContext, TenantAccountant,
+)
+
+
+class TestDeadline:
+    def test_kills_when_clock_passes_deadline(self):
+        ctx = QueryContext(deadline=2)
+        ctx.checkpoint(CHECK_INTERP)
+        ctx.checkpoint(CHECK_INTERP)
+        with pytest.raises(DeadlineExceeded) as info:
+            ctx.checkpoint(CHECK_INTERP)
+        assert info.value.reason == "deadline"
+        assert info.value.site == CHECK_INTERP
+        assert ctx.killed_by == "deadline"
+
+    def test_tick_charges_link_time_toward_deadline(self):
+        ctx = QueryContext(deadline=10)
+        ctx.tick(10)  # link delay alone does not kill...
+        with pytest.raises(DeadlineExceeded):
+            ctx.checkpoint(CHECK_INTERP)  # ...the next checkpoint does
+
+    def test_no_deadline_never_kills(self):
+        ctx = QueryContext()
+        for _ in range(1000):
+            ctx.checkpoint(CHECK_INTERP)
+        assert ctx.clock == 1000
+
+    def test_deadline_must_be_positive(self):
+        with pytest.raises(ValueError):
+            QueryContext(deadline=0)
+
+
+class TestCancel:
+    def test_cancel_fires_at_next_checkpoint(self):
+        ctx = QueryContext()
+        ctx.checkpoint(CHECK_INTERP)
+        ctx.cancel()
+        with pytest.raises(QueryCancelled) as info:
+            ctx.checkpoint(CHECK_FRAGMENT)
+        assert info.value.reason == "cancelled"
+        assert info.value.retryable is True
+
+    def test_kill_at_global_hit(self):
+        ctx = QueryContext().kill_at(3, kind="cancel")
+        ctx.checkpoint(CHECK_INTERP)
+        ctx.checkpoint(CHECK_FRAGMENT)
+        with pytest.raises(QueryCancelled):
+            ctx.checkpoint(CHECK_INTERP)
+
+    def test_kill_at_site_counts_only_that_site(self):
+        ctx = QueryContext().kill_at(2, kind="deadline",
+                                     site=CHECK_FRAGMENT)
+        for _ in range(5):
+            ctx.checkpoint(CHECK_INTERP)
+        ctx.checkpoint(CHECK_FRAGMENT)
+        with pytest.raises(DeadlineExceeded):
+            ctx.checkpoint(CHECK_FRAGMENT)
+
+    def test_kill_plan_validation(self):
+        with pytest.raises(ValueError):
+            QueryContext().kill_at(0)
+        with pytest.raises(ValueError):
+            QueryContext().kill_at(1, kind="meteor")
+
+
+class TestMemory:
+    def test_query_budget_kill(self):
+        ctx = QueryContext(memory_budget=100)
+        ctx.charge(60)
+        with pytest.raises(MemoryExceeded) as info:
+            ctx.charge(41)
+        assert info.value.scope == "query"
+        assert ctx.mem_charged == 101
+
+    def test_tenant_budget_checked_before_query_budget(self):
+        accountant = TenantAccountant(default_budget=50)
+        ctx = QueryContext(memory_budget=1000, tenant="t",
+                           accountant=accountant)
+        with pytest.raises(MemoryExceeded) as info:
+            ctx.charge(51)
+        assert info.value.scope == "tenant"
+        assert info.value.tenant == "t"
+
+    def test_release_returns_tenant_bytes(self):
+        accountant = TenantAccountant()
+        ctx = QueryContext(tenant="t", accountant=accountant)
+        ctx.charge(30)
+        ctx.charge(12)
+        assert accountant.in_use["t"] == 42
+        ctx.release()
+        assert accountant.in_use["t"] == 0
+        ctx.release()  # idempotent
+        assert accountant.in_use["t"] == 0
+
+    def test_zero_charge_is_free(self):
+        ctx = QueryContext(memory_budget=1)
+        ctx.charge(0)
+        assert ctx.mem_charged == 0
+
+
+class TestNullContext:
+    def test_inert_hooks(self):
+        assert NO_GOVERNANCE.active is False
+        NO_GOVERNANCE.checkpoint(CHECK_INTERP)
+        NO_GOVERNANCE.charge(1 << 40)
+        NO_GOVERNANCE.tick(99)
+        NO_GOVERNANCE.release()
+        assert NO_GOVERNANCE.clock == 0
+        assert NO_GOVERNANCE.total_checkpoints == 0
+
+    def test_cannot_arm_the_shared_singleton(self):
+        with pytest.raises(RuntimeError):
+            NO_GOVERNANCE.cancel()
+        with pytest.raises(RuntimeError):
+            NO_GOVERNANCE.kill_at(1)
+
+
+class TestCountingContext:
+    def test_counts_without_killing(self):
+        ctx = CountingContext()
+        ctx.cancel()  # flag set but the dry run never raises
+        for _ in range(4):
+            ctx.checkpoint(CHECK_INTERP)
+        ctx.checkpoint(CHECK_FRAGMENT)
+        assert ctx.checkpoints[CHECK_INTERP] == 4
+        assert ctx.total_checkpoints == 5
+
+    def test_kill_points_enumeration(self):
+        ctx = CountingContext()
+        ctx.checkpoint(CHECK_INTERP)
+        ctx.checkpoint(CHECK_INTERP)
+        ctx.checkpoint(CHECK_FRAGMENT)
+        assert ctx.kill_points() == [
+            (CHECK_FRAGMENT, 1), (CHECK_INTERP, 1), (CHECK_INTERP, 2)]
+        assert ctx.kill_points(sites=(CHECK_INTERP,)) == [
+            (CHECK_INTERP, 1), (CHECK_INTERP, 2)]
+
+
+def test_canonical_sites_are_stable():
+    """The six checkpoint names are API: error statuses, oracle
+    schedules and docs all key on them."""
+    assert CHECKPOINT_SITES == (
+        "interp.instr", "compile.fragment", "morsel", "scatter.leg",
+        "twopc.prepare", "repl.route")

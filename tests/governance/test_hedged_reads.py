@@ -1,0 +1,152 @@
+"""Slow-node defense at the sharding coordinator: per-leg timeouts,
+hedged re-dispatch to a replica under a gray (latency-ramped) shard,
+the per-link circuit breaker, and mid-scatter cancel broadcast."""
+
+import pytest
+
+from repro.faults import FaultInjector
+from repro.governance import OPEN, GovernanceError, QueryContext
+from repro.sharding.coordinator import ShardedDatabase
+
+QUERY = "SELECT v, COUNT(*) FROM t GROUP BY v"
+
+
+def load(db):
+    db.execute("CREATE TABLE t (k INT, v INT) PARTITION BY (k)")
+    for start in range(0, 400, 40):
+        db.execute("INSERT INTO t VALUES " + ", ".join(
+            "({0}, {1})".format(i, i % 5)
+            for i in range(start, start + 40)))
+    return db
+
+
+def gray_faults(link="coord->s1", seed=7):
+    faults = FaultInjector()
+    faults.ramp_at("shard.ship", start_hit=1, base_delay=40, step=10,
+                   cap=200, seed=seed, jitter=3, match={"link": link})
+    return faults
+
+
+class TestHedging:
+    def test_hedged_results_equal_healthy_results(self):
+        hedged = load(ShardedDatabase(
+            n_shards=3, replicas=1, faults=gray_faults(), leg_timeout=8,
+            breaker_threshold=2, breaker_cooldown=16))
+        healthy = load(ShardedDatabase(n_shards=3))
+        for _ in range(6):
+            assert sorted(hedged.query(QUERY)) == \
+                sorted(healthy.query(QUERY))
+        assert hedged.stats.hedged_legs > 0
+        assert hedged.stats.leg_timeouts > 0
+
+    def test_hedging_bounds_the_clock_under_a_gray_shard(self):
+        hedged = load(ShardedDatabase(
+            n_shards=3, replicas=1, faults=gray_faults(), leg_timeout=8,
+            breaker_threshold=2, breaker_cooldown=16))
+        naive = load(ShardedDatabase(
+            n_shards=3, replicas=1, faults=gray_faults()))
+        for _ in range(6):
+            hedged.query(QUERY)
+            naive.query(QUERY)
+        # The naive coordinator waits out every ramped leg; the hedged
+        # one pays at most the timeout before re-dispatching.
+        assert hedged.clock < naive.clock / 1.5
+
+    def test_hedge_without_replicas_runs_the_shard_directly(self):
+        """With no replica group to fail over to, the hedge re-runs the
+        leg on the shard's database without paying the gray link."""
+        hedged = load(ShardedDatabase(
+            n_shards=3, faults=gray_faults(), leg_timeout=8))
+        healthy = load(ShardedDatabase(n_shards=3))
+        assert sorted(hedged.query(QUERY)) == sorted(healthy.query(QUERY))
+        assert hedged.stats.hedged_legs > 0
+
+    def test_no_faults_means_no_hedges(self):
+        db = load(ShardedDatabase(n_shards=3, replicas=1, leg_timeout=8))
+        for _ in range(4):
+            db.query(QUERY)
+        assert db.stats.hedged_legs == 0
+        assert db.stats.leg_timeouts == 0
+
+
+class TestBreaker:
+    def test_breaker_opens_on_the_gray_link_and_skips_it(self):
+        db = load(ShardedDatabase(
+            n_shards=3, replicas=1, faults=gray_faults(), leg_timeout=8,
+            breaker_threshold=2, breaker_cooldown=16))
+        for _ in range(6):
+            db.query(QUERY)
+        breaker = db.breakers[1]
+        assert breaker.opens >= 1
+        assert db.stats.breaker_skips > 0  # open breaker -> direct hedge
+        assert 0 not in db.breakers or db.breakers[0].opens == 0
+
+    def test_breaker_schedule_replays_per_seed(self):
+        def transitions(breaker_seed):
+            db = load(ShardedDatabase(
+                n_shards=3, replicas=1, faults=gray_faults(),
+                leg_timeout=8, breaker_threshold=2, breaker_cooldown=16,
+                breaker_seed=breaker_seed))
+            for _ in range(6):
+                db.query(QUERY)
+            return db.breakers[1].transitions
+
+        assert transitions(5) == transitions(5)
+
+    def test_breaker_half_open_probe_cycle(self):
+        db = load(ShardedDatabase(
+            n_shards=3, replicas=1, faults=gray_faults(), leg_timeout=8,
+            breaker_threshold=2, breaker_cooldown=16))
+        for _ in range(8):
+            db.query(QUERY)
+        states = [state for _, state in db.breakers[1].transitions]
+        assert "half-open" in states  # the probe schedule fired
+        assert db.breakers[1].state == OPEN  # still gray: probe failed
+
+
+class TestScatterCancel:
+    def test_mid_scatter_kill_broadcasts_cancel_to_remaining_legs(self):
+        db = load(ShardedDatabase(n_shards=4))
+        context = QueryContext().kill_at(2, kind="cancel",
+                                         site="scatter.leg")
+        with pytest.raises(GovernanceError) as info:
+            db.execute(QUERY, context=context)
+        assert info.value.status()["site"] == "scatter.leg"
+        # Legs 2..4 had not run; each got a best-effort cancel message.
+        assert db.stats.cancels_sent == 3
+        assert db.stats.governance_kills == 1
+
+    def test_coordinator_pragmas_create_owned_contexts(self):
+        db = load(ShardedDatabase(n_shards=3))
+        db.execute("SET deadline = 1")
+        with pytest.raises(GovernanceError):
+            db.query(QUERY)
+        assert db.stats.governance_kills == 1
+        db.execute("SET deadline = 0")
+        assert db.query("SELECT COUNT(*) FROM t") == [(400,)]
+
+    def test_state_untouched_after_scatter_kill(self):
+        db = load(ShardedDatabase(n_shards=4))
+        context = QueryContext().kill_at(1, kind="deadline",
+                                         site="scatter.leg")
+        with pytest.raises(GovernanceError):
+            db.execute(QUERY, context=context)
+        assert db.query("SELECT COUNT(*) FROM t") == [(400,)]
+        healthy = load(ShardedDatabase(n_shards=4))
+        assert sorted(db.query(QUERY)) == sorted(healthy.query(QUERY))
+
+
+class TestTransactionLegsNeverHedge:
+    def test_snapshot_reads_wait_out_the_gray_link(self):
+        """A transaction's legs read per-shard snapshot views; a hedge
+        would silently escape the snapshot, so they must never hedge —
+        even when a leg timeout is configured."""
+        db = load(ShardedDatabase(
+            n_shards=3, faults=gray_faults(), leg_timeout=8))
+        txn = db.begin()
+        rows = txn.execute(QUERY).rows()
+        txn.commit()
+        healthy = load(ShardedDatabase(n_shards=3))
+        assert sorted(rows) == sorted(healthy.query(QUERY))
+        assert db.stats.hedged_legs == 0
+        assert db.stats.leg_timeouts == 0
