@@ -1,0 +1,123 @@
+"""E26 — incremental view maintenance vs. recompute-on-write.
+
+A base table of N rows carries two materialized views (a grouped
+aggregate and a selective filter).  For each delta fraction f, the same
+write batch — an insert wave plus a keyed delete wave touching ~f*N
+rows — is applied two ways:
+
+* **incremental** — the views are live and each commit folds the delta
+  through the Z-set maintainers; the refresh cost is the commit itself;
+* **full** — the base table takes the same writes unmaintained, then
+  the views are rebuilt from scratch, modelling the classic
+  drop-and-recreate refresh.
+
+The gate encodes the efficiency claim of delta maintenance: at a 1%
+delta the incremental refresh must be at least 5x cheaper than the
+rebuild, and the two strategies must agree on the final view contents.
+"""
+
+import time
+
+from conftest import run_once
+
+from repro.sql.database import Database
+
+N_ROWS = 6000
+N_GROUPS = 40
+FRACTIONS = (0.01, 0.05, 0.2)
+REPEATS = 3
+GATE_FRACTION = 0.01
+GATE_SPEEDUP = 5.0
+
+VIEWS = [
+    ("v_grp", "SELECT g, count(*) AS n, sum(v) AS s, min(v) AS lo, "
+              "max(v) AS hi FROM t GROUP BY g"),
+    ("v_hot", "SELECT k, v FROM t WHERE v > 400"),
+]
+
+
+def _load():
+    db = Database()
+    db.execute("CREATE TABLE t (k BIGINT, g BIGINT, v BIGINT)")
+    for start in range(0, N_ROWS, 500):
+        db.execute("INSERT INTO t VALUES " + ", ".join(
+            "({0}, {1}, {2})".format(k, k % N_GROUPS, (k * 37) % 500)
+            for k in range(start, start + 500)))
+    return db
+
+
+def _delta_statements(fraction):
+    """An insert wave and a keyed delete wave, ~fraction*N rows each."""
+    n = max(1, int(N_ROWS * fraction))
+    inserts = "INSERT INTO t VALUES " + ", ".join(
+        "({0}, {1}, {2})".format(k, k % N_GROUPS, (k * 53) % 900)
+        for k in range(N_ROWS, N_ROWS + n))
+    deletes = "DELETE FROM t WHERE k >= 0 AND k < {0}".format(n)
+    return [inserts, deletes]
+
+
+def _create_views(db):
+    for name, sql in VIEWS:
+        db.execute("CREATE MATERIALIZED VIEW {0} AS {1}".format(name,
+                                                                sql))
+
+
+def _view_state(db):
+    return [sorted(db.views.contents(name)) for name, _ in VIEWS]
+
+
+def _timed(fraction, mode):
+    """(refresh seconds, final view contents) for one strategy."""
+    db = _load()
+    if mode == "incremental":
+        _create_views(db)
+    statements = _delta_statements(fraction)
+    start = time.perf_counter()
+    for sql in statements:
+        db.execute(sql)
+    if mode == "full":
+        _create_views(db)  # the drop-and-recreate refresh, from scratch
+    elapsed = time.perf_counter() - start
+    return elapsed, _view_state(db)
+
+
+def sweep():
+    rows = []
+    gate_speedup = None
+    for fraction in FRACTIONS:
+        t_incr = min(_timed(fraction, "incremental")[0]
+                     for _ in range(REPEATS))
+        t_full = min(_timed(fraction, "full")[0]
+                     for _ in range(REPEATS))
+        _, incr_state = _timed(fraction, "incremental")
+        _, full_state = _timed(fraction, "full")
+        assert incr_state == full_state, \
+            "strategies diverge at f={0}".format(fraction)
+        speedup = t_full / t_incr
+        if fraction == GATE_FRACTION:
+            gate_speedup = speedup
+        rows.append((fraction, max(1, int(N_ROWS * fraction)),
+                     round(t_incr * 1e3, 2), round(t_full * 1e3, 2),
+                     round(speedup, 1)))
+    return rows, gate_speedup
+
+
+def test_e26_incremental_view_maintenance(benchmark, sink):
+    rows, gate_speedup = run_once(benchmark, sweep)
+    sink.table(
+        "E26: view refresh cost, incremental vs rebuild "
+        "({0} rows, {1} groups, insert+delete wave per fraction)".format(
+            N_ROWS, N_GROUPS),
+        ["delta fraction", "delta rows", "incremental ms", "rebuild ms",
+         "speedup"], rows)
+    sink.note("Incremental refresh folds only the delta through the "
+              "Z-set operators, so its cost tracks the write batch; "
+              "the rebuild rescans the whole base table no matter how "
+              "small the change.  The advantage shrinks as the delta "
+              "fraction grows — at 20% of the table the two converge, "
+              "which is why eager (recompute) views remain the right "
+              "fallback for churn-heavy shapes.")
+    assert gate_speedup >= GATE_SPEEDUP, \
+        "incremental refresh only {0:.1f}x cheaper at {1:.0%} delta".format(
+            gate_speedup, GATE_FRACTION)
+    benchmark.extra_info["speedup_at_1pct"] = round(gate_speedup, 1)

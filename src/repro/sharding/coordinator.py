@@ -37,11 +37,15 @@ from repro.sharding.planner import (
     ShardSchema, _prune_value, plan_select,
 )
 from repro.sql.ast import (
-    Column, CreateTable, Delete, Explain, Insert, Select, SelectItem,
+    Column, CreateMaterializedView, CreateTable, Delete,
+    DropMaterializedView, Explain, Insert, Select, SelectItem,
     SetPragma, TableRef, Update, statement_kind,
 )
 from repro.sql.database import Database, ResultSet
 from repro.sql.parser import parse_sql
+from repro.views.definition import classify
+from repro.views.maintainer import merge_partials
+from repro.views.rows import ViewError
 from repro.wal import WriteAheadLog
 
 SHIP_SITE = "shard.ship"
@@ -82,6 +86,7 @@ class ShardingStats:
     twopc_fast_path: int = 0   # commits touching <= 1 shard
     twopc_commits: int = 0     # full two-phase commits
     twopc_aborts: int = 0      # two-phase rounds aborted in phase 1
+    view_reads: int = 0        # SELECTs answered from materialized views
     backoff_ticks: int = 0     # clock ticks slept between link retries
     stale_epoch_rejections: int = 0  # transactions fenced at a cutover
     reshard_pump_failures: int = 0   # dual-route pumps demoted
@@ -186,6 +191,11 @@ class ShardedDatabase:
         self.tracer = tracer if tracer is not None else NO_TRACE
         self.pipeline = pipeline
         self.schema = ShardSchema()
+        # Materialized views (repro.views): the coordinator registry,
+        # view name -> ViewDefinition.  Each shard maintains its own
+        # copy of every view over its fragment; coordinator reads
+        # scatter-gather the per-shard partial state.
+        self.views = {}
         self.stats = ShardingStats()
         self.link_retry_limit = link_retry_limit
         self.retry_backoff_cap = retry_backoff_cap
@@ -474,6 +484,10 @@ class ShardedDatabase:
             return None
         if isinstance(statement, CreateTable):
             return self._create_table(statement)
+        if isinstance(statement, CreateMaterializedView):
+            return self._create_view(statement)
+        if isinstance(statement, DropMaterializedView):
+            return self._drop_view(statement)
         if isinstance(statement, (Insert, Delete, Update)):
             result = self._execute_dml(statement, context=context)
             self._after_write()
@@ -523,17 +537,83 @@ class ShardedDatabase:
 
     # -- DDL ---------------------------------------------------------------------
 
-    def _create_table(self, statement):
+    def _check_no_migration(self):
         if self.migration is not None and not self.migration.finished:
             from repro.sharding.resharding import MigrationInProgressError
             raise MigrationInProgressError(
                 "DDL is rejected while migration {0} is {1}".format(
                     self.migration.mid, self.migration.phase))
+
+    def _create_table(self, statement):
+        self._check_no_migration()
+        if statement.name in self.views:
+            raise ValueError(
+                "name {0!r} is already a materialized view".format(
+                    statement.name))
         self.schema.register(statement.name, statement.columns,
                              partition_by=statement.partition_by)
         for shard_id in self.broadcast_shards():
             self._rpc(shard_id, ("create", statement.name),
                       lambda s=shard_id: self.shards[s].execute(statement))
+        return None
+
+    def _anchor_database(self):
+        """The first serving shard's authoritative Database — the
+        schema source views classify against (all shards agree on it)."""
+        return self.shards[self.broadcast_shards()[0]].database
+
+    def _view_complete_per_shard(self, definition):
+        """True when every serving shard holds the *whole* view: all
+        base tables are broadcast reference tables (or there is only
+        one serving shard) — reads then route to any single shard."""
+        if len(self.broadcast_shards()) == 1:
+            return True
+        return all(self.schema.get(name).partition_by is None
+                   for name in definition.base_tables)
+
+    def _create_view(self, statement):
+        """CREATE MATERIALIZED VIEW across the cluster: classify once
+        on the coordinator, then broadcast the DDL so each shard builds
+        and maintains the view over its own fragment.
+
+        Per-shard fragments compose back to the global view only for
+        decomposable shapes: ``linear`` views concatenate, ``aggregate``
+        views merge their per-group partials.  Join and eager views are
+        accepted only when every base table is a broadcast reference
+        table (each shard then holds the whole view).
+        """
+        self._check_no_migration()
+        if statement.name in self.views or \
+                statement.name in self.schema.tables:
+            raise ViewError(
+                "name {0!r} is already a table or view".format(
+                    statement.name))
+        anchor = self._anchor_database()
+        definition = classify(anchor.catalog.tables, statement.name,
+                              statement.select,
+                              view_names=set(self.views))
+        if definition.kind in ("join", "eager") and \
+                not self._view_complete_per_shard(definition):
+            raise NotImplementedError(
+                "a {0} view over a partitioned base table does not "
+                "decompose per shard; only linear and aggregate views "
+                "are maintainable on a sharded cluster".format(
+                    definition.kind))
+        for shard_id in self.broadcast_shards():
+            self._rpc(shard_id, ("create_view", statement.name),
+                      lambda s=shard_id: self.shards[s].execute(statement))
+        self.views[statement.name] = definition
+        return None
+
+    def _drop_view(self, statement):
+        self._check_no_migration()
+        if statement.name not in self.views:
+            raise KeyError(
+                "no materialized view {0!r}".format(statement.name))
+        for shard_id in self.broadcast_shards():
+            self._rpc(shard_id, ("drop_view", statement.name),
+                      lambda s=shard_id: self.shards[s].execute(statement))
+        del self.views[statement.name]
         return None
 
     # -- SELECT ------------------------------------------------------------------
@@ -554,6 +634,11 @@ class ShardedDatabase:
             runner = self._default_runner(
                 workers, context=context,
                 timeout=self.leg_timeout if hedged else None)
+        refs = [select.table] + [join.table for join in select.joins] \
+            if select.table is not None else []
+        if any(ref.name in self.views for ref in refs):
+            return self._select_view(select, refs, workers=workers,
+                                     context=context)
         plan = plan_select(self.schema, select, self.shard_map)
         if plan.kind == "single":
             self.stats.single_shard += 1
@@ -586,6 +671,59 @@ class ShardedDatabase:
                                         hedged=hedged, workers=workers)
         return scratch.execute(select, context=context)
 
+    def _select_view(self, select, refs, workers=None, context=None):
+        """A SELECT over materialized views: rebuild each referenced
+        view's global contents on a scratch database, then run the
+        query there.
+
+        Per-shard view state composes by kind: complete-per-shard views
+        ship from one shard, ``linear`` fragments over a partitioned
+        base concatenate across shards, ``aggregate`` views ship their
+        per-group accumulator partials and merge (count/sum add,
+        min/max take the best shard extremum, avg divides merged sums
+        by merged counts).
+        """
+        missing = [ref.name for ref in refs if ref.name not in self.views]
+        if missing:
+            raise NotImplementedError(
+                "a SELECT mixing materialized views with base tables "
+                "is not supported on a sharded cluster (base tables: "
+                "{0})".format(sorted(set(missing))))
+        self.stats.view_reads += 1
+        scratch = Database(pipeline=self.pipeline)
+        for name in dict.fromkeys(ref.name for ref in refs):
+            definition = self.views[name]
+            scratch.catalog.create_table(name, definition.columns)
+            target = scratch.catalog.get(name)
+            rows = self._view_rows(name, definition)
+            if rows:
+                target.append_rows([list(r) for r in rows])
+        return scratch.execute(select, workers=workers, context=context)
+
+    def _view_rows(self, name, definition):
+        """One view's global contents, gathered from the shards (rows
+        in logical space — None for missing values)."""
+        if self._view_complete_per_shard(definition):
+            shard_id = self.broadcast_shards()[0]
+            return self._rpc(
+                shard_id, ("view", name),
+                lambda: self.shards[shard_id].database.views
+                .contents(name))
+        if definition.kind == "linear":
+            rows = []
+            for shard_id in self.broadcast_shards():
+                rows.extend(self._rpc(
+                    shard_id, ("view", name),
+                    lambda s=shard_id: self.shards[s].database.views
+                    .contents(name)))
+            return rows
+        # Aggregate over a partitioned base: merge per-shard partials.
+        dumps = [self._rpc(shard_id, ("view_partials", name),
+                           lambda s=shard_id: self.shards[s].database
+                           .views.partials(name))
+                 for shard_id in self.broadcast_shards()]
+        return merge_partials(definition, dumps)
+
     def _gather_database(self, plan, runner, context=None, hedged=False,
                          workers=None):
         """The gather fallback's scratch single-node database: every
@@ -614,6 +752,10 @@ class ShardedDatabase:
     # -- DML ---------------------------------------------------------------------
 
     def _execute_dml(self, statement, context=None):
+        if statement.table in self.views:
+            raise ValueError(
+                "materialized view {0!r} is read-only; modify its base "
+                "tables instead".format(statement.table))
         info = self.schema.get(statement.table)
         if isinstance(statement, Insert):
             return self._insert(statement, info, context=context)
@@ -750,10 +892,16 @@ class ShardedDatabase:
         self.schema = ShardSchema()
         anchor = self.shards[self.broadcast_shards()[0]].db
         for name, table in sorted(anchor.catalog.tables.items()):
+            if anchor.views.is_view(name):
+                continue  # view backing tables are not routable tables
             self.schema.register(
                 name,
                 [(c, table.atoms[c].name) for c in table.column_names],
                 partition_by=table.partition_by)
+        # Each shard's WAL replay reinstalled its views; the
+        # coordinator registry rebuilds from the anchor's definitions.
+        self.views = {name: anchor.views.definition(name)
+                      for name in anchor.views.names()}
         resharding.resume(self, pending)
         for node in self.shards:
             if not node.retired:

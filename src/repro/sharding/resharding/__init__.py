@@ -89,7 +89,7 @@ from dataclasses import dataclass
 from repro.datacyclotron.link import SimulatedLink
 from repro.faults import CrashError, TransientFault
 from repro.sharding.partition import ShardMap, partition_hash
-from repro.sql.ast import CreateTable
+from repro.sql.ast import CreateMaterializedView, CreateTable
 from repro.sql.database import Database
 from repro.sql.transactions import ConflictError
 
@@ -235,6 +235,15 @@ class Resharding:
             info = self._co.schema.tables[name]
             db.execute(CreateTable(name, [list(c) for c in info.columns],
                                    partition_by=info.partition_by))
+        # Materialized views install after their base tables (empty, so
+        # the initial materialization is empty); the install commit and
+        # every later write maintain them through the target's own
+        # _apply_ops.  Idempotent like the tables above.
+        for name in sorted(self._co.views):
+            if db.views.is_view(name):
+                continue
+            db.execute(CreateMaterializedView(
+                name, self._co.views[name].select))
 
     def _scan_target_progress(self):
         """Durable progress from the target WAL: (units applied, max
@@ -311,6 +320,11 @@ class Resharding:
         same plan and unit numbering)."""
         units = []
         for name in sorted(self._shadow.catalog.tables):
+            if self._shadow.views.is_view(name):
+                # View backing tables are derived state: the target
+                # maintains its own from the copied base rows; shipping
+                # them too would double the view.
+                continue
             table = self._shadow.catalog.get(name)
             partitioned = table.partition_by is not None
             if not partitioned and not self.fresh:

@@ -18,8 +18,10 @@ The user-facing entry point is :class:`Database`::
 from repro.sql.ast import (
     BinOp,
     Column,
+    CreateMaterializedView,
     CreateTable,
     Delete,
+    DropMaterializedView,
     FuncCall,
     Insert,
     IsNull,
@@ -32,6 +34,7 @@ from repro.sql.ast import (
 )
 from repro.sql.lexer import SQLSyntaxError, tokenize
 from repro.sql.parser import parse_sql
+from repro.sql.render import render_expr, render_select
 from repro.sql.catalog import Catalog, Table
 from repro.sql.transactions import ConflictError, Transaction
 from repro.sql.compiler import compile_select
@@ -48,7 +51,11 @@ __all__ = [
     "tokenize",
     "SQLSyntaxError",
     "compile_select",
+    "render_expr",
+    "render_select",
+    "CreateMaterializedView",
     "CreateTable",
+    "DropMaterializedView",
     "Insert",
     "Delete",
     "Update",

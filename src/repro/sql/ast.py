@@ -114,6 +114,30 @@ class Update:
 
 
 @dataclass
+class CreateMaterializedView:
+    """``CREATE MATERIALIZED VIEW name AS SELECT ...``.
+
+    The view's contents materialize into a backing table named after
+    the view and are maintained incrementally from committed DML deltas
+    (:mod:`repro.views`).  ``select_sql`` optionally carries the
+    defining query's SQL text; when absent, the WAL record renders it
+    from the AST (:func:`repro.sql.render.render_select`).
+    """
+
+    name: str
+    select: object        # the defining Select AST
+    select_sql: str = None
+
+
+@dataclass
+class DropMaterializedView:
+    """``DROP MATERIALIZED VIEW name`` — unregister the view and drop
+    its backing table."""
+
+    name: str
+
+
+@dataclass
 class SetPragma:
     """``SET <name> = <value>`` session pragma (e.g. ``SET workers = 4``)."""
 
@@ -160,6 +184,8 @@ def statement_kind(node):
         "Delete": "DELETE",
         "Update": "UPDATE",
         "CreateTable": "CREATE TABLE",
+        "CreateMaterializedView": "CREATE MATERIALIZED VIEW",
+        "DropMaterializedView": "DROP MATERIALIZED VIEW",
         "SetPragma": "SET",
         "Explain": "EXPLAIN",
         "Profile": "PROFILE",

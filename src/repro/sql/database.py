@@ -7,14 +7,17 @@ from repro.mal.interpreter import Interpreter
 from repro.mal.optimizer import DEFAULT_PIPELINE
 from repro.observability.tracer import NO_TRACE
 from repro.sql.ast import (
-    BeginTransaction, Column, CommitTransaction, CreateTable, Delete,
-    Explain, Insert, Profile, RollbackTransaction, Select, SelectItem,
-    SetPragma, Update, statement_kind,
+    BeginTransaction, Column, CommitTransaction, CreateMaterializedView,
+    CreateTable, Delete, DropMaterializedView, Explain, Insert, Profile,
+    RollbackTransaction, Select, SelectItem, SetPragma, Update,
+    statement_kind,
 )
 from repro.sql.catalog import Catalog
 from repro.sql.compiler import compile_select, compile_where_candidates
 from repro.sql.parser import parse_sql
+from repro.sql.render import render_select
 from repro.sql.transactions import Transaction
+from repro.views.maintainer import ViewMaintainer
 
 
 class ResultSet:
@@ -157,6 +160,9 @@ class Database:
         # commit (autocommit DML, Transaction.commit, replay).  The
         # session layer stamps snapshots and commits with it.
         self.commit_seq = 0
+        # Materialized views (repro.views): maintained incrementally
+        # from the committed deltas flowing through _apply_ops.
+        self.views = ViewMaintainer(self)
 
     @classmethod
     def with_recycling(cls, capacity_bytes=None, policy="benefit"):
@@ -287,7 +293,33 @@ class Database:
             self._plan_cache.clear()  # schema changed
             self._bump_schema_epoch()
             return None
+        if isinstance(statement, CreateMaterializedView):
+            # Classify (and reject) *before* the WAL append, so a bad
+            # definition never reaches the log.
+            self.views.validate(statement.name, statement.select)
+            if self.wal is not None:
+                sql_text = statement.select_sql or \
+                    render_select(statement.select)
+                self.wal.append({"kind": "create_view",
+                                 "name": statement.name,
+                                 "sql": sql_text})
+            self.views.create(statement.name, statement.select)
+            self._plan_cache.clear()  # schema changed
+            self._bump_schema_epoch()
+            return None
+        if isinstance(statement, DropMaterializedView):
+            if not self.views.is_view(statement.name):
+                raise KeyError(
+                    "no materialized view {0!r}".format(statement.name))
+            if self.wal is not None:
+                self.wal.append({"kind": "drop_view",
+                                 "name": statement.name})
+            self.views.drop(statement.name)
+            self._plan_cache.clear()  # schema changed
+            self._bump_schema_epoch()
+            return None
         if isinstance(statement, Insert):
+            self._reject_view_dml(statement.table)
             table = self.catalog.get(statement.table)
             rows = self._normalized_rows(table, statement.rows,
                                          statement.columns)
@@ -298,6 +330,7 @@ class Database:
             self._bump_commit()
             return len(statement.rows)
         if isinstance(statement, Delete):
+            self._reject_view_dml(statement.table)
             self.catalog.get(statement.table)
             oids = self._eval_where(statement.table, statement.where,
                                     view=self.catalog, context=context)
@@ -584,7 +617,15 @@ class Database:
         result = self._run_select(select, view=view, context=context)
         return result.rows()
 
+    def _reject_view_dml(self, table_name):
+        """Views are read-only derived state: DML targets base tables."""
+        if self.views.is_view(table_name):
+            raise ValueError(
+                "materialized view {0!r} is read-only; modify its base "
+                "tables instead".format(table_name))
+
     def _apply_update(self, statement, context=None):
+        self._reject_view_dml(statement.table)
         table = self.catalog.get(statement.table)
         new_rows = self._eval_update_rows(table, statement,
                                           view=self.catalog,
@@ -634,14 +675,37 @@ class Database:
         """Publish logical ops to the catalog; the one code path shared
         by live execution and WAL replay, so a recovered catalog is
         bit-identical to one that never crashed.  Returns the number of
-        rows (freshly) deleted."""
+        rows (freshly) deleted.
+
+        Materialized views watching a table get the op's delta —
+        appended and (freshly) removed rows — folded in right here,
+        atomically with the base-table change, so every caller of this
+        path (autocommit, transaction publish, replay, replication
+        apply, 2PC decide, resharding install) keeps views consistent
+        without knowing they exist.
+        """
         deleted = 0
         for op in ops:
             table = self.catalog.get(op["table"])
+            watched = self.views.watching(op["table"])
+            removed = []
+            if watched and op["deletes"]:
+                # Capture doomed rows before delete_oids hides them,
+                # mirroring its freshness filter.
+                for oid in op["deletes"]:
+                    oid = int(oid)
+                    if 0 <= oid < table.physical_count \
+                            and oid not in table.deleted:
+                        removed.append(table.row(oid))
+            appended = []
             if op["appends"]:
-                table.append_rows(op["appends"])
+                oids = table.append_rows(op["appends"])
+                if watched:
+                    appended = [table.row(o) for o in oids]
             if op["deletes"]:
                 deleted += table.delete_oids(op["deletes"])
+            if watched and (appended or removed):
+                self.views.apply_delta(op["table"], appended, removed)
         return deleted
 
     def _replay_record(self, record):
@@ -660,6 +724,18 @@ class Database:
                 record["table"],
                 [tuple(c) for c in record["columns"]],
                 partition_by=record.get("partition_by"))
+            self._plan_cache.clear()  # schema changed
+            self._bump_schema_epoch()
+        elif kind == "create_view":
+            # Re-installing the view re-materializes its backing table
+            # from the (replayed) base tables; subsequent commit
+            # records then maintain it exactly as live execution did.
+            select = parse_sql(record["sql"])
+            self.views.create(record["name"], select)
+            self._plan_cache.clear()  # schema changed
+            self._bump_schema_epoch()
+        elif kind == "drop_view":
+            self.views.drop(record["name"])
             self._plan_cache.clear()  # schema changed
             self._bump_schema_epoch()
         elif kind == "commit":
@@ -705,6 +781,7 @@ class Database:
             raise RuntimeError("recover() needs a write-ahead log")
         records = self.wal.recover()
         self.catalog = Catalog()
+        self.views = ViewMaintainer(self)  # rebuilt by create_view replay
         self.interpreter = Interpreter(self.catalog,
                                        recycler=self.recycler,
                                        tracer=self.tracer)

@@ -20,6 +20,7 @@ KEYWORDS = frozenset("""
     varchar text string boolean bool real float double true false null
     explain profile partition
     begin commit rollback abort transaction work
+    materialized view drop
 """.split())
 
 _TOKEN_RE = re.compile(r"""

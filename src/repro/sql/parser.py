@@ -1,6 +1,7 @@
 """Recursive-descent SQL parser for the supported subset.
 
-Statements: CREATE TABLE, INSERT, DELETE, UPDATE, SELECT (joins, WHERE,
+Statements: CREATE TABLE, CREATE MATERIALIZED VIEW ... AS SELECT,
+DROP MATERIALIZED VIEW, INSERT, DELETE, UPDATE, SELECT (joins, WHERE,
 GROUP BY, HAVING, ORDER BY, LIMIT, DISTINCT, BETWEEN, IN), the
 session pragma SET (``SET workers = 4``), transaction control
 (``BEGIN`` / ``COMMIT`` / ``ROLLBACK``, each with an optional
@@ -11,8 +12,9 @@ multiplicative < unary minus.
 """
 
 from repro.sql.ast import (
-    BeginTransaction, BinOp, Column, CommitTransaction, CreateTable,
-    Delete, Explain, FuncCall, Insert, IsNull, Join, Literal, OrderItem,
+    BeginTransaction, BinOp, Column, CommitTransaction,
+    CreateMaterializedView, CreateTable, Delete, DropMaterializedView,
+    Explain, FuncCall, Insert, IsNull, Join, Literal, OrderItem,
     Profile, RollbackTransaction, Select, SelectItem, SetPragma, Star,
     TableRef, UnaryOp, Update,
 )
@@ -64,7 +66,11 @@ class _Parser:
             self.advance()
             return Profile(self.parse_statement())
         if token.matches("keyword", "create"):
+            if self.peek(1).matches("keyword", "materialized"):
+                return self.create_view()
             return self.create_table()
+        if token.matches("keyword", "drop"):
+            return self.drop_view()
         if token.matches("keyword", "insert"):
             return self.insert()
         if token.matches("keyword", "delete"):
@@ -138,6 +144,26 @@ class _Parser:
         self.accept("op", ";")
         self.expect(END)
         return CreateTable(name, columns, partition_by)
+
+    def create_view(self):
+        """``CREATE MATERIALIZED VIEW name AS SELECT ...``."""
+        self.expect("keyword", "create")
+        self.expect("keyword", "materialized")
+        self.expect("keyword", "view")
+        name = self.expect("ident").value
+        self.expect("keyword", "as")
+        select = self.select()  # consumes the trailing ';' and END
+        return CreateMaterializedView(name, select)
+
+    def drop_view(self):
+        """``DROP MATERIALIZED VIEW name``."""
+        self.expect("keyword", "drop")
+        self.expect("keyword", "materialized")
+        self.expect("keyword", "view")
+        name = self.expect("ident").value
+        self.accept("op", ";")
+        self.expect(END)
+        return DropMaterializedView(name)
 
     def insert(self):
         self.expect("keyword", "insert")

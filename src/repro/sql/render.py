@@ -1,0 +1,95 @@
+"""Render SELECT ASTs back to canonical SQL text.
+
+The write-ahead log stores a materialized view's defining query as SQL
+text (WAL records are JSON — AST objects do not serialize), and the
+sharding/replication layers occasionally need a textual form of a
+statement they only hold as an AST.  The renderer covers exactly the
+parser's SELECT subset; ``parse_sql(render_select(s))`` round-trips to
+an equal AST (expressions re-parenthesize conservatively, which the
+frozen-dataclass equality does not see).
+"""
+
+from repro.sql.ast import (
+    BinOp, Column, FuncCall, IsNull, Literal, Select, Star, UnaryOp,
+)
+
+
+def render_expr(expr):
+    """One expression subtree as SQL text (conservatively parenthesized)."""
+    if isinstance(expr, Literal):
+        value = expr.value
+        if value is None:
+            return "NULL"
+        if value is True:
+            return "TRUE"
+        if value is False:
+            return "FALSE"
+        if isinstance(value, str):
+            return "'{0}'".format(value.replace("'", "''"))
+        return repr(value)
+    if isinstance(expr, Column):
+        return str(expr)
+    if isinstance(expr, Star):
+        return "{0}.*".format(expr.table) if expr.table else "*"
+    if isinstance(expr, BinOp):
+        op = expr.op.upper() if expr.op in ("and", "or") else expr.op
+        return "({0} {1} {2})".format(render_expr(expr.left), op,
+                                      render_expr(expr.right))
+    if isinstance(expr, UnaryOp):
+        if expr.op == "not":
+            return "(NOT {0})".format(render_expr(expr.operand))
+        return "(- {0})".format(render_expr(expr.operand))
+    if isinstance(expr, IsNull):
+        return "({0} IS NULL)".format(render_expr(expr.operand))
+    if isinstance(expr, FuncCall):
+        if len(expr.args) == 1 and isinstance(expr.args[0], Star) \
+                and expr.args[0].table is None:
+            inner = "*"
+        else:
+            inner = ", ".join(render_expr(a) for a in expr.args)
+        if expr.distinct:
+            inner = "DISTINCT " + inner
+        return "{0}({1})".format(expr.name, inner)
+    raise TypeError("cannot render expression {0!r}".format(expr))
+
+
+def _render_table_ref(ref):
+    return "{0} {1}".format(ref.name, ref.alias) if ref.alias else ref.name
+
+
+def render_select(select):
+    """A Select AST as one line of canonical SQL."""
+    if not isinstance(select, Select):
+        raise TypeError("render_select needs a Select, got "
+                        "{0!r}".format(select))
+    parts = ["SELECT"]
+    if select.distinct:
+        parts.append("DISTINCT")
+    items = []
+    for item in select.items:
+        text = render_expr(item.expr)
+        if item.alias:
+            text += " AS " + item.alias
+        items.append(text)
+    parts.append(", ".join(items))
+    if select.table is not None:
+        parts.append("FROM " + _render_table_ref(select.table))
+        for join in select.joins:
+            parts.append("JOIN {0} ON {1}".format(
+                _render_table_ref(join.table),
+                render_expr(join.condition)))
+    if select.where is not None:
+        parts.append("WHERE " + render_expr(select.where))
+    if select.group_by:
+        parts.append("GROUP BY " + ", ".join(render_expr(e)
+                                             for e in select.group_by))
+    if select.having is not None:
+        parts.append("HAVING " + render_expr(select.having))
+    if select.order_by:
+        orders = ["{0}{1}".format(render_expr(o.expr),
+                                  "" if o.ascending else " DESC")
+                  for o in select.order_by]
+        parts.append("ORDER BY " + ", ".join(orders))
+    if select.limit is not None:
+        parts.append("LIMIT {0}".format(select.limit))
+    return " ".join(parts)

@@ -24,7 +24,8 @@ anywhere leaves either the full commit or none of it.
 
 from repro.faults import CrashError
 from repro.sql.ast import (
-    Column, CreateTable, Delete, Insert, Select, Update,
+    Column, CreateMaterializedView, CreateTable, Delete,
+    DropMaterializedView, Insert, Select, Update,
 )
 from repro.sql.parser import parse_sql
 
@@ -173,7 +174,8 @@ class Transaction:
         """
         self._check_open()
         statement = parse_sql(sql)
-        if isinstance(statement, CreateTable):
+        if isinstance(statement, (CreateTable, CreateMaterializedView,
+                                  DropMaterializedView)):
             raise NotImplementedError("DDL inside a transaction")
         if isinstance(statement, Insert):
             return self._buffer_insert(statement)
@@ -187,6 +189,7 @@ class Transaction:
         raise TypeError("unsupported statement {0!r}".format(statement))
 
     def _buffer_insert(self, statement):
+        self._db._reject_view_dml(statement.table)
         table = self.get(statement.table)
         order = statement.columns or table.column_names
         if sorted(order) != sorted(table.column_names):
@@ -208,6 +211,7 @@ class Transaction:
                                     context=context)
 
     def _buffer_delete(self, statement, context=None):
+        self._db._reject_view_dml(statement.table)
         self.get(statement.table)
         oids = self._matched_oids(statement.table, statement.where,
                                   context=context)
@@ -217,6 +221,7 @@ class Transaction:
         return len(fresh)
 
     def _buffer_update(self, statement, context=None):
+        self._db._reject_view_dml(statement.table)
         table = self.get(statement.table)
         new_rows = self._db._eval_update_rows(table, statement, view=self,
                                               context=context)

@@ -1,0 +1,752 @@
+"""Incremental maintenance of materialized views from committed deltas.
+
+The :class:`ViewMaintainer` hangs off one
+:class:`~repro.sql.database.Database` and owns every view's backing
+table (an ordinary catalog table named after the view — SELECTs
+against a view plan as plain scans, snapshots pin it like any other
+table).  The database's ``_apply_ops`` — the single publish path
+shared by autocommit, transaction publication, WAL replay, replication
+apply, 2PC decide and resharding install — hands the maintainer each
+op's delta as appended/removed base rows; the maintainer folds them
+into weighted Z-set batches and applies them to every view watching
+that table, atomically with the commit (the backing table moves inside
+the same ``_apply_ops`` call that moves the base table).
+
+Backing tables are derived state: they are never WAL-logged
+themselves.  The log carries ``create_view``/``drop_view`` records
+(the defining query as SQL text) plus the ordinary commit records, so
+replay rebuilds every view by re-running the same create-then-maintain
+history — on recovery, on replicas, and per shard.
+"""
+
+import numpy as np
+
+from repro.core.atoms import BIT
+from repro.sql.ast import Column
+from repro.sql.parser import parse_sql
+from repro.views.definition import ViewDefinition, classify
+from repro.views.rows import (
+    ViewError, decode_row, eval_expr, logical_rows, row_env, truthy,
+)
+from repro.views.zset import ZSet, row_key
+
+
+class ViewMaintenanceError(RuntimeError):
+    """Internal invariant violation: the incremental state diverged
+    from what a retraction expects (a bug, not a user error)."""
+
+
+class ViewMaintainer:
+    """All materialized views of one database."""
+
+    def __init__(self, database):
+        self._db = database
+        self._views = {}     # view name -> operator object
+        self._watchers = {}  # base table -> [view names, creation order]
+        self.counters = {}   # view name -> maintenance counters
+
+    # -- registry ------------------------------------------------------------
+
+    def names(self):
+        return sorted(self._views)
+
+    def is_view(self, name):
+        return name in self._views
+
+    def watching(self, table_name):
+        """True when a committed delta to ``table_name`` must be
+        captured (the near-zero fast-path check in ``_apply_ops``)."""
+        return table_name in self._watchers
+
+    def definition(self, name):
+        return self._view(name).d
+
+    def select_of(self, name):
+        return self._view(name).d.select
+
+    def _view(self, name):
+        try:
+            return self._views[name]
+        except KeyError:
+            raise KeyError(
+                "unknown materialized view {0!r}".format(name)) from None
+
+    # -- DDL -----------------------------------------------------------------
+
+    def validate(self, name, select):
+        """Classify without installing — the pre-WAL validation step."""
+        return self._classify(name, select)
+
+    def _classify(self, name, select):
+        if name in self._views or name in self._db.catalog:
+            raise ViewError(
+                "name {0!r} is already a table or view".format(name))
+        return classify(self._db.catalog.tables, name, select,
+                        view_names=set(self._views))
+
+    def create(self, name, select):
+        """Install a view: classify, create the backing table,
+        materialize the initial contents, start watching the bases."""
+        definition = self._classify(name, select)
+        backing = self._db.catalog.create_table(name, definition.columns)
+        view = _OPERATORS[definition.kind](self, definition)
+        try:
+            view.materialize()
+        except Exception:
+            self._db.catalog.drop_table(name)
+            raise
+        self._views[name] = view
+        self.counters[name] = {"deltas": 0, "rows_changed": 0,
+                               "group_recomputes": 0,
+                               "eager_recomputes": 0,
+                               "last_lsn": self._db.commit_seq}
+        for base in definition.base_tables:
+            self._watchers.setdefault(base, []).append(name)
+        return definition
+
+    def drop(self, name):
+        view = self._views.pop(name, None)
+        if view is None:
+            raise KeyError(
+                "unknown materialized view {0!r}".format(name))
+        self.counters.pop(name, None)
+        for base in view.d.base_tables:
+            watchers = self._watchers.get(base, [])
+            if name in watchers:
+                watchers.remove(name)
+            if not watchers:
+                self._watchers.pop(base, None)
+        self._db.catalog.drop_table(name)
+
+    # -- the maintenance entry point ------------------------------------------
+
+    def apply_delta(self, table_name, appended, removed):
+        """Fold one committed op's delta into every watching view.
+
+        ``appended``/``removed`` are raw decoded row tuples of
+        ``table_name`` (as :meth:`Table.row` returns them); they are
+        decoded to logical space and merged into one Z-set batch here.
+        Runs inside ``_apply_ops`` — the base table already shows the
+        op, so join and min/max recompute reads see post-op state.
+        """
+        watchers = self._watchers.get(table_name)
+        if not watchers:
+            return
+        table = self._db.catalog.get(table_name)
+        delta = ZSet()
+        for row in appended:
+            delta.add(decode_row(table, row), 1)
+        for row in removed:
+            delta.add(decode_row(table, row), -1)
+        if not delta:
+            return
+        tracer = self._db.tracer
+        for name in list(watchers):
+            view = self._views[name]
+            if tracer.enabled:
+                with tracer.span("view.delta", kind="view", view=name,
+                                 table=table_name,
+                                 delta_rows=len(delta)):
+                    changed = view.apply(table_name, delta)
+                    tracer.add("view_rows_changed", changed)
+            else:
+                changed = view.apply(table_name, delta)
+            counters = self.counters[name]
+            counters["deltas"] += 1
+            counters["rows_changed"] += changed
+            # The commit being published takes the next sequence
+            # number; _bump_commit runs after _apply_ops returns.
+            counters["last_lsn"] = self._db.commit_seq + 1
+
+    # -- reads ----------------------------------------------------------------
+
+    def contents(self, name):
+        """The view's rows in logical space (nil sentinels -> None)."""
+        self._view(name)
+        return logical_rows(self._db.catalog.get(name))
+
+    def partials(self, name):
+        """Per-group partial accumulator state, for scatter-gather
+        reads over sharded aggregate views (merged by
+        :func:`merge_partials`)."""
+        view = self._view(name)
+        if not isinstance(view, _AggregateView):
+            raise ViewError(
+                "view {0!r} has no partial-aggregate state "
+                "({1})".format(name, view.d.kind))
+        return view.dump_partials()
+
+
+# -- operator implementations -------------------------------------------------
+
+
+class _ViewOperator:
+    """Shared plumbing: backing-table access and multiset bookkeeping."""
+
+    def __init__(self, maintainer, definition):
+        self._m = maintainer
+        self.d = definition
+
+    @property
+    def _catalog(self):
+        return self._m._db.catalog
+
+    def _backing(self):
+        return self._catalog.get(self.d.name)
+
+    def _bump(self, counter, value=1):
+        counters = self._m.counters.get(self.d.name)
+        if counters is not None:
+            counters[counter] += value
+
+
+class _MultisetView(_ViewOperator):
+    """Base for linear and join views: the backing table is a plain
+    multiset, retracted row-by-row via an output-row -> oid index."""
+
+    def __init__(self, maintainer, definition):
+        super().__init__(maintainer, definition)
+        self._row_oids = {}  # row_key -> [backing oids]
+
+    def _append_out(self, rows):
+        if not rows:
+            return
+        backing = self._backing()
+        oids = backing.append_rows([list(row) for row in rows])
+        for row, oid in zip(rows, oids):
+            self._row_oids.setdefault(row_key(row), []).append(oid)
+
+    def _retract_out(self, rows):
+        if not rows:
+            return
+        backing = self._backing()
+        doomed = []
+        for row in rows:
+            oids = self._row_oids.get(row_key(row))
+            if not oids:
+                raise ViewMaintenanceError(
+                    "view {0!r}: retraction of absent row "
+                    "{1!r}".format(self.d.name, row))
+            doomed.append(oids.pop())
+        backing.delete_oids(doomed)
+
+    def _project(self, delta_rows):
+        """Map a per-table Z-set through WHERE and the projection;
+        returns (+rows, -rows) expanded by weight."""
+        raise NotImplementedError
+
+
+class _LinearView(_MultisetView):
+    """Single-table filter/project: the delta maps straight through."""
+
+    def materialize(self):
+        base = self._catalog.get(self.d.base_tables[0])
+        binding = self.d.select.table.binding
+        out = []
+        for row in logical_rows(base):
+            projected = self._project_row(binding, base.column_names,
+                                          row)
+            if projected is not None:
+                out.append(projected)
+        self._append_out(out)
+
+    def _project_row(self, binding, column_names, row):
+        env = row_env(binding, column_names, row)
+        where = self.d.select.where
+        if where is not None and not truthy(eval_expr(where, env)):
+            return None
+        return tuple(eval_expr(item.expr, env) for item in self.d.items)
+
+    def apply(self, table_name, delta):
+        base = self._catalog.get(table_name)
+        binding = self.d.select.table.binding
+        plus, minus = [], []
+        for row, weight in delta.items():
+            projected = self._project_row(binding, base.column_names,
+                                          row)
+            if projected is None:
+                continue
+            if weight > 0:
+                plus.extend([projected] * weight)
+            else:
+                minus.extend([projected] * (-weight))
+        self._append_out(plus)
+        self._retract_out(minus)
+        return len(plus) + len(minus)
+
+
+class _JoinView(_MultisetView):
+    """Two-table join, maintained by the bilinear rule.
+
+    Deltas arrive table-at-a-time (``_apply_ops`` publishes per-table
+    ops sequentially, maintaining views after each), so each delta
+    joins the *current* state of the other table: for a commit moving
+    both R and S, dR joins old S, then dS joins new R — together
+    exactly dR|><|S + R|><|dS + dR|><|dS.
+    """
+
+    def _sides(self):
+        select = self.d.select
+        left = select.table
+        right = select.joins[0].table
+        return left, right
+
+    def _env_pairs(self, left_rows, right_rows):
+        """Joined environments passing the ON condition and WHERE."""
+        select = self.d.select
+        left, right = self._sides()
+        left_table = self._catalog.get(left.name)
+        right_table = self._catalog.get(right.name)
+        for lrow, lweight in left_rows:
+            lenv = row_env(left.binding, left_table.column_names, lrow)
+            for rrow, rweight in right_rows:
+                env = dict(lenv)
+                env.update(row_env(right.binding,
+                                   right_table.column_names, rrow))
+                if not truthy(eval_expr(select.joins[0].condition, env)):
+                    continue
+                if select.where is not None and \
+                        not truthy(eval_expr(select.where, env)):
+                    continue
+                yield env, lweight * rweight
+
+    def _emit(self, pairs):
+        plus, minus = [], []
+        for env, weight in pairs:
+            row = tuple(eval_expr(item.expr, env)
+                        for item in self.d.items)
+            if weight > 0:
+                plus.extend([row] * weight)
+            else:
+                minus.extend([row] * (-weight))
+        self._append_out(plus)
+        self._retract_out(minus)
+        return len(plus) + len(minus)
+
+    def materialize(self):
+        left, right = self._sides()
+        left_rows = [(row, 1) for row
+                     in logical_rows(self._catalog.get(left.name))]
+        right_rows = [(row, 1) for row
+                      in logical_rows(self._catalog.get(right.name))]
+        return self._emit(self._env_pairs(left_rows, right_rows))
+
+    def apply(self, table_name, delta):
+        left, right = self._sides()
+        if table_name == left.name:
+            other = [(row, 1) for row
+                     in logical_rows(self._catalog.get(right.name))]
+            pairs = self._env_pairs(delta.items(), other)
+        else:
+            other = [(row, 1) for row
+                     in logical_rows(self._catalog.get(left.name))]
+            pairs = self._env_pairs(other, delta.items())
+        return self._emit(pairs)
+
+
+class _AggregateView(_ViewOperator):
+    """GROUP BY (or scalar) count/sum/min/max/avg with weight-aware
+    per-group accumulators.
+
+    Retraction decrements counts and subtracts sums; a retraction that
+    removes the *current extremum* of a min/max accumulator cannot be
+    answered from the accumulator alone, so the group recomputes from
+    the base table (post-delta state, counted in
+    ``group_recomputes``).  A group whose weight reaches zero vanishes
+    — its backing row is deleted, not zeroed — except for the scalar
+    (no GROUP BY) shape, which always keeps exactly one row, matching
+    the engine's empty-aggregate answers (count 0, sums NULL).
+    """
+
+    def __init__(self, maintainer, definition):
+        super().__init__(maintainer, definition)
+        self._groups = {}      # group key -> _Group
+        self._group_oids = {}  # group key -> backing oid
+        self._scalar = not definition.group_exprs
+
+    def _binding(self):
+        return self.d.select.table.binding
+
+    def materialize(self):
+        base = self._catalog.get(self.d.base_tables[0])
+        delta = ZSet()
+        for row in logical_rows(base):
+            delta.add(row, 1)
+        if self._scalar and not delta:
+            # The scalar shape always has its one row.
+            self._rewrite_groups({()})
+            return
+        self.apply(self.d.base_tables[0], delta)
+
+    def apply(self, table_name, delta):
+        base = self._catalog.get(table_name)
+        binding = self._binding()
+        select = self.d.select
+        dirty = set()
+        for row, weight in delta.items():
+            env = row_env(binding, base.column_names, row)
+            if select.where is not None and \
+                    not truthy(eval_expr(select.where, env)):
+                continue
+            key = row_key([eval_expr(expr, env)
+                           for expr in self.d.group_exprs]) \
+                if not self._scalar else ()
+            group = self._groups.get(key)
+            if group is None:
+                group = self._groups[key] = _Group(
+                    tuple(eval_expr(expr, env)
+                          for expr in self.d.group_exprs),
+                    self.d.items)
+            group.fold(env, weight)
+            dirty.add(key)
+        if self._scalar and not self._group_oids:
+            dirty.add(())
+        return self._rewrite_groups(dirty)
+
+    def _rewrite_groups(self, dirty):
+        """Re-emit the backing row of every touched group."""
+        backing = self._backing()
+        changed = 0
+        touched = []
+        stale = []
+        for key in sorted(dirty):
+            group = self._groups.get(key)
+            if group is None and self._scalar:
+                group = self._groups[key] = _Group((), self.d.items)
+            if group is None:
+                raise ViewMaintenanceError(
+                    "view {0!r}: delta touched unknown group "
+                    "{1!r}".format(self.d.name, key))
+            if group.weight < 0:
+                raise ViewMaintenanceError(
+                    "view {0!r}: group {1!r} retracted below "
+                    "empty".format(self.d.name, key))
+            touched.append((key, group))
+            if group.needs_recompute():
+                stale.append(group)
+        if stale:
+            self._recompute_stale(stale)
+        for key, group in touched:
+            old_oid = self._group_oids.pop(key, None)
+            if old_oid is not None:
+                backing.delete_oids([old_oid])
+                changed += 1
+            if group.weight == 0 and not self._scalar:
+                # Zero-weight groups vanish rather than linger.
+                del self._groups[key]
+                continue
+            oids = backing.append_rows([list(group.output_row())])
+            self._group_oids[key] = oids[0]
+            changed += 1
+        return changed
+
+    def _recompute_stale(self, groups):
+        """Rebuild stale min/max accumulators from the base table
+        (current, post-delta state) — one shared scan, however many
+        groups the delta invalidated."""
+        if not self._recompute_columnwise(groups):
+            self._recompute_rowwise(groups)
+        self._bump("group_recomputes", len(groups))
+
+    def _columnwise_name(self, expr, base):
+        """The base column a plain-column expression binds, or None."""
+        if not isinstance(expr, Column):
+            return None
+        if expr.table not in (None, self._binding()):
+            return None
+        return expr.name if expr.name in base.atoms else None
+
+    def _recompute_columnwise(self, groups):
+        """Column-at-a-time recompute for the common shape — no WHERE,
+        plain-column group keys and aggregate arguments: one numpy mask
+        per group over the raw BAT tails, no per-row environments."""
+        select = self.d.select
+        if select.where is not None:
+            return False
+        base = self._catalog.get(self.d.base_tables[0])
+        key_cols = []
+        for expr in self.d.group_exprs:
+            name = self._columnwise_name(expr, base)
+            if name is None or base.atoms[name].varsized:
+                return False
+            key_cols.append(name)
+        for group in groups:
+            for item, acc in zip(group.items, group.accs):
+                if not acc.get("stale"):
+                    continue
+                name = self._columnwise_name(item.arg, base)
+                if name is None or base.atoms[name].varsized or \
+                        base.atoms[name] is BIT:
+                    return False
+        oids = base.tid().tail
+        tails = {}
+
+        def tail(name):
+            if name not in tails:
+                tails[name] = base.bind(name).tail[oids]
+            return tails[name]
+
+        for group in groups:
+            mask = np.ones(len(oids), dtype=bool)
+            for name, key_value in zip(key_cols, group.key_values):
+                column = tail(name)
+                if key_value is None:
+                    mask &= np.isnan(column) \
+                        if np.issubdtype(column.dtype, np.floating) \
+                        else (column == base.atoms[name].nil)
+                else:
+                    mask &= (column == key_value)
+            for item, acc in zip(group.items, group.accs):
+                if not acc.get("stale"):
+                    continue
+                name = self._columnwise_name(item.arg, base)
+                values = tail(name)[mask]
+                if np.issubdtype(values.dtype, np.floating):
+                    values = values[~np.isnan(values)]
+                else:
+                    values = values[values != base.atoms[name].nil]
+                acc["n"] = int(len(values))
+                acc["cur"] = (values.min() if item.agg == "min"
+                              else values.max()).item() \
+                    if len(values) else None
+                acc["stale"] = False
+        return True
+
+    def _recompute_rowwise(self, groups):
+        """The general recompute: one shared row-at-a-time scan, envs
+        bucketed per stale group."""
+        base = self._catalog.get(self.d.base_tables[0])
+        binding = self._binding()
+        select = self.d.select
+        buckets = {row_key(group.key_values): []
+                   for group in groups} if not self._scalar else {}
+        scalar_envs = []
+        for row in logical_rows(base):
+            env = row_env(binding, base.column_names, row)
+            if select.where is not None and \
+                    not truthy(eval_expr(select.where, env)):
+                continue
+            if self._scalar:
+                scalar_envs.append(env)
+                continue
+            key = row_key([eval_expr(expr, env)
+                           for expr in self.d.group_exprs])
+            bucket = buckets.get(key)
+            if bucket is not None:
+                bucket.append(env)
+        for group in groups:
+            envs = scalar_envs if self._scalar \
+                else buckets[row_key(group.key_values)]
+            group.recompute_extrema(envs)
+
+    def dump_partials(self):
+        """Shippable per-group state for cross-shard merging."""
+        out = []
+        for key in sorted(self._groups):
+            group = self._groups[key]
+            if group.weight == 0 and not self._scalar:
+                continue
+            out.append({"key": list(group.key_values),
+                        "weight": group.weight,
+                        "accs": [dict(acc) for acc in group.accs]})
+        return out
+
+
+class _EagerView(_ViewOperator):
+    """The non-incremental fallback: every base delta recomputes the
+    defining query through the engine and rewrites the backing table
+    wholesale."""
+
+    def materialize(self):
+        self._refresh()
+
+    def apply(self, table_name, delta):
+        changed = self._refresh()
+        self._bump("eager_recomputes")
+        return changed
+
+    def _refresh(self):
+        backing = self._backing()
+        visible = backing.tid().tail.tolist()
+        if visible:
+            backing.delete_oids(visible)
+        result = self._m._db._run_select(self.d.select,
+                                         view=self._catalog)
+        rows = result.rows()
+        if rows:
+            backing.append_rows([list(row) for row in rows])
+        return len(visible) + len(rows)
+
+
+_OPERATORS = {
+    "linear": _LinearView,
+    "join": _JoinView,
+    "aggregate": _AggregateView,
+    "eager": _EagerView,
+}
+
+
+# -- per-group accumulators ---------------------------------------------------
+
+
+class _Group:
+    """One group's weight and per-aggregate accumulators.
+
+    Accumulator shapes (all values in logical space):
+
+    * count(*): ``{}`` — the group weight is the value
+    * count(x): ``{"n": non-null count}``
+    * sum/avg(x): ``{"n": non-null count, "total": running sum}``
+    * min/max(x): ``{"n": non-null count, "cur": extremum or None,
+      "stale": recompute pending}``
+    """
+
+    def __init__(self, key_values, items):
+        self.key_values = tuple(key_values)
+        self.items = items
+        self.weight = 0
+        self.accs = []
+        for item in items:
+            if item.kind != "agg" or item.arg is None:
+                self.accs.append({})
+            elif item.agg == "count":
+                self.accs.append({"n": 0})
+            elif item.agg in ("sum", "avg"):
+                self.accs.append({"n": 0, "total": 0})
+            else:  # min / max
+                self.accs.append({"n": 0, "cur": None, "stale": False})
+
+    def fold(self, env, weight):
+        self.weight += weight
+        for item, acc in zip(self.items, self.accs):
+            if item.kind != "agg" or item.arg is None:
+                continue
+            value = eval_expr(item.arg, env)
+            if value is None:
+                continue
+            if item.agg == "count":
+                acc["n"] += weight
+            elif item.agg in ("sum", "avg"):
+                acc["n"] += weight
+                acc["total"] += weight * value
+            else:
+                acc["n"] += weight
+                if acc["n"] == 0:
+                    acc["cur"] = None
+                    acc["stale"] = False
+                elif weight > 0:
+                    cur = acc["cur"]
+                    if cur is None or (value < cur if item.agg == "min"
+                                       else value > cur):
+                        acc["cur"] = value
+                else:
+                    # Retracting the current extremum: the accumulator
+                    # cannot answer; flag the group for recompute.
+                    if acc["cur"] is not None and value == acc["cur"]:
+                        acc["stale"] = True
+
+    def needs_recompute(self):
+        return any(acc.get("stale") for acc in self.accs)
+
+    def recompute_extrema(self, envs):
+        for item, acc in zip(self.items, self.accs):
+            if not acc.get("stale"):
+                continue
+            values = [v for v in (eval_expr(item.arg, env)
+                                  for env in envs) if v is not None]
+            acc["cur"] = (min(values) if item.agg == "min"
+                          else max(values)) if values else None
+            acc["n"] = len(values)
+            acc["stale"] = False
+
+    def output_row(self):
+        row = []
+        for item, acc in zip(self.items, self.accs):
+            if item.kind == "key":
+                row.append(self.key_values[item.key_index])
+            else:
+                row.append(_acc_value(item, acc, self.weight))
+        return tuple(row)
+
+
+def _acc_value(item, acc, weight):
+    """One aggregate output cell from its accumulator (logical space)."""
+    if item.agg == "count":
+        return weight if item.arg is None else acc["n"]
+    if item.agg == "sum":
+        return acc["total"] if acc["n"] else None
+    if item.agg == "avg":
+        return acc["total"] / acc["n"] if acc["n"] else None
+    return acc["cur"]  # min / max
+
+
+def merge_partials(definition, dumps):
+    """Merge per-shard :meth:`ViewMaintainer.partials` dumps into the
+    global view rows (scatter-gather reads on sharded aggregate
+    views).
+
+    Counts and weights add, sums add, min/max take the best of the
+    shard extrema (each shard's extremum is exact over its rows, so
+    the best-of is the global extremum), avg divides the merged sum by
+    the merged count.
+    """
+    merged = {}  # row_key(key) -> (key_values, weight, accs)
+    for dump in dumps:
+        for entry in dump:
+            key_values = tuple(entry["key"])
+            key = row_key(key_values)
+            found = merged.get(key)
+            if found is None:
+                merged[key] = [key_values, entry["weight"],
+                               [dict(acc) for acc in entry["accs"]]]
+                continue
+            found[1] += entry["weight"]
+            for item, acc, other in zip(definition.items, found[2],
+                                        entry["accs"]):
+                if item.kind != "agg" or item.arg is None:
+                    continue
+                if item.agg == "count":
+                    acc["n"] += other["n"]
+                elif item.agg in ("sum", "avg"):
+                    acc["n"] += other["n"]
+                    acc["total"] += other["total"]
+                else:
+                    values = [v for v in (acc["cur"], other["cur"])
+                              if v is not None]
+                    acc["cur"] = (min(values) if item.agg == "min"
+                                  else max(values)) if values else None
+                    acc["n"] += other["n"]
+    rows = []
+    scalar = not definition.group_exprs
+    if scalar and not merged:
+        merged[()] = [(), 0, [_empty_acc(item)
+                              for item in definition.items]]
+    for key in sorted(merged):
+        key_values, weight, accs = merged[key]
+        if weight == 0 and not scalar:
+            continue
+        row = []
+        for item, acc in zip(definition.items, accs):
+            if item.kind == "key":
+                row.append(key_values[item.key_index])
+            else:
+                row.append(_acc_value(item, acc, weight))
+        rows.append(tuple(row))
+    return rows
+
+
+def _empty_acc(item):
+    if item.kind != "agg" or item.arg is None:
+        return {}
+    if item.agg == "count":
+        return {"n": 0}
+    if item.agg in ("sum", "avg"):
+        return {"n": 0, "total": 0}
+    return {"n": 0, "cur": None, "stale": False}
+
+
+def view_from_wal(database, record):
+    """Re-install a view from its ``create_view`` WAL record (shared by
+    recovery and replication apply)."""
+    select = parse_sql(record["sql"])
+    return database.views.create(record["name"], select)

@@ -31,6 +31,12 @@ import random
 TYPES = ("BIGINT", "DOUBLE", "VARCHAR(8)")
 STRING_POOL = ["v{0}".format(i) for i in range(8)]
 
+# The historical DML statement mix (insert, update, update, delete):
+# changing these defaults would shift the rng.choice stream and break
+# every pinned case, so callers wanting a different mix pass
+# ``gen_dml_script(weights=...)`` instead.
+DEFAULT_DML_WEIGHTS = {"insert": 1, "update": 2, "delete": 1}
+
 
 class TableSpec:
     def __init__(self, name, columns, rows):
@@ -134,7 +140,7 @@ class QueryGenerator:
 
     # -- transactional DML scripts -------------------------------------------
 
-    def gen_dml_script(self, case_id=None):
+    def gen_dml_script(self, case_id=None, weights=None):
         """A short transactional script of INSERT/UPDATE/DELETE
         statements.
 
@@ -142,15 +148,31 @@ class QueryGenerator:
         record is never empty (a crash-sweep run relies on the
         ``wal.append`` site being hit).  Deletes always carry a WHERE
         clause so a script cannot wipe a table and starve later ones.
+
+        ``weights`` maps ``insert``/``update``/``delete`` to integer
+        draw weights, skewing the statement mix (e.g. retraction-heavy
+        histories for view-maintenance oracles).  The default weights
+        rebuild exactly the historical draw population, so the RNG
+        stream — and every previously pinned case — is unchanged.
         """
         with self._case(case_id):
-            return self._gen_dml_script()
+            return self._gen_dml_script(weights)
 
-    def _gen_dml_script(self):
+    def _gen_dml_script(self, weights=None):
+        merged = dict(DEFAULT_DML_WEIGHTS)
+        if weights:
+            unknown = set(weights) - set(merged)
+            if unknown:
+                raise ValueError(
+                    "unknown DML kinds {0}".format(sorted(unknown)))
+            merged.update(weights)
+        population = [kind for kind in ("insert", "update", "delete")
+                      for _ in range(merged[kind])]
+        if not population:
+            raise ValueError("DML weights sum to zero")
         script = [self._gen_insert(self._pick_table())]
         for _ in range(self.rng.randint(1, 3)):
-            kind = self.rng.choice(["insert", "update", "update",
-                                    "delete"])
+            kind = self.rng.choice(population)
             table = self._pick_table()
             if kind == "insert":
                 script.append(self._gen_insert(table))

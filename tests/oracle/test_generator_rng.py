@@ -8,7 +8,9 @@ reproducible *standalone*, in any order, without touching the shared
 stream that fixes the schema.
 """
 
-from tests.oracle.generator import QueryGenerator
+import pytest
+
+from tests.oracle.generator import DEFAULT_DML_WEIGHTS, QueryGenerator
 
 
 def test_case_reproduces_standalone():
@@ -57,3 +59,62 @@ def test_predicates_reproduce_standalone():
               for i in range(5)]
     fresh = QueryGenerator(9)
     assert fresh.gen_predicate(fresh.tables[0], case_id=3) == wanted[3]
+
+
+# -- DML weight knobs ----------------------------------------------------------
+
+
+def test_default_weights_preserve_the_rng_stream():
+    """``weights=None`` and an explicit copy of the defaults rebuild
+    the exact historical draw population: every pinned case stays
+    byte-identical.  This is the contract that lets the view oracle
+    skew its mixes without invalidating the engine oracles' corpora."""
+    for seed in (1, 7, 42):
+        legacy = QueryGenerator(seed)
+        explicit = QueryGenerator(seed)
+        for case in range(4):
+            assert legacy.gen_dml_script(case_id=case) == \
+                explicit.gen_dml_script(
+                    case_id=case, weights=dict(DEFAULT_DML_WEIGHTS))
+
+
+def test_skewed_weights_shift_the_statement_mix():
+    """A delete-heavy mix emits more deletes than the default across a
+    pinned window, and the scripts stay well-formed (leading INSERT,
+    deletes carry WHERE)."""
+    def verbs(weights):
+        generator = QueryGenerator(11)
+        out = []
+        for case in range(10):
+            out.extend(sql.split(None, 1)[0] for sql in
+                       generator.gen_dml_script(case_id=case,
+                                                weights=weights))
+        return out
+
+    default = verbs(None)
+    heavy = verbs({"insert": 1, "update": 1, "delete": 8})
+    assert heavy.count("DELETE") > default.count("DELETE")
+    generator = QueryGenerator(11)
+    for case in range(4):
+        script = generator.gen_dml_script(
+            case_id=case, weights={"insert": 1, "delete": 8})
+        assert script[0].startswith("INSERT")
+        assert all("WHERE" in sql for sql in script
+                   if sql.startswith("DELETE"))
+
+
+def test_single_kind_weights_pin_the_verb():
+    generator = QueryGenerator(2)
+    script = generator.gen_dml_script(
+        case_id=0, weights={"insert": 1, "update": 0, "delete": 0})
+    assert all(sql.startswith("INSERT") for sql in script)
+
+
+def test_invalid_weights_are_rejected():
+    generator = QueryGenerator(2)
+    with pytest.raises(ValueError):
+        generator.gen_dml_script(case_id=0, weights={"upsert": 1})
+    with pytest.raises(ValueError):
+        generator.gen_dml_script(
+            case_id=0,
+            weights={"insert": 0, "update": 0, "delete": 0})
